@@ -1,0 +1,93 @@
+"""Benchmark harness fixtures.
+
+One full-scale simulation (the paper's 744-hour month at ~4 accesses per
+client per URL per hour, ~25M transactions) is built once per benchmark
+session; each benchmark times one analysis stage and prints the
+corresponding paper table/figure comparison.
+
+Environment knobs:
+
+* ``REPRO_BENCH_HOURS``   -- experiment duration (default 744).
+* ``REPRO_BENCH_PER_HOUR`` -- accesses per client/URL/hour (default 4).
+* ``REPRO_BENCH_SEED``    -- master seed (default 20050101).
+
+Every printed table is also appended to ``benchmarks/bench_report.txt`` so
+the reproduction record survives pytest's output capture.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.core import blame, permanent
+from repro.core.bgp_correlation import EndpointIndex
+from repro.world.simulator import simulate_default_month
+
+REPORT_PATH = pathlib.Path(__file__).parent / "bench_report.txt"
+
+
+def _env_int(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+@pytest.fixture(scope="session")
+def bench_result():
+    """The full-scale simulation, built once."""
+    result = simulate_default_month(
+        hours=_env_int("REPRO_BENCH_HOURS", 744),
+        per_hour=_env_int("REPRO_BENCH_PER_HOUR", 4),
+        seed=_env_int("REPRO_BENCH_SEED", 20050101),
+    )
+    REPORT_PATH.write_text(
+        "Reproduction report: paper vs measured\n"
+        f"(hours={result.dataset.world.hours}, "
+        f"transactions={int(result.dataset.transactions.sum())})\n\n"
+    )
+    return result
+
+
+@pytest.fixture(scope="session")
+def bench_dataset(bench_result):
+    """The simulated dataset."""
+    return bench_result.dataset
+
+
+@pytest.fixture(scope="session")
+def bench_truth(bench_result):
+    """Ground truth (validation-only)."""
+    return bench_result.truth
+
+
+@pytest.fixture(scope="session")
+def bench_perm(bench_dataset):
+    """Permanent-pair report at full scale."""
+    return permanent.find_permanent_pairs(bench_dataset)
+
+
+@pytest.fixture(scope="session")
+def bench_blame(bench_dataset, bench_perm):
+    """Blame analysis at f=5%, permanent pairs excluded."""
+    return blame.run_blame_analysis(bench_dataset, 0.05, bench_perm.mask)
+
+
+@pytest.fixture(scope="session")
+def bench_bgp_index(bench_dataset, bench_truth):
+    """Prefix -> endpoint index for the BGP correlation."""
+    return EndpointIndex.build(
+        bench_dataset, bench_truth.prefix_of_client, bench_truth.prefix_of_replica
+    )
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a reproduced table and append it to the report file."""
+
+    def _emit(text: str) -> None:
+        print("\n" + text)
+        with REPORT_PATH.open("a") as fh:
+            fh.write(text + "\n\n")
+
+    return _emit

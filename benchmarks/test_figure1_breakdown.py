@@ -1,0 +1,26 @@
+"""Figure 1: transaction failure rate by type and client category.
+
+Paper: TCP failures dominate (57-64% of failures), DNS accounts for most
+of the rest (34-42%), HTTP under 2%.
+"""
+
+from repro.core import classify, report
+from repro.world.entities import ClientCategory
+
+
+def test_figure1(benchmark, bench_dataset, emit):
+    rows = benchmark.pedantic(
+        classify.failure_type_breakdown, args=(bench_dataset,), rounds=3,
+        iterations=1,
+    )
+    emit(report.figure1(bench_dataset))
+
+    for row in rows:
+        # TCP and DNS dominate; HTTP is marginal (paper: <2%).
+        assert row.fraction("tcp") > 0.4
+        assert row.fraction("dns") > 0.15
+        assert row.fraction("http") < 0.05
+    by_cat = {r.category: r for r in rows}
+    pl = by_cat[ClientCategory.PLANETLAB]
+    # PL's DNS share is substantial (the end-host-vantage point finding).
+    assert 0.25 < pl.fraction("dns") < 0.55

@@ -1,0 +1,36 @@
+"""Figure 2: cumulative contribution of website domains to DNS failures.
+
+Paper: LDNS timeouts do not discriminate across websites (flat curve);
+non-LDNS timeouts and errors are skewed (57% of errors from brazzil.com,
+30% from espn).
+"""
+
+from repro.core import classify, report
+
+
+def test_figure2(benchmark, bench_dataset, emit):
+    contributions = benchmark.pedantic(
+        classify.dns_domain_contributions, args=(bench_dataset,), rounds=3,
+        iterations=1,
+    )
+    emit(report.figure2(bench_dataset))
+
+    # Flat curve: the top domain contributes ~1/80 of LDNS timeouts.
+    ldns_top1 = classify.skewness_top_k(contributions["ldns_timeout"], 1)
+    assert ldns_top1 < 0.06
+
+    # Skewed curves: brazzil tops errors with a large share; the top two
+    # error domains carry most of the mass (paper: 57% + 30%).
+    assert contributions["error"][0][0] == "brazzil.com"
+    error_top1 = classify.skewness_top_k(contributions["error"], 1)
+    error_top2 = classify.skewness_top_k(contributions["error"], 2)
+    assert error_top1 > 0.35
+    assert error_top2 > 0.6
+
+    # Non-LDNS timeouts are skewed too, though less extremely.
+    nonldns_top3 = classify.skewness_top_k(contributions["non_ldns_timeout"], 3)
+    assert nonldns_top3 > 3 * (3 / 80)
+
+    # The cumulative curves are proper CDFs over domains.
+    curve = classify.cumulative_fractions(contributions["all"])
+    assert curve == sorted(curve) and abs(curve[-1] - 1.0) < 1e-9

@@ -1,0 +1,36 @@
+"""Figure 3: breakdown of TCP connection failures.
+
+Paper: "no connection" dominates for PL (79%) and DU (63%) and is
+significant for BB (41%); BB's no-response/partial cannot be split (no
+traces).
+"""
+
+from repro.core import classify, report
+from repro.world.entities import ClientCategory
+
+
+def test_figure3(benchmark, bench_dataset, emit):
+    rows = benchmark.pedantic(
+        classify.tcp_breakdown, args=(bench_dataset,), rounds=3, iterations=1
+    )
+    emit(report.figure3(bench_dataset))
+
+    by_cat = {r.category: r for r in rows}
+    pl = by_cat[ClientCategory.PLANETLAB]
+    du = by_cat[ClientCategory.DIALUP]
+    bb = by_cat[ClientCategory.BROADBAND]
+
+    # No-connection dominates, with the paper's category ordering
+    # PL > DU > BB.
+    assert pl.fraction("no_connection") > 0.65
+    assert du.fraction("no_connection") > 0.45
+    assert (
+        pl.fraction("no_connection")
+        > du.fraction("no_connection")
+        > bb.fraction("no_connection")
+    )
+    # BB's combined no/partial category exists and is large.
+    assert bb.fraction("no_or_partial") > 0.3
+    assert bb.fraction("no_response") == 0.0
+    # PL/DU have no ambiguous entries (traces available).
+    assert pl.fraction("no_or_partial") == 0.0

@@ -1,0 +1,91 @@
+"""Figures 5 and 7: per-client TCP failures vs BGP activity time series.
+
+Figure 5 (nodea.howard.edu): a severe event -- nearly all 73 Routeviews
+neighbors withdraw -- coincides with a spike in TCP connection failures
+and in the longest consecutive-failure streak; a blank period marks the
+client being down.
+
+Figure 7 (planetlab1.kscy...): only 2 neighbors withdraw, yet the client
+sees a ~56% failure rate -- those neighbors carried most paths.
+"""
+
+import numpy as np
+
+from repro.core.bgp_correlation import client_timeseries
+from repro.world.faults import FORCED_BGP_EVENTS, FORCED_DOWNTIME
+
+HOWARD = "nodea.howard.edu"
+KSCY = "planetlab1.kscy.internet2.planet-lab.org"
+
+
+def _series_summary(series, hours):
+    lines = [f"client: {series.client_name}"]
+    with_bgp = np.nonzero(series.withdrawals > 0)[0]
+    failures_only = np.nonzero(
+        (series.withdrawals == 0) & (series.failures > 10)
+    )[0]
+    interesting = sorted(set(with_bgp[:8]) | set(failures_only[:6]))
+    for h in interesting:
+        rate = series.failures[h] / max(1, series.attempts[h])
+        lines.append(
+            f"  hour {h:4d}: attempts={series.attempts[h]:5d} "
+            f"failures={series.failures[h]:5d} ({rate:5.1%}) "
+            f"streak={series.longest_streak[h]:4d} "
+            f"withdrawals={series.withdrawals[h]:3d} "
+            f"neighbors={series.withdrawing_neighbors[h]:3d}"
+        )
+    return "\n".join(lines)
+
+
+def test_figure5_howard(benchmark, bench_dataset, bench_truth, bench_bgp_index, emit):
+    series = benchmark.pedantic(
+        client_timeseries,
+        args=(bench_dataset, bench_truth.bgp_archive, bench_bgp_index, HOWARD),
+        rounds=1,
+        iterations=1,
+    )
+    hours = bench_dataset.world.hours
+    emit("Figure 5 (paper: severe BGP event, ~all 73 neighbors withdraw, "
+         "matching TCP failure + streak spike):\n"
+         + _series_summary(series, hours))
+
+    f0, _, _, _ = FORCED_BGP_EVENTS[HOWARD]
+    event_hour = int(f0 * hours)
+    window = slice(max(0, event_hour - 1), event_hour + 3)
+
+    # Severe withdrawal visible at the collector.
+    assert series.withdrawing_neighbors[window].max() >= 60
+    # TCP failures and streaks spike in the same window.
+    rate = series.failures[window].sum() / max(1, series.attempts[window].sum())
+    assert rate > 0.15
+    assert series.longest_streak[window].max() >= 10
+    # The blank (client down) period shows zero attempts.
+    d0, d1 = FORCED_DOWNTIME[HOWARD]
+    assert series.attempts[int(d0 * hours): int(d1 * hours)].sum() == 0
+    # Outside events, the failure rate is low.
+    quiet = series.withdrawals == 0
+    quiet_rate = series.failures[quiet].sum() / max(1, series.attempts[quiet].sum())
+    assert quiet_rate < 0.08
+
+
+def test_figure7_kscy(benchmark, bench_dataset, bench_truth, bench_bgp_index, emit):
+    series = benchmark.pedantic(
+        client_timeseries,
+        args=(bench_dataset, bench_truth.bgp_archive, bench_bgp_index, KSCY),
+        rounds=1,
+        iterations=1,
+    )
+    hours = bench_dataset.world.hours
+    emit("Figure 7 (paper: only 2 neighbors withdraw yet 56% of attempts "
+         "fail -- they carried most paths):\n" + _series_summary(series, hours))
+
+    f0, _, _, _ = FORCED_BGP_EVENTS[KSCY]
+    event_hour = int(f0 * hours)
+    window = slice(max(0, event_hour - 1), event_hour + 3)
+
+    # Few neighbors withdraw...
+    peak_neighbors = series.withdrawing_neighbors[window].max()
+    assert 0 < peak_neighbors <= 10
+    # ...but the end-to-end impact is drastic.
+    rate = series.failures[window].sum() / max(1, series.attempts[window].sum())
+    assert rate > 0.10

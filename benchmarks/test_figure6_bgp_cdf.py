@@ -1,0 +1,53 @@
+"""Figure 6 + Section 4.6 counts: BGP instability vs TCP failure rates.
+
+Paper: 111 prefix-hours meet the >=70-withdrawing-neighbors definition
+(<0.08% of prefix-hours -- rare), with TCP failure >5% in over 80% of
+them; under the volume definition (>=75 withdrawals from >=50 neighbors,
+32 hours) the correlation is stronger: ~80% above 10%, 50% above 20%.
+"""
+
+import numpy as np
+
+from repro.core.bgp_correlation import correlate_instability, instability_rarity
+
+
+def test_figure6_and_instability_counts(
+    benchmark, bench_dataset, bench_truth, bench_bgp_index, emit
+):
+    by_neighbors, by_volume = benchmark.pedantic(
+        correlate_instability,
+        args=(bench_dataset, bench_truth.bgp_archive, bench_bgp_index),
+        rounds=1,
+        iterations=1,
+    )
+    prefixes = len(
+        set(bench_bgp_index.client_rows) | set(bench_bgp_index.replica_cells)
+    )
+    rarity = instability_rarity(bench_dataset, by_neighbors, prefixes)
+
+    rates, cdf = by_volume.cdf()
+    cdf_text = ", ".join(
+        f"P(rate>{x:.0%})={by_volume.fraction_over(x):.0%}"
+        for x in (0.05, 0.10, 0.20, 0.40)
+    )
+    emit(
+        "Figure 6 / Section 4.6 (paper: 111 def-1 hours, 32 def-2 hours, "
+        "rarity <0.08%; def-2: 80% over 10%, 50% over 20%):\n"
+        f"def-1 ({by_neighbors.definition}): {by_neighbors.instability_hours} "
+        f"hours ({by_neighbors.measured_hours} measured), "
+        f"P(rate>5%)={by_neighbors.fraction_over(0.05):.0%}\n"
+        f"def-2 ({by_volume.definition}): {by_volume.instability_hours} hours, "
+        f"{cdf_text}\n"
+        f"rarity: {rarity:.4%} of prefix-hours"
+    )
+
+    # Instability is rare (paper: <0.08% of data points).
+    assert rarity < 0.004
+    assert 20 <= by_neighbors.instability_hours <= 400
+    # The volume definition is stricter.
+    assert by_volume.instability_hours < by_neighbors.instability_hours
+    # Strong correlation with end-to-end failures.
+    assert by_neighbors.fraction_over(0.05) > 0.55
+    if by_volume.measured_hours >= 5:
+        assert by_volume.fraction_over(0.10) > 0.5
+        assert by_volume.fraction_over(0.20) > 0.25

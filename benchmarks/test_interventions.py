@@ -1,0 +1,40 @@
+"""Section 5 quantified: what-if interventions on the failure rate.
+
+The paper's implications, measured: fixing local DNS is the big win;
+fixing severe BGP instability barely moves the overall rate (it is rare);
+unblocking the permanent pairs and de-correlating replicas sit in between.
+"""
+
+from repro.world import scenarios
+
+
+def test_intervention_study(benchmark, bench_dataset, bench_truth, emit):
+    world = bench_dataset.world
+
+    study = benchmark.pedantic(
+        scenarios.intervention_study,
+        args=(world, bench_truth),
+        kwargs={"per_hour": 1, "seed": 3},
+        rounds=1,
+        iterations=1,
+    )
+    baseline = study["baseline"]
+    lines = ["Section 5 interventions (overall failure rate):"]
+    lines.append(f"  baseline            : {baseline:.3%}")
+    for name in scenarios.INTERVENTIONS:
+        saved = baseline - study[name]
+        lines.append(
+            f"  {name:<20}: {study[name]:.3%}  (saves {saved / baseline:.0%})"
+        )
+    emit("\n".join(lines))
+
+    gains = {
+        name: baseline - rate for name, rate in study.items()
+        if name != "baseline"
+    }
+    # Implication #1: DNS reliability is the single largest lever.
+    assert gains["reliable_ldns"] == max(gains.values())
+    # Implication #2: severe BGP instability is rare -> small lever.
+    assert gains["stable_bgp"] < 0.5 * gains["reliable_ldns"]
+    # Nothing makes the world worse.
+    assert all(g > -0.05 * baseline for g in gains.values())

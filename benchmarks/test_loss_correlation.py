@@ -1,0 +1,26 @@
+"""Section 4.1.3: packet loss rate vs transaction failure rate.
+
+Paper: the correlation coefficient is only 0.19, because (a) DNS failures
+involve no server-client packets, (b) transfers can survive severe loss,
+and (c) failed connections that transfer no data contribute losses the
+trace-based estimator cannot turn into a rate.  The conclusion: study
+end-to-end transaction failures, not just loss rate.
+"""
+
+from repro.core import classify
+
+
+def test_loss_failure_correlation(benchmark, bench_dataset, emit):
+    r = benchmark.pedantic(
+        classify.packet_loss_failure_correlation,
+        args=(bench_dataset,),
+        rounds=3,
+        iterations=1,
+    )
+    emit(
+        "Section 4.1.3 (paper: correlation coefficient 0.19 -- weak):\n"
+        f"measured pair-level loss-vs-failure correlation: r = {r:.3f}"
+    )
+    # Weak but positive: packet loss is a poor failure predictor.
+    assert -0.05 < r < 0.45
+    assert r < 0.6  # decisively NOT a strong predictor

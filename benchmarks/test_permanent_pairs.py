@@ -1,0 +1,43 @@
+"""Section 4.4.2: client-server pairs with "permanent" failures.
+
+Paper: 38 of 10720 pairs (~0.4%) failed >90% of the month (34 of them
+>99.6%), concentrated on msn.com.tw (10), sina.com.cn (9), sohu.com (8);
+they account for 50.7% of connection failures but only 13% of transaction
+failures.
+"""
+
+from repro.core import permanent, report
+
+
+def test_permanent_pairs(benchmark, bench_dataset, emit):
+    found = benchmark.pedantic(
+        permanent.find_permanent_pairs, args=(bench_dataset,), rounds=3,
+        iterations=1,
+    )
+    lines = [
+        "Section 4.4.2: permanent pairs (paper: 38 pairs; 34 over 99.6%; "
+        "50.7% of conn failures; 13% of txn failures)",
+        f"pairs found: {found.count}",
+        f"pairs over 99%: {len(found.over(0.99))}",
+        f"median pair failure rate: {found.pair_median_rate:.4%}",
+        f"share of connection failures: {found.share_of_connection_failures:.1%}",
+        f"share of transaction failures: {found.share_of_transaction_failures:.1%}",
+        "by site: " + ", ".join(
+            f"{name}={count}" for name, count in permanent.pairs_by_site(found)[:5]
+        ),
+    ]
+    emit("\n".join(lines))
+
+    n_pairs = len(bench_dataset.world.clients) * len(bench_dataset.world.websites)
+    assert 30 <= found.count <= 45  # ~0.4% of 10720 pairs
+    assert found.count / n_pairs < 0.006
+    assert len(found.over(0.99)) >= found.count - 8
+    # The outsized connection-failure share vs transaction share.
+    assert found.share_of_connection_failures > 0.30
+    assert found.share_of_transaction_failures < 0.25
+    assert (
+        found.share_of_connection_failures
+        > 2 * found.share_of_transaction_failures
+    )
+    by_site = dict(permanent.pairs_by_site(found))
+    assert by_site.get("msn.com.tw", 0) >= 8

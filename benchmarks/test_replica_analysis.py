@@ -1,0 +1,40 @@
+"""Section 4.5: replicated websites.
+
+Paper: 6 sites with zero qualifying replicas (CDNs), 42 with one, 32 with
+several; 62% of server-side episodes belong to multi-replica sites; 85% of
+those episodes are *total* replica failures, almost all on same-/24
+replica sets.
+"""
+
+from repro.core import replicas
+
+
+def test_replica_analysis(benchmark, bench_dataset, bench_blame, emit):
+    def compute():
+        census = replicas.replica_census(bench_dataset)
+        stats = replicas.classify_replica_episodes(
+            bench_dataset, bench_blame.server_episodes,
+            excluded_pairs=bench_blame.excluded_pairs,
+        )
+        return census, stats
+
+    census, stats = benchmark.pedantic(compute, rounds=1, iterations=1)
+    zero, single, multi = census.counts()
+    emit(
+        "Section 4.5 replica analysis (paper: 6/42/32 sites; 62% of episodes "
+        "on multi-replica sites; 85% total replica failures):\n"
+        f"zero/single/multi replica sites: {zero}/{single}/{multi}\n"
+        f"multi-replica episode share: {stats.multi_replica_share:.1%}\n"
+        f"total replica fraction: {stats.total_fraction:.1%}\n"
+        f"same-subnet totals: {stats.same_subnet_total_hours}"
+        f"/{stats.total_replica_hours}"
+    )
+
+    # The census must be recovered exactly from the observations.
+    assert (zero, single, multi) == (6, 42, 32)
+    # Total replica failures dominate partial ones (paper: 85%).
+    assert stats.total_fraction > 0.6
+    # Multi-replica sites carry a substantial share of episodes (62%).
+    assert stats.multi_replica_share > 0.35
+    # Same-subnet sites supply the majority of total-replica failures.
+    assert stats.same_subnet_total_hours > 0.5 * stats.total_replica_hours

@@ -1,0 +1,47 @@
+"""Engine throughput benchmarks: the substrate itself.
+
+Times the vectorised month simulator (transactions/second) and the
+detailed message-level engine (full DNS+TCP+HTTP per transaction).
+"""
+
+from repro.world.defaults import build_default_world
+from repro.world.detailed import DetailedEngine
+from repro.world.faults import FaultGenerator
+from repro.world.outcome_model import AccessConfig
+from repro.world.rng import RNGRegistry
+from repro.world.simulator import MonthSimulator
+
+
+def test_fast_engine_throughput(benchmark, emit):
+    world = build_default_world(hours=48)
+    rngs = RNGRegistry(7)
+    truth = FaultGenerator(world, rngs=rngs.fork("faults")).generate()
+
+    def run():
+        sim = MonthSimulator(
+            world, access=AccessConfig(per_hour=4),
+            rngs=RNGRegistry(8), truth=truth,
+        )
+        return sim.run().dataset.transactions.sum()
+
+    total = benchmark.pedantic(run, rounds=3, iterations=1)
+    emit(f"fast engine: {int(total)} transactions per 48-hour run")
+    assert total > 1_000_000
+
+
+def test_detailed_engine_throughput(benchmark, emit):
+    world = build_default_world(hours=24)
+    rngs = RNGRegistry(9)
+    truth = FaultGenerator(world, rngs=rngs.fork("faults")).generate()
+    engine = DetailedEngine(world, truth, rngs=rngs)
+    sites = [w.name for w in world.websites][:10]
+
+    def run():
+        batch = engine.run_batch(
+            ["planetlab1.nyu.edu", "du-icg-boston"], sites, hours=[0, 1, 2]
+        )
+        return len(batch)
+
+    count = benchmark.pedantic(run, rounds=3, iterations=1)
+    emit(f"detailed engine: {count} full-substrate transactions per round")
+    assert count == 60

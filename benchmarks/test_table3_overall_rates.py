@@ -1,0 +1,47 @@
+"""Table 3: overall transaction/connection counts and failure rates.
+
+Paper: PL 2.8% / BB 1.3% / DU 0.7% / CN 0.8% transaction failure; CN
+connection counts masked by the proxy.  The shape to hold: PL worst by a
+wide margin, DU/CN best, connection failure rates below transaction rates
+for BB/DU.
+"""
+
+from repro.core import classify, report
+from repro.world.entities import ClientCategory
+
+
+def test_table3(benchmark, bench_dataset, emit):
+    rows = benchmark.pedantic(
+        classify.category_summary, args=(bench_dataset,), rounds=3, iterations=1
+    )
+    emit(report.table3(bench_dataset))
+
+    rates = {r.category: r.transaction_failure_rate for r in rows}
+    # Shape assertions from the paper.
+    assert rates[ClientCategory.PLANETLAB] == max(rates.values())
+    assert rates[ClientCategory.PLANETLAB] > 0.015
+    assert rates[ClientCategory.DIALUP] < 0.015
+    assert rates[ClientCategory.CORPNET] < 0.015
+    # CN connection counts are withheld.
+    by_cat = {r.category: r for r in rows}
+    assert by_cat[ClientCategory.CORPNET].connections is None
+
+
+def test_headline_medians(benchmark, bench_dataset, emit):
+    import numpy as np
+
+    def compute():
+        return (
+            float(np.nanmedian(bench_dataset.client_failure_rates())),
+            float(np.nanmedian(bench_dataset.server_failure_rates())),
+            float(np.nanpercentile(bench_dataset.client_failure_rates(), 95)),
+        )
+
+    client_median, server_median, p95 = benchmark.pedantic(
+        compute, rounds=3, iterations=1
+    )
+    emit(report.headline_summary(bench_dataset))
+    # Paper: 1.47% / 1.63% / ~10% -- "less than two 9s of availability".
+    assert 0.005 < client_median < 0.03
+    assert 0.005 < server_median < 0.03
+    assert p95 > 3 * client_median

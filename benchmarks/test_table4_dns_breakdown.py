@@ -1,0 +1,25 @@
+"""Table 4: breakdown of DNS failures.
+
+Paper: LDNS timeouts dominate (83.3% PL; 74-83% overall), non-LDNS
+timeouts and error responses are minor.
+"""
+
+from repro.core import classify, report
+from repro.world.entities import ClientCategory
+
+
+def test_table4(benchmark, bench_dataset, emit):
+    rows = benchmark.pedantic(
+        classify.dns_breakdown, args=(bench_dataset,), rounds=3, iterations=1
+    )
+    emit(report.table4(bench_dataset))
+
+    by_cat = {r.category: r for r in rows}
+    pl_ldns, pl_nonldns, pl_error = by_cat[ClientCategory.PLANETLAB].fractions()
+    assert pl_ldns > 0.70  # dominant category
+    assert pl_nonldns < 0.2
+    assert pl_error < 0.15
+    # Timeouts (lumped) dominate for DU/BB as well.
+    for cat in (ClientCategory.DIALUP, ClientCategory.BROADBAND):
+        ldns, non_ldns, error = by_cat[cat].fractions()
+        assert ldns + non_ldns > 0.6

@@ -1,0 +1,35 @@
+"""Table 5: blame classification of TCP failures at f=5% and f=10%.
+
+The paper's headline: server-side failures dominate client-side ones at
+the TCP level (48.0 vs 9.9% at f=5%), because client connectivity trouble
+surfaces as DNS failures first; a substantial "other" chunk is
+intermittent.
+"""
+
+from repro.core import blame, report
+
+
+def test_table5(benchmark, bench_dataset, bench_perm, emit):
+    breakdowns = benchmark.pedantic(
+        blame.blame_table,
+        args=(bench_dataset,),
+        kwargs={"excluded_pairs": bench_perm.mask},
+        rounds=1,
+        iterations=1,
+    )
+    emit(report.table5(bench_dataset, bench_perm.mask))
+
+    b5, b10 = breakdowns
+    s5, c5, both5, o5 = b5.fractions()
+    s10, c10, both10, o10 = b10.fractions()
+
+    # Server-side dominance (the paper's 48.0 vs 9.9).
+    assert s5 > 2.5 * c5
+    assert 0.30 < s5 < 0.60
+    assert c5 < 0.20
+    # "Both" is small (4.4% / 0.7% in the paper).
+    assert both5 < 0.10
+    assert both10 < both5 + 1e-9
+    # "Other" (intermittent) is substantial and grows at the stricter f.
+    assert 0.25 < o5 < 0.60
+    assert o10 >= o5

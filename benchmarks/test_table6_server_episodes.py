@@ -1,0 +1,58 @@
+"""Table 6 + Section 4.4.5: server-side episode structure and spread.
+
+Paper: 2732 episode-hours, 473 coalesced (mean 5.78 h, median 1 h, long
+stretches of 448 h for sina.com.cn); 56 of 80 servers affected, 39 more
+than once; spread of the failure-prone servers generally over 70%.
+"""
+
+import numpy as np
+
+from repro.core import episodes, replicas, report, spread
+
+
+def test_table6_and_episode_stats(benchmark, bench_dataset, bench_blame, emit):
+    def compute():
+        spreads = spread.server_spreads(bench_dataset, bench_blame)
+        stats = episodes.episode_stats(bench_blame.server_episodes)
+        hours = replicas.replica_episode_hours_by_site(
+            bench_dataset, excluded_pairs=bench_blame.excluded_pairs
+        )
+        return spreads, stats, hours
+
+    spreads, stats, replica_hours = benchmark.pedantic(
+        compute, rounds=1, iterations=1
+    )
+    emit(report.table6(bench_dataset, bench_blame))
+    emit(
+        "Section 4.4.5 episode structure (paper: 2732 episode-hours at "
+        "replica granularity, 473 coalesced, mean 5.78h, median 1h):\n"
+        f"server-hour episodes: {stats.total_episode_hours}\n"
+        f"replica-hour episodes: {sum(replica_hours.values())}\n"
+        f"coalesced: {stats.coalesced_count}, "
+        f"mean {stats.mean_duration:.2f}h, median {stats.median_duration:.0f}h, "
+        f"max {stats.max_duration}h\n"
+        f"servers with any episode: {stats.entities_with_any}/80, "
+        f"with multiple: {stats.entities_with_multiple}"
+    )
+
+    # The failure-prone-server list is led by sina/iitb with month-scale
+    # episode counts; counting at replica granularity can exceed 744.
+    top = spread.most_failure_prone(spreads, top=11)
+    top_names = [row.site_name for row in top]
+    assert "sina.com.cn" in top_names[:3]
+    assert "iitb.ac.in" in top_names[:3]
+    assert replica_hours["sina.com.cn"] > 0.5 * bench_dataset.world.hours
+
+    # Spread: server-side failures touch most clients (paper: >70%).
+    for row in top[:5]:
+        assert row.spread > 0.55, row.site_name
+
+    # Coverage: a large fraction of servers saw at least one episode
+    # (paper: 56/80 with >=1, 39 with >1).
+    assert stats.entities_with_any >= 40
+    assert stats.entities_with_multiple >= 25
+
+    # Durations: median short, mean pulled up by long stretches.
+    assert stats.median_duration <= 3
+    assert stats.mean_duration > stats.median_duration
+    assert stats.max_duration > 50  # sina's long stretch

@@ -1,0 +1,53 @@
+"""Tables 7 and 8: co-located client similarity vs random pairs.
+
+Paper: over half of co-located pairs share >=25% of their client-side
+episodes; random pairs almost never do (27/35 at exactly zero); the Intel
+pair shares 98.2% of 387 episodes while Columbia node 1 is the odd one out.
+"""
+
+from repro.core import report, similarity
+
+
+def test_table7_and_table8(benchmark, bench_dataset, bench_blame, emit):
+    def compute():
+        colocated = similarity.colocated_similarities(
+            bench_dataset, bench_blame.client_episodes
+        )
+        randoms = similarity.random_pair_similarities(
+            bench_dataset, bench_blame.client_episodes, count=len(colocated)
+        )
+        return colocated, randoms
+
+    colocated, randoms = benchmark.pedantic(compute, rounds=3, iterations=1)
+    emit(report.table7(bench_dataset, bench_blame))
+    emit(report.table8(bench_dataset, bench_blame))
+
+    co_buckets = similarity.bucket_similarities(colocated)
+    rnd_buckets = similarity.bucket_similarities(randoms)
+
+    # Over a third of co-located pairs share >=25% of episodes; among
+    # random pairs that is rare (paper: 18/35 vs 1/35).
+    co_high = co_buckets["> 75%"] + co_buckets["50-75%"] + co_buckets["25-50%"]
+    rnd_high = rnd_buckets["> 75%"] + rnd_buckets["50-75%"] + rnd_buckets["25-50%"]
+    assert co_high >= 10
+    assert rnd_high <= 4
+    # Most random pairs share nothing at all (paper: 27/35).
+    assert rnd_buckets["= 0%"] > co_buckets["= 0%"]
+
+    # Table 8 showcases.
+    rows = {
+        (p.client_a, p.client_b): p
+        for p in similarity.showcase_pairs(
+            bench_dataset, bench_blame.client_episodes
+        )
+    }
+    intel = rows[(
+        "planet1.pittsburgh.intel-research.net",
+        "planet2.pittsburgh.intel-research.net",
+    )]
+    assert intel.union > 100  # paper: 387 episodes in the union
+    assert intel.similarity > 0.7  # paper: 98.2%
+    c23 = rows[("planetlab2.comet.columbia.edu", "planetlab3.comet.columbia.edu")]
+    c12 = rows[("planetlab1.comet.columbia.edu", "planetlab2.comet.columbia.edu")]
+    assert c23.similarity > 0.25  # paper: 52.2%
+    assert c12.similarity < 0.5 * c23.similarity  # paper: 3.6% vs 52.2%

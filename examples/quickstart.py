@@ -1,0 +1,41 @@
+#!/usr/bin/env python
+"""Quickstart: simulate a measurement week and print the headline results.
+
+This is the five-minute tour: build the paper's world (134 clients, 80
+websites), run the fast engine for one simulated week, and print the
+overall failure statistics alongside the paper's month-long numbers.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import simulate_default_month
+from repro.core import permanent, report
+
+
+def main() -> None:
+    print("Simulating one week of the CoNEXT'06 web-failure experiment...")
+    result = simulate_default_month(hours=168, per_hour=4, seed=42)
+    dataset = result.dataset
+
+    total = int(dataset.transactions.sum())
+    failed = int(dataset.failures.sum())
+    print(f"\n{total:,} transactions, {failed:,} failed "
+          f"({failed / total:.2%})\n")
+
+    print(report.headline_summary(dataset))
+    print()
+    print(report.table3(dataset))
+    print()
+    print(report.figure1(dataset))
+
+    # The permanent pairs (Section 4.4.2) -- the near-total blackouts.
+    found = permanent.find_permanent_pairs(dataset)
+    print(f"\n{found.count} client-server pairs failed >90% of the week; "
+          f"the worst offenders:")
+    for pair in found.pairs[:5]:
+        print(f"  {pair.client_name:45s} x {pair.site_name:15s} "
+              f"{pair.failure_rate:7.2%} of {pair.transactions} transactions")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""repro -- a reproduction of "A Study of End-to-End Web Access Failures"
+(Padmanabhan, Ramabhadran, Agarwal, Padhye; CoNEXT 2006).
+
+The package has two halves:
+
+* **Substrates** (:mod:`repro.net`, :mod:`repro.dns`, :mod:`repro.tcp`,
+  :mod:`repro.http`, :mod:`repro.bgp`, :mod:`repro.world`): a synthetic
+  Internet -- clients, websites, resolvers, proxies, a Routeviews-style
+  BGP collector -- with generative fault processes calibrated to the
+  paper's measurements.
+* **Analysis** (:mod:`repro.core`): the paper's contribution -- the
+  failure taxonomy, episode identification, blame attribution, replica /
+  similarity / spread analyses, BGP correlation, and report builders for
+  every table and figure.
+
+Quickstart::
+
+    from repro import simulate_default_month
+    from repro.core import report
+
+    result = simulate_default_month(hours=168)  # one simulated week
+    print(report.table3(result.dataset))
+"""
+
+from repro.core.dataset import MeasurementDataset
+from repro.core.records import (
+    DNSFailureKind,
+    FailureType,
+    PerformanceRecord,
+    TCPFailureKind,
+)
+from repro.world.defaults import build_default_world
+from repro.world.entities import Client, ClientCategory, Website, World
+from repro.world.simulator import MonthSimulator, simulate_default_month
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MeasurementDataset",
+    "PerformanceRecord",
+    "FailureType",
+    "DNSFailureKind",
+    "TCPFailureKind",
+    "build_default_world",
+    "World",
+    "Client",
+    "ClientCategory",
+    "Website",
+    "MonthSimulator",
+    "simulate_default_month",
+    "__version__",
+]

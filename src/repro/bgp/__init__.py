@@ -1,0 +1,28 @@
+"""BGP substrate: MRT-style updates, a Routeviews-like collector, churn
+generation, and the paper's data-cleaning procedure.
+
+Section 3.6: the paper uses one month of MRT updates from 5 Routeviews
+servers whose 73 peering sessions cover the 137 prefixes of the study's 203
+client/replica addresses.  For each prefix-hour they count announcements,
+withdrawals, and the number of neighbors participating in each -- after
+"cleaning" hours polluted by collector session resets.
+
+We generate equivalent update streams: per-prefix background churn, severe
+instability events (most neighbors withdrawing, the Figure 5 pattern),
+localized events (two heavily-used neighbors withdrawing, the Figure 7
+pattern), and collector resets that the cleaning procedure must remove.
+"""
+
+from repro.bgp.messages import BGPUpdate, UpdateArchive, UpdateKind
+from repro.bgp.routeviews import CollectorFleet, PeeringSession
+from repro.bgp.cleaning import CleanedHourlyStats, clean_hourly_stats
+
+__all__ = [
+    "BGPUpdate",
+    "UpdateArchive",
+    "UpdateKind",
+    "CollectorFleet",
+    "PeeringSession",
+    "CleanedHourlyStats",
+    "clean_hourly_stats",
+]

@@ -1,0 +1,133 @@
+"""The paper's BGP data-cleaning procedure (Section 3.6).
+
+Collector session resets re-announce the full routing table, injecting
+updates that "do not reflect a change due to an actual BGP routing event."
+The paper follows prior work [31, 5]:
+
+  "For each 1 hour period, if more than 60,000 unique prefixes (i.e., at
+   least half the routing table) received announcements, we assume a reset
+   occurred.  We calculate the average number of unique neighbors that each
+   prefix received an announcement from and subtract that from the count of
+   announcements and count of neighbors participating in announcements from
+   all prefixes during that period.  We perform the same calculation for
+   withdrawals."
+
+We implement exactly that, parameterized by the table size so it works at
+simulator scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Set, Tuple
+
+from repro.bgp.messages import HourlyGlobalStats, HourlyPrefixStats, UpdateArchive
+from repro.net.addressing import Prefix
+
+
+@dataclass(frozen=True)
+class CleanedHourlyStats:
+    """Per-(prefix, hour) statistics after reset correction."""
+
+    announcements: float
+    withdrawals: float
+    announcing_neighbors: float
+    withdrawing_neighbors: float
+    reset_suspected: bool
+
+    def clamped(self) -> "CleanedHourlyStats":
+        """Non-negative version of the corrected counts."""
+        return CleanedHourlyStats(
+            announcements=max(0.0, self.announcements),
+            withdrawals=max(0.0, self.withdrawals),
+            announcing_neighbors=max(0.0, self.announcing_neighbors),
+            withdrawing_neighbors=max(0.0, self.withdrawing_neighbors),
+            reset_suspected=self.reset_suspected,
+        )
+
+
+def detect_reset_hours(
+    global_stats: Dict[int, HourlyGlobalStats], table_size: int
+) -> Set[int]:
+    """Hours in which at least half the routing table saw announcements."""
+    threshold = table_size / 2.0
+    return {
+        hour
+        for hour, stats in global_stats.items()
+        if stats.unique_prefixes_announced > threshold
+    }
+
+
+def clean_hourly_stats(
+    archive: UpdateArchive,
+) -> Dict[Tuple[Prefix, int], CleanedHourlyStats]:
+    """Apply reset detection + average-subtraction to an archive's stats."""
+    raw = archive.hourly_stats()
+    global_stats = archive.global_stats()
+    reset_hours = detect_reset_hours(global_stats, archive.table_size)
+
+    # Per reset hour, the average per-prefix announcing/withdrawing neighbor
+    # counts across all prefixes active that hour.
+    per_hour_prefixes: Dict[int, list] = {}
+    for (prefix, hour), stats in raw.items():
+        per_hour_prefixes.setdefault(hour, []).append(stats)
+
+    corrections: Dict[int, Tuple[float, float]] = {}
+    for hour in reset_hours:
+        buckets = per_hour_prefixes.get(hour, [])
+        if not buckets:
+            corrections[hour] = (0.0, 0.0)
+            continue
+        avg_announcing = sum(b.announcing_neighbors for b in buckets) / len(buckets)
+        avg_withdrawing = sum(b.withdrawing_neighbors for b in buckets) / len(buckets)
+        corrections[hour] = (avg_announcing, avg_withdrawing)
+
+    cleaned: Dict[Tuple[Prefix, int], CleanedHourlyStats] = {}
+    for (prefix, hour), stats in raw.items():
+        if hour in reset_hours:
+            ann_corr, wd_corr = corrections[hour]
+            entry = CleanedHourlyStats(
+                announcements=stats.announcements - ann_corr,
+                withdrawals=stats.withdrawals - wd_corr,
+                announcing_neighbors=stats.announcing_neighbors - ann_corr,
+                withdrawing_neighbors=stats.withdrawing_neighbors - wd_corr,
+                reset_suspected=True,
+            ).clamped()
+        else:
+            entry = CleanedHourlyStats(
+                announcements=float(stats.announcements),
+                withdrawals=float(stats.withdrawals),
+                announcing_neighbors=float(stats.announcing_neighbors),
+                withdrawing_neighbors=float(stats.withdrawing_neighbors),
+                reset_suspected=False,
+            )
+        cleaned[(prefix, hour)] = entry
+    return cleaned
+
+
+def instability_hours_by_neighbors(
+    cleaned: Dict[Tuple[Prefix, int], CleanedHourlyStats],
+    min_withdrawing_neighbors: int = 70,
+) -> Set[Tuple[Prefix, int]]:
+    """Prefix-hours meeting the paper's first instability definition:
+    at least ``min_withdrawing_neighbors`` sessions withdrew the prefix."""
+    return {
+        key
+        for key, stats in cleaned.items()
+        if stats.withdrawing_neighbors >= min_withdrawing_neighbors
+    }
+
+
+def instability_hours_by_volume(
+    cleaned: Dict[Tuple[Prefix, int], CleanedHourlyStats],
+    min_withdrawals: int = 75,
+    min_neighbors: int = 50,
+) -> Set[Tuple[Prefix, int]]:
+    """The paper's second definition: >= ``min_withdrawals`` withdrawal
+    messages involving >= ``min_neighbors`` distinct sessions."""
+    return {
+        key
+        for key, stats in cleaned.items()
+        if stats.withdrawals >= min_withdrawals
+        and stats.withdrawing_neighbors >= min_neighbors
+    }

@@ -1,0 +1,213 @@
+"""Command-line interface: ``webfail``.
+
+Subcommands:
+
+* ``webfail simulate`` -- run the month simulation, print the headline
+  statistics, and optionally save the dataset to an .npz file.
+* ``webfail report`` -- run the simulation (or load a saved dataset) and
+  print every paper table/figure comparison.
+* ``webfail timeseries --client NAME`` -- print the Figure 5/7 panel data
+  for one client as CSV.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="webfail",
+        description=(
+            "Reproduction of 'A Study of End-to-End Web Access Failures' "
+            "(CoNEXT 2006)"
+        ),
+    )
+    parser.add_argument(
+        "--hours", type=int, default=744,
+        help="experiment duration in hours (default: the paper's month)",
+    )
+    parser.add_argument(
+        "--per-hour", type=int, default=4,
+        help="accesses per client per URL per hour (default 4)",
+    )
+    parser.add_argument("--seed", type=int, default=20050101)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser("simulate", help="run the simulation")
+    simulate.add_argument("--save", help="save the dataset to this .npz path")
+
+    report_cmd = sub.add_parser("report", help="print all table/figure comparisons")
+    report_cmd.add_argument(
+        "--only",
+        help="comma-separated subset: table3,figure1,table4,figure2,"
+        "figure3,figure4,table5,table6,table7,table8,table9,headline",
+    )
+
+    ts = sub.add_parser("timeseries", help="Figure 5/7 panel data for a client")
+    ts.add_argument("--client", required=True)
+
+    figures_cmd = sub.add_parser(
+        "figures", help="export figure data series as CSV (and ASCII previews)"
+    )
+    figures_cmd.add_argument("--out", required=True, help="output directory")
+    figures_cmd.add_argument(
+        "--ascii", action="store_true", help="also print ASCII previews"
+    )
+
+    sub.add_parser(
+        "diagnose",
+        help="triage the permanent-failure pairs (the deferred 4.4.2 study)",
+    )
+    return parser
+
+
+def _simulate(args):
+    from repro.world.simulator import simulate_default_month
+
+    return simulate_default_month(
+        hours=args.hours, per_hour=args.per_hour, seed=args.seed
+    )
+
+
+def cmd_simulate(args) -> int:
+    from repro.core import report
+
+    result = _simulate(args)
+    print(report.headline_summary(result.dataset))
+    if args.save:
+        result.dataset.save(args.save)
+        print(f"\ndataset saved to {args.save}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.core import blame, permanent, report
+
+    result = _simulate(args)
+    dataset = result.dataset
+    perm = permanent.find_permanent_pairs(dataset)
+    analysis = blame.run_blame_analysis(dataset, 0.05, perm.mask)
+
+    builders = {
+        "headline": lambda: report.headline_summary(dataset),
+        "table3": lambda: report.table3(dataset),
+        "figure1": lambda: report.figure1(dataset),
+        "table4": lambda: report.table4(dataset),
+        "figure2": lambda: report.figure2(dataset),
+        "figure3": lambda: report.figure3(dataset),
+        "figure4": lambda: report.figure4(dataset, perm.mask),
+        "table5": lambda: report.table5(dataset, perm.mask),
+        "table6": lambda: report.table6(dataset, analysis),
+        "table7": lambda: report.table7(dataset, analysis),
+        "table8": lambda: report.table8(dataset, analysis),
+        "table9": lambda: report.table9(dataset, analysis),
+    }
+    wanted: List[str] = (
+        [w.strip() for w in args.only.split(",")] if args.only else list(builders)
+    )
+    for name in wanted:
+        builder = builders.get(name)
+        if builder is None:
+            print(f"unknown report {name!r}", file=sys.stderr)
+            return 2
+        print(builder())
+        print()
+    return 0
+
+
+def cmd_figures(args) -> int:
+    import pathlib
+
+    from repro.core import figures, permanent
+    from repro.core.bgp_correlation import (
+        EndpointIndex,
+        client_timeseries,
+        correlate_instability,
+    )
+
+    result = _simulate(args)
+    dataset, truth = result.dataset, result.truth
+    perm = permanent.find_permanent_pairs(dataset)
+    index = EndpointIndex.build(
+        dataset, truth.prefix_of_client, truth.prefix_of_replica
+    )
+    by_neighbors, _ = correlate_instability(dataset, truth.bgp_archive, index)
+    howard = client_timeseries(
+        dataset, truth.bgp_archive, index, "nodea.howard.edu"
+    )
+
+    series_list = [
+        figures.figure1_series(dataset),
+        figures.figure2_series(dataset),
+        figures.figure3_series(dataset),
+        figures.figure4_series(dataset, perm.mask),
+        figures.figure5_series(howard),
+        figures.figure6_series(by_neighbors),
+    ]
+    out = pathlib.Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    for series in series_list:
+        filename = series.name.replace(":", "_").replace(".", "_") + ".csv"
+        series.save_csv(str(out / filename))
+        print(f"wrote {out / filename} ({len(series)} rows)")
+        if args.ascii:
+            print(figures.render_figure(series))
+            print()
+    return 0
+
+
+def cmd_diagnose(args) -> int:
+    from repro.core import diagnosis, permanent
+
+    result = _simulate(args)
+    dataset = result.dataset
+    perm = permanent.find_permanent_pairs(dataset)
+    investigation = diagnosis.investigate_permanent_failures(dataset, perm)
+    print(investigation.summary())
+    print()
+    for d in investigation.pair_specific_cases():
+        print(
+            f"pair-specific: {d.pair.client_name} x {d.pair.site_name} "
+            f"({d.mode.value})"
+        )
+    return 0
+
+
+def cmd_timeseries(args) -> int:
+    from repro.core.bgp_correlation import EndpointIndex, client_timeseries
+
+    result = _simulate(args)
+    dataset = result.dataset
+    truth = result.truth
+    index = EndpointIndex.build(
+        dataset, truth.prefix_of_client, truth.prefix_of_replica
+    )
+    series = client_timeseries(dataset, truth.bgp_archive, index, args.client)
+    print("hour,attempts,failures,longest_streak,withdrawals,withdrawing_neighbors")
+    for h in range(len(series.hours)):
+        print(
+            f"{h},{series.attempts[h]},{series.failures[h]},"
+            f"{series.longest_streak[h]},{series.withdrawals[h]},"
+            f"{series.withdrawing_neighbors[h]}"
+        )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "simulate": cmd_simulate,
+        "report": cmd_report,
+        "timeseries": cmd_timeseries,
+        "figures": cmd_figures,
+        "diagnose": cmd_diagnose,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

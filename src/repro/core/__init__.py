@@ -1,0 +1,34 @@
+"""The paper's analysis framework -- the primary contribution.
+
+Modules map one-to-one onto the paper's sections:
+
+* :mod:`repro.core.records` / :mod:`repro.core.dataset` -- Section 3.5
+  performance records and the month-long dataset container.
+* :mod:`repro.core.classify` -- Section 2.1 / 4.1-4.3 failure taxonomy.
+* :mod:`repro.core.episodes` -- Section 4.4.3 episode identification
+  (1-hour bins, CDF knee -> threshold f).
+* :mod:`repro.core.blame` -- Section 4.4.1/4.4.4 blame attribution.
+* :mod:`repro.core.permanent` -- Section 4.4.2 permanent-failure pairs.
+* :mod:`repro.core.replicas` -- Section 4.5 replica-level analysis.
+* :mod:`repro.core.similarity` -- Section 4.4.6#2 co-located similarity.
+* :mod:`repro.core.spread` -- Section 4.4.6#1 spread of server failures.
+* :mod:`repro.core.bgp_correlation` -- Section 4.6.
+* :mod:`repro.core.proxy_analysis` -- Section 4.7.
+* :mod:`repro.core.report` -- builders for every table and figure.
+"""
+
+from repro.core.records import (
+    DNSFailureKind,
+    FailureType,
+    PerformanceRecord,
+    TCPFailureKind,
+)
+from repro.core.dataset import MeasurementDataset
+
+__all__ = [
+    "FailureType",
+    "DNSFailureKind",
+    "TCPFailureKind",
+    "PerformanceRecord",
+    "MeasurementDataset",
+]

@@ -1,0 +1,149 @@
+"""Blame attribution (Sections 4.4.1 and 4.4.4).
+
+Given the per-hour episode flags for clients and servers, each TCP
+connection-level transaction failure between client C and server S in hour
+H is classified:
+
+* **server-side** -- H is a failure episode for S only;
+* **client-side** -- H is a failure episode for C only;
+* **both**        -- H is a failure episode for both;
+* **other**       -- neither (intermittent / pair-specific trouble).
+
+Permanent pairs are excluded first (Section 4.4.2).  Episodes are
+identified on *overall* transaction failure rates (Figure 4's CDFs), while
+the classified failures are the TCP ones -- this asymmetry is what surfaces
+the paper's headline finding: client connectivity problems mostly appear as
+DNS failures, so TCP failures skew server-side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.dataset import MeasurementDataset
+from repro.core.episodes import (
+    RateMatrix,
+    client_rate_matrix,
+    episode_matrix,
+    server_rate_matrix,
+)
+
+
+@dataclass(frozen=True)
+class BlameBreakdown:
+    """One row of Table 5."""
+
+    threshold: float
+    server_side: int
+    client_side: int
+    both: int
+    other: int
+
+    @property
+    def total(self) -> int:
+        """All classified TCP failures."""
+        return self.server_side + self.client_side + self.both + self.other
+
+    def fractions(self) -> Tuple[float, float, float, float]:
+        """(server, client, both, other) fractions."""
+        total = max(1, self.total)
+        return (
+            self.server_side / total,
+            self.client_side / total,
+            self.both / total,
+            self.other / total,
+        )
+
+    @property
+    def classified_fraction(self) -> float:
+        """Fraction of failures attributable to some episode."""
+        total = max(1, self.total)
+        return (self.server_side + self.client_side + self.both) / total
+
+
+@dataclass
+class BlameAnalysis:
+    """Everything downstream sections need: flags, rates, and breakdowns."""
+
+    threshold: float
+    client_rates: RateMatrix
+    server_rates: RateMatrix
+    client_episodes: np.ndarray  # (C, H) bool
+    server_episodes: np.ndarray  # (S, H) bool
+    breakdown: BlameBreakdown
+    #: Failure counts attributed per (entity, hour): used by spread and
+    #: similarity analyses.
+    server_attributed: np.ndarray  # (C, S, H) failures in server-side hours
+    client_attributed: np.ndarray
+    #: The (C, S) permanent-pair exclusion mask used (None if no exclusion).
+    excluded_pairs: Optional[np.ndarray] = None
+
+
+def run_blame_analysis(
+    dataset: MeasurementDataset,
+    threshold: float = 0.05,
+    excluded_pairs: Optional[np.ndarray] = None,
+) -> BlameAnalysis:
+    """The full Section 4.4 pipeline for one threshold setting.
+
+    ``excluded_pairs`` is the (C, S) permanent-pair mask; when None, no
+    exclusion is applied.
+    """
+    if excluded_pairs is not None:
+        view = dataset.pair_exclusion_view(excluded_pairs)
+        transactions = view.transactions
+        failures = view.failures
+        tcp_failures = view.tcp_failures
+    else:
+        transactions = dataset.transactions
+        failures = dataset.failures
+        tcp_failures = dataset.tcp_failures
+
+    client_rates = client_rate_matrix(dataset, transactions, failures)
+    server_rates = server_rate_matrix(dataset, transactions, failures)
+    client_flags = episode_matrix(client_rates, threshold)
+    server_flags = episode_matrix(server_rates, threshold)
+
+    # Broadcast the flags to (C, S, H) and bucket the TCP failures.
+    c_flag = client_flags[:, None, :]
+    s_flag = server_flags[None, :, :]
+    tcp = tcp_failures.astype(np.int64)
+
+    server_only = int((tcp * (s_flag & ~c_flag)).sum())
+    client_only = int((tcp * (c_flag & ~s_flag)).sum())
+    both = int((tcp * (c_flag & s_flag)).sum())
+    other = int((tcp * (~c_flag & ~s_flag)).sum())
+
+    breakdown = BlameBreakdown(
+        threshold=threshold,
+        server_side=server_only,
+        client_side=client_only,
+        both=both,
+        other=other,
+    )
+    return BlameAnalysis(
+        threshold=threshold,
+        client_rates=client_rates,
+        server_rates=server_rates,
+        client_episodes=client_flags,
+        server_episodes=server_flags,
+        breakdown=breakdown,
+        server_attributed=(tcp * s_flag).astype(np.int64),
+        client_attributed=(tcp * c_flag).astype(np.int64),
+        excluded_pairs=excluded_pairs,
+    )
+
+
+def blame_table(
+    dataset: MeasurementDataset,
+    thresholds: Tuple[float, ...] = (0.05, 0.10),
+    excluded_pairs: Optional[np.ndarray] = None,
+) -> Tuple[BlameBreakdown, ...]:
+    """Table 5: the breakdown at each threshold setting."""
+    return tuple(
+        run_blame_analysis(dataset, f, excluded_pairs).breakdown
+        for f in thresholds
+    )

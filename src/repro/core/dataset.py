@@ -1,0 +1,259 @@
+"""The measurement dataset: month-long counts in array form.
+
+The paper's analyses all operate on aggregates -- per client-hour,
+server-hour, and pair-month failure rates.  The dataset therefore stores
+counts as dense ``(clients, sites, hours)`` arrays, which both engines
+(vectorised and detailed) can fill: the detailed engine folds individual
+:class:`~repro.core.records.PerformanceRecord` objects in, the fast engine
+writes counts directly.
+
+Replica-level counts (needed by Section 4.5 and the BGP analysis) are kept
+as ``(sites, max_replicas, hours)`` arrays aggregated across clients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.records import (
+    DNSFailureKind,
+    FailureType,
+    PerformanceRecord,
+    TCPFailureKind,
+)
+from repro.world.entities import ClientCategory, World
+
+#: Minimum samples for a rate to be considered meaningful in an hour bin.
+MIN_SAMPLES_PER_HOUR = 10
+
+
+class MeasurementDataset:
+    """Dense count arrays for one simulated (or replayed) experiment."""
+
+    _DNS_FIELDS = {
+        DNSFailureKind.LDNS_TIMEOUT: "dns_ldns",
+        DNSFailureKind.NON_LDNS_TIMEOUT: "dns_nonldns",
+        DNSFailureKind.ERROR_RESPONSE: "dns_error",
+    }
+    _TCP_FIELDS = {
+        TCPFailureKind.NO_CONNECTION: "tcp_noconn",
+        TCPFailureKind.NO_RESPONSE: "tcp_noresp",
+        TCPFailureKind.PARTIAL_RESPONSE: "tcp_partial",
+        TCPFailureKind.NO_OR_PARTIAL: "tcp_ambiguous",
+    }
+
+    def __init__(self, world: World) -> None:
+        self.world = world
+        c, s, h = len(world.clients), len(world.websites), world.hours
+        self.shape = (c, s, h)
+        count = lambda dtype=np.uint16: np.zeros(self.shape, dtype=dtype)
+        # Transaction-level counts.
+        self.transactions = count()
+        self.dns_ldns = count()
+        self.dns_nonldns = count()
+        self.dns_error = count()
+        self.tcp_noconn = count()
+        self.tcp_noresp = count()
+        self.tcp_partial = count()
+        self.tcp_ambiguous = count()
+        self.http_errors = count()
+        self.masked_failures = count()  # proxied (CN) failures, nature hidden
+        # Connection-level counts (unavailable for proxied clients).
+        self.connections = count(np.uint32)
+        self.failed_connections = count(np.uint32)
+        # Replica-level counts, aggregated over clients.
+        r = max(1, world.max_replicas())
+        self.max_replicas = r
+        self.replica_connections = np.zeros((s, r, h), dtype=np.uint32)
+        self.replica_failed_connections = np.zeros((s, r, h), dtype=np.uint32)
+        # Optional packet-loss estimate (retransmission-inferred).
+        self.packet_losses = count(np.uint32)
+
+    # -- ingestion ----------------------------------------------------------
+
+    def add_record(self, record: PerformanceRecord) -> None:
+        """Fold one performance record into the count arrays."""
+        ci = self.world.client_idx(record.client_name)
+        si = self.world.site_idx(record.site_name)
+        h = record.hour
+        if not 0 <= h < self.world.hours:
+            raise ValueError(f"hour {h} outside experiment")
+        self.transactions[ci, si, h] += 1
+        self.packet_losses[ci, si, h] += record.packet_losses
+        client = self.world.clients[ci]
+        if record.failed and client.proxied:
+            self.masked_failures[ci, si, h] += 1
+        elif record.failure_type is FailureType.DNS:
+            getattr(self, self._DNS_FIELDS[record.dns_kind])[ci, si, h] += 1
+        elif record.failure_type is FailureType.TCP:
+            getattr(self, self._TCP_FIELDS[record.tcp_kind])[ci, si, h] += 1
+        elif record.failure_type is FailureType.HTTP:
+            self.http_errors[ci, si, h] += 1
+        if not client.proxied:
+            self.connections[ci, si, h] += record.num_connections
+            self.failed_connections[ci, si, h] += record.num_failed_connections
+
+    def add_records(self, records: Iterable[PerformanceRecord]) -> None:
+        """Fold many records in."""
+        for record in records:
+            self.add_record(record)
+
+    # -- derived aggregates ---------------------------------------------------
+
+    @property
+    def dns_failures(self) -> np.ndarray:
+        """All DNS failures per cell."""
+        return (
+            self.dns_ldns.astype(np.uint32)
+            + self.dns_nonldns
+            + self.dns_error
+        )
+
+    @property
+    def tcp_failures(self) -> np.ndarray:
+        """All TCP connection-level transaction failures per cell."""
+        return (
+            self.tcp_noconn.astype(np.uint32)
+            + self.tcp_noresp
+            + self.tcp_partial
+            + self.tcp_ambiguous
+        )
+
+    @property
+    def failures(self) -> np.ndarray:
+        """All failed transactions per cell."""
+        return (
+            self.dns_failures
+            + self.tcp_failures
+            + self.http_errors
+            + self.masked_failures
+        )
+
+    def client_hour_counts(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(transactions, failures) per client-hour, shape (C, H)."""
+        return (
+            self.transactions.sum(axis=1, dtype=np.int64),
+            self.failures.sum(axis=1, dtype=np.int64),
+        )
+
+    def server_hour_counts(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(transactions, failures) per server-hour, shape (S, H)."""
+        return (
+            self.transactions.sum(axis=0, dtype=np.int64),
+            self.failures.sum(axis=0, dtype=np.int64),
+        )
+
+    def pair_month_counts(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(transactions, failures) per client-server pair, shape (C, S)."""
+        return (
+            self.transactions.sum(axis=2, dtype=np.int64),
+            self.failures.sum(axis=2, dtype=np.int64),
+        )
+
+    def client_failure_rates(self) -> np.ndarray:
+        """Month-long transaction failure rate per client, shape (C,)."""
+        trans = self.transactions.sum(axis=(1, 2), dtype=np.int64)
+        fails = self.failures.sum(axis=(1, 2), dtype=np.int64)
+        return _safe_rate(fails, trans)
+
+    def server_failure_rates(self) -> np.ndarray:
+        """Month-long transaction failure rate per server, shape (S,)."""
+        trans = self.transactions.sum(axis=(0, 2), dtype=np.int64)
+        fails = self.failures.sum(axis=(0, 2), dtype=np.int64)
+        return _safe_rate(fails, trans)
+
+    def category_mask(self, category: ClientCategory) -> np.ndarray:
+        """Boolean client mask for one category, shape (C,)."""
+        return np.array(
+            [c.category is category for c in self.world.clients], dtype=bool
+        )
+
+    def proxied_mask(self) -> np.ndarray:
+        """Boolean mask for proxied (CN) clients, shape (C,)."""
+        return np.array([c.proxied for c in self.world.clients], dtype=bool)
+
+    def pair_exclusion_view(self, excluded: np.ndarray) -> "MaskedCounts":
+        """Counts with the given (C, S) boolean pair mask zeroed out --
+        used to exclude permanent-failure pairs (Section 4.4.2)."""
+        return MaskedCounts(self, excluded)
+
+    # -- persistence ------------------------------------------------------------
+
+    _ARRAY_FIELDS = (
+        "transactions", "dns_ldns", "dns_nonldns", "dns_error",
+        "tcp_noconn", "tcp_noresp", "tcp_partial", "tcp_ambiguous",
+        "http_errors", "masked_failures", "connections", "failed_connections",
+        "replica_connections", "replica_failed_connections", "packet_losses",
+    )
+
+    def save(self, path: str) -> None:
+        """Persist all count arrays to an .npz file."""
+        np.savez_compressed(
+            path, **{name: getattr(self, name) for name in self._ARRAY_FIELDS}
+        )
+
+    @classmethod
+    def load(cls, path: str, world: World) -> "MeasurementDataset":
+        """Load arrays saved by :meth:`save` against a matching world."""
+        dataset = cls(world)
+        with np.load(path) as data:
+            for name in cls._ARRAY_FIELDS:
+                stored = data[name]
+                current = getattr(dataset, name)
+                if stored.shape != current.shape:
+                    raise ValueError(
+                        f"array {name}: shape {stored.shape} does not match "
+                        f"world shape {current.shape}"
+                    )
+                setattr(dataset, name, stored)
+        return dataset
+
+
+class MaskedCounts:
+    """A view of a dataset with certain client-server pairs excluded."""
+
+    def __init__(self, dataset: MeasurementDataset, excluded_pairs: np.ndarray) -> None:
+        c, s, _ = dataset.shape
+        if excluded_pairs.shape != (c, s):
+            raise ValueError("pair mask must have shape (clients, sites)")
+        self.dataset = dataset
+        self.keep = ~excluded_pairs[:, :, None]  # broadcast over hours
+
+    def _masked(self, array: np.ndarray) -> np.ndarray:
+        return array * self.keep
+
+    @property
+    def transactions(self) -> np.ndarray:
+        """Transactions with excluded pairs zeroed."""
+        return self._masked(self.dataset.transactions)
+
+    @property
+    def failures(self) -> np.ndarray:
+        """Failures with excluded pairs zeroed."""
+        return self._masked(self.dataset.failures)
+
+    @property
+    def tcp_failures(self) -> np.ndarray:
+        """TCP failures with excluded pairs zeroed."""
+        return self._masked(self.dataset.tcp_failures)
+
+    @property
+    def connections(self) -> np.ndarray:
+        """Connections with excluded pairs zeroed."""
+        return self._masked(self.dataset.connections)
+
+    @property
+    def failed_connections(self) -> np.ndarray:
+        """Failed connections with excluded pairs zeroed."""
+        return self._masked(self.dataset.failed_connections)
+
+
+def _safe_rate(numerator: np.ndarray, denominator: np.ndarray) -> np.ndarray:
+    """Element-wise rate with 0/0 -> NaN."""
+    out = np.full(numerator.shape, np.nan, dtype=float)
+    nonzero = denominator > 0
+    out[nonzero] = numerator[nonzero] / denominator[nonzero]
+    return out

@@ -1,0 +1,120 @@
+"""Dataset export/import -- the paper's public data release, in kind.
+
+The authors published their measurement data [2].  This module serialises
+performance records to JSON Lines (one transaction per line, schema below)
+and reads them back, so downstream users can work with the raw records
+outside this package.
+
+Schema (one JSON object per line)::
+
+    {"client": str, "site": str, "url": str, "ts": float, "hour": int,
+     "failure": "none|dns|tcp|http|masked",
+     "dns_kind": str|null, "tcp_kind": str|null, "http_status": int|null,
+     "server_ip": str|null, "lookup_s": float, "download_s": float,
+     "conns": int, "failed_conns": int, "losses": int, "bytes": int}
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator, Union
+
+from repro.core.records import (
+    DNSFailureKind,
+    FailureType,
+    PerformanceRecord,
+    RecordBatch,
+    TCPFailureKind,
+)
+from repro.net.addressing import IPv4Address
+
+
+class ExportError(ValueError):
+    """Raised for malformed export files."""
+
+
+def record_to_dict(record: PerformanceRecord) -> dict:
+    """The JSON-ready representation of one record."""
+    return {
+        "client": record.client_name,
+        "site": record.site_name,
+        "url": record.url,
+        "ts": record.timestamp,
+        "hour": record.hour,
+        "failure": record.failure_type.value,
+        "dns_kind": record.dns_kind.value if record.dns_kind else None,
+        "tcp_kind": record.tcp_kind.value if record.tcp_kind else None,
+        "http_status": record.http_status,
+        "server_ip": str(record.server_address) if record.server_address else None,
+        "lookup_s": record.dns_lookup_time,
+        "download_s": record.download_time,
+        "conns": record.num_connections,
+        "failed_conns": record.num_failed_connections,
+        "losses": record.packet_losses,
+        "bytes": record.bytes_received,
+    }
+
+
+def record_from_dict(data: dict) -> PerformanceRecord:
+    """Rebuild a record from its JSON representation."""
+    try:
+        return PerformanceRecord(
+            client_name=data["client"],
+            site_name=data["site"],
+            url=data["url"],
+            timestamp=float(data["ts"]),
+            hour=int(data["hour"]),
+            failure_type=FailureType(data["failure"]),
+            dns_kind=(
+                DNSFailureKind(data["dns_kind"]) if data.get("dns_kind") else None
+            ),
+            tcp_kind=(
+                TCPFailureKind(data["tcp_kind"]) if data.get("tcp_kind") else None
+            ),
+            http_status=data.get("http_status"),
+            server_address=(
+                IPv4Address.parse(data["server_ip"])
+                if data.get("server_ip")
+                else None
+            ),
+            dns_lookup_time=float(data.get("lookup_s", 0.0)),
+            download_time=float(data.get("download_s", 0.0)),
+            num_connections=int(data.get("conns", 0)),
+            num_failed_connections=int(data.get("failed_conns", 0)),
+            packet_losses=int(data.get("losses", 0)),
+            bytes_received=int(data.get("bytes", 0)),
+        )
+    except (KeyError, ValueError, TypeError) as exc:
+        raise ExportError(f"malformed record: {exc}") from exc
+
+
+def write_jsonl(
+    records: Iterable[PerformanceRecord], path: Union[str, Path]
+) -> int:
+    """Write records to a JSONL file; returns the number written."""
+    count = 0
+    with Path(path).open("w") as fh:
+        for record in records:
+            fh.write(json.dumps(record_to_dict(record)) + "\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: Union[str, Path]) -> Iterator[PerformanceRecord]:
+    """Stream records back from a JSONL file."""
+    with Path(path).open() as fh:
+        for line_no, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                data = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ExportError(f"line {line_no}: invalid JSON") from exc
+            yield record_from_dict(data)
+
+
+def load_batch(path: Union[str, Path]) -> RecordBatch:
+    """Read a whole JSONL file into a RecordBatch."""
+    return RecordBatch(list(read_jsonl(path)))

@@ -1,0 +1,135 @@
+"""Performance records -- the unit of measurement data (Section 3.5).
+
+For each download the paper stores: success/failure of the DNS lookup and
+the download, the lookup and download times, the wget failure code, the
+client name, URL, server IP, and time; post-processing adds the connection
+failure cause and a packet-loss count.  :class:`PerformanceRecord` holds
+exactly that.  The enums define the failure taxonomy of Section 2.1.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.net.addressing import IPv4Address
+
+
+class FailureType(enum.Enum):
+    """Top-level transaction failure categories (Section 2.1)."""
+
+    NONE = "none"
+    DNS = "dns"
+    TCP = "tcp"
+    HTTP = "http"
+    #: Failures of proxied (CN) clients whose true nature the proxy masks
+    #: (Table 3 note: no connection counts / breakdown for CN).
+    MASKED = "masked"
+
+
+class DNSFailureKind(enum.Enum):
+    """DNS failure sub-classes (Section 2.1, category 1)."""
+
+    LDNS_TIMEOUT = "ldns_timeout"
+    NON_LDNS_TIMEOUT = "non_ldns_timeout"
+    ERROR_RESPONSE = "error_response"
+
+
+class TCPFailureKind(enum.Enum):
+    """TCP connection failure sub-classes (Section 2.1, category 2)."""
+
+    NO_CONNECTION = "no_connection"
+    NO_RESPONSE = "no_response"
+    PARTIAL_RESPONSE = "partial_response"
+    #: Used when the packet trace needed to split no-response from
+    #: partial-response is unavailable (BB clients, Figure 3).
+    NO_OR_PARTIAL = "no_or_partial_response"
+
+
+@dataclass
+class PerformanceRecord:
+    """One transaction's record, as stored by the measurement harness."""
+
+    client_name: str
+    site_name: str
+    url: str
+    timestamp: float
+    hour: int
+    failure_type: FailureType = FailureType.NONE
+    dns_kind: Optional[DNSFailureKind] = None
+    tcp_kind: Optional[TCPFailureKind] = None
+    http_status: Optional[int] = None
+    server_address: Optional[IPv4Address] = None
+    dns_lookup_time: float = 0.0
+    download_time: float = 0.0
+    num_connections: int = 0
+    num_failed_connections: int = 0
+    packet_losses: int = 0
+    bytes_received: int = 0
+
+    def __post_init__(self) -> None:
+        if self.failure_type is FailureType.DNS and self.dns_kind is None:
+            raise ValueError("DNS failure needs a dns_kind")
+        if self.failure_type is FailureType.TCP and self.tcp_kind is None:
+            raise ValueError("TCP failure needs a tcp_kind")
+        if self.num_connections < 0 or self.num_failed_connections < 0:
+            raise ValueError("negative connection counts")
+        if self.num_failed_connections > self.num_connections:
+            raise ValueError("more failed connections than connections")
+
+    @property
+    def failed(self) -> bool:
+        """True for any failed transaction."""
+        return self.failure_type is not FailureType.NONE
+
+    @property
+    def succeeded(self) -> bool:
+        """True for a successful transaction."""
+        return self.failure_type is FailureType.NONE
+
+
+@dataclass
+class RecordBatch:
+    """A list of records plus convenience accessors, used by the detailed
+    engine and the record-level tests/examples."""
+
+    records: List[PerformanceRecord] = field(default_factory=list)
+
+    def append(self, record: PerformanceRecord) -> None:
+        """Add one record."""
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def failures(self) -> List[PerformanceRecord]:
+        """All failed transactions."""
+        return [r for r in self.records if r.failed]
+
+    def failure_rate(self) -> float:
+        """Overall transaction failure rate of the batch."""
+        if not self.records:
+            return 0.0
+        return len(self.failures()) / len(self.records)
+
+    def by_type(self, failure_type: FailureType) -> List[PerformanceRecord]:
+        """Records with the given failure type."""
+        return [r for r in self.records if r.failure_type is failure_type]
+
+    def for_client(self, client_name: str) -> "RecordBatch":
+        """The sub-batch for one client."""
+        return RecordBatch(
+            [r for r in self.records if r.client_name == client_name]
+        )
+
+    def for_site(self, site_name: str) -> "RecordBatch":
+        """The sub-batch for one website."""
+        return RecordBatch([r for r in self.records if r.site_name == site_name])
+
+    def total_connections(self) -> int:
+        """Total TCP connections attempted across the batch."""
+        return sum(r.num_connections for r in self.records)

@@ -1,0 +1,460 @@
+"""Report builders: one function per paper table / figure.
+
+Each builder returns a plain-text table juxtaposing the paper's reported
+values with the reproduction's measured values, so the benchmark harness
+can print exactly the rows the paper reports (the brief's deliverable (d)).
+The paper's numbers are encoded here as the comparison baseline; matching
+the *shape* (ordering, dominance, crossovers), not the absolute values, is
+the goal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core import blame, classify, episodes, permanent, replicas, similarity, spread
+from repro.core.dataset import MeasurementDataset
+from repro.world.entities import ClientCategory
+
+# --------------------------------------------------------------------------
+# Paper reference values
+# --------------------------------------------------------------------------
+
+PAPER_TABLE3 = {
+    # category: (transactions, failed %, connections, failed conn %)
+    "PL": (16_605_281, 2.8, 21_163_180, 2.6),
+    "BB": (2_307_855, 1.3, 2_849_889, 0.7),
+    "DU": (381_556, 0.7, 471_931, 0.5),
+    "CN": (1_236_544, 0.8, None, None),
+}
+
+PAPER_FIGURE1 = {
+    # category: (overall %, dns share %, tcp share %, http share %)
+    "PL": (2.76, 38.0, 60.0, 2.0),
+    "DU": (0.69, 34.0, 64.0, 2.0),
+    "BB": (1.30, 42.0, 57.0, 1.0),
+}
+
+PAPER_TABLE4 = {
+    # category: (ldns %, non-ldns %, error %)  (DU/BB lump timeouts)
+    "PL": (83.3, 9.7, 7.0),
+    "BB": (76.0, None, 24.0),
+    "DU": (77.7, None, 22.3),
+}
+
+PAPER_FIGURE3 = {
+    # category: no-connection share of TCP failures (%)
+    "PL": 79.0,
+    "DU": 63.0,
+    "BB": 41.0,
+}
+
+PAPER_TABLE5 = {
+    0.05: (48.0, 9.9, 4.4, 37.7),
+    0.10: (41.5, 6.7, 0.7, 51.1),
+}
+
+PAPER_TABLE6 = [
+    ("sina.com.cn", 764, 78.4),
+    ("iitb.ac.in", 759, 85.1),
+    ("sohu.com", 243, 72.4),
+    ("brazzil.com", 97, 85.1),
+    ("cs.technion.ac.il", 95, 94.0),
+    ("technion.ac.il", 90, 92.5),
+    ("chinabroadcast.cn", 89, 73.9),
+    ("ucl.ac.uk", 55, 95.5),
+    ("craigslist.org", 166, 70.9),
+    ("nih.gov", 35, 60.4),
+    ("mit.edu", 23, 91.8),
+]
+
+PAPER_TABLE7 = {
+    # bucket: (co-located count, random count) out of 35 each
+    "> 75%": (2, 0),
+    "50-75%": (6, 0),
+    "25-50%": (10, 1),
+    "< 25% & > 0%": (10, 7),
+    "= 0%": (7, 27),
+}
+
+PAPER_TABLE9 = {
+    # site: ({client: %}, ext %, non-CN %)
+    "iitb.ac.in": (
+        {"SEA1": 5.31, "SEA2": 5.35, "SF": 5.33, "UK": 5.49, "CHN": 5.68},
+        0.23, 0.32,
+    ),
+    "royal.gov.uk": (
+        {"SEA1": 6.30, "SEA2": 6.21, "SF": 4.34, "UK": 7.74, "CHN": 6.94},
+        0.04, 1.38,
+    ),
+}
+
+PAPER_HEADLINES = {
+    "client_median_rate": 1.47,
+    "server_median_rate": 1.63,
+    "client_p95_rate": 10.0,
+    "permanent_pairs": 38,
+    "permanent_conn_failure_share": 50.7,
+    "permanent_txn_failure_share": 13.0,
+    "server_episode_hours": 2732,
+    "coalesced_episodes": 473,
+    "mean_coalesced_duration": 5.78,
+    "servers_with_episode": 56,
+    "servers_with_multiple": 39,
+    "replica_census": (6, 42, 32),
+    "multi_replica_episode_share": 62.0,
+    "total_replica_fraction": 85.0,
+    "instability_hours_def1": 111,
+    "instability_hours_def2": 32,
+    "dig_agreement": 94.0,
+    "loss_failure_correlation": 0.19,
+}
+
+
+# --------------------------------------------------------------------------
+# Formatting helpers
+# --------------------------------------------------------------------------
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned plain-text table."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if value is None:
+        return "N/A"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def pct(value: float) -> str:
+    """Format a fraction as a percentage string."""
+    return f"{100 * value:.2f}%"
+
+
+# --------------------------------------------------------------------------
+# Table / figure builders
+# --------------------------------------------------------------------------
+
+
+def table3(dataset: MeasurementDataset) -> str:
+    """Table 3: overall counts and failure rates per client category."""
+    rows = []
+    for summary in classify.category_summary(dataset):
+        key = summary.category.value
+        paper = PAPER_TABLE3.get(key)
+        conn_rate = summary.connection_failure_rate
+        rows.append(
+            [
+                key,
+                summary.transactions,
+                pct(summary.transaction_failure_rate),
+                f"{paper[1]}%" if paper else "?",
+                summary.connections,
+                pct(conn_rate) if conn_rate is not None else None,
+                f"{paper[3]}%" if paper and paper[3] is not None else None,
+            ]
+        )
+    return format_table(
+        ["cat", "trans", "fail%", "paper fail%", "conn", "connfail%", "paper"],
+        rows,
+        title="Table 3: transaction/connection counts and failure rates",
+    )
+
+
+def figure1(dataset: MeasurementDataset) -> str:
+    """Figure 1: failure-type breakdown per category."""
+    rows = []
+    for row in classify.failure_type_breakdown(dataset):
+        key = row.category.value
+        paper = PAPER_FIGURE1.get(key)
+        rows.append(
+            [
+                key,
+                pct(row.overall_rate),
+                f"{paper[0]}%" if paper else "?",
+                pct(row.fraction("dns")),
+                pct(row.fraction("tcp")),
+                pct(row.fraction("http")),
+            ]
+        )
+    return format_table(
+        ["cat", "overall", "paper", "dns-share", "tcp-share", "http-share"],
+        rows,
+        title="Figure 1: transaction failure rate by type "
+        "(paper: DNS 34-42%, TCP 57-64%, HTTP <2%)",
+    )
+
+
+def table4(dataset: MeasurementDataset) -> str:
+    """Table 4: DNS failure breakdown."""
+    rows = []
+    for row in classify.dns_breakdown(dataset):
+        ldns, non_ldns, error = row.fractions()
+        paper = PAPER_TABLE4.get(row.category.value, (None, None, None))
+        if paper[1] is None:
+            # The paper cannot split DU/BB timeouts into LDNS vs non-LDNS
+            # (data collection limits): its "LDNS timeout" column lumps
+            # both; we report the same way for comparability.
+            ldns = ldns + non_ldns
+            non_ldns = None
+        rows.append(
+            [
+                row.category.value,
+                row.failure_count,
+                pct(ldns),
+                f"{paper[0]}%" if paper[0] is not None else None,
+                pct(non_ldns) if non_ldns is not None else None,
+                f"{paper[1]}%" if paper[1] is not None else None,
+                pct(error),
+                f"{paper[2]}%" if paper[2] is not None else None,
+            ]
+        )
+    return format_table(
+        ["cat", "count", "ldns", "paper", "non-ldns", "paper", "error", "paper"],
+        rows,
+        title="Table 4: breakdown of DNS failures "
+        "(DU/BB timeouts lumped, as in the paper)",
+    )
+
+
+def figure2(dataset: MeasurementDataset, top_k: int = 2) -> str:
+    """Figure 2: skew of DNS failures across website domains."""
+    contributions = classify.dns_domain_contributions(dataset)
+    rows = []
+    for name in ("all", "ldns_timeout", "non_ldns_timeout", "error"):
+        series = contributions[name]
+        rows.append(
+            [
+                name,
+                sum(c for _, c in series),
+                pct(classify.skewness_top_k(series, 1)),
+                pct(classify.skewness_top_k(series, top_k)),
+                series[0][0] if series and series[0][1] else "-",
+            ]
+        )
+    return format_table(
+        ["series", "failures", "top-1 share", f"top-{top_k} share", "top domain"],
+        rows,
+        title="Figure 2: DNS failure contribution skew across domains\n"
+        "(paper: LDNS-timeout flat ~1/80 per domain; errors skewed: "
+        "brazzil 57%, espn 30%)",
+    )
+
+
+def figure3(dataset: MeasurementDataset) -> str:
+    """Figure 3: TCP connection failure breakdown."""
+    rows = []
+    for row in classify.tcp_breakdown(dataset):
+        paper = PAPER_FIGURE3.get(row.category.value)
+        rows.append(
+            [
+                row.category.value,
+                row.total,
+                pct(row.fraction("no_connection")),
+                f"{paper}%" if paper else "?",
+                pct(row.fraction("no_response")),
+                pct(row.fraction("partial_response")),
+                pct(row.fraction("no_or_partial")),
+            ]
+        )
+    return format_table(
+        ["cat", "tcp-fails", "no-conn", "paper", "no-resp", "partial", "no/partial"],
+        rows,
+        title="Figure 3: breakdown of TCP connection failures",
+    )
+
+
+def figure4(dataset: MeasurementDataset, excluded=None) -> str:
+    """Figure 4: CDF of per-episode failure rates + detected knee."""
+    view = dataset.pair_exclusion_view(excluded) if excluded is not None else None
+    transactions = view.transactions if view else None
+    failures = view.failures if view else None
+    client_m = episodes.client_rate_matrix(dataset, transactions, failures)
+    server_m = episodes.server_rate_matrix(dataset, transactions, failures)
+    rows = []
+    for label, matrix in (("clients", client_m), ("servers", server_m)):
+        rates, _ = episodes.rate_cdf(matrix)
+        knee = episodes.detect_knee(matrix)
+        rows.append(
+            [
+                label,
+                rates.size,
+                pct(float(np.median(rates))) if rates.size else None,
+                pct(float(np.percentile(rates, 90))) if rates.size else None,
+                pct(float(np.percentile(rates, 99))) if rates.size else None,
+                pct(knee),
+            ]
+        )
+    return format_table(
+        ["entities", "episode samples", "median", "p90", "p99", "knee"],
+        rows,
+        title="Figure 4: CDF of 1-hour episode failure rates "
+        "(paper picks f=5% at the knee, f=10% conservative)",
+    )
+
+
+def table5(dataset: MeasurementDataset, excluded) -> str:
+    """Table 5: blame classification at f = 5% and 10%."""
+    rows = []
+    for breakdown in blame.blame_table(dataset, excluded_pairs=excluded):
+        s, c, b, o = breakdown.fractions()
+        paper = PAPER_TABLE5[breakdown.threshold]
+        rows.append(
+            [
+                f"f={pct(breakdown.threshold)}",
+                pct(s), f"{paper[0]}%",
+                pct(c), f"{paper[1]}%",
+                pct(b), f"{paper[2]}%",
+                pct(o), f"{paper[3]}%",
+            ]
+        )
+    return format_table(
+        ["setting", "server", "paper", "client", "paper", "both", "paper",
+         "other", "paper"],
+        rows,
+        title="Table 5: classification of TCP failures",
+    )
+
+
+def table6(dataset: MeasurementDataset, analysis: blame.BlameAnalysis) -> str:
+    """Table 6: most failure-prone servers, episode counts, spread."""
+    spreads = spread.server_spreads(dataset, analysis)
+    replica_hours = replicas.replica_episode_hours_by_site(
+        dataset, analysis.threshold, excluded_pairs=analysis.excluded_pairs
+    )
+    paper_by_site = {name: (count, sp) for name, count, sp in PAPER_TABLE6}
+    rows = []
+    for row in spread.most_failure_prone(spreads, top=11):
+        paper = paper_by_site.get(row.site_name)
+        rows.append(
+            [
+                row.site_name,
+                replica_hours.get(row.site_name, row.episode_hours),
+                paper[0] if paper else "-",
+                pct(row.spread),
+                f"{paper[1]}%" if paper else "-",
+            ]
+        )
+    return format_table(
+        ["server", "episode-hours", "paper", "spread", "paper"],
+        rows,
+        title="Table 6: most failure-prone servers (episode hours at "
+        "replica granularity) and spread",
+    )
+
+
+def table7(dataset: MeasurementDataset, analysis: blame.BlameAnalysis) -> str:
+    """Table 7: co-located vs random pair similarity buckets."""
+    colocated = similarity.colocated_similarities(
+        dataset, analysis.client_episodes
+    )
+    randoms = similarity.random_pair_similarities(
+        dataset, analysis.client_episodes, count=len(colocated)
+    )
+    co_buckets = similarity.bucket_similarities(colocated)
+    rnd_buckets = similarity.bucket_similarities(randoms)
+    rows = []
+    for label in ("> 75%", "50-75%", "25-50%", "< 25% & > 0%", "= 0%"):
+        paper = PAPER_TABLE7[label]
+        rows.append(
+            [label, co_buckets[label], paper[0], rnd_buckets[label], paper[1]]
+        )
+    return format_table(
+        ["similarity", "co-located", "paper", "random", "paper"],
+        rows,
+        title=f"Table 7: client-side episode similarity "
+        f"({len(colocated)} pairs each)",
+    )
+
+
+def table8(dataset: MeasurementDataset, analysis: blame.BlameAnalysis) -> str:
+    """Table 8: the named co-located client pairs."""
+    rows = []
+    for pair in similarity.showcase_pairs(dataset, analysis.client_episodes):
+        rows.append(
+            [
+                f"{pair.client_a} / {pair.client_b}",
+                pair.union,
+                pct(pair.similarity),
+            ]
+        )
+    return format_table(
+        ["pair", "episodes in union", "similarity"],
+        rows,
+        title="Table 8: co-located client examples "
+        "(paper: Intel 387@98.2%, KAIST 5-7@50-60%, Columbia split)",
+    )
+
+
+def table9(dataset: MeasurementDataset, analysis: blame.BlameAnalysis) -> str:
+    """Table 9: residual (proxy-related) failure rates."""
+    from repro.core import proxy_analysis
+
+    rows = []
+    table = proxy_analysis.residual_failure_table(
+        dataset, analysis, list(PAPER_TABLE9)
+    )
+    for row in table:
+        paper_clients, paper_ext, paper_noncn = PAPER_TABLE9[row.site_name]
+        for client_name, residual in sorted(row.per_client.items()):
+            rows.append(
+                [
+                    row.site_name,
+                    client_name,
+                    pct(residual.rate),
+                    f"{paper_clients.get(client_name, 0)}%",
+                ]
+            )
+        rows.append([row.site_name, "SEAEXT", pct(row.external.rate), f"{paper_ext}%"])
+        rows.append([row.site_name, "non-CN", pct(row.non_cn.rate), f"{paper_noncn}%"])
+    return format_table(
+        ["site", "client", "residual rate", "paper"],
+        rows,
+        title="Table 9: residual failure rates after excluding "
+        "client-/server-side failures",
+    )
+
+
+def headline_summary(dataset: MeasurementDataset) -> str:
+    """The abstract's headline numbers vs measured."""
+    client_rates = dataset.client_failure_rates()
+    server_rates = dataset.server_failure_rates()
+    report = permanent.find_permanent_pairs(dataset)
+    rows = [
+        ["median client failure rate", pct(float(np.nanmedian(client_rates))),
+         f"{PAPER_HEADLINES['client_median_rate']}%"],
+        ["median server failure rate", pct(float(np.nanmedian(server_rates))),
+         f"{PAPER_HEADLINES['server_median_rate']}%"],
+        ["95th-pctile client rate", pct(float(np.nanpercentile(client_rates, 95))),
+         f"{PAPER_HEADLINES['client_p95_rate']}%"],
+        ["permanent pairs", report.count, PAPER_HEADLINES["permanent_pairs"]],
+        ["perm. share of conn failures",
+         pct(report.share_of_connection_failures),
+         f"{PAPER_HEADLINES['permanent_conn_failure_share']}%"],
+        ["perm. share of txn failures",
+         pct(report.share_of_transaction_failures),
+         f"{PAPER_HEADLINES['permanent_txn_failure_share']}%"],
+    ]
+    return format_table(
+        ["metric", "measured", "paper"], rows, title="Headline statistics"
+    )

@@ -1,0 +1,146 @@
+"""Co-located client similarity (Section 4.4.6, validation #2).
+
+For each pair of co-located clients, the *similarity* of their client-side
+failure episodes is |intersection| / |union| of their episode-hour sets
+(Jaccard).  Co-located clients should share many client-side episodes
+(same subnet, LDNS, uplink); randomly paired clients should not.  Tables 7
+and 8 report exactly this.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.dataset import MeasurementDataset
+from repro.world.entities import Client
+
+
+@dataclass(frozen=True)
+class PairSimilarity:
+    """Similarity of one client pair (a Table 8 row)."""
+
+    client_a: str
+    client_b: str
+    episodes_a: int
+    episodes_b: int
+    intersection: int
+    union: int
+
+    @property
+    def similarity(self) -> float:
+        """|intersection| / |union|; 0 when neither has episodes."""
+        return self.intersection / self.union if self.union else 0.0
+
+
+def pair_similarity(
+    dataset: MeasurementDataset,
+    client_episodes: np.ndarray,
+    name_a: str,
+    name_b: str,
+) -> PairSimilarity:
+    """Similarity of two named clients' client-side episode sets."""
+    ia = dataset.world.client_idx(name_a)
+    ib = dataset.world.client_idx(name_b)
+    a = client_episodes[ia]
+    b = client_episodes[ib]
+    return PairSimilarity(
+        client_a=name_a,
+        client_b=name_b,
+        episodes_a=int(a.sum()),
+        episodes_b=int(b.sum()),
+        intersection=int((a & b).sum()),
+        union=int((a | b).sum()),
+    )
+
+
+def colocated_similarities(
+    dataset: MeasurementDataset, client_episodes: np.ndarray
+) -> List[PairSimilarity]:
+    """Similarities for every co-located pair in the world."""
+    return [
+        pair_similarity(dataset, client_episodes, a.name, b.name)
+        for a, b in dataset.world.colocated_pairs()
+    ]
+
+
+def random_pair_similarities(
+    dataset: MeasurementDataset,
+    client_episodes: np.ndarray,
+    count: int,
+    seed: int = 42,
+) -> List[PairSimilarity]:
+    """Similarities for ``count`` random (non-co-located) client pairs --
+    Table 7's control group."""
+    rng = random.Random(seed)
+    clients = dataset.world.clients
+    colocated = {
+        frozenset((a.name, b.name)) for a, b in dataset.world.colocated_pairs()
+    }
+    pairs = set()
+    guard = 0
+    while len(pairs) < count and guard < 100000:
+        guard += 1
+        a, b = rng.sample(range(len(clients)), 2)
+        key = frozenset((clients[a].name, clients[b].name))
+        if key in colocated or key in pairs:
+            continue
+        if clients[a].site == clients[b].site:
+            continue
+        pairs.add(key)
+    return [
+        pair_similarity(dataset, client_episodes, *sorted(key)) for key in pairs
+    ]
+
+
+#: Table 7's similarity buckets: (label, lower, upper], with exact-zero
+#: broken out separately.
+SIMILARITY_BUCKETS = (
+    ("> 75%", 0.75, 1.01),
+    ("50-75%", 0.50, 0.75),
+    ("25-50%", 0.25, 0.50),
+    ("< 25% & > 0%", 0.0, 0.25),
+)
+
+
+def bucket_similarities(rows: Sequence[PairSimilarity]) -> Dict[str, int]:
+    """Bucket pair similarities into Table 7's rows."""
+    result = {label: 0 for label, _, _ in SIMILARITY_BUCKETS}
+    result["= 0%"] = 0
+    for row in rows:
+        s = row.similarity
+        if s == 0.0:
+            result["= 0%"] += 1
+        elif s > 0.75:
+            result["> 75%"] += 1
+        elif s > 0.50:
+            result["50-75%"] += 1
+        elif s > 0.25:
+            result["25-50%"] += 1
+        else:
+            result["< 25% & > 0%"] += 1
+    return result
+
+
+def showcase_pairs(
+    dataset: MeasurementDataset, client_episodes: np.ndarray
+) -> List[PairSimilarity]:
+    """The named Table 8 pairs (Intel, KAIST, Columbia), where present."""
+    wanted = [
+        ("planet1.pittsburgh.intel-research.net", "planet2.pittsburgh.intel-research.net"),
+        ("csplanetlab1.kaist.ac.kr", "csplanetlab3.kaist.ac.kr"),
+        ("csplanetlab3.kaist.ac.kr", "csplanetlab4.kaist.ac.kr"),
+        ("csplanetlab4.kaist.ac.kr", "csplanetlab1.kaist.ac.kr"),
+        ("planetlab1.comet.columbia.edu", "planetlab2.comet.columbia.edu"),
+        ("planetlab2.comet.columbia.edu", "planetlab3.comet.columbia.edu"),
+        ("planetlab3.comet.columbia.edu", "planetlab1.comet.columbia.edu"),
+    ]
+    rows = []
+    known = {c.name for c in dataset.world.clients}
+    for a, b in wanted:
+        if a in known and b in known:
+            rows.append(pair_similarity(dataset, client_episodes, a, b))
+    return rows

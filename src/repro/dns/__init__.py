@@ -1,0 +1,29 @@
+"""DNS substrate: messages, caches, servers, and resolvers.
+
+The paper's clients resolve each website name before every download (the
+local cache is flushed, Section 3.4) and additionally run a dig-style
+iterative resolution to localize DNS failures (Section 4.2).  This package
+implements:
+
+* :mod:`repro.dns.message` -- queries, responses, and response codes.
+* :mod:`repro.dns.cache` -- a TTL-respecting resolver cache.
+* :mod:`repro.dns.server` -- authoritative and recursive (LDNS) servers.
+* :mod:`repro.dns.resolver` -- the client-side stub resolver with the
+  timeout/retry behaviour whose failure modes the paper classifies
+  (LDNS timeout / non-LDNS timeout / error response).
+* :mod:`repro.dns.iterative` -- dig-style iterative traversal from the
+  root, used for post-hoc failure localization.
+"""
+
+from repro.dns.message import DNSQuery, DNSResponse, RCode, RecordType
+from repro.dns.resolver import ResolutionOutcome, ResolutionStatus, StubResolver
+
+__all__ = [
+    "DNSQuery",
+    "DNSResponse",
+    "RCode",
+    "RecordType",
+    "StubResolver",
+    "ResolutionOutcome",
+    "ResolutionStatus",
+]

@@ -1,0 +1,127 @@
+"""A TTL-respecting DNS cache.
+
+Both the local (stub) cache that the measurement procedure flushes before
+every download (Section 3.4, step 1) and the LDNS/proxy caches that the
+procedure *cannot* flush (Section 3.4: "there is no way for the client to
+force the DNS cache at the proxy to be flushed, some DNS failures may be
+masked") are instances of this class.  Negative caching is modelled because
+a cached SERVFAIL at an LDNS changes which clients observe an error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.dns.message import (
+    DNSQuery,
+    DNSResponse,
+    RCode,
+    RecordType,
+    normalize_name,
+)
+
+
+@dataclass
+class CacheEntry:
+    """A cached response with its absolute expiry time."""
+
+    response: DNSResponse
+    expires_at: float
+    stored_at: float
+
+    def fresh(self, now: float) -> bool:
+        """True if the entry is still within TTL at time ``now``."""
+        return now < self.expires_at
+
+
+class DNSCache:
+    """Maps (name, rtype) to cached responses with expiry.
+
+    ``negative_ttl`` bounds how long error responses are retained
+    (RFC 2308-style negative caching).
+    """
+
+    def __init__(self, negative_ttl: int = 60, max_entries: int = 100000) -> None:
+        if negative_ttl < 0:
+            raise ValueError("negative negative_ttl")
+        if max_entries < 1:
+            raise ValueError("cache must hold at least one entry")
+        self.negative_ttl = negative_ttl
+        self.max_entries = max_entries
+        self._entries: Dict[Tuple[str, RecordType], CacheEntry] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _key(self, query: DNSQuery) -> Tuple[str, RecordType]:
+        return (normalize_name(query.name), query.rtype)
+
+    def _ttl_of(self, response: DNSResponse) -> int:
+        if response.rcode is not RCode.NOERROR:
+            return self.negative_ttl
+        ttls = [r.ttl for r in response.answers + response.authority]
+        if not ttls:
+            return self.negative_ttl
+        return min(ttls)
+
+    def store(self, response: DNSResponse, now: float) -> None:
+        """Insert a response; evicts the stalest entry when full."""
+        ttl = self._ttl_of(response)
+        if ttl <= 0:
+            return
+        if len(self._entries) >= self.max_entries:
+            stalest = min(self._entries, key=lambda k: self._entries[k].expires_at)
+            del self._entries[stalest]
+        self._entries[self._key(response.query)] = CacheEntry(
+            response=response, expires_at=now + ttl, stored_at=now
+        )
+
+    def lookup(self, query: DNSQuery, now: float) -> Optional[DNSResponse]:
+        """Return a fresh cached response, or None (expired entries pruned)."""
+        key = self._key(query)
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        if not entry.fresh(now):
+            del self._entries[key]
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry.response
+
+    def flush(self) -> int:
+        """Drop every entry (the measurement procedure's step 1).
+
+        Returns the number of entries dropped.
+        """
+        count = len(self._entries)
+        self._entries.clear()
+        return count
+
+    def flush_name(self, name: str) -> int:
+        """Drop all entries for one name; returns the count dropped."""
+        name = normalize_name(name)
+        victims = [k for k in self._entries if k[0] == name]
+        for key in victims:
+            del self._entries[key]
+        return len(victims)
+
+    def expire(self, now: float) -> int:
+        """Prune entries whose TTL has elapsed; returns the count pruned."""
+        victims = [k for k, e in self._entries.items() if not e.fresh(now)]
+        for key in victims:
+            del self._entries[key]
+        return len(victims)
+
+    def cached_names(self) -> List[str]:
+        """All names currently cached (for inspection in tests/examples)."""
+        return sorted({name for name, _ in self._entries})
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache so far."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

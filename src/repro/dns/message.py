@@ -1,0 +1,220 @@
+"""DNS message model: queries, responses, resource records, rcodes.
+
+We model exactly the protocol surface the failure taxonomy needs: A-record
+queries, NS referrals (for the iterative dig), CNAME chains (several of the
+paper's 80 sites are CDN-served via CNAME), and the NXDOMAIN / SERVFAIL
+error codes the paper observed from misconfigured authoritative servers
+(Section 4.2 -- www.brazzil.com and www.espn.com).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.net.addressing import IPv4Address
+
+
+class RecordType(enum.Enum):
+    """Resource record types used in the study."""
+
+    A = "A"
+    NS = "NS"
+    CNAME = "CNAME"
+
+
+class RCode(enum.Enum):
+    """DNS response codes (subset)."""
+
+    NOERROR = 0
+    SERVFAIL = 2
+    NXDOMAIN = 3
+    REFUSED = 5
+
+    @property
+    def is_error(self) -> bool:
+        """True for codes the paper's "Error response" category covers."""
+        return self is not RCode.NOERROR
+
+
+def normalize_name(name: str) -> str:
+    """Canonicalize a domain name: lowercase, no trailing dot.
+
+    >>> normalize_name("WWW.Example.COM.")
+    'www.example.com'
+    """
+    name = name.strip().lower()
+    if name.endswith("."):
+        name = name[:-1]
+    if not name:
+        raise ValueError("empty domain name")
+    for label in name.split("."):
+        if not label:
+            raise ValueError(f"empty label in {name!r}")
+        if len(label) > 63:
+            raise ValueError(f"label too long in {name!r}")
+    return name
+
+
+def parent_zone(name: str) -> Optional[str]:
+    """The parent zone of a name, or None at the root.
+
+    >>> parent_zone("www.example.com")
+    'example.com'
+    >>> parent_zone("com") is None
+    True
+    """
+    name = normalize_name(name)
+    if "." not in name:
+        return None
+    return name.partition(".")[2]
+
+
+@dataclass(frozen=True)
+class ResourceRecord:
+    """One resource record in a response."""
+
+    name: str
+    rtype: RecordType
+    ttl: int
+    # A records carry an address; NS and CNAME records carry a target name.
+    address: Optional[IPv4Address] = None
+    target: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "name", normalize_name(self.name))
+        if self.ttl < 0:
+            raise ValueError("negative TTL")
+        if self.rtype is RecordType.A:
+            if self.address is None or self.target is not None:
+                raise ValueError("A record needs an address and no target")
+        else:
+            if self.target is None or self.address is not None:
+                raise ValueError(f"{self.rtype.value} record needs a target name")
+            object.__setattr__(self, "target", normalize_name(self.target))
+
+
+@dataclass(frozen=True)
+class DNSQuery:
+    """An A-record (or NS) query for a name."""
+
+    name: str
+    rtype: RecordType = RecordType.A
+    recursion_desired: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "name", normalize_name(self.name))
+
+
+@dataclass(frozen=True)
+class DNSResponse:
+    """A response: rcode plus answer/authority/additional sections."""
+
+    query: DNSQuery
+    rcode: RCode
+    answers: Tuple[ResourceRecord, ...] = ()
+    authority: Tuple[ResourceRecord, ...] = ()
+    additional: Tuple[ResourceRecord, ...] = ()
+    authoritative: bool = False
+
+    @property
+    def is_referral(self) -> bool:
+        """True if this is a delegation (no answers, NS records in authority)."""
+        return (
+            self.rcode is RCode.NOERROR
+            and not self.answers
+            and any(r.rtype is RecordType.NS for r in self.authority)
+        )
+
+    def a_records(self) -> List[ResourceRecord]:
+        """All A records in the answer section."""
+        return [r for r in self.answers if r.rtype is RecordType.A]
+
+    def cname_records(self) -> List[ResourceRecord]:
+        """All CNAME records in the answer section."""
+        return [r for r in self.answers if r.rtype is RecordType.CNAME]
+
+    def addresses(self) -> List[IPv4Address]:
+        """All resolved addresses, in answer order."""
+        return [r.address for r in self.a_records() if r.address is not None]
+
+    def ns_names(self) -> List[str]:
+        """NS target names from the authority section."""
+        return [
+            r.target
+            for r in self.authority
+            if r.rtype is RecordType.NS and r.target is not None
+        ]
+
+    def glue_for(self, ns_name: str) -> Optional[IPv4Address]:
+        """The glue A record for a nameserver name, if present."""
+        ns_name = normalize_name(ns_name)
+        for record in self.additional:
+            if record.rtype is RecordType.A and record.name == ns_name:
+                return record.address
+        return None
+
+
+def make_a_response(
+    query: DNSQuery,
+    addresses: Sequence[IPv4Address],
+    ttl: int = 300,
+    cname_chain: Sequence[str] = (),
+    authoritative: bool = True,
+) -> DNSResponse:
+    """Build a NOERROR answer, optionally preceded by a CNAME chain.
+
+    The answer name for the A records is the final CNAME target when a chain
+    is supplied (matching real responses for CDN-hosted sites).
+    """
+    answers: List[ResourceRecord] = []
+    owner = query.name
+    for target in cname_chain:
+        answers.append(
+            ResourceRecord(name=owner, rtype=RecordType.CNAME, ttl=ttl, target=target)
+        )
+        owner = normalize_name(target)
+    for address in addresses:
+        answers.append(
+            ResourceRecord(name=owner, rtype=RecordType.A, ttl=ttl, address=address)
+        )
+    return DNSResponse(
+        query=query,
+        rcode=RCode.NOERROR,
+        answers=tuple(answers),
+        authoritative=authoritative,
+    )
+
+
+def make_error_response(query: DNSQuery, rcode: RCode) -> DNSResponse:
+    """Build an error response (SERVFAIL, NXDOMAIN, ...)."""
+    if rcode is RCode.NOERROR:
+        raise ValueError("use make_a_response for NOERROR")
+    return DNSResponse(query=query, rcode=rcode)
+
+
+def make_referral(
+    query: DNSQuery,
+    zone: str,
+    ns_names: Sequence[str],
+    glue: Sequence[Tuple[str, IPv4Address]] = (),
+    ttl: int = 86400,
+) -> DNSResponse:
+    """Build a delegation response pointing at the zone's nameservers."""
+    if not ns_names:
+        raise ValueError("a referral needs at least one NS record")
+    authority = tuple(
+        ResourceRecord(name=zone, rtype=RecordType.NS, ttl=ttl, target=ns)
+        for ns in ns_names
+    )
+    additional = tuple(
+        ResourceRecord(name=name, rtype=RecordType.A, ttl=ttl, address=addr)
+        for name, addr in glue
+    )
+    return DNSResponse(
+        query=query,
+        rcode=RCode.NOERROR,
+        authority=authority,
+        additional=additional,
+    )

@@ -1,0 +1,175 @@
+"""The client-side stub resolver.
+
+This is where the paper's three DNS failure categories (Section 2.1) are
+*produced*:
+
+* **LDNS timeout** -- the stub cannot reach its local DNS server at all,
+  because the LDNS is down or the client's first-mile connectivity to it is
+  broken.  The dominant category (74-83% of DNS failures, Table 4).
+* **Non-LDNS timeout** -- the LDNS responds to the stub but the recursive
+  lookup dangles past the stub's budget because an authoritative server
+  upstream is unreachable.
+* **Error response** -- the lookup completes but returns SERVFAIL/NXDOMAIN.
+
+The stub retries with the classic resolv.conf discipline: ``attempts``
+tries with per-try ``timeout`` seconds.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.dns.cache import DNSCache
+from repro.dns.message import DNSQuery, DNSResponse, RCode
+from repro.dns.server import RecursiveResolverServer
+from repro.net.addressing import IPv4Address
+
+
+class ResolutionStatus(enum.Enum):
+    """Outcome categories matching the paper's DNS taxonomy."""
+
+    SUCCESS = "success"
+    LDNS_TIMEOUT = "ldns_timeout"
+    NON_LDNS_TIMEOUT = "non_ldns_timeout"
+    ERROR_RESPONSE = "error_response"
+
+    @property
+    def is_failure(self) -> bool:
+        """True for any non-success outcome."""
+        return self is not ResolutionStatus.SUCCESS
+
+
+@dataclass
+class ResolutionOutcome:
+    """Everything the performance record needs about one resolution."""
+
+    status: ResolutionStatus
+    addresses: List[IPv4Address]
+    lookup_time: float
+    rcode: Optional[RCode] = None
+    attempts: int = 1
+    from_cache: bool = False
+
+    @property
+    def succeeded(self) -> bool:
+        """True if at least one address was obtained."""
+        return self.status is ResolutionStatus.SUCCESS
+
+
+class LDNSPath:
+    """The client's path to its local DNS server.
+
+    ``reachable`` is the fault-injection knob for first-mile problems; the
+    LDNS's own ``process_up`` flag covers the server being down.  Either
+    produces the same observable: an LDNS timeout.
+    """
+
+    def __init__(self, ldns: RecursiveResolverServer, latency: float = 0.005) -> None:
+        self.ldns = ldns
+        self.latency = latency
+        self.reachable = True
+
+    def deliver(self, query: DNSQuery, now: float):
+        """Send a query over the path; None if it cannot be delivered."""
+        if not self.reachable or not self.ldns.process_up:
+            return None
+        return self.ldns.resolve(query, now)
+
+
+class StubResolver:
+    """Client stub resolver with resolv.conf-style retry behaviour."""
+
+    def __init__(
+        self,
+        path: LDNSPath,
+        rng: random.Random,
+        timeout: float = 5.0,
+        attempts: int = 2,
+        use_cache: bool = True,
+    ) -> None:
+        if timeout <= 0:
+            raise ValueError("timeout must be positive")
+        if attempts < 1:
+            raise ValueError("need at least one attempt")
+        self.path = path
+        self.timeout = timeout
+        self.attempts = attempts
+        self.cache: Optional[DNSCache] = DNSCache() if use_cache else None
+        self._rng = rng
+
+    def flush_cache(self) -> int:
+        """Flush the stub's own cache (measurement procedure step 1)."""
+        if self.cache is None:
+            return 0
+        return self.cache.flush()
+
+    def resolve(self, name: str, now: float) -> ResolutionOutcome:
+        """Resolve ``name`` to addresses, classifying any failure."""
+        query = DNSQuery(name)
+        if self.cache is not None:
+            cached = self.cache.lookup(query, now)
+            if cached is not None and cached.rcode is RCode.NOERROR:
+                return ResolutionOutcome(
+                    status=ResolutionStatus.SUCCESS,
+                    addresses=cached.addresses(),
+                    lookup_time=0.0,
+                    rcode=cached.rcode,
+                    from_cache=True,
+                )
+        elapsed = 0.0
+        for attempt in range(1, self.attempts + 1):
+            result = self.path.deliver(query, now + elapsed)
+            if result is None:
+                # Nothing came back within this attempt's timeout window.
+                elapsed += self.timeout
+                continue
+            if result.timed_out or result.response is None:
+                # The LDNS was reached but its recursion dangled; the stub
+                # gives up after its per-attempt timeout.
+                elapsed += self.timeout
+                if attempt == self.attempts:
+                    return ResolutionOutcome(
+                        status=ResolutionStatus.NON_LDNS_TIMEOUT,
+                        addresses=[],
+                        lookup_time=elapsed,
+                        attempts=attempt,
+                    )
+                continue
+            elapsed += min(result.elapsed + 2 * self.path.latency, self.timeout)
+            response = result.response
+            if response.rcode.is_error:
+                return ResolutionOutcome(
+                    status=ResolutionStatus.ERROR_RESPONSE,
+                    addresses=[],
+                    lookup_time=elapsed,
+                    rcode=response.rcode,
+                    attempts=attempt,
+                )
+            addresses = response.addresses()
+            if not addresses:
+                return ResolutionOutcome(
+                    status=ResolutionStatus.ERROR_RESPONSE,
+                    addresses=[],
+                    lookup_time=elapsed,
+                    rcode=RCode.SERVFAIL,
+                    attempts=attempt,
+                )
+            if self.cache is not None:
+                self.cache.store(response, now + elapsed)
+            return ResolutionOutcome(
+                status=ResolutionStatus.SUCCESS,
+                addresses=addresses,
+                lookup_time=elapsed,
+                rcode=response.rcode,
+                attempts=attempt,
+            )
+        # Every attempt went unanswered: the LDNS was never reached.
+        return ResolutionOutcome(
+            status=ResolutionStatus.LDNS_TIMEOUT,
+            addresses=[],
+            lookup_time=elapsed,
+            attempts=self.attempts,
+        )

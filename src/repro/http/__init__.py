@@ -1,0 +1,24 @@
+"""HTTP substrate: messages, origin servers, proxies, and the wget client.
+
+* :mod:`repro.http.message` -- HTTP requests/responses (the subset the
+  study exercises: GET, redirects, Cache-Control: no-cache, error codes).
+* :mod:`repro.http.server` -- origin web servers with replica sets,
+  redirect behaviour, and HTTP-level error injection.
+* :mod:`repro.http.proxy` -- an ISA-like corporate caching proxy: it does
+  its own name resolution (masking client DNS failures) and does *not*
+  fail over across a site's A records -- the mechanism behind the shared
+  proxy-related failures of Section 4.7.
+* :mod:`repro.http.wget` -- the measurement client: retries, redirect
+  following, multi-address failover, and the 60-second idle rule.
+"""
+
+from repro.http.message import HTTPRequest, HTTPResponse, StatusClass
+from repro.http.wget import TransactionResult, WgetClient
+
+__all__ = [
+    "HTTPRequest",
+    "HTTPResponse",
+    "StatusClass",
+    "WgetClient",
+    "TransactionResult",
+]

@@ -1,0 +1,165 @@
+"""HTTP message model.
+
+Only the protocol surface the measurement exercises is modelled: GET
+requests for the top-level index file, response status codes (success,
+redirect, client error, server error), Content-Length, Location for
+redirects, and the ``Cache-Control: no-cache`` request directive the
+corporate clients set to punch through their proxies (Section 3.4).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.dns.message import normalize_name
+
+
+class StatusClass(enum.Enum):
+    """Coarse status classes used by the failure taxonomy."""
+
+    SUCCESS = "2xx"
+    REDIRECT = "3xx"
+    CLIENT_ERROR = "4xx"
+    SERVER_ERROR = "5xx"
+
+    @classmethod
+    def of(cls, status: int) -> "StatusClass":
+        """The class of a numeric status code.
+
+        >>> StatusClass.of(200)
+        <StatusClass.SUCCESS: '2xx'>
+        >>> StatusClass.of(404)
+        <StatusClass.CLIENT_ERROR: '4xx'>
+        """
+        if 200 <= status < 300:
+            return cls.SUCCESS
+        if 300 <= status < 400:
+            return cls.REDIRECT
+        if 400 <= status < 500:
+            return cls.CLIENT_ERROR
+        if 500 <= status < 600:
+            return cls.SERVER_ERROR
+        raise ValueError(f"status code out of modelled range: {status}")
+
+
+REASON_PHRASES = {
+    200: "OK",
+    301: "Moved Permanently",
+    302: "Found",
+    304: "Not Modified",
+    400: "Bad Request",
+    403: "Forbidden",
+    404: "Not Found",
+    500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+@dataclass(frozen=True)
+class HTTPRequest:
+    """A GET request for a site's index file."""
+
+    host: str
+    path: str = "/"
+    method: str = "GET"
+    no_cache: bool = False
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "host", normalize_name(self.host))
+        if not self.path.startswith("/"):
+            raise ValueError(f"path must be absolute: {self.path!r}")
+        if self.method not in ("GET", "HEAD"):
+            raise ValueError(f"unsupported method {self.method!r}")
+
+    def wire_size(self) -> int:
+        """Approximate on-the-wire request size in bytes."""
+        size = len(self.method) + len(self.path) + 12  # request line
+        size += len("Host: ") + len(self.host) + 2
+        if self.no_cache:
+            size += len("Cache-Control: no-cache") + 2
+        for key, value in self.headers.items():
+            size += len(key) + 2 + len(value) + 2
+        return size + 2
+
+    def header_lines(self) -> str:
+        """A readable rendering for example scripts and debugging."""
+        lines = [f"{self.method} {self.path} HTTP/1.1", f"Host: {self.host}"]
+        if self.no_cache:
+            lines.append("Cache-Control: no-cache")
+        lines.extend(f"{k}: {v}" for k, v in sorted(self.headers.items()))
+        return "\r\n".join(lines) + "\r\n\r\n"
+
+
+@dataclass(frozen=True)
+class HTTPResponse:
+    """A response: status, body size, and an optional redirect target."""
+
+    status: int
+    body_bytes: int = 0
+    location: Optional[str] = None
+    from_cache: bool = False
+    via_proxy: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        StatusClass.of(self.status)  # validates range
+        if self.body_bytes < 0:
+            raise ValueError("negative body size")
+        if self.is_redirect and not self.location:
+            raise ValueError("redirect response needs a Location")
+
+    @property
+    def status_class(self) -> StatusClass:
+        """The coarse class of this response's status."""
+        return StatusClass.of(self.status)
+
+    @property
+    def ok(self) -> bool:
+        """True for a 2xx response."""
+        return self.status_class is StatusClass.SUCCESS
+
+    @property
+    def is_redirect(self) -> bool:
+        """True for a 3xx response."""
+        return self.status_class is StatusClass.REDIRECT
+
+    @property
+    def is_error(self) -> bool:
+        """True for a 4xx/5xx response (the paper's HTTP failure class)."""
+        return self.status_class in (
+            StatusClass.CLIENT_ERROR,
+            StatusClass.SERVER_ERROR,
+        )
+
+    @property
+    def reason(self) -> str:
+        """The reason phrase, when the code is a common one."""
+        return REASON_PHRASES.get(self.status, "Unknown")
+
+    def status_line(self) -> str:
+        """The HTTP status line as a string."""
+        return f"HTTP/1.1 {self.status} {self.reason}"
+
+
+def parse_url(url: str):
+    """Split ``http://host/path`` into (host, path).
+
+    >>> parse_url("http://www.example.com/index.html")
+    ('www.example.com', '/index.html')
+    >>> parse_url("www.example.com")
+    ('www.example.com', '/')
+    """
+    if "://" in url:
+        scheme, _, rest = url.partition("://")
+        if scheme != "http":
+            raise ValueError(f"unsupported scheme {scheme!r}")
+    else:
+        rest = url
+    host, slash, path = rest.partition("/")
+    if not host:
+        raise ValueError(f"no host in URL {url!r}")
+    return normalize_name(host), (slash + path if slash else "/")

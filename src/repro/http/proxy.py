@@ -1,0 +1,215 @@
+"""The corporate caching proxy (ISA-style).
+
+Section 3.2/3.4: all web requests of the CN clients are forced through
+per-site HTTP proxies.  Three behaviours matter to the study:
+
+1. **The proxy does name resolution, not the client** -- so client-visible
+   DNS failures are masked, and the proxy's own DNS cache cannot be flushed
+   by the measurement procedure.
+2. **No failover across A records** -- Section 4.7's finding: for
+   www.iitb.ac.in (3 A records, often 1-2 dead) wget on a direct client
+   fails over and succeeds, but the proxy tries only the first address and
+   returns a gateway error, "presumably to minimize overhead".
+3. **Caching** -- bypassed for response serving when the client sends
+   ``Cache-Control: no-cache`` (which the measurement clients do), but the
+   cache exists and serves non-measurement traffic.
+
+Upstream failures surface to the client as 502/504 gateway errors, which is
+why the CN failure breakdown is unavailable in the paper (Table 3 note).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.dns.resolver import ResolutionOutcome, ResolutionStatus, StubResolver
+from repro.http.message import HTTPRequest, HTTPResponse
+from repro.http.wget import FetchResult, Transport
+from repro.net.addressing import IPv4Address
+from repro.tcp.connection import ConnectionOutcome, ConnectionResult
+
+
+@dataclass
+class CachedObject:
+    """An HTTP object held in the proxy cache."""
+
+    response: HTTPResponse
+    stored_at: float
+    ttl: float
+
+    def fresh(self, now: float) -> bool:
+        """True while within its freshness lifetime."""
+        return now < self.stored_at + self.ttl
+
+
+class CachingProxy:
+    """One corporate proxy: resolver + upstream transport + object cache."""
+
+    def __init__(
+        self,
+        name: str,
+        resolver: StubResolver,
+        upstream: Transport,
+        rng: random.Random,
+        cache_ttl: float = 300.0,
+        gateway_timeout_status: int = 504,
+        dns_failure_status: int = 502,
+    ) -> None:
+        self.name = name
+        self.resolver = resolver
+        self.upstream = upstream
+        self.cache_ttl = cache_ttl
+        self.gateway_timeout_status = gateway_timeout_status
+        self.dns_failure_status = dns_failure_status
+        self._cache: Dict[Tuple[str, str], CachedObject] = {}
+        self._rng = rng
+        self.requests_handled = 0
+        self.cache_hits = 0
+        self.upstream_failures = 0
+
+    def _cache_key(self, request: HTTPRequest) -> Tuple[str, str]:
+        return (request.host, request.path)
+
+    def handle(self, request: HTTPRequest, now: float) -> Tuple[HTTPResponse, float]:
+        """Serve one request; returns (response, elapsed seconds)."""
+        self.requests_handled += 1
+        key = self._cache_key(request)
+
+        if not request.no_cache:
+            cached = self._cache.get(key)
+            if cached is not None and cached.fresh(now):
+                self.cache_hits += 1
+                return (
+                    HTTPResponse(
+                        status=cached.response.status,
+                        body_bytes=cached.response.body_bytes,
+                        location=cached.response.location,
+                        from_cache=True,
+                        via_proxy=self.name,
+                    ),
+                    0.001,
+                )
+
+        resolution = self.resolver.resolve(request.host, now)
+        elapsed = resolution.lookup_time
+        if resolution.status.is_failure:
+            self.upstream_failures += 1
+            return (
+                HTTPResponse(
+                    status=self.dns_failure_status,
+                    body_bytes=512,
+                    via_proxy=self.name,
+                ),
+                elapsed,
+            )
+
+        # No failover: the proxy commits to the first address only.
+        address = resolution.addresses[0]
+        fetch = self.upstream.fetch(address, request, now + elapsed)
+        elapsed += fetch.connection.elapsed
+        if (
+            fetch.connection.outcome is not ConnectionOutcome.COMPLETE
+            or fetch.response is None
+        ):
+            self.upstream_failures += 1
+            return (
+                HTTPResponse(
+                    status=self.gateway_timeout_status,
+                    body_bytes=512,
+                    via_proxy=self.name,
+                ),
+                elapsed,
+            )
+
+        response = HTTPResponse(
+            status=fetch.response.status,
+            body_bytes=fetch.response.body_bytes,
+            location=fetch.response.location,
+            via_proxy=self.name,
+        )
+        if response.ok:
+            self._cache[key] = CachedObject(
+                response=response, stored_at=now + elapsed, ttl=self.cache_ttl
+            )
+        return response, elapsed
+
+    def flush_cache(self) -> int:
+        """Drop all cached objects (not available to measurement clients)."""
+        count = len(self._cache)
+        self._cache.clear()
+        return count
+
+
+class ProxyTransport(Transport):
+    """The transport a CN client's wget uses: everything goes via the proxy.
+
+    The client "resolves" the site name trivially to the proxy's address
+    (browsers pointed at a proxy do not resolve origin names), then opens a
+    short LAN connection to the proxy, which does the real work.  The only
+    client-observable failure modes are (a) failure to reach the proxy
+    (client-side LAN/host problems) and (b) error statuses the proxy
+    returns.
+    """
+
+    def __init__(
+        self,
+        proxy: CachingProxy,
+        proxy_address: IPv4Address,
+        rng: random.Random,
+        lan_latency: float = 0.002,
+        lan_failure_probability: float = 0.0,
+    ) -> None:
+        self.proxy = proxy
+        self.proxy_address = proxy_address
+        self.lan_latency = lan_latency
+        self.lan_failure_probability = lan_failure_probability
+        self._rng = rng
+
+    def resolve(self, name: str, now: float) -> ResolutionOutcome:
+        """Trivial resolution: the proxy handles real DNS."""
+        return ResolutionOutcome(
+            status=ResolutionStatus.SUCCESS,
+            addresses=[self.proxy_address],
+            lookup_time=0.0,
+        )
+
+    def fetch(
+        self, address: IPv4Address, request: HTTPRequest, now: float
+    ) -> FetchResult:
+        """One request over a LAN connection to the proxy."""
+        if address != self.proxy_address:
+            raise ValueError("proxied client can only fetch via its proxy")
+        if (
+            self.lan_failure_probability
+            and self._rng.random() < self.lan_failure_probability
+        ):
+            # Client cannot reach its proxy: a local problem, seen as a
+            # connect failure after the SYN retry budget.
+            end = now + 45.0
+            return FetchResult(
+                connection=ConnectionResult(
+                    outcome=ConnectionOutcome.NO_CONNECTION,
+                    established=False,
+                    request_sent=False,
+                    bytes_received=0,
+                    start_time=now,
+                    end_time=end,
+                    syn_attempts=4,
+                ),
+                response=None,
+            )
+        response, elapsed = self.proxy.handle(request, now + self.lan_latency)
+        total = 2 * self.lan_latency + elapsed
+        return FetchResult(
+            connection=ConnectionResult(
+                outcome=ConnectionOutcome.COMPLETE,
+                established=True,
+                request_sent=True,
+                bytes_received=response.body_bytes,
+                start_time=now,
+                end_time=now + total,
+            ),
+            response=response,
+        )

@@ -1,0 +1,125 @@
+"""Origin web servers.
+
+Each website runs an application on every replica address.  The application
+layer decides, for a request that survived the TCP layer, what status comes
+back: the index page (200), a redirect (the source of the paper's
+connections-per-transaction inflation, Table 3), or an HTTP error (the rare
+category in Figure 1).  The *availability* of the machine and the path to it
+are TCP-level matters handled by :class:`repro.tcp.connection.ServerBehavior`;
+this module is the application on top.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.dns.message import normalize_name
+from repro.http.message import HTTPRequest, HTTPResponse
+from repro.net.addressing import IPv4Address
+
+
+@dataclass
+class SiteContent:
+    """Static properties of a website's index page.
+
+    ``index_bytes`` is the size of the top-level index file; ``redirect_to``
+    makes the bare request bounce (e.g. ``espn.go.com`` style hostname
+    redirects); ``redirect_probability`` covers sites that redirect only
+    some requests (load balancing, cookie bounces).
+    """
+
+    index_bytes: int = 20000
+    redirect_to: Optional[str] = None
+    redirect_probability: float = 0.0
+    error_probability: float = 0.0
+    error_status: int = 404
+
+    def __post_init__(self) -> None:
+        if self.index_bytes <= 0:
+            raise ValueError("index must have positive size")
+        if not 0.0 <= self.redirect_probability <= 1.0:
+            raise ValueError("redirect probability out of range")
+        if not 0.0 <= self.error_probability <= 1.0:
+            raise ValueError("error probability out of range")
+
+
+@dataclass
+class ReplicaApp:
+    """The HTTP application running at one replica address.
+
+    Fault knobs set per-hour by the world's fault state:
+
+    * ``overloaded_error_probability`` -- chance of a 503 under overload.
+    """
+
+    address: IPv4Address
+    site_name: str
+    content: SiteContent
+    overloaded_error_probability: float = 0.0
+    requests_served: int = 0
+
+    def respond(self, request: HTTPRequest, rng: random.Random) -> HTTPResponse:
+        """Produce the application-level response for a delivered request."""
+        self.requests_served += 1
+        if (
+            self.overloaded_error_probability
+            and rng.random() < self.overloaded_error_probability
+        ):
+            return HTTPResponse(status=503, body_bytes=512)
+        redirect_target = self.content.redirect_to
+        if (
+            redirect_target is not None
+            and request.host != normalize_name(redirect_target)
+            and (
+                self.content.redirect_probability >= 1.0
+                or rng.random() < self.content.redirect_probability
+            )
+        ):
+            return HTTPResponse(
+                status=302,
+                body_bytes=0,
+                location=f"http://{redirect_target}/",
+            )
+        if self.content.error_probability and rng.random() < self.content.error_probability:
+            return HTTPResponse(
+                status=self.content.error_status, body_bytes=1024
+            )
+        return HTTPResponse(status=200, body_bytes=self.content.index_bytes)
+
+
+class OriginFleet:
+    """Registry of every replica application, keyed by address."""
+
+    def __init__(self) -> None:
+        self._apps: Dict[IPv4Address, ReplicaApp] = {}
+        self._by_site: Dict[str, List[ReplicaApp]] = {}
+
+    def register(self, app: ReplicaApp) -> None:
+        """Add a replica application to the fleet."""
+        if app.address in self._apps:
+            raise ValueError(f"duplicate replica address {app.address}")
+        site = normalize_name(app.site_name)
+        self._apps[app.address] = app
+        self._by_site.setdefault(site, []).append(app)
+
+    def app_at(self, address: IPv4Address) -> Optional[ReplicaApp]:
+        """The application at an address, if any."""
+        return self._apps.get(address)
+
+    def apps_for_site(self, site_name: str) -> List[ReplicaApp]:
+        """Every replica application of a site."""
+        return list(self._by_site.get(normalize_name(site_name), []))
+
+    def sites(self) -> List[str]:
+        """All site names with at least one replica app."""
+        return sorted(self._by_site)
+
+    def addresses(self) -> List[IPv4Address]:
+        """All replica addresses in the fleet."""
+        return sorted(self._apps, key=lambda a: a.value)
+
+    def total_requests_served(self) -> int:
+        """Aggregate request count across the fleet."""
+        return sum(app.requests_served for app in self._apps.values())

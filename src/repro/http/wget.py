@@ -1,0 +1,238 @@
+"""The wget-style measurement client.
+
+Implements the behaviour the paper's classification depends on:
+
+* DNS resolution first; a resolution failure aborts the transaction before
+  any TCP connection is attempted (this asymmetry is why client
+  connectivity problems surface as DNS failures, not TCP failures --
+  Section 4.4.4's key explanation).
+* Failover across all of a site's A records, then whole-sequence retries
+  (``tries``); each attempt is a separate TCP connection, inflating the
+  connection count above the transaction count (Table 3).
+* Redirect following (bounded), each hop a fresh resolution + connection.
+* The 60-second idle rule lives in the TCP layer it drives.
+
+The client is written against a small transport protocol so the same code
+runs over the direct transport (PL/DU/BB clients) and the proxy transport
+(CN clients).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.dns.resolver import ResolutionOutcome, ResolutionStatus
+from repro.http.message import HTTPRequest, HTTPResponse, parse_url
+from repro.net.addressing import IPv4Address
+from repro.tcp.connection import ConnectionOutcome, ConnectionResult
+from repro.tcp.trace import PacketTrace
+
+
+@dataclass
+class FetchResult:
+    """One TCP connection attempt plus whatever HTTP came back over it."""
+
+    connection: ConnectionResult
+    response: Optional[HTTPResponse]
+    trace: Optional[PacketTrace] = None
+
+
+class Transport:
+    """Protocol implemented by the direct and proxy transports.
+
+    Duck-typed; this base class exists for documentation and isinstance
+    convenience in tests.
+    """
+
+    def resolve(self, name: str, now: float) -> ResolutionOutcome:
+        """Resolve a hostname at time ``now``."""
+        raise NotImplementedError
+
+    def fetch(
+        self, address: IPv4Address, request: HTTPRequest, now: float
+    ) -> FetchResult:
+        """Run one request over one TCP connection to ``address``."""
+        raise NotImplementedError
+
+
+@dataclass
+class AttemptRecord:
+    """One connection attempt within a transaction."""
+
+    address: IPv4Address
+    connection: ConnectionResult
+    response: Optional[HTTPResponse]
+    trace: Optional[PacketTrace]
+    url: str
+
+
+@dataclass
+class TransactionResult:
+    """The outcome of one wget invocation (one *transaction*, Section 4.1)."""
+
+    url: str
+    start_time: float
+    end_time: float
+    resolution: Optional[ResolutionOutcome]
+    attempts: List[AttemptRecord] = field(default_factory=list)
+    final_response: Optional[HTTPResponse] = None
+    redirects_followed: int = 0
+    redirect_resolutions: List[ResolutionOutcome] = field(default_factory=list)
+
+    @property
+    def dns_failed(self) -> bool:
+        """True if any needed resolution failed (initial or redirect hop)."""
+        if self.resolution is not None and self.resolution.status.is_failure:
+            return True
+        return any(r.status.is_failure for r in self.redirect_resolutions)
+
+    @property
+    def failed_resolution(self) -> Optional[ResolutionOutcome]:
+        """The resolution outcome that failed, if any."""
+        if self.resolution is not None and self.resolution.status.is_failure:
+            return self.resolution
+        for outcome in self.redirect_resolutions:
+            if outcome.status.is_failure:
+                return outcome
+        return None
+
+    @property
+    def tcp_failed(self) -> bool:
+        """True if resolution worked but no connection delivered a response."""
+        if self.dns_failed:
+            return False
+        return self.final_response is None
+
+    @property
+    def http_failed(self) -> bool:
+        """True if a response arrived but carried an HTTP error status."""
+        return self.final_response is not None and self.final_response.is_error
+
+    @property
+    def succeeded(self) -> bool:
+        """True for a delivered, non-error, non-dangling response.
+
+        A redirect left unfollowed (redirect budget exhausted) is a failed
+        transaction: wget reports "redirection limit exceeded".
+        """
+        return (
+            self.final_response is not None
+            and not self.final_response.is_error
+            and not self.final_response.is_redirect
+        )
+
+    @property
+    def failed(self) -> bool:
+        """Overall transaction failure indicator."""
+        return not self.succeeded
+
+    @property
+    def last_connection(self) -> Optional[ConnectionResult]:
+        """The final connection attempt's TCP result, if any."""
+        return self.attempts[-1].connection if self.attempts else None
+
+    @property
+    def num_connections(self) -> int:
+        """TCP connections attempted during the transaction."""
+        return len(self.attempts)
+
+    def download_time(self) -> float:
+        """Wall-clock duration of the transaction."""
+        return self.end_time - self.start_time
+
+
+class WgetClient:
+    """Downloads one URL per call, with retries, failover, and redirects."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        tries: int = 2,
+        max_redirects: int = 5,
+        max_addresses: int = 3,
+        no_cache: bool = False,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if tries < 1:
+            raise ValueError("need at least one try")
+        if max_redirects < 0:
+            raise ValueError("negative redirect budget")
+        if max_addresses < 1:
+            raise ValueError("need at least one address per try")
+        self.transport = transport
+        self.tries = tries
+        self.max_redirects = max_redirects
+        self.max_addresses = max_addresses
+        self.no_cache = no_cache
+        self._rng = rng or random.Random()
+
+    def download(self, url: str, start_time: float) -> TransactionResult:
+        """Fetch ``url``, following redirects; returns the transaction record."""
+        host, path = parse_url(url)
+        now = start_time
+        result = TransactionResult(
+            url=url, start_time=start_time, end_time=start_time, resolution=None
+        )
+        current_url = url
+        for hop in range(self.max_redirects + 1):
+            resolution = self.transport.resolve(host, now)
+            now += resolution.lookup_time
+            if hop == 0:
+                result.resolution = resolution
+            else:
+                result.redirect_resolutions.append(resolution)
+            if resolution.status.is_failure:
+                result.end_time = now
+                return result
+
+            response, now = self._fetch_with_retries(
+                resolution.addresses, host, path, now, result, current_url
+            )
+            if response is None:
+                result.end_time = now
+                return result
+            if response.is_redirect and hop < self.max_redirects:
+                result.redirects_followed += 1
+                host, path = parse_url(response.location or "/")
+                current_url = f"http://{host}{path}"
+                continue
+            result.final_response = response
+            result.end_time = now
+            return result
+        # Redirect budget exhausted without a terminal response.
+        result.end_time = now
+        return result
+
+    def _fetch_with_retries(
+        self,
+        addresses: Sequence[IPv4Address],
+        host: str,
+        path: str,
+        now: float,
+        result: TransactionResult,
+        url: str,
+    ):
+        """Try every address, then retry the whole sequence; wget's loop."""
+        request = HTTPRequest(host=host, path=path, no_cache=self.no_cache)
+        usable = list(addresses)[: self.max_addresses]
+        for _ in range(self.tries):
+            for address in usable:
+                fetch = self.transport.fetch(address, request, now)
+                result.attempts.append(
+                    AttemptRecord(
+                        address=address,
+                        connection=fetch.connection,
+                        response=fetch.response,
+                        trace=fetch.trace,
+                        url=url,
+                    )
+                )
+                now = fetch.connection.end_time
+                if (
+                    fetch.connection.outcome is ConnectionOutcome.COMPLETE
+                    and fetch.response is not None
+                ):
+                    return fetch.response, now
+        return None, now

@@ -1,0 +1,28 @@
+"""Network substrate: addressing, packets, latency, loss, and topology.
+
+This package provides the low-level building blocks shared by the DNS, TCP,
+HTTP, and BGP substrates:
+
+* :mod:`repro.net.addressing` -- IPv4 addresses and CIDR prefixes.
+* :mod:`repro.net.packet` -- a lightweight packet model used by the
+  trace-capture machinery (the stand-in for tcpdump/windump).
+* :mod:`repro.net.latency` -- per-client-category latency models.
+* :mod:`repro.net.loss` -- Bernoulli and Gilbert-Elliott (bursty) loss models.
+* :mod:`repro.net.topology` -- a coarse AS-level path model used to couple
+  BGP reachability with end-to-end connectivity.
+"""
+
+from repro.net.addressing import IPv4Address, Prefix
+from repro.net.latency import LatencyModel
+from repro.net.loss import BernoulliLossModel, GilbertElliottLossModel
+from repro.net.packet import Packet, PacketDirection
+
+__all__ = [
+    "IPv4Address",
+    "Prefix",
+    "LatencyModel",
+    "BernoulliLossModel",
+    "GilbertElliottLossModel",
+    "Packet",
+    "PacketDirection",
+]

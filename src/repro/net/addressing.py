@@ -1,0 +1,258 @@
+"""IPv4 addresses and CIDR prefixes.
+
+The simulator and the BGP analysis both key off IP addresses and the
+prefixes that cover them (Section 3.6 of the paper maps the 203 client and
+replica addresses onto 137 BGP prefixes).  We implement a small, fast,
+dependency-free address model rather than using :mod:`ipaddress` because we
+need hashable, slot-based objects that are cheap to create millions of times.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+
+class AddressError(ValueError):
+    """Raised for malformed addresses or prefixes."""
+
+
+def _parse_dotted_quad(text: str) -> int:
+    parts = text.split(".")
+    if len(parts) != 4:
+        raise AddressError(f"not a dotted quad: {text!r}")
+    value = 0
+    for part in parts:
+        if not part.isdigit():
+            raise AddressError(f"non-numeric octet in {text!r}")
+        octet = int(part)
+        if octet > 255:
+            raise AddressError(f"octet out of range in {text!r}")
+        value = (value << 8) | octet
+    return value
+
+
+@dataclass(frozen=True, order=True)
+class IPv4Address:
+    """An IPv4 address stored as a 32-bit integer.
+
+    >>> IPv4Address.parse("10.0.0.1").value
+    167772161
+    >>> str(IPv4Address.parse("10.0.0.1"))
+    '10.0.0.1'
+    """
+
+    value: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.value <= 0xFFFFFFFF:
+            raise AddressError(f"address out of range: {self.value}")
+
+    @classmethod
+    def parse(cls, text: str) -> "IPv4Address":
+        """Parse dotted-quad notation into an address."""
+        return cls(_parse_dotted_quad(text))
+
+    def __str__(self) -> str:
+        v = self.value
+        return f"{(v >> 24) & 0xFF}.{(v >> 16) & 0xFF}.{(v >> 8) & 0xFF}.{v & 0xFF}"
+
+    def slash24(self) -> "Prefix":
+        """The /24 prefix containing this address.
+
+        Used by the replica analysis (Section 4.5): replicas on the same /24
+        are prone to correlated, "total replica" failures.
+        """
+        return Prefix(self.value & 0xFFFFFF00, 24)
+
+    def within(self, prefix: "Prefix") -> bool:
+        """True if this address is covered by ``prefix``."""
+        return prefix.contains(self)
+
+
+@dataclass(frozen=True, order=True)
+class Prefix:
+    """A CIDR prefix (network address plus mask length).
+
+    The network address is canonicalized: host bits must be zero.
+
+    >>> p = Prefix.parse("192.168.0.0/16")
+    >>> p.contains(IPv4Address.parse("192.168.4.7"))
+    True
+    >>> p.contains(IPv4Address.parse("10.0.0.1"))
+    False
+    """
+
+    network: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= 32:
+            raise AddressError(f"prefix length out of range: {self.length}")
+        if not 0 <= self.network <= 0xFFFFFFFF:
+            raise AddressError(f"network out of range: {self.network}")
+        if self.network & ~self.netmask():
+            raise AddressError(
+                f"host bits set in prefix {IPv4Address(self.network)}/{self.length}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        """Parse ``a.b.c.d/len`` notation."""
+        if "/" not in text:
+            raise AddressError(f"missing '/length' in prefix {text!r}")
+        addr_text, _, len_text = text.partition("/")
+        if not len_text.isdigit():
+            raise AddressError(f"non-numeric prefix length in {text!r}")
+        return cls(_parse_dotted_quad(addr_text), int(len_text))
+
+    def netmask(self) -> int:
+        """The prefix's netmask as a 32-bit integer."""
+        if self.length == 0:
+            return 0
+        return (0xFFFFFFFF << (32 - self.length)) & 0xFFFFFFFF
+
+    def contains(self, address: IPv4Address) -> bool:
+        """True if ``address`` falls inside this prefix."""
+        return (address.value & self.netmask()) == self.network
+
+    def covers(self, other: "Prefix") -> bool:
+        """True if this prefix covers ``other`` (is equal or less specific)."""
+        if other.length < self.length:
+            return False
+        return (other.network & self.netmask()) == self.network
+
+    def size(self) -> int:
+        """Number of addresses in the prefix."""
+        return 1 << (32 - self.length)
+
+    def first_address(self) -> IPv4Address:
+        """Lowest address in the prefix."""
+        return IPv4Address(self.network)
+
+    def nth_address(self, n: int) -> IPv4Address:
+        """The n-th address in the prefix (0-indexed)."""
+        if not 0 <= n < self.size():
+            raise AddressError(f"index {n} outside /{self.length} prefix")
+        return IPv4Address(self.network + n)
+
+    def addresses(self) -> Iterator[IPv4Address]:
+        """Iterate over every address in the prefix (small prefixes only)."""
+        for offset in range(self.size()):
+            yield IPv4Address(self.network + offset)
+
+    def __str__(self) -> str:
+        return f"{IPv4Address(self.network)}/{self.length}"
+
+
+class PrefixTable:
+    """A longest-prefix-match table mapping prefixes to arbitrary values.
+
+    The BGP correlation analysis needs to find, for each client or replica
+    address, the covering announced prefix(es) (Section 3.6, footnote 2:
+    some addresses are covered by two prefixes and both are considered).
+    A linear grouped-by-length scan is ample at our table sizes (~137
+    prefixes in the default world).
+    """
+
+    def __init__(self) -> None:
+        self._by_length: dict = {}
+
+    def add(self, prefix: Prefix, value: object) -> None:
+        """Insert ``prefix`` -> ``value``; later inserts overwrite."""
+        self._by_length.setdefault(prefix.length, {})[prefix.network] = (prefix, value)
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._by_length.values())
+
+    def lookup(self, address: IPv4Address) -> Optional[object]:
+        """Longest-prefix match; returns the stored value or None."""
+        match = self.lookup_prefix(address)
+        if match is None:
+            return None
+        return match[1]
+
+    def lookup_prefix(self, address: IPv4Address):
+        """Longest-prefix match; returns ``(prefix, value)`` or None."""
+        for length in sorted(self._by_length, reverse=True):
+            netmask = Prefix(0, length).netmask() if length else 0
+            entry = self._by_length[length].get(address.value & netmask)
+            if entry is not None:
+                return entry
+        return None
+
+    def all_matches(self, address: IPv4Address) -> List:
+        """Every ``(prefix, value)`` covering the address, most specific first.
+
+        Mirrors the paper's handling of addresses covered by two prefixes:
+        both are tracked, to cover withdrawal/filtering of the more specific
+        one.
+        """
+        matches = []
+        for length in sorted(self._by_length, reverse=True):
+            netmask = Prefix(0, length).netmask() if length else 0
+            entry = self._by_length[length].get(address.value & netmask)
+            if entry is not None:
+                matches.append(entry)
+        return matches
+
+    def items(self):
+        """Iterate over all ``(prefix, value)`` pairs."""
+        for bucket in self._by_length.values():
+            yield from bucket.values()
+
+
+class AddressAllocator:
+    """Deterministically allocates non-overlapping prefixes and addresses.
+
+    The world builder uses one allocator per run so that client and replica
+    addresses are stable for a given seed, which keeps every downstream
+    analysis reproducible.
+    """
+
+    def __init__(self, seed: int = 0, base_octet: int = 10) -> None:
+        self._rng = random.Random(seed)
+        self._next_block = (base_octet << 24) + (1 << 16)
+        self._allocated: List[Prefix] = []
+
+    def allocate_prefix(self, length: int = 24) -> Prefix:
+        """Allocate the next free prefix of the given length."""
+        if not 8 <= length <= 30:
+            raise AddressError(f"unsupported allocation length /{length}")
+        size = 1 << (32 - length)
+        # Round the cursor up to the prefix's natural alignment.
+        network = (self._next_block + size - 1) & ~(size - 1)
+        self._next_block = network + size
+        if self._next_block > 0xFFFFFFFF:
+            raise AddressError("address space exhausted")
+        prefix = Prefix(network, length)
+        self._allocated.append(prefix)
+        return prefix
+
+    def allocate_address(self, prefix: Prefix) -> IPv4Address:
+        """Pick a pseudo-random host address inside ``prefix``.
+
+        Avoids the network (.0) and broadcast-like last address.
+        """
+        if prefix.size() <= 2:
+            return prefix.first_address()
+        offset = self._rng.randrange(1, prefix.size() - 1)
+        return prefix.nth_address(offset)
+
+    @property
+    def allocated(self) -> Sequence[Prefix]:
+        """All prefixes handed out so far, in order."""
+        return tuple(self._allocated)
+
+
+def group_by_slash24(addresses: Iterable[IPv4Address]) -> dict:
+    """Group addresses by their /24 prefix.
+
+    Returns a mapping ``Prefix -> [IPv4Address, ...]``; used by the replica
+    analysis to detect same-subnet replica sets (Section 4.5).
+    """
+    groups: dict = {}
+    for address in addresses:
+        groups.setdefault(address.slash24(), []).append(address)
+    return groups

@@ -1,0 +1,124 @@
+"""Per-path latency models.
+
+Latency matters to the reproduction in two places: download times recorded in
+performance records (Section 3.5) and the "partial response" failure mode,
+where a connection becomes so slow that the client's 60-second idle timeout
+fires (Section 2.1).  We model round-trip time as a shifted log-normal, which
+matches the heavy right tail of wide-area RTT distributions, with per-client-
+category base parameters (dialup adds modem latency; corporate clients talk
+to a nearby proxy; PlanetLab sits on fast academic networks).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class LatencyParams:
+    """Parameters of a shifted log-normal RTT distribution (seconds).
+
+    ``floor`` is the propagation minimum; ``mu``/``sigma`` shape the
+    log-normal queueing component added on top.
+    """
+
+    floor: float
+    mu: float
+    sigma: float
+
+    def __post_init__(self) -> None:
+        if self.floor < 0:
+            raise ValueError("negative latency floor")
+        if self.sigma < 0:
+            raise ValueError("negative sigma")
+
+    def mean(self) -> float:
+        """Analytic mean of the distribution."""
+        return self.floor + math.exp(self.mu + self.sigma**2 / 2.0)
+
+
+#: Baseline RTT parameters per client category.  Values are loosely drawn
+#: from the 2005-era access technologies the paper's clients used: PlanetLab
+#: on academic backbones, dialup with ~150ms modem latency, broadband DSL and
+#: cable, and corporate clients whose first hop is an on-site proxy.
+CATEGORY_LATENCY = {
+    "PL": LatencyParams(floor=0.020, mu=math.log(0.030), sigma=0.6),
+    "DU": LatencyParams(floor=0.150, mu=math.log(0.080), sigma=0.7),
+    "BB": LatencyParams(floor=0.030, mu=math.log(0.035), sigma=0.6),
+    "CN": LatencyParams(floor=0.005, mu=math.log(0.010), sigma=0.5),
+}
+
+#: Extra one-way latency added for intercontinental paths, seconds.
+INTERCONTINENTAL_EXTRA = 0.120
+
+
+class LatencyModel:
+    """Samples RTTs for a (client category, destination region) pair.
+
+    >>> model = LatencyModel("PL", random.Random(1))
+    >>> 0.02 <= model.sample_rtt() < 5.0
+    True
+    """
+
+    def __init__(
+        self,
+        category: str,
+        rng: random.Random,
+        params: Optional[LatencyParams] = None,
+        intercontinental: bool = False,
+    ) -> None:
+        if params is None:
+            try:
+                params = CATEGORY_LATENCY[category]
+            except KeyError:
+                raise ValueError(f"unknown client category {category!r}") from None
+        self.category = category
+        self.params = params
+        self.intercontinental = intercontinental
+        self._rng = rng
+
+    def sample_rtt(self) -> float:
+        """One RTT sample in seconds."""
+        queueing = self._rng.lognormvariate(self.params.mu, self.params.sigma)
+        rtt = self.params.floor + queueing
+        if self.intercontinental:
+            rtt += INTERCONTINENTAL_EXTRA
+        return rtt
+
+    def sample_dns_lookup_time(self, hops: int = 1) -> float:
+        """A DNS lookup duration: one RTT per resolution hop plus server time."""
+        if hops < 1:
+            raise ValueError("a lookup takes at least one hop")
+        total = 0.0
+        for _ in range(hops):
+            total += self.sample_rtt() + self._rng.uniform(0.001, 0.010)
+        return total
+
+    def sample_transfer_time(self, num_bytes: int, bandwidth_bps: float) -> float:
+        """Time to move ``num_bytes`` at ``bandwidth_bps``, plus one RTT."""
+        if num_bytes < 0:
+            raise ValueError("negative byte count")
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth must be positive")
+        return self.sample_rtt() + (num_bytes * 8.0) / bandwidth_bps
+
+
+#: Downstream bandwidth per category in bits/second.  The paper notes BB
+#: links were 768/128 Kbps or better; dialup V.90 peaks near 50 Kbps.
+CATEGORY_BANDWIDTH_BPS = {
+    "PL": 10_000_000.0,
+    "DU": 45_000.0,
+    "BB": 1_500_000.0,
+    "CN": 10_000_000.0,
+}
+
+
+def bandwidth_for_category(category: str) -> float:
+    """Downstream bandwidth for a client category, bits/second."""
+    try:
+        return CATEGORY_BANDWIDTH_BPS[category]
+    except KeyError:
+        raise ValueError(f"unknown client category {category!r}") from None

@@ -1,0 +1,159 @@
+"""Packet loss models.
+
+Two observations in the paper drive the need for a *bursty* loss model
+rather than independent drops:
+
+* Section 4.1.3: packet loss rate correlates only weakly (r = 0.19) with
+  transaction failure, partly because failures are driven by loss *episodes*.
+* Section 5: "the burstiness of packet loss matters since the loss of
+  multiple SYN or SYN-ACK packets within a short period could prevent TCP
+  connection establishment."
+
+We therefore provide a classic two-state Gilbert-Elliott model (good state
+with near-zero loss, bad state with heavy loss) alongside a simple Bernoulli
+model for tests and calibration.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+class LossModel:
+    """Interface: decide per-packet whether it is dropped."""
+
+    def should_drop(self) -> bool:
+        """Return True if the next packet is lost."""
+        raise NotImplementedError
+
+    def steady_state_loss_rate(self) -> float:
+        """The model's long-run average loss probability."""
+        raise NotImplementedError
+
+
+class BernoulliLossModel(LossModel):
+    """Independent per-packet loss with fixed probability."""
+
+    def __init__(self, loss_rate: float, rng: random.Random) -> None:
+        if not 0.0 <= loss_rate <= 1.0:
+            raise ValueError(f"loss rate out of range: {loss_rate}")
+        self.loss_rate = loss_rate
+        self._rng = rng
+
+    def should_drop(self) -> bool:
+        return self._rng.random() < self.loss_rate
+
+    def steady_state_loss_rate(self) -> float:
+        return self.loss_rate
+
+
+@dataclass(frozen=True)
+class GilbertElliottParams:
+    """Transition and emission probabilities for the two-state chain.
+
+    ``p_good_to_bad``/``p_bad_to_good`` are per-packet transition
+    probabilities; ``loss_good``/``loss_bad`` are the drop probabilities in
+    each state.
+    """
+
+    p_good_to_bad: float
+    p_bad_to_good: float
+    loss_good: float
+    loss_bad: float
+
+    def __post_init__(self) -> None:
+        for name in ("p_good_to_bad", "p_bad_to_good", "loss_good", "loss_bad"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} out of range: {value}")
+        if self.p_good_to_bad + self.p_bad_to_good == 0:
+            raise ValueError("chain must be able to move between states")
+
+    def stationary_bad_fraction(self) -> float:
+        """Long-run fraction of time spent in the bad state."""
+        return self.p_good_to_bad / (self.p_good_to_bad + self.p_bad_to_good)
+
+
+#: A mild background channel: ~0.7% average loss with occasional bursts.
+DEFAULT_BACKGROUND = GilbertElliottParams(
+    p_good_to_bad=0.002, p_bad_to_good=0.25, loss_good=0.002, loss_bad=0.6
+)
+
+#: A channel in the middle of a connectivity episode: mostly bad.
+EPISODE_CHANNEL = GilbertElliottParams(
+    p_good_to_bad=0.4, p_bad_to_good=0.05, loss_good=0.05, loss_bad=0.95
+)
+
+
+class GilbertElliottLossModel(LossModel):
+    """Two-state bursty loss process.
+
+    >>> model = GilbertElliottLossModel(DEFAULT_BACKGROUND, random.Random(7))
+    >>> drops = sum(model.should_drop() for _ in range(10000))
+    >>> 0 < drops < 1000
+    True
+    """
+
+    GOOD = 0
+    BAD = 1
+
+    def __init__(self, params: GilbertElliottParams, rng: random.Random) -> None:
+        self.params = params
+        self._rng = rng
+        # Start from the stationary distribution so short simulations are
+        # unbiased.
+        self.state = (
+            self.BAD
+            if rng.random() < params.stationary_bad_fraction()
+            else self.GOOD
+        )
+
+    def _step(self) -> None:
+        if self.state == self.GOOD:
+            if self._rng.random() < self.params.p_good_to_bad:
+                self.state = self.BAD
+        else:
+            if self._rng.random() < self.params.p_bad_to_good:
+                self.state = self.GOOD
+
+    def should_drop(self) -> bool:
+        self._step()
+        loss = (
+            self.params.loss_bad if self.state == self.BAD else self.params.loss_good
+        )
+        return self._rng.random() < loss
+
+    def steady_state_loss_rate(self) -> float:
+        bad = self.params.stationary_bad_fraction()
+        return bad * self.params.loss_bad + (1.0 - bad) * self.params.loss_good
+
+    def force_state(self, state: int) -> None:
+        """Pin the chain into GOOD or BAD (used by fault injection)."""
+        if state not in (self.GOOD, self.BAD):
+            raise ValueError(f"unknown state {state}")
+        self.state = state
+
+
+def syn_exchange_success_probability(
+    loss_rate: float, retries: int = 3, both_directions: bool = True
+) -> float:
+    """Probability a SYN handshake completes under independent loss.
+
+    A handshake attempt needs the SYN *and* the SYN-ACK to survive; the
+    client retries the SYN ``retries`` times after the initial attempt
+    (mirroring common 2005-era stacks). Used for calibrating fault-state
+    failure probabilities and in tests as an analytic cross-check of the TCP
+    substrate.
+
+    >>> round(syn_exchange_success_probability(0.0), 3)
+    1.0
+    >>> syn_exchange_success_probability(1.0)
+    0.0
+    """
+    if not 0.0 <= loss_rate <= 1.0:
+        raise ValueError(f"loss rate out of range: {loss_rate}")
+    if retries < 0:
+        raise ValueError("negative retry count")
+    per_attempt = (1.0 - loss_rate) ** (2 if both_directions else 1)
+    return 1.0 - (1.0 - per_attempt) ** (retries + 1)

@@ -1,0 +1,177 @@
+"""A lightweight packet model for trace capture.
+
+The paper records a packet-level trace of every transaction with
+tcpdump/windump and post-processes it to (a) classify the cause of TCP
+connection failure and (b) infer packet loss from retransmissions
+(Section 3.5).  Our detailed engine emits :class:`Packet` objects that the
+:mod:`repro.tcp.trace` capture consumes, standing in for the pcap file.
+
+We only model the header fields the post-processing needs; payloads are
+represented by their length.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.net.addressing import IPv4Address
+
+
+class PacketDirection(enum.Enum):
+    """Direction of a packet relative to the measuring client."""
+
+    OUTBOUND = "outbound"  # client -> server
+    INBOUND = "inbound"  # server -> client
+
+
+class TransportProtocol(enum.Enum):
+    """Transport protocol carried by a packet."""
+
+    TCP = "tcp"
+    UDP = "udp"
+
+
+class TCPFlag(enum.IntFlag):
+    """TCP header flags (subset relevant to failure classification)."""
+
+    NONE = 0
+    FIN = 1
+    SYN = 2
+    RST = 4
+    PSH = 8
+    ACK = 16
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One captured packet.
+
+    ``timestamp`` is in seconds since the experiment epoch. ``seq`` and
+    ``ack`` are absolute sequence numbers (TCP only); ``payload_length`` is
+    the number of data bytes carried.
+    """
+
+    timestamp: float
+    direction: PacketDirection
+    protocol: TransportProtocol
+    src: IPv4Address
+    dst: IPv4Address
+    src_port: int
+    dst_port: int
+    flags: TCPFlag = TCPFlag.NONE
+    seq: int = 0
+    ack: int = 0
+    payload_length: int = 0
+    annotation: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.src_port <= 65535 or not 0 <= self.dst_port <= 65535:
+            raise ValueError("port out of range")
+        if self.payload_length < 0:
+            raise ValueError("negative payload length")
+
+    @property
+    def is_syn(self) -> bool:
+        """True for a bare SYN (connection request)."""
+        return bool(self.flags & TCPFlag.SYN) and not bool(self.flags & TCPFlag.ACK)
+
+    @property
+    def is_synack(self) -> bool:
+        """True for a SYN+ACK (connection accept)."""
+        return bool(self.flags & TCPFlag.SYN) and bool(self.flags & TCPFlag.ACK)
+
+    @property
+    def is_rst(self) -> bool:
+        """True if the RST flag is set."""
+        return bool(self.flags & TCPFlag.RST)
+
+    @property
+    def is_fin(self) -> bool:
+        """True if the FIN flag is set."""
+        return bool(self.flags & TCPFlag.FIN)
+
+    @property
+    def carries_data(self) -> bool:
+        """True if the packet carries payload bytes."""
+        return self.payload_length > 0
+
+    def flow(self) -> Tuple[IPv4Address, int, IPv4Address, int]:
+        """The 4-tuple identifying the packet's flow (directional)."""
+        return (self.src, self.src_port, self.dst, self.dst_port)
+
+    def canonical_flow(self) -> Tuple[IPv4Address, int, IPv4Address, int]:
+        """A direction-independent flow key (sorted endpoints)."""
+        a = (self.src, self.src_port)
+        b = (self.dst, self.dst_port)
+        lo, hi = sorted([a, b], key=lambda e: (e[0].value, e[1]))
+        return (lo[0], lo[1], hi[0], hi[1])
+
+
+@dataclass
+class PacketBuilder:
+    """Convenience factory bound to one client-server conversation.
+
+    Keeps the endpoint addressing in one place so the TCP machinery can emit
+    packets with two calls instead of ten keyword arguments.
+    """
+
+    client: IPv4Address
+    server: IPv4Address
+    client_port: int
+    server_port: int = 80
+    protocol: TransportProtocol = TransportProtocol.TCP
+    _counter: int = field(default=0, repr=False)
+
+    def outbound(
+        self,
+        timestamp: float,
+        flags: TCPFlag = TCPFlag.NONE,
+        seq: int = 0,
+        ack: int = 0,
+        payload_length: int = 0,
+        annotation: str = "",
+    ) -> Packet:
+        """A client -> server packet."""
+        self._counter += 1
+        return Packet(
+            timestamp=timestamp,
+            direction=PacketDirection.OUTBOUND,
+            protocol=self.protocol,
+            src=self.client,
+            dst=self.server,
+            src_port=self.client_port,
+            dst_port=self.server_port,
+            flags=flags,
+            seq=seq,
+            ack=ack,
+            payload_length=payload_length,
+            annotation=annotation,
+        )
+
+    def inbound(
+        self,
+        timestamp: float,
+        flags: TCPFlag = TCPFlag.NONE,
+        seq: int = 0,
+        ack: int = 0,
+        payload_length: int = 0,
+        annotation: str = "",
+    ) -> Packet:
+        """A server -> client packet."""
+        self._counter += 1
+        return Packet(
+            timestamp=timestamp,
+            direction=PacketDirection.INBOUND,
+            protocol=self.protocol,
+            src=self.server,
+            dst=self.client,
+            src_port=self.server_port,
+            dst_port=self.client_port,
+            flags=flags,
+            seq=seq,
+            ack=ack,
+            payload_length=payload_length,
+            annotation=annotation,
+        )

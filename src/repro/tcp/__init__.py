@@ -1,0 +1,31 @@
+"""TCP substrate: connection state machine, traces, and trace analysis.
+
+The paper's TCP failure taxonomy (Section 2.1) distinguishes:
+
+* **No connection** -- the SYN handshake fails (lost SYN/SYN-ACKs beyond the
+  retry budget, or an RST from a refusing server).
+* **No response** -- the handshake succeeds and the request is sent, but no
+  response bytes ever arrive before the 60-second idle timeout.
+* **Partial response** -- some response bytes arrive but the connection
+  terminates prematurely (server reset, or a stall that trips the idle
+  timeout).
+
+:mod:`repro.tcp.connection` produces these outcomes mechanistically;
+:mod:`repro.tcp.trace` captures the packets (our tcpdump); and
+:mod:`repro.tcp.trace_analysis` re-derives the failure cause and the
+retransmission-based loss count from the trace alone, exactly as the
+paper's post-processing does (Section 3.5).
+"""
+
+from repro.tcp.connection import ConnectionOutcome, ConnectionResult, TCPConnection
+from repro.tcp.trace import PacketTrace
+from repro.tcp.trace_analysis import TraceVerdict, analyze_trace
+
+__all__ = [
+    "TCPConnection",
+    "ConnectionOutcome",
+    "ConnectionResult",
+    "PacketTrace",
+    "TraceVerdict",
+    "analyze_trace",
+]

@@ -1,0 +1,342 @@
+"""The TCP connection state machine.
+
+Simulates one client-side TCP connection carrying one HTTP request:
+handshake with SYN retries, request transmission, response transfer with
+loss-driven retransmission, and wget's 60-second idle timeout (Section 3.1:
+"the download attempt is terminated ... if the underlying TCP connection
+idles (i.e., makes no progress) for 60 seconds").
+
+Every packet the client would see at its own interface is fed to the
+:class:`~repro.tcp.trace.PacketTrace`, so the post-hoc trace analysis can
+reconstruct the failure cause without access to simulator ground truth.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.net.latency import LatencyModel
+from repro.net.loss import LossModel
+from repro.net.packet import PacketBuilder, TCPFlag
+from repro.tcp.segment import (
+    DATA_RTO_INITIAL,
+    SYN_TIMEOUTS,
+    plan_segments,
+    syn_attempt_times,
+)
+from repro.tcp.trace import PacketTrace
+
+
+class ConnectionOutcome(enum.Enum):
+    """Terminal states matching the paper's TCP taxonomy (Section 2.1)."""
+
+    COMPLETE = "complete"
+    NO_CONNECTION = "no_connection"
+    NO_RESPONSE = "no_response"
+    PARTIAL_RESPONSE = "partial_response"
+
+    @property
+    def is_failure(self) -> bool:
+        """True for any outcome other than a complete transfer."""
+        return self is not ConnectionOutcome.COMPLETE
+
+
+@dataclass
+class ServerBehavior:
+    """What the remote endpoint does, as configured by the fault state.
+
+    * ``reachable`` -- the network path to/from the server works at all.
+    * ``accepting`` -- the server's stack answers SYNs (False: host down or
+      SYN backlog overflow -> silence).
+    * ``refusing`` -- the server answers SYNs with RST (service not
+      listening).
+    * ``responds`` -- the application produces a response to the request.
+    * ``response_bytes`` -- full response size when it responds.
+    * ``stall_after_bytes`` -- if set, the server stops sending after this
+      many bytes (connection eventually idles out at the client).
+    * ``reset_after_bytes`` -- if set, the server RSTs the connection after
+      this many bytes.
+    * ``think_time`` -- server processing delay before the first byte.
+    """
+
+    reachable: bool = True
+    accepting: bool = True
+    refusing: bool = False
+    responds: bool = True
+    response_bytes: int = 20000
+    stall_after_bytes: Optional[int] = None
+    reset_after_bytes: Optional[int] = None
+    think_time: float = 0.05
+
+
+@dataclass
+class ConnectionResult:
+    """Everything the transaction layer needs about one connection."""
+
+    outcome: ConnectionOutcome
+    established: bool
+    request_sent: bool
+    bytes_received: int
+    start_time: float
+    end_time: float
+    syn_attempts: int = 0
+    retransmissions: int = 0
+    reset_seen: bool = False
+
+    @property
+    def elapsed(self) -> float:
+        """Wall-clock duration of the connection attempt."""
+        return self.end_time - self.start_time
+
+    @property
+    def failed(self) -> bool:
+        """True when the connection did not complete the transfer."""
+        return self.outcome.is_failure
+
+
+class TCPConnection:
+    """One simulated TCP connection between a client and a server replica."""
+
+    def __init__(
+        self,
+        builder: PacketBuilder,
+        loss: LossModel,
+        latency: LatencyModel,
+        trace: PacketTrace,
+        rng: random.Random,
+        idle_timeout: float = 60.0,
+        bandwidth_bps: float = 1_500_000.0,
+    ) -> None:
+        if idle_timeout <= 0:
+            raise ValueError("idle timeout must be positive")
+        self.builder = builder
+        self.loss = loss
+        self.latency = latency
+        self.trace = trace
+        self.idle_timeout = idle_timeout
+        self.bandwidth_bps = bandwidth_bps
+        self._rng = rng
+        self._seq = 0  # server sequence cursor for response bytes
+
+    # -- public API ----------------------------------------------------------
+
+    def run(
+        self,
+        start_time: float,
+        behavior: ServerBehavior,
+        request_bytes: int = 300,
+    ) -> ConnectionResult:
+        """Drive the connection to a terminal state."""
+        established_at, attempts, reset = self._handshake(start_time, behavior)
+        if established_at is None:
+            end = start_time + (
+                0.0 if reset else sum(SYN_TIMEOUTS)
+            )
+            if reset:
+                end = start_time + self.latency.sample_rtt()
+            return ConnectionResult(
+                outcome=ConnectionOutcome.NO_CONNECTION,
+                established=False,
+                request_sent=False,
+                bytes_received=0,
+                start_time=start_time,
+                end_time=end,
+                syn_attempts=attempts,
+                reset_seen=reset,
+            )
+        return self._transfer(
+            start_time, established_at, attempts, behavior, request_bytes
+        )
+
+    # -- handshake -----------------------------------------------------------
+
+    def _handshake(self, start_time: float, behavior: ServerBehavior):
+        """Returns (established_time | None, syn_attempts, reset_seen)."""
+        attempts = 0
+        for attempt_time in syn_attempt_times(start_time):
+            attempts += 1
+            syn = self.builder.outbound(
+                attempt_time, flags=TCPFlag.SYN, annotation="syn"
+            )
+            self.trace.observe_outbound(syn)
+            syn_arrives = behavior.reachable and not self.loss.should_drop()
+            if not syn_arrives:
+                continue  # SYN lost in the network
+            if not behavior.accepting and not behavior.refusing:
+                continue  # server silent: wait out this attempt's timer
+            rtt = self.latency.sample_rtt()
+            if behavior.refusing:
+                rst = self.builder.inbound(
+                    attempt_time + rtt, flags=TCPFlag.RST | TCPFlag.ACK,
+                    annotation="rst-to-syn",
+                )
+                delivered = behavior.reachable and not self.loss.should_drop()
+                self.trace.observe_inbound(rst, delivered)
+                if delivered:
+                    return None, attempts, True
+                continue
+            synack = self.builder.inbound(
+                attempt_time + rtt,
+                flags=TCPFlag.SYN | TCPFlag.ACK,
+                annotation="synack",
+            )
+            delivered = behavior.reachable and not self.loss.should_drop()
+            self.trace.observe_inbound(synack, delivered)
+            if delivered:
+                ack = self.builder.outbound(
+                    attempt_time + rtt, flags=TCPFlag.ACK, annotation="ack"
+                )
+                self.trace.observe_outbound(ack)
+                return attempt_time + rtt, attempts, False
+        return None, attempts, False
+
+    # -- request + response --------------------------------------------------
+
+    def _transfer(
+        self,
+        start_time: float,
+        established_at: float,
+        syn_attempts: int,
+        behavior: ServerBehavior,
+        request_bytes: int,
+    ) -> ConnectionResult:
+        now = established_at
+        retransmissions = 0
+
+        # Send the HTTP request; the client retransmits on loss until it is
+        # delivered or the idle timeout fires (no ACK progress).
+        request_delivered = False
+        rto = DATA_RTO_INITIAL
+        deadline = now + self.idle_timeout
+        while now < deadline:
+            packet = self.builder.outbound(
+                now, flags=TCPFlag.PSH | TCPFlag.ACK,
+                seq=0, payload_length=request_bytes, annotation="http-request",
+            )
+            self.trace.observe_outbound(packet)
+            if behavior.reachable and not self.loss.should_drop():
+                request_delivered = True
+                now += self.latency.sample_rtt() / 2.0
+                break
+            retransmissions += 1
+            now += rto
+            rto = min(rto * 2.0, 60.0)
+
+        if not request_delivered or not behavior.responds:
+            end = deadline if not request_delivered else established_at + self.idle_timeout
+            return ConnectionResult(
+                outcome=ConnectionOutcome.NO_RESPONSE,
+                established=True,
+                request_sent=True,
+                bytes_received=0,
+                start_time=start_time,
+                end_time=end,
+                syn_attempts=syn_attempts,
+                retransmissions=retransmissions,
+            )
+
+        now += behavior.think_time
+        return self._receive_response(
+            start_time, now, syn_attempts, retransmissions, behavior
+        )
+
+    def _receive_response(
+        self,
+        start_time: float,
+        now: float,
+        syn_attempts: int,
+        retransmissions: int,
+        behavior: ServerBehavior,
+    ) -> ConnectionResult:
+        plan = plan_segments(behavior.response_bytes)
+        bytes_received = 0
+        reset_seen = False
+
+        def result(outcome: ConnectionOutcome, end: float) -> ConnectionResult:
+            return ConnectionResult(
+                outcome=outcome,
+                established=True,
+                request_sent=True,
+                bytes_received=bytes_received,
+                start_time=start_time,
+                end_time=end,
+                syn_attempts=syn_attempts,
+                retransmissions=retransmissions,
+                reset_seen=reset_seen,
+            )
+
+        per_segment_serialization = (
+            lambda size: (size * 8.0) / self.bandwidth_bps
+        )
+
+        for size, offset in zip(plan.sizes, plan.offsets):
+            if (
+                behavior.reset_after_bytes is not None
+                and offset >= behavior.reset_after_bytes
+            ):
+                rst = self.builder.inbound(
+                    now, flags=TCPFlag.RST, annotation="rst-mid-transfer"
+                )
+                self.trace.observe_inbound(rst, delivered=True)
+                reset_seen = True
+                outcome = (
+                    ConnectionOutcome.PARTIAL_RESPONSE
+                    if bytes_received
+                    else ConnectionOutcome.NO_RESPONSE
+                )
+                return result(outcome, now)
+            if (
+                behavior.stall_after_bytes is not None
+                and offset >= behavior.stall_after_bytes
+            ):
+                # Server goes silent mid-transfer; the client idles out.
+                now += self.idle_timeout
+                outcome = (
+                    ConnectionOutcome.PARTIAL_RESPONSE
+                    if bytes_received
+                    else ConnectionOutcome.NO_RESPONSE
+                )
+                return result(outcome, now)
+
+            # Deliver this segment, retransmitting on loss until the idle
+            # timer would fire.
+            rto = DATA_RTO_INITIAL
+            stall = 0.0
+            while True:
+                packet = self.builder.inbound(
+                    now,
+                    flags=TCPFlag.ACK | (TCPFlag.PSH if offset + size >= plan.total_bytes else TCPFlag.NONE),
+                    seq=offset,
+                    payload_length=size,
+                    annotation="http-data",
+                )
+                delivered = behavior.reachable and not self.loss.should_drop()
+                self.trace.observe_inbound(packet, delivered)
+                if delivered:
+                    now += per_segment_serialization(size)
+                    bytes_received += size
+                    break
+                retransmissions += 1
+                stall += rto
+                now += rto
+                rto = min(rto * 2.0, 60.0)
+                if stall >= self.idle_timeout:
+                    outcome = (
+                        ConnectionOutcome.PARTIAL_RESPONSE
+                        if bytes_received
+                        else ConnectionOutcome.NO_RESPONSE
+                    )
+                    return result(outcome, now)
+
+        fin = self.builder.inbound(
+            now, flags=TCPFlag.FIN | TCPFlag.ACK, annotation="fin"
+        )
+        self.trace.observe_inbound(fin, delivered=True)
+        fin_ack = self.builder.outbound(
+            now, flags=TCPFlag.FIN | TCPFlag.ACK, annotation="fin-ack"
+        )
+        self.trace.observe_outbound(fin_ack)
+        return result(ConnectionOutcome.COMPLETE, now)

@@ -1,0 +1,99 @@
+"""TCP segmentation helpers and retry schedules.
+
+TCP-level constants follow the stacks the paper's clients ran (Linux 2.6.8
+on PlanetLab, Windows XP/2000/2003 elsewhere): an MSS of 1460 bytes and an
+exponential SYN retry schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+#: Maximum segment size in bytes.
+MSS = 1460
+
+#: SYN retransmission timeouts in seconds (initial try uses the first entry
+#: as its timeout before the first retry fires).  Linux 2.6 used 3s with
+#: doubling and 5 retries by default; Windows XP used 3s doubling with 2
+#: retries.  We use a middle-ground 4-attempt schedule; the exact count only
+#: scales the time a "no connection" failure takes to declare, not its rate.
+SYN_TIMEOUTS = (3.0, 6.0, 12.0, 24.0)
+
+#: Data retransmission timeout baseline, seconds.
+DATA_RTO_INITIAL = 1.0
+
+#: Maximum retransmissions of a single data segment before giving up.
+DATA_MAX_RETRIES = 8
+
+
+@dataclass(frozen=True)
+class SegmentPlan:
+    """A response split into MSS-sized segments.
+
+    ``sizes[i]`` is the payload length of segment *i*; ``offsets[i]`` its
+    starting byte offset in the response stream.
+    """
+
+    total_bytes: int
+    sizes: Tuple[int, ...]
+    offsets: Tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.sizes)
+
+
+def plan_segments(total_bytes: int, mss: int = MSS) -> SegmentPlan:
+    """Split ``total_bytes`` into MSS-sized segments.
+
+    >>> plan = plan_segments(3000)
+    >>> plan.sizes
+    (1460, 1460, 80)
+    >>> plan.offsets
+    (0, 1460, 2920)
+    """
+    if total_bytes < 0:
+        raise ValueError("negative byte count")
+    if mss <= 0:
+        raise ValueError("MSS must be positive")
+    sizes: List[int] = []
+    offsets: List[int] = []
+    offset = 0
+    while offset < total_bytes:
+        size = min(mss, total_bytes - offset)
+        sizes.append(size)
+        offsets.append(offset)
+        offset += size
+    return SegmentPlan(total_bytes=total_bytes, sizes=tuple(sizes), offsets=tuple(offsets))
+
+
+def syn_attempt_times(start: float, timeouts: Tuple[float, ...] = SYN_TIMEOUTS) -> Iterator[float]:
+    """Absolute times at which each SYN (re)transmission fires.
+
+    >>> list(syn_attempt_times(10.0, (3.0, 6.0)))
+    [10.0, 13.0, 19.0]
+    """
+    t = start
+    yield t
+    for timeout in timeouts[:-1]:
+        t += timeout
+        yield t
+
+
+def handshake_failure_time(start: float, timeouts: Tuple[float, ...] = SYN_TIMEOUTS) -> float:
+    """The time at which a fully-unanswered handshake is declared failed."""
+    return start + sum(timeouts)
+
+
+def data_rto_schedule(
+    initial: float = DATA_RTO_INITIAL, retries: int = DATA_MAX_RETRIES
+) -> Tuple[float, ...]:
+    """Exponentially backed-off data RTOs, capped at 60 s per interval."""
+    if retries < 0:
+        raise ValueError("negative retry count")
+    schedule = []
+    rto = initial
+    for _ in range(retries):
+        schedule.append(min(rto, 60.0))
+        rto *= 2.0
+    return tuple(schedule)

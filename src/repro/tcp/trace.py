@@ -1,0 +1,99 @@
+"""Packet trace capture -- the tcpdump/windump stand-in.
+
+Section 3.4, step 4: the measurement clients record a packet-level trace of
+every transaction.  Note the capture point is the *client's* interface, so a
+packet dropped in the network on its way to the client never appears, and a
+packet the client sent appears even if the network later drops it.  The
+capture therefore takes packets plus a "was this delivered / was this ever
+put on the wire here" flag from the simulator.
+
+Traces for BB clients are deliberately not collected (privacy concerns,
+Section 3.4) -- the simulator models that with a disabled capture, which in
+turn produces the "no/partial response" ambiguous category in Figure 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+from repro.net.packet import Packet, PacketDirection
+
+
+@dataclass
+class PacketTrace:
+    """An ordered list of packets as seen at the client interface.
+
+    ``enabled`` mirrors whether tcpdump was running on that client category.
+    """
+
+    client_name: str = ""
+    enabled: bool = True
+    _packets: List[Packet] = field(default_factory=list)
+
+    def observe_outbound(self, packet: Packet) -> None:
+        """Record a packet the client transmitted (always visible locally)."""
+        if packet.direction is not PacketDirection.OUTBOUND:
+            raise ValueError("observe_outbound requires an outbound packet")
+        if self.enabled:
+            self._packets.append(packet)
+
+    def observe_inbound(self, packet: Packet, delivered: bool) -> None:
+        """Record an inbound packet -- only if the network delivered it."""
+        if packet.direction is not PacketDirection.INBOUND:
+            raise ValueError("observe_inbound requires an inbound packet")
+        if self.enabled and delivered:
+            self._packets.append(packet)
+
+    def __len__(self) -> int:
+        return len(self._packets)
+
+    def __iter__(self) -> Iterator[Packet]:
+        return iter(self._packets)
+
+    @property
+    def packets(self) -> List[Packet]:
+        """The captured packets in capture order."""
+        return list(self._packets)
+
+    def outbound(self) -> List[Packet]:
+        """Captured client->server packets."""
+        return [p for p in self._packets if p.direction is PacketDirection.OUTBOUND]
+
+    def inbound(self) -> List[Packet]:
+        """Captured server->client packets."""
+        return [p for p in self._packets if p.direction is PacketDirection.INBOUND]
+
+    def syns_sent(self) -> List[Packet]:
+        """All bare SYNs the client transmitted."""
+        return [p for p in self.outbound() if p.is_syn]
+
+    def synacks_received(self) -> List[Packet]:
+        """All SYN-ACKs the client saw."""
+        return [p for p in self.inbound() if p.is_synack]
+
+    def data_bytes_received(self) -> int:
+        """Distinct response payload bytes seen (dedup by sequence offset)."""
+        seen = set()
+        for packet in self.inbound():
+            if packet.carries_data:
+                seen.add((packet.seq, packet.payload_length))
+        # Deduplicate overlapping retransmissions by counting unique offsets.
+        covered = set()
+        for seq, length in seen:
+            covered.update(range(seq, seq + length))
+        return len(covered)
+
+    def duration(self) -> float:
+        """Time from first to last captured packet; 0 for empty traces."""
+        if not self._packets:
+            return 0.0
+        return self._packets[-1].timestamp - self._packets[0].timestamp
+
+    def merged(self, other: "PacketTrace") -> "PacketTrace":
+        """A new trace containing both captures, time-sorted."""
+        merged = PacketTrace(client_name=self.client_name, enabled=True)
+        merged._packets = sorted(
+            self._packets + other._packets, key=lambda p: p.timestamp
+        )
+        return merged

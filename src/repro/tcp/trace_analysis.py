@@ -1,0 +1,181 @@
+"""Post-hoc trace analysis -- the paper's Section 3.5 post-processing.
+
+Given only the packet trace captured at the client, determine:
+
+(a) the cause of a connection failure -- *no connection* (SYNs sent, no
+    SYN-ACK, or RST in reply to a SYN), *no response* (handshake completed,
+    request sent, zero response payload bytes), or *partial response*
+    (some but not all response bytes before premature termination); and
+
+(b) the packet loss count, inferred from retransmissions: repeated SYNs,
+    repeated request transmissions, and duplicate response sequence ranges.
+
+When the trace is unavailable (the BB clients, Section 3.4), the verdict is
+``AMBIGUOUS_NO_OR_PARTIAL`` for post-handshake failures -- the category
+Figure 3 labels "no/partial response".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.packet import Packet, PacketDirection
+from repro.tcp.trace import PacketTrace
+
+
+class TraceVerdict(enum.Enum):
+    """Trace-derived classification of a connection."""
+
+    COMPLETE = "complete"
+    NO_CONNECTION = "no_connection"
+    NO_RESPONSE = "no_response"
+    PARTIAL_RESPONSE = "partial_response"
+    AMBIGUOUS_NO_OR_PARTIAL = "no_or_partial_response"
+    EMPTY_TRACE = "empty_trace"
+
+
+@dataclass(frozen=True)
+class TraceAnalysis:
+    """The full result of analysing one trace."""
+
+    verdict: TraceVerdict
+    syns_sent: int
+    synack_seen: bool
+    rst_to_syn: bool
+    request_transmissions: int
+    response_bytes: int
+    inferred_losses: int
+    clean_close: bool
+
+    @property
+    def handshake_completed(self) -> bool:
+        """True if the client saw a SYN-ACK."""
+        return self.synack_seen
+
+
+def analyze_trace(
+    trace: PacketTrace,
+    expected_response_bytes: Optional[int] = None,
+) -> TraceAnalysis:
+    """Classify a connection from its client-side packet trace.
+
+    ``expected_response_bytes``, when known (e.g. from the Content-Length
+    of a successful sibling download), lets the analysis distinguish a
+    complete transfer from a partial one; without it, a trace ending in a
+    clean FIN exchange is treated as complete and one ending in RST or
+    nothing as partial.
+    """
+    packets = trace.packets
+    if not packets:
+        return TraceAnalysis(
+            verdict=TraceVerdict.EMPTY_TRACE,
+            syns_sent=0,
+            synack_seen=False,
+            rst_to_syn=False,
+            request_transmissions=0,
+            response_bytes=0,
+            inferred_losses=0,
+            clean_close=False,
+        )
+
+    syns = trace.syns_sent()
+    synacks = trace.synacks_received()
+    synack_seen = bool(synacks)
+
+    # An RST arriving before any SYN-ACK is a refusal of the handshake.
+    rst_to_syn = False
+    for packet in packets:
+        if packet.direction is PacketDirection.INBOUND and packet.is_rst:
+            rst_to_syn = not synack_seen or packet.timestamp < synacks[0].timestamp
+            break
+
+    request_transmissions = sum(
+        1
+        for p in trace.outbound()
+        if p.carries_data
+    )
+    response_bytes = trace.data_bytes_received()
+    clean_close = any(
+        p.is_fin for p in trace.inbound()
+    ) and not any(p.is_rst for p in trace.inbound())
+
+    inferred_losses = _infer_losses(trace, synack_seen)
+
+    if not synack_seen:
+        verdict = TraceVerdict.NO_CONNECTION
+    elif response_bytes == 0:
+        verdict = (
+            TraceVerdict.NO_RESPONSE
+            if request_transmissions
+            else TraceVerdict.NO_CONNECTION
+        )
+    else:
+        if expected_response_bytes is not None:
+            complete = response_bytes >= expected_response_bytes
+        else:
+            complete = clean_close
+        verdict = (
+            TraceVerdict.COMPLETE if complete else TraceVerdict.PARTIAL_RESPONSE
+        )
+
+    return TraceAnalysis(
+        verdict=verdict,
+        syns_sent=len(syns),
+        synack_seen=synack_seen,
+        rst_to_syn=rst_to_syn,
+        request_transmissions=request_transmissions,
+        response_bytes=response_bytes,
+        inferred_losses=inferred_losses,
+        clean_close=clean_close,
+    )
+
+
+def _infer_losses(trace: PacketTrace, synack_seen: bool) -> int:
+    """Count losses visible in the trace via retransmission evidence.
+
+    * each SYN beyond the first implies a lost SYN or SYN-ACK;
+    * each outbound data packet repeating a (seq, length) implies a lost
+      request or a lost ACK;
+    * each inbound data packet repeating a (seq, length) implies a lost
+      data segment (we see the retransmission but not the drop itself).
+
+    The paper notes (Section 4.1.3) that this estimator is biased for failed
+    connections that transfer no data -- which is exactly what we find too.
+    """
+    losses = max(0, len(trace.syns_sent()) - 1)
+
+    seen_out = set()
+    for packet in trace.outbound():
+        if packet.carries_data:
+            key = (packet.seq, packet.payload_length)
+            if key in seen_out:
+                losses += 1
+            seen_out.add(key)
+
+    seen_in = set()
+    for packet in trace.inbound():
+        if packet.carries_data:
+            key = (packet.seq, packet.payload_length)
+            if key in seen_in:
+                losses += 1
+            seen_in.add(key)
+    return losses
+
+
+def classify_without_trace(
+    established: bool, bytes_received: int
+) -> TraceVerdict:
+    """Best-effort classification when no trace was captured (BB clients).
+
+    wget's exit status still reveals whether the connection was established
+    and whether any bytes arrived, but cannot split no-response from
+    partial-response reliably when wget's own buffering hides byte counts;
+    the paper resolves this by introducing the combined category.
+    """
+    if not established:
+        return TraceVerdict.NO_CONNECTION
+    if bytes_received > 0:
+        return TraceVerdict.PARTIAL_RESPONSE
+    return TraceVerdict.AMBIGUOUS_NO_OR_PARTIAL

@@ -1,0 +1,25 @@
+"""The simulated world: client/site rosters, fault processes, and engines.
+
+* :mod:`repro.world.entities` -- clients, websites, replicas, proxies.
+* :mod:`repro.world.defaults` -- the paper's roster: 134 clients (95 PL /
+  26 DU / 5+1 CN / 7 BB, Table 1) and 80 websites (Table 2).
+* :mod:`repro.world.faults` -- generative ground-truth fault processes,
+  calibrated to the paper's headline statistics.
+* :mod:`repro.world.outcome_model` -- the shared probabilistic model
+  mapping fault states to per-access outcome probabilities.
+* :mod:`repro.world.simulator` -- the fast vectorised month simulator.
+* :mod:`repro.world.detailed` -- the message-level engine that drives the
+  real DNS/TCP/HTTP substrates and produces packet traces.
+* :mod:`repro.world.experiment` -- the Section 3.4 download procedure.
+"""
+
+from repro.world.entities import Client, ClientCategory, Replica, Website
+from repro.world.defaults import build_default_world
+
+__all__ = [
+    "Client",
+    "ClientCategory",
+    "Replica",
+    "Website",
+    "build_default_world",
+]

@@ -1,0 +1,320 @@
+"""The shared probabilistic outcome model.
+
+Maps the hidden :class:`~repro.world.faults.GroundTruth` to per-access
+outcome probabilities.  Both engines consume this model -- the fast
+simulator vectorised per hour, the detailed engine per single access -- so
+their statistics agree by construction and a validation test can hold them
+to it.
+
+Key modelling decisions (all mirroring the paper's observations):
+
+* Failures *within* one transaction are correlated: a client WAN outage, a
+  server-side problem, or a loss burst affects the retry and the failover
+  attempt alike.  Only independent per-replica outages at "spread" sites
+  (different subnets) are independent across a transaction's attempts --
+  which is exactly why direct clients ride out iitb.ac.in's dead replica
+  while the non-failing-over proxy does not (Section 4.7).
+* Client connectivity trouble mostly surfaces as a DNS (LDNS timeout)
+  failure, precluding TCP -- the mechanism behind the paper's headline
+  "server-side problems dominate TCP failures" finding (Section 4.4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.world.entities import ClientCategory, World
+from repro.world.faults import GroundTruth
+
+#: TCP failure-kind mixes (no_connection, no_response, partial_response)
+#: per cause.  The permanent northwestern<->mp3.com pair presents as
+#: partial responses (TCP checksum corruption, Section 4.4.2).
+CLIENT_SIDE_MIX = (0.85, 0.09, 0.06)
+PERMANENT_NOCONN_MIX = (1.0, 0.0, 0.0)
+PERMANENT_PARTIAL_MIX = (0.05, 0.05, 0.90)
+REPLICA_DOWN_MIX = (1.0, 0.0, 0.0)
+
+
+@dataclass
+class AccessConfig:
+    """Client access behaviour (Section 3.1/3.4)."""
+
+    #: wget invocations per client per URL per hour (paper: ~4).
+    per_hour: int = 4
+    #: wget whole-sequence retry count for ordinary failures.  Ordinary
+    #: TCP failures burn wget's patience on slow timeouts, so in practice
+    #: only one pass over the address list happens; fast failures
+    #: (permanent pairs: RSTs, checksum errors) are retried more.
+    tries: int = 1
+    permanent_tries: int = 3
+    #: Fraction of BB no-connection failures identifiable as such without
+    #: packet traces (wget exit codes only); the rest land in the
+    #: combined no/partial category (Figure 3).
+    bb_noconn_visibility: float = 0.7
+    #: A records used per try.
+    max_addresses: int = 3
+    #: DU virtual clients are active only while their physical host dials
+    #: their PoP: 5 hosts cycling 26 PoPs.
+    dialup_duty_cycle: float = 5.0 / 26.0
+
+
+@dataclass
+class HourProbabilities:
+    """Per-(client, site) probability matrices for one hour.
+
+    Shapes are (C, S) unless noted.  ``tcp_mix_*`` are the blended failure
+    kind fractions conditioned on a TCP failure.
+    """
+
+    n_expected: np.ndarray  # expected accesses (C, S)
+    p_ldns: np.ndarray
+    p_nonldns: np.ndarray
+    p_dnserr: np.ndarray
+    p_tcp: np.ndarray
+    tcp_mix_noconn: np.ndarray
+    tcp_mix_noresp: np.ndarray
+    tcp_mix_partial: np.ndarray
+    p_http: np.ndarray
+    p_fail_proxied: np.ndarray  # (C, S), only meaningful for proxied rows
+    p_replica_all_down: np.ndarray  # (S,)
+    replica_eff_fail: np.ndarray  # (S, R) effective per-replica failure
+
+
+class OutcomeModel:
+    """Derives access outcome probabilities from ground truth."""
+
+    def __init__(
+        self,
+        world: World,
+        truth: GroundTruth,
+        config: Optional[AccessConfig] = None,
+    ) -> None:
+        self.world = world
+        self.truth = truth
+        self.config = config or AccessConfig()
+        self._build_static()
+
+    def _build_static(self) -> None:
+        world = self.world
+        cfg = self.config
+        n_c, n_s = len(world.clients), len(world.websites)
+
+        self.proxied = np.array([c.proxied for c in world.clients], dtype=bool)
+        self.dialup = np.array(
+            [c.category is ClientCategory.DIALUP for c in world.clients], dtype=bool
+        )
+        self.bb = np.array(
+            [c.category is ClientCategory.BROADBAND for c in world.clients],
+            dtype=bool,
+        )
+        self.background_tcp = np.array(
+            [self.truth.config.background_tcp[c.category.value] for c in world.clients],
+            dtype=np.float32,
+        )
+        self.background_mix = np.array(
+            [
+                self.truth.config.background_tcp_mix[c.category.value]
+                for c in world.clients
+            ],
+            dtype=np.float64,
+        )  # (C, 3)
+        self.n_replicas = np.array(
+            [max(1, w.num_replicas) if not w.cdn else 0 for w in world.websites],
+            dtype=np.int64,
+        )
+        #: Addresses wget sees per site (CDN sites return several addresses).
+        self.n_addresses = np.array(
+            [
+                min(cfg.max_addresses, 3 if w.cdn else max(1, w.num_replicas))
+                for w in world.websites
+            ],
+            dtype=np.int64,
+        )
+        self.redirect_p = np.array(
+            [w.redirect_probability for w in world.websites], dtype=np.float32
+        )
+        self.spread_site = np.array(
+            [
+                (not w.cdn) and w.multi_replica and not w.replicas_same_subnet
+                for w in world.websites
+            ],
+            dtype=bool,
+        )
+        # Expected accesses per cell per hour (before uptime masking).
+        base = np.full((n_c, n_s), float(cfg.per_hour), dtype=np.float32)
+        base[self.dialup, :] *= cfg.dialup_duty_cycle
+        self.base_accesses = base
+
+    # -- per-hour matrices ----------------------------------------------------
+
+    def hour(self, h: int) -> HourProbabilities:
+        """All probability matrices for hour ``h`` (memoised per hour)."""
+        cached = getattr(self, "_hour_cache", None)
+        if cached is not None and cached[0] == h:
+            return cached[1]
+        result = self._compute_hour(h)
+        self._hour_cache = (h, result)
+        return result
+
+    def _compute_hour(self, h: int) -> HourProbabilities:
+        truth = self.truth
+        n_c, n_s = len(self.world.clients), len(self.world.websites)
+
+        up = truth.client_up[:, h].astype(np.float32)
+        n_expected = self.base_accesses * up[:, None]
+
+        # ---- DNS stage ----
+        ldns = truth.ldns_fail[:, h].astype(np.float64)
+        wan_dns = truth.wan_dns_fail[:, h].astype(np.float64)
+        p_ldns_client = 1.0 - (1.0 - ldns) * (1.0 - wan_dns)
+        p_ldns = np.broadcast_to(p_ldns_client[:, None], (n_c, n_s)).copy()
+        p_nonldns = np.broadcast_to(
+            truth.site_auth_timeout[:, h].astype(np.float64)[None, :], (n_c, n_s)
+        ).copy()
+        p_dnserr = np.broadcast_to(
+            truth.site_dns_error[:, h].astype(np.float64)[None, :], (n_c, n_s)
+        ).copy()
+
+        # ---- TCP stage: correlated causes ----
+        # Per-replica effective failure (independent part, spread sites).
+        r_eff = np.maximum(
+            truth.replica_fail[:, :, h], truth.bgp_replica_fail[:, :, h]
+        ).astype(np.float64)  # (S, R)
+        # Mask out non-existent replicas.
+        r_idx = np.arange(r_eff.shape[1])[None, :]
+        exists = r_idx < self.n_replicas[:, None]
+        p_all_down = np.where(
+            self.n_replicas > 0,
+            np.prod(np.where(exists, r_eff, 1.0), axis=1),
+            0.0,
+        )
+        p_all_down = np.where(self.n_replicas > 0, p_all_down, 0.0)
+        # Only spread sites have a nonzero independent part by construction,
+        # but the formula is general.
+
+        site_bad = truth.site_fail[:, h].astype(np.float64)
+        # Same-subnet sites: BGP trouble on the shared prefix is a site-wide
+        # correlated cause.
+        shared_bgp = np.where(
+            ~self.spread_site & (self.n_replicas > 0),
+            truth.bgp_replica_fail[:, 0, h].astype(np.float64),
+            0.0,
+        )
+        site_corr = 1.0 - (1.0 - site_bad) * (1.0 - shared_bgp)
+        site_corr = 1.0 - (1.0 - site_corr) * (
+            1.0 - truth.direct_elevated.astype(np.float64)[None, :].ravel()
+        )
+
+        client_bad = truth.total_client_tcp_fail()[:, h].astype(np.float64)
+        bg = self.background_tcp.astype(np.float64)
+        perm = truth.permanent_pair.astype(np.float64)  # (C, S)
+
+        p_site = np.broadcast_to(site_corr[None, :], (n_c, n_s))
+        p_client = np.broadcast_to(client_bad[:, None], (n_c, n_s))
+        p_bg = np.broadcast_to(bg[:, None], (n_c, n_s))
+        p_repl = np.broadcast_to(p_all_down[None, :], (n_c, n_s))
+
+        p_tcp = 1.0 - (
+            (1.0 - p_site)
+            * (1.0 - p_client)
+            * (1.0 - p_bg)
+            * (1.0 - perm)
+            * (1.0 - p_repl)
+        )
+
+        # ---- TCP kind mix: blend by cause weight ----
+        mixes = np.zeros((3, n_c, n_s), dtype=np.float64)
+        cfg_mix = truth.site_mix
+        perm_noconn = (truth.permanent_pair_kind == 1).astype(np.float64) * perm
+        perm_partial = (truth.permanent_pair_kind == 2).astype(np.float64) * perm
+        for k in range(3):
+            mixes[k] = (
+                p_site * cfg_mix[k]
+                + p_client * CLIENT_SIDE_MIX[k]
+                + p_bg * self.background_mix[:, k][:, None]
+                + perm_noconn * PERMANENT_NOCONN_MIX[k]
+                + perm_partial * PERMANENT_PARTIAL_MIX[k]
+                + p_repl * REPLICA_DOWN_MIX[k]
+            )
+        total_weight = mixes.sum(axis=0)
+        safe = total_weight > 0
+        for k in range(3):
+            mixes[k] = np.where(safe, mixes[k] / np.where(safe, total_weight, 1.0),
+                                (1.0, 0.0, 0.0)[k])
+
+        p_http = np.broadcast_to(
+            truth.site_http_error[:, h].astype(np.float64)[None, :], (n_c, n_s)
+        ).copy()
+
+        # ---- Proxied (CN) clients ----
+        # The proxy resolves and fetches without A-record failover; client
+        # sees only success or an opaque failure.
+        mean_replica_fail = np.where(
+            self.n_replicas > 0,
+            np.where(exists, r_eff, 0.0).sum(axis=1)
+            / np.maximum(1, self.n_replicas),
+            0.0,
+        )
+        p_proxy_dns = (
+            truth.site_auth_timeout[:, h].astype(np.float64)
+            + truth.site_dns_error[:, h].astype(np.float64)
+        )
+        p_up = 1.0 - (
+            (1.0 - site_corr)
+            * (1.0 - mean_replica_fail)
+            * (1.0 - truth.proxy_hostile.astype(np.float64))
+            * (1.0 - p_proxy_dns)
+        )
+        p_fail_proxied = 1.0 - (
+            (1.0 - np.broadcast_to(p_up[None, :], (n_c, n_s)))
+            * (1.0 - p_client)
+            * (1.0 - p_bg)
+        )
+
+        return HourProbabilities(
+            n_expected=n_expected,
+            p_ldns=p_ldns,
+            p_nonldns=p_nonldns,
+            p_dnserr=p_dnserr,
+            p_tcp=p_tcp,
+            tcp_mix_noconn=mixes[0],
+            tcp_mix_noresp=mixes[1],
+            tcp_mix_partial=mixes[2],
+            p_http=p_http,
+            p_fail_proxied=p_fail_proxied,
+            p_replica_all_down=p_all_down,
+            replica_eff_fail=np.where(exists, r_eff, 0.0),
+        )
+
+    # -- single-cell view (detailed engine) -----------------------------------
+
+    def cell(self, client_name: str, site_name: str, h: int) -> Dict[str, float]:
+        """Scalar probabilities for one (client, site, hour) cell.
+
+        Returns a plain dict so the detailed engine can translate the
+        probabilities into concrete substrate states.
+        """
+        ci = self.world.client_idx(client_name)
+        si = self.world.site_idx(site_name)
+        hour = self.hour(h)
+        r = self.n_replicas[si]
+        return {
+            "up": bool(self.truth.client_up[ci, h]),
+            "p_ldns": float(hour.p_ldns[ci, si]),
+            "p_nonldns": float(hour.p_nonldns[ci, si]),
+            "p_dnserr": float(hour.p_dnserr[ci, si]),
+            "p_tcp": float(hour.p_tcp[ci, si]),
+            "mix": (
+                float(hour.tcp_mix_noconn[ci, si]),
+                float(hour.tcp_mix_noresp[ci, si]),
+                float(hour.tcp_mix_partial[ci, si]),
+            ),
+            "p_http": float(hour.p_http[ci, si]),
+            "p_fail_proxied": float(hour.p_fail_proxied[ci, si]),
+            "replica_fail": [
+                float(hour.replica_eff_fail[si, ri]) for ri in range(r)
+            ],
+        }

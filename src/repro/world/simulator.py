@@ -1,0 +1,291 @@
+"""The fast, vectorised month simulator.
+
+Runs the whole experiment (134 clients x 80 sites x 744 hours x ~4
+accesses/hour ~ 25M transactions) in seconds by drawing per-cell outcome
+*counts* from the :class:`~repro.world.outcome_model.OutcomeModel`'s
+probability matrices, hour by hour, directly into a
+:class:`~repro.core.dataset.MeasurementDataset`.
+
+The statistical model is identical to the detailed message-level engine
+(:mod:`repro.world.detailed`); a validation test holds the two to
+agreement.  Counts are drawn with sequential conditional binomials, exactly
+matching the per-access stage ordering (DNS -> TCP -> HTTP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.dataset import MeasurementDataset
+from repro.world.entities import ClientCategory, World
+from repro.world.faults import FaultConfig, FaultGenerator, GroundTruth
+from repro.world.outcome_model import AccessConfig, OutcomeModel
+from repro.world.rng import RNGRegistry
+
+
+@dataclass
+class SimulationResult:
+    """The dataset plus the ground truth it was generated from.
+
+    Ground truth is returned for *validation only* -- analyses must not
+    consume it.
+    """
+
+    dataset: MeasurementDataset
+    truth: GroundTruth
+    model: OutcomeModel
+
+
+class MonthSimulator:
+    """Vectorised engine: one binomial cascade per hour."""
+
+    def __init__(
+        self,
+        world: World,
+        access: Optional[AccessConfig] = None,
+        faults: Optional[FaultConfig] = None,
+        rngs: Optional[RNGRegistry] = None,
+        truth: Optional[GroundTruth] = None,
+    ) -> None:
+        self.world = world
+        self.access = access or AccessConfig()
+        self.rngs = rngs or RNGRegistry()
+        if truth is None:
+            truth = FaultGenerator(world, faults, self.rngs.fork("faults")).generate()
+        self.truth = truth
+        self.model = OutcomeModel(world, truth, self.access)
+
+    # -- public API -------------------------------------------------------------
+
+    def run(self) -> SimulationResult:
+        """Simulate every hour and return the filled dataset."""
+        dataset = MeasurementDataset(self.world)
+        rng = self.rngs.np_stream("fast-engine")
+        proxied = self.model.proxied
+        for h in range(self.world.hours):
+            self._simulate_hour(h, dataset, rng, proxied)
+        return SimulationResult(dataset=dataset, truth=self.truth, model=self.model)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _simulate_hour(
+        self,
+        h: int,
+        dataset: MeasurementDataset,
+        rng: np.random.Generator,
+        proxied: np.ndarray,
+    ) -> None:
+        hour = self.model.hour(h)
+        n = rng.poisson(hour.n_expected).astype(np.int64)
+        # Clients that are down make no accesses at all this hour; the
+        # Poisson above is per-cell thinning for DU duty cycles etc.
+        direct = ~proxied
+
+        # ---- DNS cascade (direct clients only; the proxy masks DNS) ----
+        ldns_f = rng.binomial(n, hour.p_ldns)
+        rest = n - ldns_f
+        nonldns_f = rng.binomial(rest, hour.p_nonldns)
+        rest = rest - nonldns_f
+        dnserr_f = rng.binomial(rest, hour.p_dnserr)
+        dns_ok = rest - dnserr_f
+
+        # ---- TCP stage ----
+        tcp_f = rng.binomial(dns_ok, hour.p_tcp)
+        tcp_ok = dns_ok - tcp_f
+        # Split TCP failures into kinds with two conditional binomials.
+        noconn = rng.binomial(tcp_f, hour.tcp_mix_noconn)
+        remaining = tcp_f - noconn
+        denom = 1.0 - hour.tcp_mix_noconn
+        p_noresp_given_rest = np.divide(
+            hour.tcp_mix_noresp, denom, out=np.zeros_like(denom), where=denom > 1e-12
+        )
+        noresp = rng.binomial(remaining, np.clip(p_noresp_given_rest, 0.0, 1.0))
+        partial = remaining - noresp
+
+        # ---- HTTP stage ----
+        http_f = rng.binomial(tcp_ok, hour.p_http)
+        success = tcp_ok - http_f
+
+        # ---- Proxied clients: opaque pass/fail ----
+        masked_f = rng.binomial(n, hour.p_fail_proxied)
+
+        # ---- Commit transaction-level counts ----
+        dataset.transactions[:, :, h] = n
+        dataset.dns_ldns[:, :, h] = np.where(direct[:, None], ldns_f, 0)
+        dataset.dns_nonldns[:, :, h] = np.where(direct[:, None], nonldns_f, 0)
+        dataset.dns_error[:, :, h] = np.where(direct[:, None], dnserr_f, 0)
+        # BB clients lack packet traces: no-response and partial-response
+        # are indistinguishable, and a fraction of no-connection failures
+        # cannot be identified from wget exit information alone either
+        # (Figure 3's combined category).
+        bb = self.model.bb
+        ambiguous_rows = bb & direct
+        noconn_hidden = rng.binomial(
+            np.where(ambiguous_rows[:, None], noconn, 0),
+            1.0 - self.access.bb_noconn_visibility,
+        )
+        dataset.tcp_noconn[:, :, h] = np.where(
+            direct[:, None], noconn - noconn_hidden, 0
+        )
+        dataset.tcp_noresp[:, :, h] = np.where(
+            (direct & ~ambiguous_rows)[:, None], noresp, 0
+        )
+        dataset.tcp_partial[:, :, h] = np.where(
+            (direct & ~ambiguous_rows)[:, None], partial, 0
+        )
+        dataset.tcp_ambiguous[:, :, h] = np.where(
+            ambiguous_rows[:, None], noresp + partial + noconn_hidden, 0
+        )
+        dataset.http_errors[:, :, h] = np.where(direct[:, None], http_f, 0)
+        dataset.masked_failures[:, :, h] = np.where(proxied[:, None], masked_f, 0)
+
+        # ---- Connection-level counts (direct clients only) ----
+        self._commit_connections(
+            h, dataset, rng, direct, success, http_f, tcp_f, partial, hour
+        )
+
+    def _commit_connections(
+        self,
+        h: int,
+        dataset: MeasurementDataset,
+        rng: np.random.Generator,
+        direct: np.ndarray,
+        success: np.ndarray,
+        http_f: np.ndarray,
+        tcp_f: np.ndarray,
+        partial: np.ndarray,
+        hour,
+    ) -> None:
+        """Connection accounting: retries, failover, redirects, replicas.
+
+        Ordinary TCP failures make one pass over the address list (wget's
+        per-connection timeouts exhaust its patience); permanent-pair
+        failures fail fast (RST, checksum abort) and get retried
+        ``permanent_tries`` times -- the mechanism behind their outsized
+        share of connection failures (50.7% in the paper, Section 4.4.2).
+        """
+        n_addr = self.model.n_addresses[None, :]  # (1, S)
+        perm = self.truth.permanent_pair > 0  # (C, S)
+        tries = np.where(perm, self.access.permanent_tries, self.access.tries)
+
+        delivered = success + http_f  # transactions that got a response
+        redirect_p = np.broadcast_to(
+            self.model.redirect_p[None, :].astype(np.float64), delivered.shape
+        )
+        redirects = rng.binomial(delivered, redirect_p)
+
+        # Extra failed attempts before success at spread-replica sites: the
+        # wget walks the (rotated) address list past dead replicas.
+        spread = self.model.spread_site
+        extra_failed = np.zeros_like(delivered)
+        if spread.any():
+            exp_extra = _expected_leading_failures(
+                hour.replica_eff_fail, self.model.n_replicas
+            )  # (S,)
+            lam = delivered * exp_extra[None, :] * spread[None, :]
+            extra_failed = rng.poisson(lam)
+
+        failed_conns = tcp_f * (tries * n_addr) + extra_failed
+        total_conns = delivered + redirects + failed_conns
+
+        direct_col = direct[:, None]
+        dataset.connections[:, :, h] = np.where(direct_col, total_conns, 0)
+        dataset.failed_connections[:, :, h] = np.where(direct_col, failed_conns, 0)
+
+        # Retransmission-inferred packet losses (Section 3.5(b)).  Only
+        # data-bearing retransmissions are countable: "failed connections
+        # that transfer no data ... are hard to account for" (Section
+        # 4.1.3), so no-connection failures contribute nothing -- which is
+        # exactly why the loss estimate correlates only weakly with the
+        # transaction failure rate.
+        bg_loss = self.truth.config.background_packet_loss
+        segments_per_transfer = 16.0
+        # Transfers that survive a bad period still ride a lossier channel,
+        # giving the mild positive coupling the paper measures (r ~ 0.19).
+        ambient = hour.p_tcp * segments_per_transfer * 1.4
+        lam = (
+            delivered * (bg_loss * segments_per_transfer + ambient)
+            + partial.astype(np.float64) * 6.0
+        )
+        losses = rng.poisson(lam)
+        dataset.packet_losses[:, :, h] = np.where(direct_col, losses, 0)
+
+        # ---- Replica-level aggregation (across direct clients) ----
+        site_conns = np.where(direct_col, total_conns, 0).sum(axis=0)
+        site_failed = np.where(direct_col, failed_conns, 0).sum(axis=0)
+        site_extra = np.where(direct_col, extra_failed, 0).sum(axis=0)
+        n_repl = self.model.n_replicas
+        max_r = dataset.replica_connections.shape[1]
+        for si in np.nonzero(n_repl > 0)[0]:
+            r = int(n_repl[si])
+            if spread[si]:
+                # Failed attempts concentrate on the dead replicas.
+                r_fail = hour.replica_eff_fail[si, :r]
+                weights = r_fail / r_fail.sum() if r_fail.sum() > 0 else None
+                per_replica_failed = _split(site_extra[si], r, rng, weights)
+                base_failed = _split(site_failed[si] - site_extra[si], r, rng)
+                per_replica_failed = per_replica_failed + base_failed
+            else:
+                per_replica_failed = _split(site_failed[si], r, rng)
+            per_replica_conns = _split(site_conns[si], r, rng)
+            # Connections can't be fewer than failures per replica.
+            per_replica_conns = np.maximum(per_replica_conns, per_replica_failed)
+            dataset.replica_connections[si, :r, h] += per_replica_conns.astype(
+                np.uint32
+            )
+            dataset.replica_failed_connections[si, :r, h] += per_replica_failed.astype(
+                np.uint32
+            )
+
+
+def _split(total: int, parts: int, rng: np.random.Generator, weights=None) -> np.ndarray:
+    """Multinomially split ``total`` across ``parts`` bins."""
+    total = int(total)
+    if parts == 1:
+        return np.array([total], dtype=np.int64)
+    if total == 0:
+        return np.zeros(parts, dtype=np.int64)
+    p = np.full(parts, 1.0 / parts) if weights is None else np.asarray(weights)
+    return rng.multinomial(total, p).astype(np.int64)
+
+
+def _expected_leading_failures(
+    replica_eff_fail: np.ndarray, n_replicas: np.ndarray
+) -> np.ndarray:
+    """Expected dead-replica attempts before a success, per site.
+
+    With the address list rotated uniformly and replica r down with
+    probability q_r (persisting for the hour), the expected number of
+    failed attempts before reaching an up replica, conditioned on at least
+    one being up, is approximated by sum(q_r) / (n - sum(q_r) + 1).
+    """
+    out = np.zeros(replica_eff_fail.shape[0], dtype=np.float64)
+    for si in range(replica_eff_fail.shape[0]):
+        r = int(n_replicas[si])
+        if r <= 1:
+            continue
+        q = replica_eff_fail[si, :r]
+        down = float(q.sum())
+        up = r - down
+        if up <= 0:
+            continue
+        out[si] = down / (up + 1.0)
+    return out
+
+
+def simulate_default_month(
+    hours: int = 744,
+    per_hour: int = 4,
+    seed: int = 20050101,
+    faults: Optional[FaultConfig] = None,
+) -> SimulationResult:
+    """Convenience one-call entry point: default world, default faults."""
+    from repro.world.defaults import build_default_world
+
+    world = build_default_world(hours=hours)
+    access = AccessConfig(per_hour=per_hour)
+    rngs = RNGRegistry(seed)
+    return MonthSimulator(world, access=access, faults=faults, rngs=rngs).run()

@@ -1,0 +1,125 @@
+"""Tests for the collector fleet."""
+
+import random
+
+import pytest
+
+from repro.bgp.messages import UpdateArchive, UpdateKind
+from repro.bgp.routeviews import (
+    COLLECTOR_SERVERS,
+    TOTAL_SESSIONS,
+    CollectorFleet,
+    PeeringSession,
+    default_sessions,
+)
+from repro.net.addressing import Prefix
+
+P1 = Prefix.parse("10.1.0.0/24")
+
+
+def make_fleet(seed=1):
+    rng = random.Random(seed)
+    archive = UpdateArchive(table_size=1000)
+    sessions = default_sessions([7000, 7001, 7002], rng)
+    return CollectorFleet(sessions, archive, rng), archive
+
+
+class TestSessions:
+    def test_default_session_count(self):
+        sessions = default_sessions([7000], random.Random(0))
+        assert len(sessions) == TOTAL_SESSIONS
+
+    def test_sessions_spread_over_servers(self):
+        sessions = default_sessions([7000], random.Random(0))
+        servers = {s.server for s in sessions}
+        assert servers == set(COLLECTOR_SERVERS)
+
+    def test_unknown_server_rejected(self):
+        with pytest.raises(ValueError):
+            PeeringSession(session_id=0, server="bogus", peer_asn=7000)
+
+    def test_needs_transits(self):
+        with pytest.raises(ValueError):
+            default_sessions([], random.Random(0))
+
+
+class TestSeeding:
+    def test_seed_announces_on_all_sessions(self):
+        fleet, archive = make_fleet()
+        fleet.seed_prefix(P1, [7000, 7001], [0.7, 0.3], timestamp=0.0)
+        assert len(fleet.sessions_with_route(P1)) == TOTAL_SESSIONS
+        assert len(archive) == TOTAL_SESSIONS
+        assert P1 in fleet.tracked_prefixes()
+
+    def test_limited_visibility(self):
+        fleet, _ = make_fleet()
+        fleet.seed_prefix(P1, [7000], [1.0], timestamp=0.0, visible_sessions=10)
+        assert len(fleet.sessions_with_route(P1)) == 10
+
+    def test_sessions_via_partition(self):
+        fleet, _ = make_fleet()
+        fleet.seed_prefix(P1, [7000, 7001], [0.5, 0.5], timestamp=0.0)
+        via_a = set(fleet.sessions_via(P1, 7000))
+        via_b = set(fleet.sessions_via(P1, 7001))
+        assert via_a.isdisjoint(via_b)
+        assert len(via_a) + len(via_b) == TOTAL_SESSIONS
+
+    def test_attachment_list_validation(self):
+        fleet, _ = make_fleet()
+        with pytest.raises(ValueError):
+            fleet.seed_prefix(P1, [7000], [0.5, 0.5], timestamp=0.0)
+        with pytest.raises(ValueError):
+            fleet.seed_prefix(P1, [], [], timestamp=0.0)
+
+
+class TestWithdrawAnnounce:
+    def test_withdraw_removes_routes(self):
+        fleet, archive = make_fleet()
+        fleet.seed_prefix(P1, [7000], [1.0], timestamp=0.0)
+        sessions = fleet.sessions_with_route(P1)[:5]
+        emitted = fleet.withdraw(P1, sessions, timestamp=100.0)
+        assert emitted == 5
+        assert len(fleet.sessions_with_route(P1)) == TOTAL_SESSIONS - 5
+
+    def test_withdraw_idempotent_per_session(self):
+        fleet, _ = make_fleet()
+        fleet.seed_prefix(P1, [7000], [1.0], timestamp=0.0)
+        sid = fleet.sessions_with_route(P1)[0]
+        assert fleet.withdraw(P1, [sid], timestamp=10.0) == 1
+        assert fleet.withdraw(P1, [sid], timestamp=20.0) == 0
+
+    def test_flapping_emits_extra_messages(self):
+        fleet, archive = make_fleet()
+        fleet.seed_prefix(P1, [7000], [1.0], timestamp=0.0)
+        sid = fleet.sessions_with_route(P1)[0]
+        emitted = fleet.withdraw(P1, [sid], timestamp=10.0, flap_factor=3.0)
+        assert emitted == 3
+
+    def test_announce_restores(self):
+        fleet, _ = make_fleet()
+        fleet.seed_prefix(P1, [7000], [1.0], timestamp=0.0)
+        sessions = fleet.sessions_with_route(P1)[:5]
+        fleet.withdraw(P1, sessions, timestamp=10.0)
+        fleet.announce(P1, sessions, timestamp=100.0)
+        assert len(fleet.sessions_with_route(P1)) == TOTAL_SESSIONS
+
+
+class TestReset:
+    def test_reset_reannounces_and_records_storm(self):
+        fleet, archive = make_fleet()
+        fleet.seed_prefix(P1, [7000], [1.0], timestamp=0.0)
+        before = len(archive)
+        emitted = fleet.session_reset("eqix", timestamp=500.0)
+        assert emitted > 0
+        assert len(archive) == before + emitted
+        stats = archive.global_stats()
+        assert stats[0].unique_prefixes_announced >= archive.table_size - 1
+
+    def test_reset_unknown_server(self):
+        fleet, _ = make_fleet()
+        with pytest.raises(ValueError):
+            fleet.session_reset("bogus", timestamp=0.0)
+
+    def test_fleet_needs_sessions(self):
+        with pytest.raises(ValueError):
+            CollectorFleet([], UpdateArchive(), random.Random(0))

@@ -1,0 +1,78 @@
+"""Shared fixtures.
+
+The expensive objects (world, ground truth, a reduced-scale simulated
+dataset, a detailed engine) are session-scoped so the suite builds them
+once.  The reduced scale (168 hours, 2 accesses/hour) keeps the suite fast
+while leaving enough samples for the statistical assertions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.world.defaults import build_default_world
+from repro.world.detailed import DetailedEngine
+from repro.world.faults import FaultGenerator
+from repro.world.outcome_model import AccessConfig, OutcomeModel
+from repro.world.rng import RNGRegistry
+from repro.world.simulator import MonthSimulator
+
+TEST_HOURS = 168
+TEST_SEED = 20050101
+
+
+@pytest.fixture(scope="session")
+def world():
+    """The default roster at reduced duration."""
+    return build_default_world(hours=TEST_HOURS)
+
+
+@pytest.fixture(scope="session")
+def truth(world):
+    """Ground truth for the test world."""
+    rngs = RNGRegistry(TEST_SEED)
+    return FaultGenerator(world, rngs=rngs.fork("faults")).generate()
+
+
+@pytest.fixture(scope="session")
+def sim_result(world, truth):
+    """A full (reduced-scale) simulation result."""
+    rngs = RNGRegistry(TEST_SEED)
+    simulator = MonthSimulator(
+        world, access=AccessConfig(per_hour=2), rngs=rngs, truth=truth
+    )
+    return simulator.run()
+
+
+@pytest.fixture(scope="session")
+def dataset(sim_result):
+    """The simulated measurement dataset."""
+    return sim_result.dataset
+
+
+@pytest.fixture(scope="session")
+def perm_report(dataset):
+    """Permanent-pair report over the session dataset."""
+    from repro.core import permanent
+
+    return permanent.find_permanent_pairs(dataset)
+
+
+@pytest.fixture(scope="session")
+def blame_analysis(dataset, perm_report):
+    """Blame analysis at f=5% with permanent pairs excluded."""
+    from repro.core import blame
+
+    return blame.run_blame_analysis(dataset, 0.05, perm_report.mask)
+
+
+@pytest.fixture(scope="session")
+def outcome_model(world, truth):
+    """An outcome model over the session truth."""
+    return OutcomeModel(world, truth)
+
+
+@pytest.fixture(scope="session")
+def detailed_engine(world, truth):
+    """A detailed engine over the session truth."""
+    return DetailedEngine(world, truth, rngs=RNGRegistry(99))

@@ -1,0 +1,145 @@
+"""Tests for the BGP instability correlation (Section 4.6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bgp_correlation import (
+    EndpointIndex,
+    client_timeseries,
+    correlate_instability,
+    hourly_failure_rate_for_prefix,
+    instability_rarity,
+)
+from repro.world.faults import FORCED_BGP_EVENTS
+
+
+@pytest.fixture(scope="module")
+def index(dataset, truth):
+    return EndpointIndex.build(
+        dataset, truth.prefix_of_client, truth.prefix_of_replica
+    )
+
+
+@pytest.fixture(scope="module")
+def correlations(dataset, truth, index):
+    return correlate_instability(dataset, truth.bgp_archive, index)
+
+
+class TestEndpointIndex:
+    def test_every_client_indexed(self, dataset, index):
+        indexed = {ci for rows in index.client_rows.values() for ci in rows}
+        assert len(indexed) == len(dataset.world.clients)
+
+    def test_replicas_indexed(self, dataset, index):
+        cells = {c for cells in index.replica_cells.values() for c in cells}
+        expected = sum(w.num_replicas for w in dataset.world.websites)
+        assert len(cells) == expected
+
+    def test_colocated_clients_share_prefix_entry(self, dataset, truth, index):
+        a, b = dataset.world.colocated_pairs()[0]
+        pa = truth.prefix_of_client[a.name]
+        assert dataset.world.client_idx(b.name) in index.client_rows[pa]
+
+
+class TestFailureRates:
+    def test_rate_none_when_unmeasured(self, dataset, index, truth):
+        # A prefix covering only a down client yields too few connections.
+        prefix = truth.prefix_of_client["nodea.howard.edu"]
+        ci = dataset.world.client_idx("nodea.howard.edu")
+        down_hours = np.nonzero(~truth.client_up[ci])[0]
+        if down_hours.size:
+            rate = hourly_failure_rate_for_prefix(
+                dataset, index, prefix, int(down_hours[0])
+            )
+            assert rate is None
+
+    def test_rate_bounded(self, dataset, index, truth):
+        prefix = truth.prefix_of_client["planetlab1.nyu.edu"]
+        rate = hourly_failure_rate_for_prefix(dataset, index, prefix, 1)
+        if rate is not None:
+            assert 0.0 <= rate <= 1.0
+
+
+class TestCorrelation:
+    def test_instability_is_rare(self, dataset, correlations, index):
+        """<0.1% of prefix-hours see severe instability (the paper: 0.08%)."""
+        by_neighbors, _ = correlations
+        prefixes = len(set(index.client_rows) | set(index.replica_cells))
+        rarity = instability_rarity(dataset, by_neighbors, prefixes)
+        assert rarity < 0.005
+
+    def test_instability_hours_exist(self, correlations):
+        by_neighbors, by_volume = correlations
+        assert by_neighbors.instability_hours > 0
+
+    def test_volume_definition_stricter(self, correlations):
+        by_neighbors, by_volume = correlations
+        assert by_volume.instability_hours <= by_neighbors.instability_hours
+
+    def test_failures_elevated_during_instability(self, dataset, correlations):
+        """The paper: failure rate >5% in >80% of def-1 instability hours.
+        We assert a clear elevation above the global rate."""
+        by_neighbors, _ = correlations
+        if by_neighbors.measured_hours < 5:
+            pytest.skip("too few measured instability hours at test scale")
+        global_rate = float(
+            dataset.failed_connections.sum() / dataset.connections.sum()
+        )
+        elevated = by_neighbors.fraction_over(max(0.05, 2 * global_rate))
+        assert elevated > 0.5
+
+    def test_cdf_well_formed(self, correlations):
+        by_neighbors, _ = correlations
+        rates, cdf = by_neighbors.cdf()
+        if rates.size:
+            assert (np.diff(rates) >= 0).all()
+            assert cdf[-1] == pytest.approx(1.0)
+
+
+class TestTimeseries:
+    def test_howard_panel(self, dataset, truth, index, world):
+        """Figure 5: the forced severe event must show up simultaneously in
+        the withdrawal series and in the TCP failure series."""
+        series = client_timeseries(
+            dataset, truth.bgp_archive, index, "nodea.howard.edu"
+        )
+        f0, _, _, n_sessions = FORCED_BGP_EVENTS["nodea.howard.edu"]
+        hour = int(f0 * world.hours)
+        window = slice(max(0, hour - 1), hour + 2)
+        assert series.withdrawing_neighbors[window].max() >= 60
+        attempts = series.attempts[window].sum()
+        failures = series.failures[window].sum()
+        assert failures / max(1, attempts) > 0.10
+
+    def test_kscy_panel_two_neighbors(self, dataset, truth, index, world):
+        """Figure 7: very few neighbors withdraw, yet failures spike."""
+        series = client_timeseries(
+            dataset, truth.bgp_archive, index,
+            "planetlab1.kscy.internet2.planet-lab.org",
+        )
+        f0, _, _, n_sessions = FORCED_BGP_EVENTS[
+            "planetlab1.kscy.internet2.planet-lab.org"
+        ]
+        hour = int(f0 * world.hours)
+        window = slice(max(0, hour - 1), hour + 2)
+        assert 0 < series.withdrawing_neighbors[window].max() <= 10
+        attempts = series.attempts[window].sum()
+        failures = series.failures[window].sum()
+        assert failures / max(1, attempts) > 0.05
+
+    def test_downtime_blank_period(self, dataset, truth, index, world):
+        """The blank stretch in Figure 5: zero attempts while down."""
+        from repro.world.faults import FORCED_DOWNTIME
+
+        series = client_timeseries(
+            dataset, truth.bgp_archive, index, "nodea.howard.edu"
+        )
+        f0, f1 = FORCED_DOWNTIME["nodea.howard.edu"]
+        lo, hi = int(f0 * world.hours), int(f1 * world.hours)
+        assert series.attempts[lo:hi].sum() == 0
+
+    def test_streaks_bounded_by_failures(self, dataset, truth, index):
+        series = client_timeseries(
+            dataset, truth.bgp_archive, index, "planetlab1.nyu.edu"
+        )
+        assert (series.longest_streak <= np.maximum(series.failures, 0)).all()

@@ -1,0 +1,98 @@
+"""Tests for blame attribution (Section 4.4) -- the paper's key analysis."""
+
+import numpy as np
+import pytest
+
+from repro.core import blame, permanent
+
+
+@pytest.fixture(scope="module")
+def perm_mask(perm_report):
+    return perm_report.mask
+
+
+@pytest.fixture(scope="module")
+def analysis(blame_analysis):
+    return blame_analysis
+
+
+class TestBreakdownArithmetic:
+    def test_fractions_sum_to_one(self, analysis):
+        assert sum(analysis.breakdown.fractions()) == pytest.approx(1.0)
+
+    def test_total_matches_tcp_failures(self, dataset, perm_mask, analysis):
+        view = dataset.pair_exclusion_view(perm_mask)
+        assert analysis.breakdown.total == int(view.tcp_failures.sum())
+
+    def test_classified_fraction(self, analysis):
+        b = analysis.breakdown
+        expected = (b.server_side + b.client_side + b.both) / b.total
+        assert b.classified_fraction == pytest.approx(expected)
+
+
+class TestHeadlineFinding:
+    def test_server_side_dominates_client_side(self, analysis):
+        """The paper's headline: at the TCP level, server-side problems
+        dominate -- because client problems surface as DNS failures."""
+        b = analysis.breakdown
+        assert b.server_side > 2 * b.client_side
+
+    def test_both_category_small(self, analysis):
+        b = analysis.breakdown
+        assert b.both < 0.1 * b.total
+
+    def test_other_category_substantial(self, analysis):
+        """A large chunk of failures is intermittent (other)."""
+        b = analysis.breakdown
+        assert 0.2 < b.other / b.total < 0.7
+
+
+class TestThresholdBehaviour:
+    def test_stricter_threshold_more_other(self, dataset, perm_mask):
+        b5, b10 = blame.blame_table(dataset, (0.05, 0.10), perm_mask)
+        assert b10.other >= b5.other
+        assert b10.classified_fraction <= b5.classified_fraction
+
+    def test_episode_matrices_nested(self, dataset, perm_mask):
+        a5 = blame.run_blame_analysis(dataset, 0.05, perm_mask)
+        a10 = blame.run_blame_analysis(dataset, 0.10, perm_mask)
+        assert (a10.server_episodes <= a5.server_episodes).all()
+        assert (a10.client_episodes <= a5.client_episodes).all()
+
+
+class TestEpisodeRecovery:
+    def test_sina_flagged_server_side(self, dataset, world, analysis):
+        """sina.com.cn (degraded most of the month in ground truth) must
+        rack up by far the most server-side episode hours."""
+        si = world.site_idx("sina.com.cn")
+        sina_hours = analysis.server_episodes[si].sum()
+        others = [
+            analysis.server_episodes[i].sum()
+            for i in range(len(world.websites)) if i != si
+        ]
+        assert sina_hours > np.percentile(others, 95)
+
+    def test_intel_flagged_client_side(self, dataset, world, analysis):
+        ci = world.client_idx("planet1.pittsburgh.intel-research.net")
+        intel_hours = analysis.client_episodes[ci].sum()
+        median_hours = np.median(analysis.client_episodes.sum(axis=1))
+        assert intel_hours > 5 * max(1.0, median_hours)
+
+    def test_ground_truth_episode_agreement(self, dataset, world, truth, analysis):
+        """Hours the ground truth marks as heavy server trouble should be
+        flagged; quiet hours should mostly not be."""
+        flagged = analysis.server_episodes
+        heavy = truth.site_fail >= 0.10
+        quiet = truth.site_fail == 0.0
+        recall = flagged[heavy].mean() if heavy.any() else 1.0
+        false_rate = flagged[quiet].mean()
+        assert recall > 0.8
+        assert false_rate < 0.05
+
+
+class TestExclusionMatters:
+    def test_permanent_pairs_distort_without_exclusion(self, dataset, perm_mask):
+        with_exclusion = blame.run_blame_analysis(dataset, 0.05, perm_mask)
+        without = blame.run_blame_analysis(dataset, 0.05, None)
+        # The permanent pairs inflate the failure pool substantially.
+        assert without.breakdown.total > with_exclusion.breakdown.total

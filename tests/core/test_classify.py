@@ -1,0 +1,136 @@
+"""Tests for the classification breakdowns (Sections 4.1-4.3)."""
+
+import pytest
+
+from repro.core import classify
+from repro.world.entities import ClientCategory
+
+
+class TestCategorySummary:
+    def test_all_categories_present(self, dataset):
+        rows = classify.category_summary(dataset)
+        assert {r.category for r in rows} == set(ClientCategory)
+
+    def test_cn_connections_withheld(self, dataset):
+        rows = {r.category: r for r in classify.category_summary(dataset)}
+        cn = rows[ClientCategory.CORPNET]
+        assert cn.connections is None
+        assert cn.connection_failure_rate is None
+
+    def test_rates_consistent_with_counts(self, dataset):
+        for row in classify.category_summary(dataset):
+            assert row.transaction_failure_rate == pytest.approx(
+                row.failed_transactions / row.transactions
+            )
+
+    def test_pl_dominates_volume(self, dataset):
+        rows = {r.category: r for r in classify.category_summary(dataset)}
+        assert rows[ClientCategory.PLANETLAB].transactions == max(
+            r.transactions for r in rows.values()
+        )
+
+
+class TestTypeBreakdown:
+    def test_cn_excluded(self, dataset):
+        rows = classify.failure_type_breakdown(dataset)
+        assert ClientCategory.CORPNET not in {r.category for r in rows}
+
+    def test_fractions_sum_to_one(self, dataset):
+        for row in classify.failure_type_breakdown(dataset):
+            total = (
+                row.fraction("dns") + row.fraction("tcp") + row.fraction("http")
+            )
+            assert total == pytest.approx(1.0)
+
+    def test_http_is_minor(self, dataset):
+        """Figure 1: HTTP failures are under a few percent everywhere."""
+        for row in classify.failure_type_breakdown(dataset):
+            assert row.fraction("http") < 0.06
+
+    def test_dns_and_tcp_both_substantial_for_pl(self, dataset):
+        rows = {r.category: r for r in classify.failure_type_breakdown(dataset)}
+        pl = rows[ClientCategory.PLANETLAB]
+        assert pl.fraction("dns") > 0.2
+        assert pl.fraction("tcp") > 0.35
+
+
+class TestDNSBreakdown:
+    def test_three_categories(self, dataset):
+        rows = classify.dns_breakdown(dataset)
+        assert len(rows) == 3
+
+    def test_ldns_dominates(self, dataset):
+        """Table 4: LDNS timeouts are the dominant DNS failure for PL."""
+        rows = {r.category: r for r in classify.dns_breakdown(dataset)}
+        ldns, non_ldns, error = rows[ClientCategory.PLANETLAB].fractions()
+        assert ldns > 0.6
+        assert ldns > non_ldns and ldns > error
+
+    def test_counts_add_up(self, dataset):
+        for row in classify.dns_breakdown(dataset):
+            assert row.failure_count == (
+                row.ldns_timeout + row.non_ldns_timeout + row.error
+            )
+
+
+class TestDomainContributions:
+    def test_series_present(self, dataset):
+        series = classify.dns_domain_contributions(dataset)
+        assert set(series) == {"all", "ldns_timeout", "non_ldns_timeout", "error"}
+        for rows in series.values():
+            assert len(rows) == len(dataset.world.websites)
+
+    def test_ldns_curve_flat_error_curve_skewed(self, dataset):
+        """Figure 2's core contrast: LDNS timeouts do not discriminate
+        across sites; errors concentrate on a couple of domains."""
+        series = classify.dns_domain_contributions(dataset)
+        ldns_top = classify.skewness_top_k(series["ldns_timeout"], 2)
+        error_top = classify.skewness_top_k(series["error"], 2)
+        assert ldns_top < 0.15  # ~2/80 with noise
+        assert error_top > 0.5
+
+    def test_error_top_domain_is_brazzil(self, dataset):
+        series = classify.dns_domain_contributions(dataset)
+        assert series["error"][0][0] == "brazzil.com"
+
+    def test_cumulative_fractions_monotone(self, dataset):
+        series = classify.dns_domain_contributions(dataset)
+        curve = classify.cumulative_fractions(series["all"])
+        assert curve == sorted(curve)
+        assert curve[-1] == pytest.approx(1.0)
+
+    def test_cumulative_empty(self):
+        assert classify.cumulative_fractions([]) == []
+
+
+class TestTCPBreakdown:
+    def test_no_connection_dominates_pl(self, dataset):
+        """Figure 3: no-connection is the dominant mode for PL."""
+        rows = {r.category: r for r in classify.tcp_breakdown(dataset)}
+        assert rows[ClientCategory.PLANETLAB].fraction("no_connection") > 0.6
+
+    def test_bb_has_ambiguous_category(self, dataset):
+        rows = {r.category: r for r in classify.tcp_breakdown(dataset)}
+        bb = rows[ClientCategory.BROADBAND]
+        assert bb.fraction("no_or_partial") > 0.2
+        assert bb.fraction("no_response") == 0.0
+
+    def test_fractions_sum_to_one(self, dataset):
+        for row in classify.tcp_breakdown(dataset):
+            total = sum(
+                row.fraction(k) for k in
+                ("no_connection", "no_response", "partial_response", "no_or_partial")
+            )
+            assert total == pytest.approx(1.0)
+
+
+class TestLossCorrelation:
+    def test_weak_correlation(self, dataset):
+        """Section 4.1.3: loss rate correlates only weakly with failures
+        (the paper measures r = 0.19): DNS failures involve no packets and
+        no-data failed connections are invisible to the estimator."""
+        r = classify.packet_loss_failure_correlation(dataset)
+        assert -0.1 < r < 0.5
+
+    def test_losses_populated(self, dataset):
+        assert dataset.packet_losses.sum() > 0

@@ -1,0 +1,125 @@
+"""Tests for the MeasurementDataset container."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import MeasurementDataset
+from repro.core.records import (
+    DNSFailureKind,
+    FailureType,
+    PerformanceRecord,
+    TCPFailureKind,
+)
+from repro.world.entities import ClientCategory
+
+
+def make_record(world, client, site, hour, failure=FailureType.NONE, **kwargs):
+    defaults = dict(
+        client_name=client, site_name=site, url=f"http://{site}/",
+        timestamp=hour * 3600.0, hour=hour, failure_type=failure,
+        num_connections=kwargs.pop("num_connections", 1),
+    )
+    if failure is FailureType.DNS:
+        defaults["dns_kind"] = DNSFailureKind.LDNS_TIMEOUT
+        defaults["num_connections"] = 0
+    if failure is FailureType.TCP:
+        defaults["tcp_kind"] = TCPFailureKind.NO_CONNECTION
+        defaults["num_failed_connections"] = defaults["num_connections"]
+    defaults.update(kwargs)
+    return PerformanceRecord(**defaults)
+
+
+class TestIngestion:
+    def test_add_record_counts(self, world):
+        ds = MeasurementDataset(world)
+        ds.add_record(make_record(world, "planetlab1.nyu.edu", "mit.edu", 0))
+        ds.add_record(
+            make_record(world, "planetlab1.nyu.edu", "mit.edu", 0,
+                        failure=FailureType.TCP)
+        )
+        ci = world.client_idx("planetlab1.nyu.edu")
+        si = world.site_idx("mit.edu")
+        assert ds.transactions[ci, si, 0] == 2
+        assert ds.tcp_noconn[ci, si, 0] == 1
+        assert ds.failures[ci, si, 0] == 1
+
+    def test_proxied_failures_masked_on_ingest(self, world):
+        ds = MeasurementDataset(world)
+        ds.add_record(
+            make_record(world, "SEA1", "mit.edu", 0, failure=FailureType.TCP)
+        )
+        ci = world.client_idx("SEA1")
+        si = world.site_idx("mit.edu")
+        assert ds.masked_failures[ci, si, 0] == 1
+        assert ds.tcp_noconn[ci, si, 0] == 0
+        assert ds.connections[ci, si, 0] == 0  # proxy masks connections
+
+    def test_hour_bounds_checked(self, world):
+        ds = MeasurementDataset(world)
+        with pytest.raises(ValueError):
+            ds.add_record(
+                make_record(world, "planetlab1.nyu.edu", "mit.edu", world.hours)
+            )
+
+
+class TestAggregates:
+    def test_aggregate_shapes(self, dataset, world):
+        c, s, h = dataset.shape
+        trans, fails = dataset.client_hour_counts()
+        assert trans.shape == (c, h) and fails.shape == (c, h)
+        trans, fails = dataset.server_hour_counts()
+        assert trans.shape == (s, h)
+        trans, fails = dataset.pair_month_counts()
+        assert trans.shape == (c, s)
+
+    def test_failure_decomposition_consistent(self, dataset):
+        total = dataset.failures.sum()
+        parts = (
+            dataset.dns_failures.sum()
+            + dataset.tcp_failures.sum()
+            + dataset.http_errors.sum()
+            + dataset.masked_failures.sum()
+        )
+        assert total == parts
+
+    def test_rates_are_nan_when_empty(self, world):
+        ds = MeasurementDataset(world)
+        assert np.isnan(ds.client_failure_rates()).all()
+
+    def test_category_masks_partition_clients(self, dataset):
+        total = sum(
+            dataset.category_mask(cat).sum() for cat in ClientCategory
+        )
+        assert total == len(dataset.world.clients)
+
+
+class TestMaskedView:
+    def test_exclusion_zeroes_pairs(self, dataset):
+        c, s, _ = dataset.shape
+        mask = np.zeros((c, s), dtype=bool)
+        mask[0, 0] = True
+        view = dataset.pair_exclusion_view(mask)
+        assert view.transactions[0, 0].sum() == 0
+        assert (view.transactions[1] == dataset.transactions[1]).all()
+
+    def test_mask_shape_validated(self, dataset):
+        with pytest.raises(ValueError):
+            dataset.pair_exclusion_view(np.zeros((2, 2), dtype=bool))
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, dataset, world, tmp_path):
+        path = str(tmp_path / "ds.npz")
+        dataset.save(path)
+        loaded = MeasurementDataset.load(path, world)
+        assert (loaded.transactions == dataset.transactions).all()
+        assert (loaded.replica_connections == dataset.replica_connections).all()
+
+    def test_load_rejects_wrong_world(self, dataset, tmp_path):
+        from repro.world.defaults import build_default_world
+
+        path = str(tmp_path / "ds.npz")
+        dataset.save(path)
+        other = build_default_world(hours=10)
+        with pytest.raises(ValueError):
+            MeasurementDataset.load(path, other)

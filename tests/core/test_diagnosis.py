@@ -1,0 +1,72 @@
+"""Tests for the permanent-pair diagnosis (the deferred Section 4.4.2
+investigation)."""
+
+import pytest
+
+from repro.core import diagnosis
+
+
+@pytest.fixture(scope="module")
+def investigation(dataset, perm_report):
+    return diagnosis.investigate_permanent_failures(dataset, perm_report)
+
+
+class TestDiagnoses:
+    def test_all_pairs_diagnosed(self, investigation, perm_report):
+        assert len(investigation.diagnoses) == perm_report.count
+
+    def test_signature_fractions_sum_to_one(self, investigation):
+        for d in investigation.diagnoses:
+            assert sum(d.signature.values()) == pytest.approx(1.0)
+
+    def test_blocked_dominates(self, investigation):
+        """Most permanent pairs are SYN-level blocks (the censorship-like
+        pattern the paper observes for the Chinese sites)."""
+        by_mode = investigation.by_mode()
+        blocked = by_mode.get(diagnosis.PermanentFailureMode.BLOCKED, [])
+        assert len(blocked) > len(investigation.diagnoses) / 2
+
+    def test_northwestern_mp3_diagnosed_as_corruption(self, investigation):
+        """The checksum-error pair presents as corrupted transfers."""
+        target = next(
+            d for d in investigation.diagnoses
+            if d.pair.client_name == "planetlab1.northwestern.edu"
+            and d.pair.site_name == "mp3.com"
+        )
+        assert target.mode is diagnosis.PermanentFailureMode.CORRUPTED_TRANSFER
+
+    def test_northwestern_mp3_is_pair_specific(self, investigation):
+        """Section 4.4.2: 'this problem does not affect other clients when
+        they access this server or the clients at northwestern.edu when
+        they access other servers.'"""
+        target = next(
+            d for d in investigation.diagnoses
+            if d.pair.site_name == "mp3.com"
+        )
+        assert target.pair_specific
+        assert target.client_elsewhere_rate < 0.1
+        assert target.server_elsewhere_rate < 0.1
+
+
+class TestGrouping:
+    def test_chinese_sites_widely_blocked(self, investigation):
+        groups = investigation.blocked_site_groups(min_clients=3)
+        assert "msn.com.tw" in groups
+        assert "sina.com.cn" in groups
+        assert "sohu.com" in groups
+        assert len(groups["msn.com.tw"]) >= 8
+
+    def test_sina_not_pair_specific(self, investigation):
+        """sina.com.cn is broken for many clients AND degraded overall, so
+        its pairs are not strictly pairwise problems."""
+        sina = [
+            d for d in investigation.diagnoses
+            if d.pair.site_name == "sina.com.cn"
+        ]
+        assert sina
+        assert not any(d.pair_specific for d in sina)
+
+    def test_summary_renders(self, investigation):
+        text = investigation.summary()
+        assert "permanent pairs diagnosed" in text
+        assert "blocked" in text

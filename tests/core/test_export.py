@@ -1,0 +1,84 @@
+"""Tests for the JSONL export/import round trip."""
+
+import json
+
+import pytest
+
+from repro.core import export
+from repro.core.records import FailureType
+
+
+@pytest.fixture(scope="module")
+def sample_records(world, detailed_engine):
+    sites = [w.name for w in world.websites][:8]
+    batch = detailed_engine.run_batch(
+        ["planetlab1.nyu.edu", "SEA1", "bb-rr-sd-1"], sites, hours=[0, 1]
+    )
+    return batch.records
+
+
+class TestRoundTrip:
+    def test_write_read_identity(self, sample_records, tmp_path):
+        path = tmp_path / "records.jsonl"
+        written = export.write_jsonl(sample_records, path)
+        assert written == len(sample_records)
+        loaded = export.load_batch(path)
+        assert len(loaded) == len(sample_records)
+        for original, restored in zip(sample_records, loaded):
+            assert restored.client_name == original.client_name
+            assert restored.site_name == original.site_name
+            assert restored.failure_type is original.failure_type
+            assert restored.dns_kind is original.dns_kind
+            assert restored.tcp_kind is original.tcp_kind
+            assert restored.num_connections == original.num_connections
+            assert restored.server_address == original.server_address
+
+    def test_loaded_batch_feeds_dataset(self, sample_records, world, tmp_path):
+        from repro.core.dataset import MeasurementDataset
+
+        path = tmp_path / "records.jsonl"
+        export.write_jsonl(sample_records, path)
+        ds = MeasurementDataset(world)
+        ds.add_records(export.read_jsonl(path))
+        assert ds.transactions.sum() == len(sample_records)
+
+
+class TestSchema:
+    def test_dict_schema_keys(self, sample_records):
+        data = export.record_to_dict(sample_records[0])
+        assert {"client", "site", "failure", "hour", "conns"} <= set(data)
+
+    def test_json_serializable(self, sample_records):
+        for record in sample_records:
+            json.dumps(export.record_to_dict(record))
+
+
+class TestErrors:
+    def test_invalid_json_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json}\n")
+        with pytest.raises(export.ExportError):
+            list(export.read_jsonl(path))
+
+    def test_missing_field(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"client": "x"}) + "\n")
+        with pytest.raises(export.ExportError):
+            list(export.read_jsonl(path))
+
+    def test_unknown_failure_type(self, tmp_path):
+        record = {
+            "client": "c", "site": "s.com", "url": "u", "ts": 0.0, "hour": 0,
+            "failure": "gremlins",
+        }
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps(record) + "\n")
+        with pytest.raises(export.ExportError):
+            list(export.read_jsonl(path))
+
+    def test_blank_lines_skipped(self, sample_records, tmp_path):
+        path = tmp_path / "records.jsonl"
+        export.write_jsonl(sample_records[:2], path)
+        with path.open("a") as fh:
+            fh.write("\n\n")
+        assert len(export.load_batch(path)) == 2

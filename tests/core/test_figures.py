@@ -1,0 +1,137 @@
+"""Tests for figure series builders and terminal rendering."""
+
+import csv
+import io
+
+import numpy as np
+import pytest
+
+from repro.core import figures
+from repro.core.bgp_correlation import (
+    EndpointIndex,
+    client_timeseries,
+    correlate_instability,
+)
+
+
+@pytest.fixture(scope="module")
+def index(dataset, truth):
+    return EndpointIndex.build(
+        dataset, truth.prefix_of_client, truth.prefix_of_replica
+    )
+
+
+class TestFigureSeries:
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(ValueError):
+            figures.FigureSeries(name="x", columns={"a": [1], "b": [1, 2]})
+
+    def test_csv_roundtrip(self):
+        series = figures.FigureSeries(
+            name="t", columns={"x": [1, 2], "y": [0.5, 1.0]}
+        )
+        rows = list(csv.reader(io.StringIO(series.to_csv())))
+        assert rows[0] == ["x", "y"]
+        assert rows[1] == ["1", "0.5"]
+
+    def test_save_csv(self, tmp_path):
+        series = figures.FigureSeries(name="t", columns={"x": [1], "y": [2]})
+        path = tmp_path / "t.csv"
+        series.save_csv(str(path))
+        assert path.read_text().startswith("x,y")
+
+
+class TestBuilders:
+    def test_figure1(self, dataset):
+        series = figures.figure1_series(dataset)
+        assert len(series) == 3  # PL, DU, BB (CN excluded)
+        for i in range(len(series)):
+            total = (
+                series.column("dns_rate")[i]
+                + series.column("tcp_rate")[i]
+                + series.column("http_rate")[i]
+            )
+            assert total == pytest.approx(series.column("overall_rate")[i])
+
+    def test_figure2(self, dataset):
+        series = figures.figure2_series(dataset)
+        assert len(series) == 80
+        for name in ("all", "ldns_timeout", "error"):
+            curve = series.column(name)
+            assert curve == sorted(curve)
+            assert curve[-1] == pytest.approx(1.0)
+
+    def test_figure3(self, dataset):
+        series = figures.figure3_series(dataset)
+        for i in range(len(series)):
+            total = sum(
+                series.column(k)[i]
+                for k in ("no_connection", "no_response",
+                          "partial_response", "no_or_partial")
+            )
+            assert total == pytest.approx(1.0)
+
+    def test_figure4(self, dataset, perm_report):
+        series = figures.figure4_series(dataset, perm_report.mask, points=50)
+        assert len(series) == 50
+        for col in ("client_rate", "server_rate"):
+            values = series.column(col)
+            assert values == sorted(values)  # a quantile curve is monotone
+
+    def test_figure5(self, dataset, truth, index):
+        ts = client_timeseries(
+            dataset, truth.bgp_archive, index, "nodea.howard.edu"
+        )
+        series = figures.figure5_series(ts)
+        assert len(series) == dataset.world.hours
+        assert series.meta["client"] == "nodea.howard.edu"
+
+    def test_figure6(self, dataset, truth, index):
+        by_neighbors, _ = correlate_instability(
+            dataset, truth.bgp_archive, index
+        )
+        series = figures.figure6_series(by_neighbors)
+        if len(series):
+            cdf = series.column("cdf")
+            assert cdf[-1] == pytest.approx(1.0)
+
+
+class TestRendering:
+    def test_ascii_curve_shape(self):
+        art = figures.ascii_curve(
+            list(range(10)), [x / 10 for x in range(10)],
+            width=20, height=5, title="curve",
+        )
+        lines = art.splitlines()
+        assert lines[0] == "curve"
+        assert len(lines) == 5 + 4  # title + frame + rows + axis
+        assert "*" in art
+
+    def test_ascii_curve_validation(self):
+        with pytest.raises(ValueError):
+            figures.ascii_curve([1], [1, 2])
+        assert figures.ascii_curve([], []) == "(empty curve)"
+
+    def test_ascii_curve_flat_line(self):
+        art = figures.ascii_curve([0, 1], [1.0, 1.0], width=10, height=3)
+        assert "*" in art
+
+    def test_ascii_bars(self):
+        art = figures.ascii_bars(["PL", "DU"], [0.8, 0.2], width=10)
+        lines = art.splitlines()
+        assert lines[0].startswith("PL")
+        assert lines[0].count("#") > lines[1].count("#")
+
+    def test_ascii_bars_validation(self):
+        with pytest.raises(ValueError):
+            figures.ascii_bars(["a"], [1, 2])
+        assert figures.ascii_bars([], []) == "(no bars)"
+
+    def test_render_figure_bars(self, dataset):
+        art = figures.render_figure(figures.figure1_series(dataset))
+        assert "figure1" in art
+
+    def test_render_figure_curve(self, dataset, perm_report):
+        series = figures.figure4_series(dataset, perm_report.mask, points=30)
+        art = figures.render_figure(series)
+        assert "figure4" in art

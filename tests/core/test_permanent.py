@@ -1,0 +1,80 @@
+"""Tests for permanent-pair identification (Section 4.4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import permanent
+
+
+@pytest.fixture(scope="module")
+def report(perm_report):
+    return perm_report
+
+
+class TestDetection:
+    def test_recovers_injected_pairs(self, report, truth):
+        """The analysis must find (almost exactly) the injected 38 pairs
+        from observations alone."""
+        injected = int((truth.permanent_pair > 0).sum())
+        assert abs(report.count - injected) <= 2
+
+    def test_mask_matches_pairs(self, report):
+        assert int(report.mask.sum()) == report.count
+
+    def test_all_pairs_above_threshold(self, report):
+        for pair in report.pairs:
+            assert pair.failure_rate > permanent.PERMANENT_THRESHOLD
+            assert pair.transactions >= permanent.MIN_PAIR_TRANSACTIONS
+
+    def test_high_intensity_pairs_nearly_total(self, report):
+        """Most injected pairs fail >99% of the time (34 of 38, paper)."""
+        nearly_total = report.over(0.99)
+        assert len(nearly_total) >= report.count - 6
+
+    def test_pairs_sorted_by_rate(self, report):
+        rates = [p.failure_rate for p in report.pairs]
+        assert rates == sorted(rates, reverse=True)
+
+
+class TestShares:
+    def test_connection_failure_share_outsized(self, report):
+        """Permanent pairs are ~0.4% of pairs but a large share of
+        connection failures (50.7% in the paper)."""
+        assert report.share_of_connection_failures > 0.25
+
+    def test_transaction_share_smaller_than_connection_share(self, report):
+        assert (
+            report.share_of_transaction_failures
+            < report.share_of_connection_failures
+        )
+
+    def test_median_pair_rate_low(self, report):
+        """Median pair failure rate ~0.5% (the paper: 0.55%)."""
+        assert report.pair_median_rate < 0.03
+
+
+class TestSiteConcentration:
+    def test_chinese_sites_dominate(self, report):
+        """msn.com.tw (10), sina.com.cn (9), sohu.com (8) lead the list."""
+        by_site = dict(permanent.pairs_by_site(report))
+        assert by_site.get("msn.com.tw", 0) >= 8
+        assert by_site.get("sina.com.cn", 0) >= 7
+        assert by_site.get("sohu.com", 0) >= 6
+
+    def test_northwestern_mp3_found(self, report):
+        names = {(p.client_name, p.site_name) for p in report.pairs}
+        assert ("planetlab1.northwestern.edu", "mp3.com") in names
+
+
+class TestEdgeCases:
+    def test_empty_dataset(self, world):
+        from repro.core.dataset import MeasurementDataset
+
+        report = permanent.find_permanent_pairs(MeasurementDataset(world))
+        assert report.count == 0
+        assert report.share_of_connection_failures == 0.0
+
+    def test_custom_threshold(self, dataset):
+        strict = permanent.find_permanent_pairs(dataset, threshold=0.999)
+        loose = permanent.find_permanent_pairs(dataset, threshold=0.5)
+        assert strict.count <= loose.count

@@ -1,0 +1,75 @@
+"""Tests for the shared proxy failure analysis (Section 4.7)."""
+
+import pytest
+
+from repro.core import blame, permanent, proxy_analysis
+
+
+@pytest.fixture(scope="module")
+def analysis(blame_analysis):
+    return blame_analysis
+
+
+@pytest.fixture(scope="module")
+def table(dataset, analysis):
+    return proxy_analysis.residual_failure_table(
+        dataset, analysis, ["iitb.ac.in", "royal.gov.uk", "mit.edu"]
+    )
+
+
+class TestResidualTable:
+    def test_rows_for_requested_sites(self, table):
+        assert [row.site_name for row in table] == [
+            "iitb.ac.in", "royal.gov.uk", "mit.edu"
+        ]
+
+    def test_five_proxied_clients_per_row(self, table):
+        for row in table:
+            assert set(row.per_client) == {"SEA1", "SEA2", "SF", "UK", "CHN"}
+
+    def test_rates_bounded(self, table):
+        for row in table:
+            for residual in row.per_client.values():
+                assert 0.0 <= residual.rate <= 1.0
+
+
+class TestIitbSignature:
+    def test_proxied_clients_fail_where_direct_do_not(self, table):
+        """Table 9's iitb row: every proxied client sees an elevated
+        residual rate; SEAEXT and non-CN controls stay near zero.  The
+        mechanism is the proxy's missing A-record failover."""
+        iitb = table[0]
+        for name, residual in iitb.per_client.items():
+            assert residual.rate > 0.02, name
+        assert iitb.external.rate < 0.02
+        assert iitb.non_cn.rate < 0.02
+        assert min(iitb.proxied_rates()) > 2 * iitb.non_cn.rate
+
+    def test_iitb_flagged_as_shared_problem(self, table):
+        assert table[0].is_shared_proxy_problem
+
+
+class TestRoyalSignature:
+    def test_royal_proxied_rates_elevated(self, table):
+        royal = table[1]
+        for residual in royal.per_client.values():
+            assert residual.rate > 0.025
+        # Direct clients see only the mild origin elevation (~1.4%).
+        assert royal.non_cn.rate < 0.035
+        assert royal.is_shared_proxy_problem
+
+
+class TestControlSite:
+    def test_healthy_site_not_flagged(self, table):
+        mit = table[2]
+        assert not mit.is_shared_proxy_problem
+
+
+class TestDiscovery:
+    def test_scan_finds_iitb_and_royal(self, dataset, analysis):
+        flagged = proxy_analysis.find_shared_proxy_problems(dataset, analysis)
+        names = {row.site_name for row in flagged}
+        assert "iitb.ac.in" in names
+        assert "royal.gov.uk" in names
+        # The scan should not drown the two real cases in false positives.
+        assert len(flagged) <= 6

@@ -1,0 +1,90 @@
+"""Tests for performance records and batches."""
+
+import pytest
+
+from repro.core.records import (
+    DNSFailureKind,
+    FailureType,
+    PerformanceRecord,
+    RecordBatch,
+    TCPFailureKind,
+)
+
+
+def record(client="c", site="s.com", failure=FailureType.NONE, **kwargs):
+    defaults = dict(
+        client_name=client, site_name=site, url=f"http://{site}/",
+        timestamp=0.0, hour=0, failure_type=failure,
+    )
+    if failure is FailureType.DNS and "dns_kind" not in kwargs:
+        kwargs["dns_kind"] = DNSFailureKind.LDNS_TIMEOUT
+    if failure is FailureType.TCP and "tcp_kind" not in kwargs:
+        kwargs["tcp_kind"] = TCPFailureKind.NO_CONNECTION
+    defaults.update(kwargs)
+    return PerformanceRecord(**defaults)
+
+
+class TestValidation:
+    def test_dns_failure_needs_kind(self):
+        with pytest.raises(ValueError):
+            PerformanceRecord(
+                client_name="c", site_name="s.com", url="u", timestamp=0.0,
+                hour=0, failure_type=FailureType.DNS,
+            )
+
+    def test_tcp_failure_needs_kind(self):
+        with pytest.raises(ValueError):
+            PerformanceRecord(
+                client_name="c", site_name="s.com", url="u", timestamp=0.0,
+                hour=0, failure_type=FailureType.TCP,
+            )
+
+    def test_connection_count_sanity(self):
+        with pytest.raises(ValueError):
+            record(num_connections=1, num_failed_connections=2)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            record(num_connections=-1)
+
+
+class TestProperties:
+    def test_failed_flags(self):
+        assert not record().failed
+        assert record(failure=FailureType.TCP).failed
+        assert record(failure=FailureType.MASKED).failed
+        assert record().succeeded
+
+
+class TestBatch:
+    def build(self):
+        batch = RecordBatch()
+        batch.append(record())
+        batch.append(record(failure=FailureType.DNS))
+        batch.append(record(client="c2", failure=FailureType.TCP))
+        batch.append(record(site="t.com", num_connections=3))
+        return batch
+
+    def test_len_and_iter(self):
+        batch = self.build()
+        assert len(batch) == 4
+        assert len(list(batch)) == 4
+
+    def test_failure_rate(self):
+        assert self.build().failure_rate() == pytest.approx(0.5)
+
+    def test_empty_rate(self):
+        assert RecordBatch().failure_rate() == 0.0
+
+    def test_by_type(self):
+        batch = self.build()
+        assert len(batch.by_type(FailureType.DNS)) == 1
+        assert len(batch.by_type(FailureType.NONE)) == 2
+
+    def test_for_client_and_site(self):
+        batch = self.build()
+        assert len(batch.for_client("c2").records) == 1
+        assert len(batch.for_site("t.com").records) == 1
+
+    def test_total_connections(self):
+        assert self.build().total_connections() == 3

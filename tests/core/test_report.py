@@ -1,0 +1,95 @@
+"""Tests for the report builders: every table/figure must render."""
+
+import pytest
+
+from repro.core import blame, permanent, report
+
+
+@pytest.fixture(scope="module")
+def perm(perm_report):
+    return perm_report
+
+
+@pytest.fixture(scope="module")
+def analysis(blame_analysis):
+    return blame_analysis
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        text = report.format_table(
+            ["a", "long-header"], [[1, 2.5], ["xx", None]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "long-header" in lines[1]
+        assert "N/A" in text
+        assert "2.50" in text
+
+    def test_pct(self):
+        assert report.pct(0.123) == "12.30%"
+
+
+class TestBuildersRender:
+    def test_table3(self, dataset):
+        text = report.table3(dataset)
+        assert "PL" in text and "N/A" in text  # CN connections withheld
+
+    def test_figure1(self, dataset):
+        text = report.figure1(dataset)
+        assert "dns-share" in text and "CN" not in text.split("\n")[2]
+
+    def test_table4(self, dataset):
+        text = report.table4(dataset)
+        assert "ldns" in text
+
+    def test_figure2(self, dataset):
+        text = report.figure2(dataset)
+        assert "brazzil" in text
+
+    def test_figure3(self, dataset):
+        text = report.figure3(dataset)
+        assert "no-conn" in text
+
+    def test_figure4(self, dataset, perm):
+        text = report.figure4(dataset, perm.mask)
+        assert "knee" in text
+
+    def test_table5(self, dataset, perm):
+        text = report.table5(dataset, perm.mask)
+        assert "f=5.00%" in text and "f=10.00%" in text
+
+    def test_table6(self, dataset, analysis):
+        text = report.table6(dataset, analysis)
+        assert "sina.com.cn" in text
+
+    def test_table7(self, dataset, analysis):
+        text = report.table7(dataset, analysis)
+        assert "co-located" in text
+
+    def test_table8(self, dataset, analysis):
+        text = report.table8(dataset, analysis)
+        assert "intel-research" in text
+
+    def test_table9(self, dataset, analysis):
+        text = report.table9(dataset, analysis)
+        assert "iitb.ac.in" in text and "SEAEXT" in text
+
+    def test_headline(self, dataset):
+        text = report.headline_summary(dataset)
+        assert "median client failure rate" in text
+
+
+class TestPaperConstants:
+    def test_paper_table5_keys(self):
+        assert set(report.PAPER_TABLE5) == {0.05, 0.10}
+
+    def test_paper_table6_has_eleven_rows(self):
+        assert len(report.PAPER_TABLE6) == 11
+
+    def test_paper_headlines_complete(self):
+        required = {
+            "client_median_rate", "server_median_rate", "permanent_pairs",
+            "instability_hours_def1", "instability_hours_def2",
+        }
+        assert required <= set(report.PAPER_HEADLINES)

@@ -1,0 +1,119 @@
+"""Tests for co-located client similarity (Section 4.4.6 #2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import blame, permanent, similarity
+
+
+@pytest.fixture(scope="module")
+def client_episodes(blame_analysis):
+    return blame_analysis.client_episodes
+
+
+class TestPairSimilarity:
+    def test_jaccard_arithmetic(self, dataset, client_episodes):
+        pair = similarity.pair_similarity(
+            dataset, client_episodes,
+            "planet1.pittsburgh.intel-research.net",
+            "planet2.pittsburgh.intel-research.net",
+        )
+        assert 0.0 <= pair.similarity <= 1.0
+        assert pair.intersection <= min(pair.episodes_a, pair.episodes_b)
+        assert pair.union >= max(pair.episodes_a, pair.episodes_b)
+
+    def test_self_similarity_is_one(self, dataset, client_episodes):
+        ci = dataset.world.client_idx("planet1.pittsburgh.intel-research.net")
+        if client_episodes[ci].sum() == 0:
+            pytest.skip("no episodes for this client in this seed")
+        pair = similarity.pair_similarity(
+            dataset, client_episodes,
+            "planet1.pittsburgh.intel-research.net",
+            "planet1.pittsburgh.intel-research.net",
+        )
+        assert pair.similarity == 1.0
+
+
+class TestColocatedVsRandom:
+    def test_colocated_beat_random(self, dataset, client_episodes):
+        """Table 7's core claim: co-located pairs share far more
+        client-side episodes than random pairs."""
+        colocated = similarity.colocated_similarities(dataset, client_episodes)
+        randoms = similarity.random_pair_similarities(
+            dataset, client_episodes, count=len(colocated)
+        )
+        co_mean = np.mean([p.similarity for p in colocated])
+        rnd_mean = np.mean([p.similarity for p in randoms])
+        assert co_mean > 3 * max(rnd_mean, 0.001)
+
+    def test_pair_counts(self, dataset, client_episodes):
+        colocated = similarity.colocated_similarities(dataset, client_episodes)
+        assert len(colocated) == 35  # Table 7
+        randoms = similarity.random_pair_similarities(
+            dataset, client_episodes, count=35
+        )
+        assert len(randoms) == 35
+
+    def test_random_pairs_not_colocated(self, dataset, client_episodes):
+        randoms = similarity.random_pair_similarities(
+            dataset, client_episodes, count=35
+        )
+        colocated_keys = {
+            frozenset((a.name, b.name)) for a, b in dataset.world.colocated_pairs()
+        }
+        for pair in randoms:
+            assert frozenset((pair.client_a, pair.client_b)) not in colocated_keys
+
+    def test_random_pairs_deterministic_by_seed(self, dataset, client_episodes):
+        a = similarity.random_pair_similarities(dataset, client_episodes, 10, seed=1)
+        b = similarity.random_pair_similarities(dataset, client_episodes, 10, seed=1)
+        assert [(p.client_a, p.client_b) for p in a] == [
+            (p.client_a, p.client_b) for p in b
+        ]
+
+
+class TestBuckets:
+    def test_bucket_totals(self, dataset, client_episodes):
+        colocated = similarity.colocated_similarities(dataset, client_episodes)
+        buckets = similarity.bucket_similarities(colocated)
+        assert sum(buckets.values()) == len(colocated)
+
+    def test_bucket_boundaries(self):
+        class Fake:
+            def __init__(self, s):
+                self.similarity = s
+
+        buckets = similarity.bucket_similarities(
+            [Fake(0.0), Fake(0.1), Fake(0.3), Fake(0.6), Fake(0.9), Fake(1.0)]
+        )
+        assert buckets["= 0%"] == 1
+        assert buckets["< 25% & > 0%"] == 1
+        assert buckets["25-50%"] == 1
+        assert buckets["50-75%"] == 1
+        assert buckets["> 75%"] == 2
+
+
+class TestShowcase:
+    def test_intel_pair_highly_similar(self, dataset, client_episodes):
+        """Table 8: the Intel pair shares ~98% of many episodes."""
+        rows = {
+            (p.client_a, p.client_b): p
+            for p in similarity.showcase_pairs(dataset, client_episodes)
+        }
+        intel = rows[(
+            "planet1.pittsburgh.intel-research.net",
+            "planet2.pittsburgh.intel-research.net",
+        )]
+        assert intel.union > 20  # many episodes
+        assert intel.similarity > 0.6
+
+    def test_columbia_node1_is_the_odd_one_out(self, dataset, client_episodes):
+        """Table 8: Columbia 2<->3 similar; 1<->2 and 3<->1 nearly disjoint."""
+        rows = {
+            (p.client_a, p.client_b): p
+            for p in similarity.showcase_pairs(dataset, client_episodes)
+        }
+        c23 = rows[("planetlab2.comet.columbia.edu", "planetlab3.comet.columbia.edu")]
+        c12 = rows[("planetlab1.comet.columbia.edu", "planetlab2.comet.columbia.edu")]
+        assert c23.similarity > 0.25
+        assert c12.similarity < 0.5 * c23.similarity

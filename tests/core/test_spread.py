@@ -1,0 +1,59 @@
+"""Tests for the spread metric (Section 4.4.6 #1)."""
+
+import pytest
+
+from repro.core import blame, permanent, spread
+
+
+@pytest.fixture(scope="module")
+def analysis(blame_analysis):
+    return blame_analysis
+
+
+@pytest.fixture(scope="module")
+def spreads(dataset, analysis):
+    return spread.server_spreads(dataset, analysis)
+
+
+class TestSpreadComputation:
+    def test_only_servers_with_episodes(self, dataset, analysis, spreads):
+        for row in spreads:
+            si = dataset.world.site_idx(row.site_name)
+            assert analysis.server_episodes[si].any()
+
+    def test_spread_bounded(self, spreads):
+        for row in spreads:
+            assert 0.0 <= row.spread <= 1.0
+
+    def test_sorted_by_episode_hours(self, spreads):
+        hours = [row.episode_hours for row in spreads]
+        assert hours == sorted(hours, reverse=True)
+
+    def test_failure_prone_servers_have_wide_spread(self, spreads):
+        """Table 6's validation: server-side failures touch most clients
+        (generally over 70% in the paper)."""
+        top = spread.most_failure_prone(spreads, top=5)
+        assert top
+        for row in top:
+            assert row.spread > 0.5, row.site_name
+
+    def test_sina_in_top_rows(self, spreads):
+        top_names = [row.site_name for row in spread.most_failure_prone(spreads, 5)]
+        assert "sina.com.cn" in top_names
+
+    def test_attributed_failures_positive(self, spreads):
+        for row in spread.most_failure_prone(spreads, 5):
+            assert row.attributed_failures > 0
+
+
+class TestCoverageStats:
+    def test_most_sites_have_some_episode(self, spreads, dataset):
+        """56 of 80 websites saw at least one server-side episode."""
+        fraction = len(spreads) / len(dataset.world.websites)
+        assert fraction > 0.4
+
+    def test_us_non_us_split(self, dataset, spreads):
+        us, non_us = spread.split_us_non_us(dataset, spreads)
+        assert len(us) + len(non_us) == len(spreads)
+        top_non_us = [r.site_name for r in non_us[:4]]
+        assert "sina.com.cn" in top_non_us

@@ -1,0 +1,100 @@
+"""Tests for the TTL-respecting DNS cache."""
+
+import pytest
+
+from repro.dns.cache import DNSCache
+from repro.dns.message import DNSQuery, RCode, make_a_response, make_error_response
+from repro.net.addressing import IPv4Address
+
+ADDR = IPv4Address.parse("10.0.0.1")
+
+
+def answer(name="www.x.com", ttl=300):
+    return make_a_response(DNSQuery(name), [ADDR], ttl=ttl)
+
+
+class TestBasics:
+    def test_hit_within_ttl(self):
+        cache = DNSCache()
+        cache.store(answer(ttl=300), now=0.0)
+        assert cache.lookup(DNSQuery("www.x.com"), now=299.0) is not None
+
+    def test_miss_after_ttl(self):
+        cache = DNSCache()
+        cache.store(answer(ttl=300), now=0.0)
+        assert cache.lookup(DNSQuery("www.x.com"), now=301.0) is None
+
+    def test_miss_for_unknown_name(self):
+        cache = DNSCache()
+        assert cache.lookup(DNSQuery("nope.com"), now=0.0) is None
+
+    def test_case_insensitive_key(self):
+        cache = DNSCache()
+        cache.store(answer("WWW.X.COM"), now=0.0)
+        assert cache.lookup(DNSQuery("www.x.com"), now=1.0) is not None
+
+    def test_negative_caching_uses_negative_ttl(self):
+        cache = DNSCache(negative_ttl=60)
+        cache.store(make_error_response(DNSQuery("bad.com"), RCode.NXDOMAIN), now=0.0)
+        assert cache.lookup(DNSQuery("bad.com"), now=59.0) is not None
+        assert cache.lookup(DNSQuery("bad.com"), now=61.0) is None
+
+    def test_zero_ttl_not_stored(self):
+        cache = DNSCache()
+        cache.store(answer(ttl=0), now=0.0)
+        assert len(cache) == 0
+
+
+class TestFlush:
+    def test_flush_all(self):
+        cache = DNSCache()
+        cache.store(answer("a.com"), now=0.0)
+        cache.store(answer("b.com"), now=0.0)
+        assert cache.flush() == 2
+        assert len(cache) == 0
+
+    def test_flush_name(self):
+        cache = DNSCache()
+        cache.store(answer("a.com"), now=0.0)
+        cache.store(answer("b.com"), now=0.0)
+        assert cache.flush_name("a.com") == 1
+        assert cache.lookup(DNSQuery("b.com"), now=1.0) is not None
+
+    def test_expire_prunes(self):
+        cache = DNSCache()
+        cache.store(answer("a.com", ttl=10), now=0.0)
+        cache.store(answer("b.com", ttl=1000), now=0.0)
+        assert cache.expire(now=100.0) == 1
+        assert len(cache) == 1
+
+
+class TestEviction:
+    def test_evicts_stalest_when_full(self):
+        cache = DNSCache(max_entries=2)
+        cache.store(answer("a.com", ttl=10), now=0.0)
+        cache.store(answer("b.com", ttl=1000), now=0.0)
+        cache.store(answer("c.com", ttl=1000), now=0.0)
+        assert len(cache) == 2
+        assert cache.lookup(DNSQuery("a.com"), now=1.0) is None
+        assert cache.lookup(DNSQuery("c.com"), now=1.0) is not None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DNSCache(negative_ttl=-1)
+        with pytest.raises(ValueError):
+            DNSCache(max_entries=0)
+
+
+class TestStats:
+    def test_hit_rate(self):
+        cache = DNSCache()
+        cache.store(answer("a.com"), now=0.0)
+        cache.lookup(DNSQuery("a.com"), now=1.0)
+        cache.lookup(DNSQuery("b.com"), now=1.0)
+        assert cache.hit_rate() == pytest.approx(0.5)
+
+    def test_cached_names(self):
+        cache = DNSCache()
+        cache.store(answer("b.com"), now=0.0)
+        cache.store(answer("a.com"), now=0.0)
+        assert cache.cached_names() == ["a.com", "b.com"]

@@ -1,0 +1,79 @@
+"""Tests for the dig-style iterative traversal (Section 3.4 step 3)."""
+
+import random
+
+import pytest
+
+from repro.dns.iterative import IterativeDigger
+from repro.dns.message import RCode
+from repro.dns.resolver import LDNSPath
+from repro.dns.server import RecursiveResolverServer
+from repro.net.addressing import IPv4Address
+
+from tests.dns.test_server import SITE_ADDR, build_hierarchy
+
+
+@pytest.fixture
+def digger_stack():
+    hierarchy, site_server, tld, root = build_hierarchy()
+    ldns = RecursiveResolverServer(
+        name="ldns", address=IPv4Address.parse("10.2.0.1"),
+        hierarchy=hierarchy, rng=random.Random(1),
+    )
+    path = LDNSPath(ldns)
+    digger = IterativeDigger(path, hierarchy, random.Random(2))
+    return digger, path, ldns, site_server
+
+
+class TestSuccessfulDig:
+    def test_succeeds_via_ldns(self, digger_stack):
+        digger, _, _, _ = digger_stack
+        result = digger.dig("www.x.com", now=0.0)
+        assert result.succeeded
+        assert result.addresses == [SITE_ADDR]
+        assert result.ldns_responded
+
+    def test_walks_hierarchy_when_ldns_down(self, digger_stack):
+        digger, path, _, _ = digger_stack
+        path.reachable = False
+        result = digger.dig("www.x.com", now=0.0)
+        assert result.succeeded  # root walk still works
+        assert result.failed_at_ldns
+        # Step record: LDNS unanswered, then root -> tld -> auth.
+        assert not result.steps[0].answered
+        assert any(s.referral for s in result.steps)
+
+    def test_summary_strings(self, digger_stack):
+        digger, _, _, _ = digger_stack
+        assert "resolved" in digger.dig("www.x.com", now=0.0).summary()
+
+
+class TestFailureLocalization:
+    def test_dead_auth_dangles(self, digger_stack):
+        digger, _, _, site_server = digger_stack
+        site_server.available = False
+        result = digger.dig("www.x.com", now=0.0)
+        assert not result.succeeded
+        assert result.ldns_responded
+        assert "dangled" in result.summary() or "error" in result.summary()
+
+    def test_error_rcode_localized(self, digger_stack):
+        digger, _, _, site_server = digger_stack
+        site_server.forced_rcode = RCode.SERVFAIL
+        result = digger.dig("www.x.com", now=0.0)
+        assert not result.succeeded
+        assert result.final_rcode is RCode.SERVFAIL
+
+    def test_total_darkness(self, digger_stack):
+        digger, path, _, site_server = digger_stack
+        path.reachable = False
+        site_server.available = False
+        result = digger.dig("www.x.com", now=0.0)
+        assert not result.succeeded
+        assert result.failed_at_ldns
+
+    def test_elapsed_accumulates_timeouts(self, digger_stack):
+        digger, path, _, _ = digger_stack
+        path.reachable = False
+        result = digger.dig("www.x.com", now=0.0)
+        assert result.elapsed >= digger.per_query_timeout

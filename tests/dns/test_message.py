@@ -1,0 +1,113 @@
+"""Tests for DNS message types."""
+
+import pytest
+
+from repro.dns.message import (
+    DNSQuery,
+    DNSResponse,
+    RCode,
+    RecordType,
+    ResourceRecord,
+    make_a_response,
+    make_error_response,
+    make_referral,
+    normalize_name,
+    parent_zone,
+)
+from repro.net.addressing import IPv4Address
+
+ADDR = IPv4Address.parse("10.0.0.1")
+
+
+class TestNormalizeName:
+    def test_lowercases_and_strips_dot(self):
+        assert normalize_name("WWW.Example.COM.") == "www.example.com"
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            normalize_name("")
+
+    def test_rejects_empty_label(self):
+        with pytest.raises(ValueError):
+            normalize_name("a..b")
+
+    def test_rejects_long_label(self):
+        with pytest.raises(ValueError):
+            normalize_name("a" * 64 + ".com")
+
+    def test_parent_zone(self):
+        assert parent_zone("www.example.com") == "example.com"
+        assert parent_zone("com") is None
+
+
+class TestResourceRecord:
+    def test_a_record_needs_address(self):
+        with pytest.raises(ValueError):
+            ResourceRecord(name="x.com", rtype=RecordType.A, ttl=60)
+
+    def test_a_record_rejects_target(self):
+        with pytest.raises(ValueError):
+            ResourceRecord(
+                name="x.com", rtype=RecordType.A, ttl=60,
+                address=ADDR, target="y.com",
+            )
+
+    def test_cname_needs_target(self):
+        with pytest.raises(ValueError):
+            ResourceRecord(name="x.com", rtype=RecordType.CNAME, ttl=60)
+
+    def test_negative_ttl_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceRecord(name="x.com", rtype=RecordType.A, ttl=-1, address=ADDR)
+
+    def test_names_normalized(self):
+        rr = ResourceRecord(
+            name="X.COM.", rtype=RecordType.NS, ttl=60, target="NS1.X.COM"
+        )
+        assert rr.name == "x.com" and rr.target == "ns1.x.com"
+
+
+class TestResponses:
+    def test_make_a_response(self):
+        q = DNSQuery("www.x.com")
+        r = make_a_response(q, [ADDR], ttl=120)
+        assert r.rcode is RCode.NOERROR
+        assert r.addresses() == [ADDR]
+        assert not r.is_referral
+
+    def test_cname_chain_owner_tracking(self):
+        q = DNSQuery("www.x.com")
+        r = make_a_response(q, [ADDR], cname_chain=["cdn.y.net"])
+        cnames = r.cname_records()
+        assert cnames[0].name == "www.x.com"
+        assert cnames[0].target == "cdn.y.net"
+        assert r.a_records()[0].name == "cdn.y.net"
+
+    def test_make_error_requires_error_code(self):
+        q = DNSQuery("www.x.com")
+        with pytest.raises(ValueError):
+            make_error_response(q, RCode.NOERROR)
+        assert make_error_response(q, RCode.NXDOMAIN).rcode is RCode.NXDOMAIN
+
+    def test_referral_structure(self):
+        q = DNSQuery("www.x.com")
+        r = make_referral(q, zone="x.com", ns_names=["ns1.x.com"],
+                          glue=[("ns1.x.com", ADDR)])
+        assert r.is_referral
+        assert r.ns_names() == ["ns1.x.com"]
+        assert r.glue_for("ns1.x.com") == ADDR
+        assert r.glue_for("ns2.x.com") is None
+
+    def test_referral_needs_ns(self):
+        with pytest.raises(ValueError):
+            make_referral(DNSQuery("www.x.com"), zone="x.com", ns_names=[])
+
+    def test_rcode_is_error(self):
+        assert RCode.SERVFAIL.is_error
+        assert RCode.NXDOMAIN.is_error
+        assert not RCode.NOERROR.is_error
+
+
+class TestQuery:
+    def test_normalizes_name(self):
+        assert DNSQuery("WWW.X.COM").name == "www.x.com"

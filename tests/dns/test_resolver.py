@@ -1,0 +1,104 @@
+"""Tests for the stub resolver's failure taxonomy.
+
+These pin down exactly the observable categories of Section 2.1:
+LDNS timeout, non-LDNS timeout, and error response.
+"""
+
+import random
+
+import pytest
+
+from repro.dns.message import RCode
+from repro.dns.resolver import LDNSPath, ResolutionStatus, StubResolver
+from repro.dns.server import RecursiveResolverServer
+from repro.net.addressing import IPv4Address
+
+from tests.dns.test_server import SITE_ADDR, build_hierarchy
+
+
+@pytest.fixture
+def stack():
+    hierarchy, site_server, tld, root = build_hierarchy()
+    ldns = RecursiveResolverServer(
+        name="ldns", address=IPv4Address.parse("10.2.0.1"),
+        hierarchy=hierarchy, rng=random.Random(1),
+    )
+    path = LDNSPath(ldns)
+    stub = StubResolver(path, random.Random(2))
+    return stub, path, ldns, site_server
+
+
+class TestSuccess:
+    def test_resolves_addresses(self, stack):
+        stub, _, _, _ = stack
+        outcome = stub.resolve("www.x.com", now=0.0)
+        assert outcome.status is ResolutionStatus.SUCCESS
+        assert outcome.addresses == [SITE_ADDR]
+        assert outcome.lookup_time > 0.0
+
+    def test_stub_cache_hit_is_instant(self, stack):
+        stub, _, _, _ = stack
+        stub.resolve("www.x.com", now=0.0)
+        cached = stub.resolve("www.x.com", now=1.0)
+        assert cached.from_cache and cached.lookup_time == 0.0
+
+    def test_flush_cache_forces_lookup(self, stack):
+        stub, _, _, _ = stack
+        stub.resolve("www.x.com", now=0.0)
+        stub.flush_cache()
+        again = stub.resolve("www.x.com", now=1.0)
+        assert not again.from_cache
+
+
+class TestLDNSTimeout:
+    def test_unreachable_path(self, stack):
+        stub, path, _, _ = stack
+        path.reachable = False
+        outcome = stub.resolve("www.x.com", now=0.0)
+        assert outcome.status is ResolutionStatus.LDNS_TIMEOUT
+        assert outcome.lookup_time == pytest.approx(
+            stub.timeout * stub.attempts
+        )
+
+    def test_ldns_process_down(self, stack):
+        stub, _, ldns, _ = stack
+        ldns.process_up = False
+        outcome = stub.resolve("www.x.com", now=0.0)
+        assert outcome.status is ResolutionStatus.LDNS_TIMEOUT
+
+    def test_failure_flag(self, stack):
+        stub, path, _, _ = stack
+        path.reachable = False
+        assert stub.resolve("www.x.com", now=0.0).status.is_failure
+
+
+class TestNonLDNSTimeout:
+    def test_dead_authoritative(self, stack):
+        stub, _, _, site_server = stack
+        site_server.available = False
+        outcome = stub.resolve("www.x.com", now=0.0)
+        assert outcome.status is ResolutionStatus.NON_LDNS_TIMEOUT
+
+
+class TestErrorResponse:
+    def test_servfail(self, stack):
+        stub, _, _, site_server = stack
+        site_server.forced_rcode = RCode.SERVFAIL
+        outcome = stub.resolve("www.x.com", now=0.0)
+        assert outcome.status is ResolutionStatus.ERROR_RESPONSE
+        assert outcome.rcode is RCode.SERVFAIL
+
+    def test_nxdomain_for_unknown(self, stack):
+        stub, _, _, _ = stack
+        outcome = stub.resolve("missing.x.com", now=0.0)
+        assert outcome.status is ResolutionStatus.ERROR_RESPONSE
+        assert outcome.rcode is RCode.NXDOMAIN
+
+
+class TestValidation:
+    def test_bad_parameters(self, stack):
+        _, path, _, _ = stack
+        with pytest.raises(ValueError):
+            StubResolver(path, random.Random(0), timeout=0)
+        with pytest.raises(ValueError):
+            StubResolver(path, random.Random(0), attempts=0)

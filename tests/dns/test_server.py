@@ -1,0 +1,162 @@
+"""Tests for authoritative servers, the hierarchy, and LDNS recursion."""
+
+import random
+
+import pytest
+
+from repro.dns.message import DNSQuery, RCode
+from repro.dns.server import (
+    AuthoritativeServer,
+    DNSHierarchy,
+    DNSServerError,
+    RecursiveResolverServer,
+    Zone,
+)
+from repro.net.addressing import IPv4Address
+
+SITE_ADDR = IPv4Address.parse("10.9.0.1")
+
+
+def build_hierarchy():
+    """root -> com -> x.com hierarchy with one A record."""
+    hierarchy = DNSHierarchy()
+    site_zone = Zone(name="x.com")
+    site_zone.add_a("www.x.com", [SITE_ADDR])
+    site_zone.add_cname("alias.x.com", "www.x.com")
+    site_server = AuthoritativeServer(
+        name="ns1.x.com", address=IPv4Address.parse("10.1.0.1"), zone=site_zone
+    )
+    hierarchy.register(site_server)
+
+    tld_zone = Zone(name="com")
+    tld_zone.delegate("x.com", [("ns1.x.com", site_server.address)])
+    tld_server = AuthoritativeServer(
+        name="ns.com-tld", address=IPv4Address.parse("10.1.0.2"), zone=tld_zone
+    )
+    hierarchy.register(tld_server)
+
+    root_zone = Zone(name="")
+    root_zone.delegate("com", [("ns.com-tld", tld_server.address)])
+    root = AuthoritativeServer(
+        name="a.root", address=IPv4Address.parse("10.1.0.3"), zone=root_zone
+    )
+    hierarchy.register(root, is_root=True)
+    return hierarchy, site_server, tld_server, root
+
+
+@pytest.fixture
+def hierarchy():
+    return build_hierarchy()
+
+
+class TestAuthoritative:
+    def test_in_zone_answer(self, hierarchy):
+        h, site, _, _ = hierarchy
+        response = site.handle(DNSQuery("www.x.com"), random.Random(0))
+        assert response.addresses() == [SITE_ADDR]
+        assert response.authoritative
+
+    def test_cname_resolution(self, hierarchy):
+        h, site, _, _ = hierarchy
+        response = site.handle(DNSQuery("alias.x.com"), random.Random(0))
+        assert response.addresses() == [SITE_ADDR]
+        assert response.cname_records()
+
+    def test_nxdomain_for_unknown_name(self, hierarchy):
+        h, site, _, _ = hierarchy
+        response = site.handle(DNSQuery("missing.x.com"), random.Random(0))
+        assert response.rcode is RCode.NXDOMAIN
+
+    def test_refused_out_of_zone(self, hierarchy):
+        h, site, _, _ = hierarchy
+        response = site.handle(DNSQuery("www.other.org"), random.Random(0))
+        assert response.rcode is RCode.REFUSED
+
+    def test_unavailable_server_silent(self, hierarchy):
+        h, site, _, _ = hierarchy
+        site.available = False
+        assert site.handle(DNSQuery("www.x.com"), random.Random(0)) is None
+        assert site.queries_dropped == 1
+
+    def test_forced_rcode(self, hierarchy):
+        h, site, _, _ = hierarchy
+        site.forced_rcode = RCode.SERVFAIL
+        response = site.handle(DNSQuery("www.x.com"), random.Random(0))
+        assert response.rcode is RCode.SERVFAIL
+
+    def test_flakiness_drops_roughly_half(self, hierarchy):
+        h, site, _, _ = hierarchy
+        site.flakiness = 0.5
+        rng = random.Random(1)
+        answered = sum(
+            site.handle(DNSQuery("www.x.com"), rng) is not None for _ in range(400)
+        )
+        assert 120 < answered < 280
+
+    def test_delegation_referral(self, hierarchy):
+        h, _, tld, _ = hierarchy
+        response = tld.handle(DNSQuery("www.x.com"), random.Random(0))
+        assert response.is_referral
+        assert response.ns_names() == ["ns1.x.com"]
+
+
+class TestHierarchy:
+    def test_duplicate_registration_rejected(self, hierarchy):
+        h, site, _, _ = hierarchy
+        with pytest.raises(DNSServerError):
+            h.register(site)
+
+    def test_query_unknown_address_none(self, hierarchy):
+        h, _, _, _ = hierarchy
+        assert h.query(IPv4Address.parse("10.255.0.1"), DNSQuery("x.com"),
+                       random.Random(0)) is None
+
+    def test_roots_required(self):
+        with pytest.raises(DNSServerError):
+            DNSHierarchy().root_servers()
+
+
+class TestRecursion:
+    def make_ldns(self, hierarchy):
+        return RecursiveResolverServer(
+            name="ldns", address=IPv4Address.parse("10.2.0.1"),
+            hierarchy=hierarchy, rng=random.Random(5),
+        )
+
+    def test_full_recursion_succeeds(self, hierarchy):
+        h, _, _, _ = hierarchy
+        ldns = self.make_ldns(h)
+        result = ldns.resolve(DNSQuery("www.x.com"), now=0.0)
+        assert result.succeeded
+        assert result.response.addresses() == [SITE_ADDR]
+        assert result.servers_contacted >= 3
+
+    def test_recursion_result_cached(self, hierarchy):
+        h, _, _, _ = hierarchy
+        ldns = self.make_ldns(h)
+        ldns.resolve(DNSQuery("www.x.com"), now=0.0)
+        cached = ldns.resolve(DNSQuery("www.x.com"), now=1.0)
+        assert cached.succeeded and cached.servers_contacted == 0
+
+    def test_unreachable_authoritative_times_out(self, hierarchy):
+        h, site, _, _ = hierarchy
+        site.available = False
+        ldns = self.make_ldns(h)
+        result = ldns.resolve(DNSQuery("www.x.com"), now=0.0)
+        assert not result.succeeded
+        assert result.timed_out
+
+    def test_error_propagates(self, hierarchy):
+        h, site, _, _ = hierarchy
+        site.forced_rcode = RCode.NXDOMAIN
+        ldns = self.make_ldns(h)
+        result = ldns.resolve(DNSQuery("www.x.com"), now=0.0)
+        assert result.response is not None
+        assert result.response.rcode is RCode.NXDOMAIN
+        assert not result.timed_out
+
+    def test_nxdomain_for_unknown_subdomain(self, hierarchy):
+        h, _, _, _ = hierarchy
+        ldns = self.make_ldns(h)
+        result = ldns.resolve(DNSQuery("nope.x.com"), now=0.0)
+        assert result.response.rcode is RCode.NXDOMAIN

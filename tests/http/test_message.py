@@ -1,0 +1,92 @@
+"""Tests for HTTP message types."""
+
+import pytest
+
+from repro.http.message import (
+    HTTPRequest,
+    HTTPResponse,
+    StatusClass,
+    parse_url,
+)
+
+
+class TestStatusClass:
+    def test_classes(self):
+        assert StatusClass.of(200) is StatusClass.SUCCESS
+        assert StatusClass.of(302) is StatusClass.REDIRECT
+        assert StatusClass.of(404) is StatusClass.CLIENT_ERROR
+        assert StatusClass.of(503) is StatusClass.SERVER_ERROR
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            StatusClass.of(100)
+        with pytest.raises(ValueError):
+            StatusClass.of(600)
+
+
+class TestRequest:
+    def test_host_normalized(self):
+        assert HTTPRequest(host="WWW.X.COM").host == "www.x.com"
+
+    def test_path_must_be_absolute(self):
+        with pytest.raises(ValueError):
+            HTTPRequest(host="x.com", path="index.html")
+
+    def test_method_validated(self):
+        with pytest.raises(ValueError):
+            HTTPRequest(host="x.com", method="POST")
+
+    def test_no_cache_directive_rendered(self):
+        req = HTTPRequest(host="x.com", no_cache=True)
+        assert "Cache-Control: no-cache" in req.header_lines()
+        assert req.wire_size() > HTTPRequest(host="x.com").wire_size()
+
+    def test_extra_headers_count_toward_size(self):
+        small = HTTPRequest(host="x.com")
+        big = HTTPRequest(host="x.com", headers={"User-Agent": "wget/1.9"})
+        assert big.wire_size() > small.wire_size()
+
+
+class TestResponse:
+    def test_ok(self):
+        r = HTTPResponse(status=200, body_bytes=1000)
+        assert r.ok and not r.is_redirect and not r.is_error
+
+    def test_redirect_needs_location(self):
+        with pytest.raises(ValueError):
+            HTTPResponse(status=302)
+        r = HTTPResponse(status=302, location="http://y.com/")
+        assert r.is_redirect
+
+    def test_errors(self):
+        assert HTTPResponse(status=404, body_bytes=1).is_error
+        assert HTTPResponse(status=503, body_bytes=1).is_error
+
+    def test_negative_body_rejected(self):
+        with pytest.raises(ValueError):
+            HTTPResponse(status=200, body_bytes=-1)
+
+    def test_status_line(self):
+        assert HTTPResponse(status=404).status_line() == "HTTP/1.1 404 Not Found"
+
+    def test_unknown_reason(self):
+        assert HTTPResponse(status=418).reason == "Unknown"
+
+
+class TestParseUrl:
+    def test_full_url(self):
+        assert parse_url("http://www.x.com/a/b") == ("www.x.com", "/a/b")
+
+    def test_bare_host(self):
+        assert parse_url("www.x.com") == ("www.x.com", "/")
+
+    def test_host_with_slash(self):
+        assert parse_url("www.x.com/") == ("www.x.com", "/")
+
+    def test_rejects_https(self):
+        with pytest.raises(ValueError):
+            parse_url("https://x.com/")
+
+    def test_rejects_empty_host(self):
+        with pytest.raises(ValueError):
+            parse_url("http:///path")

@@ -1,0 +1,139 @@
+"""Tests for the corporate caching proxy -- the Section 4.7 mechanics."""
+
+import random
+
+import pytest
+
+from repro.dns.resolver import ResolutionOutcome, ResolutionStatus
+from repro.http.message import HTTPRequest, HTTPResponse
+from repro.http.proxy import CachingProxy, ProxyTransport
+from repro.http.wget import WgetClient
+from repro.net.addressing import IPv4Address
+from repro.tcp.connection import ConnectionOutcome
+
+from tests.http.test_wget import A1, A2, ScriptedTransport
+
+PROXY_ADDR = IPv4Address.parse("10.7.0.1")
+
+
+class ScriptedResolver:
+    """Stands in for the proxy's StubResolver."""
+
+    def __init__(self, addresses, fail=False):
+        self.addresses = addresses
+        self.fail = fail
+
+    def resolve(self, name, now):
+        if self.fail:
+            return ResolutionOutcome(
+                status=ResolutionStatus.LDNS_TIMEOUT, addresses=[], lookup_time=10.0
+            )
+        return ResolutionOutcome(
+            status=ResolutionStatus.SUCCESS,
+            addresses=list(self.addresses),
+            lookup_time=0.05,
+        )
+
+
+def make_proxy(addresses, down=(), resolver_fail=False):
+    upstream = ScriptedTransport({"x.com": list(addresses)}, down=down)
+    proxy = CachingProxy(
+        name="proxy-test",
+        resolver=ScriptedResolver(addresses, fail=resolver_fail),
+        upstream=upstream,
+        rng=random.Random(0),
+    )
+    return proxy, upstream
+
+
+class TestNoFailover:
+    def test_first_address_dead_fails_despite_alternatives(self):
+        """The iitb.ac.in mechanism: wget fails over, the proxy does not."""
+        proxy, upstream = make_proxy([A1, A2], down={A1})
+        response, _ = proxy.handle(HTTPRequest(host="x.com", no_cache=True), 0.0)
+        assert response.status == 504
+        assert upstream.fetch_log == [A1]  # never tried A2
+        assert proxy.upstream_failures == 1
+
+    def test_first_address_alive_succeeds(self):
+        proxy, upstream = make_proxy([A1, A2], down={A2})
+        response, _ = proxy.handle(HTTPRequest(host="x.com", no_cache=True), 0.0)
+        assert response.ok
+        assert response.via_proxy == "proxy-test"
+
+
+class TestDNSMasking:
+    def test_proxy_dns_failure_becomes_gateway_error(self):
+        proxy, _ = make_proxy([A1], resolver_fail=True)
+        response, _ = proxy.handle(HTTPRequest(host="x.com", no_cache=True), 0.0)
+        assert response.status == 502  # the client cannot see it was DNS
+
+
+class TestCaching:
+    def test_cache_hit_when_allowed(self):
+        proxy, upstream = make_proxy([A1])
+        proxy.handle(HTTPRequest(host="x.com"), 0.0)
+        response, elapsed = proxy.handle(HTTPRequest(host="x.com"), 1.0)
+        assert response.from_cache
+        assert proxy.cache_hits == 1
+        assert len(upstream.fetch_log) == 1
+
+    def test_no_cache_bypasses(self):
+        """The measurement clients' no-cache directive (Section 3.4)."""
+        proxy, upstream = make_proxy([A1])
+        proxy.handle(HTTPRequest(host="x.com", no_cache=True), 0.0)
+        proxy.handle(HTTPRequest(host="x.com", no_cache=True), 1.0)
+        assert proxy.cache_hits == 0
+        assert len(upstream.fetch_log) == 2
+
+    def test_cache_expiry(self):
+        proxy, upstream = make_proxy([A1])
+        proxy.cache_ttl = 10.0
+        proxy.handle(HTTPRequest(host="x.com"), 0.0)
+        proxy.handle(HTTPRequest(host="x.com"), 20.0)
+        assert len(upstream.fetch_log) == 2
+
+    def test_flush(self):
+        proxy, _ = make_proxy([A1])
+        proxy.handle(HTTPRequest(host="x.com"), 0.0)
+        assert proxy.flush_cache() == 1
+
+
+class TestProxyTransport:
+    def test_resolution_is_trivial(self):
+        proxy, _ = make_proxy([A1])
+        transport = ProxyTransport(proxy, PROXY_ADDR, random.Random(0))
+        outcome = transport.resolve("x.com", 0.0)
+        assert outcome.succeeded and outcome.addresses == [PROXY_ADDR]
+        assert outcome.lookup_time == 0.0
+
+    def test_fetch_via_proxy(self):
+        proxy, _ = make_proxy([A1])
+        transport = ProxyTransport(proxy, PROXY_ADDR, random.Random(0))
+        wget = WgetClient(transport, no_cache=True, rng=random.Random(0))
+        result = wget.download("http://x.com/", 0.0)
+        assert result.succeeded
+        assert result.final_response.via_proxy == "proxy-test"
+
+    def test_lan_failure_is_no_connection(self):
+        proxy, _ = make_proxy([A1])
+        transport = ProxyTransport(
+            proxy, PROXY_ADDR, random.Random(0), lan_failure_probability=1.0
+        )
+        fetch = transport.fetch(PROXY_ADDR, HTTPRequest(host="x.com"), 0.0)
+        assert fetch.connection.outcome is ConnectionOutcome.NO_CONNECTION
+
+    def test_wrong_address_rejected(self):
+        proxy, _ = make_proxy([A1])
+        transport = ProxyTransport(proxy, PROXY_ADDR, random.Random(0))
+        with pytest.raises(ValueError):
+            transport.fetch(A1, HTTPRequest(host="x.com"), 0.0)
+
+    def test_upstream_failure_masked_as_http_error(self):
+        """What the CN clients observe: an opaque failure, not its cause."""
+        proxy, _ = make_proxy([A1, A2], down={A1})
+        transport = ProxyTransport(proxy, PROXY_ADDR, random.Random(0))
+        wget = WgetClient(transport, no_cache=True, rng=random.Random(0))
+        result = wget.download("http://x.com/", 0.0)
+        assert result.failed and result.http_failed
+        assert not result.tcp_failed and not result.dns_failed

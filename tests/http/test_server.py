@@ -1,0 +1,94 @@
+"""Tests for origin servers and the fleet registry."""
+
+import random
+
+import pytest
+
+from repro.http.message import HTTPRequest
+from repro.http.server import OriginFleet, ReplicaApp, SiteContent
+from repro.net.addressing import IPv4Address
+
+A1 = IPv4Address.parse("10.3.0.1")
+A2 = IPv4Address.parse("10.3.0.2")
+
+
+def make_app(address=A1, **content_kwargs):
+    return ReplicaApp(
+        address=address,
+        site_name="x.com",
+        content=SiteContent(**content_kwargs),
+    )
+
+
+class TestSiteContent:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SiteContent(index_bytes=0)
+        with pytest.raises(ValueError):
+            SiteContent(redirect_probability=2.0)
+        with pytest.raises(ValueError):
+            SiteContent(error_probability=-0.1)
+
+
+class TestReplicaApp:
+    def test_serves_index(self):
+        app = make_app(index_bytes=12345)
+        response = app.respond(HTTPRequest(host="x.com"), random.Random(0))
+        assert response.ok and response.body_bytes == 12345
+        assert app.requests_served == 1
+
+    def test_always_redirect(self):
+        app = make_app(redirect_to="www.x.com", redirect_probability=1.0)
+        response = app.respond(HTTPRequest(host="x.com"), random.Random(0))
+        assert response.is_redirect
+        assert response.location == "http://www.x.com/"
+
+    def test_probabilistic_redirect(self):
+        app = make_app(redirect_to="www.x.com", redirect_probability=0.5)
+        rng = random.Random(1)
+        outcomes = [
+            app.respond(HTTPRequest(host="x.com"), rng).is_redirect
+            for _ in range(300)
+        ]
+        assert 90 < sum(outcomes) < 210
+
+    def test_error_injection(self):
+        app = make_app(error_probability=1.0, error_status=404)
+        response = app.respond(HTTPRequest(host="x.com"), random.Random(0))
+        assert response.status == 404
+
+    def test_overload_503(self):
+        app = make_app()
+        app.overloaded_error_probability = 1.0
+        response = app.respond(HTTPRequest(host="x.com"), random.Random(0))
+        assert response.status == 503
+
+
+class TestFleet:
+    def test_register_and_lookup(self):
+        fleet = OriginFleet()
+        fleet.register(make_app(A1))
+        fleet.register(make_app(A2))
+        assert fleet.app_at(A1) is not None
+        assert fleet.app_at(IPv4Address.parse("10.9.9.9")) is None
+        assert len(fleet.apps_for_site("x.com")) == 2
+        assert fleet.sites() == ["x.com"]
+
+    def test_duplicate_address_rejected(self):
+        fleet = OriginFleet()
+        fleet.register(make_app(A1))
+        with pytest.raises(ValueError):
+            fleet.register(make_app(A1))
+
+    def test_addresses_sorted(self):
+        fleet = OriginFleet()
+        fleet.register(make_app(A2))
+        fleet.register(make_app(A1))
+        assert fleet.addresses() == [A1, A2]
+
+    def test_total_requests(self):
+        fleet = OriginFleet()
+        app = make_app(A1)
+        fleet.register(app)
+        app.respond(HTTPRequest(host="x.com"), random.Random(0))
+        assert fleet.total_requests_served() == 1

@@ -1,0 +1,172 @@
+"""Tests for the wget client: retries, failover, redirects, DNS-first."""
+
+import random
+from typing import Dict, List
+
+import pytest
+
+from repro.dns.resolver import ResolutionOutcome, ResolutionStatus
+from repro.http.message import HTTPRequest, HTTPResponse
+from repro.http.wget import FetchResult, Transport, WgetClient
+from repro.net.addressing import IPv4Address
+from repro.tcp.connection import ConnectionOutcome, ConnectionResult
+
+A1 = IPv4Address.parse("10.3.0.1")
+A2 = IPv4Address.parse("10.3.0.2")
+A3 = IPv4Address.parse("10.3.0.3")
+
+
+def conn_result(outcome, start=0.0, duration=1.0):
+    return ConnectionResult(
+        outcome=outcome,
+        established=outcome is not ConnectionOutcome.NO_CONNECTION,
+        request_sent=outcome is not ConnectionOutcome.NO_CONNECTION,
+        bytes_received=1000 if outcome is ConnectionOutcome.COMPLETE else 0,
+        start_time=start,
+        end_time=start + duration,
+    )
+
+
+class ScriptedTransport(Transport):
+    """Resolution + per-address behaviour scripted for tests."""
+
+    def __init__(self, addresses, down=(), responses=None):
+        self.addresses = {
+            name: addrs for name, addrs in addresses.items()
+        }
+        self.down = set(down)
+        self.responses: Dict[IPv4Address, HTTPResponse] = responses or {}
+        self.fetch_log: List[IPv4Address] = []
+        self.resolve_log: List[str] = []
+
+    def resolve(self, name, now):
+        self.resolve_log.append(name)
+        addrs = self.addresses.get(name)
+        if addrs is None:
+            return ResolutionOutcome(
+                status=ResolutionStatus.LDNS_TIMEOUT, addresses=[], lookup_time=10.0
+            )
+        return ResolutionOutcome(
+            status=ResolutionStatus.SUCCESS, addresses=list(addrs), lookup_time=0.1
+        )
+
+    def fetch(self, address, request, now):
+        self.fetch_log.append(address)
+        if address in self.down:
+            return FetchResult(
+                connection=conn_result(ConnectionOutcome.NO_CONNECTION, now, 45.0),
+                response=None,
+            )
+        response = self.responses.get(
+            address, HTTPResponse(status=200, body_bytes=1000)
+        )
+        return FetchResult(
+            connection=conn_result(ConnectionOutcome.COMPLETE, now), response=response
+        )
+
+
+class TestSuccess:
+    def test_simple_download(self):
+        transport = ScriptedTransport({"x.com": [A1]})
+        wget = WgetClient(transport, rng=random.Random(0))
+        result = wget.download("http://x.com/", 0.0)
+        assert result.succeeded and not result.failed
+        assert result.num_connections == 1
+        assert result.end_time > result.start_time
+
+    def test_failover_to_second_address(self):
+        transport = ScriptedTransport({"x.com": [A1, A2]}, down={A1})
+        wget = WgetClient(transport, rng=random.Random(0))
+        result = wget.download("http://x.com/", 0.0)
+        assert result.succeeded
+        assert transport.fetch_log == [A1, A2]
+        assert result.num_connections == 2
+
+    def test_redirect_followed_with_fresh_resolution(self):
+        transport = ScriptedTransport(
+            {"x.com": [A1], "www.x.com": [A2]},
+            responses={A1: HTTPResponse(status=302, location="http://www.x.com/")},
+        )
+        wget = WgetClient(transport, rng=random.Random(0))
+        result = wget.download("http://x.com/", 0.0)
+        assert result.succeeded
+        assert result.redirects_followed == 1
+        assert transport.resolve_log == ["x.com", "www.x.com"]
+        assert result.num_connections == 2
+
+
+class TestDNSFailure:
+    def test_dns_failure_precludes_tcp(self):
+        """The paper's key asymmetry: no resolution, no connection attempt."""
+        transport = ScriptedTransport({})
+        wget = WgetClient(transport, rng=random.Random(0))
+        result = wget.download("http://x.com/", 0.0)
+        assert result.dns_failed and not result.tcp_failed
+        assert transport.fetch_log == []
+        assert result.num_connections == 0
+
+    def test_redirect_hop_dns_failure_detected(self):
+        transport = ScriptedTransport(
+            {"x.com": [A1]},
+            responses={A1: HTTPResponse(status=302, location="http://gone.com/")},
+        )
+        wget = WgetClient(transport, rng=random.Random(0))
+        result = wget.download("http://x.com/", 0.0)
+        assert result.dns_failed
+        assert result.failed_resolution is not None
+
+
+class TestTCPFailure:
+    def test_all_addresses_down(self):
+        transport = ScriptedTransport({"x.com": [A1, A2]}, down={A1, A2})
+        wget = WgetClient(transport, tries=2, rng=random.Random(0))
+        result = wget.download("http://x.com/", 0.0)
+        assert result.tcp_failed and not result.dns_failed
+        # 2 tries x 2 addresses.
+        assert result.num_connections == 4
+
+    def test_max_addresses_respected(self):
+        transport = ScriptedTransport(
+            {"x.com": [A1, A2, A3]}, down={A1, A2, A3}
+        )
+        wget = WgetClient(transport, tries=1, max_addresses=2, rng=random.Random(0))
+        result = wget.download("http://x.com/", 0.0)
+        assert result.num_connections == 2
+
+    def test_last_connection_exposed(self):
+        transport = ScriptedTransport({"x.com": [A1]}, down={A1})
+        wget = WgetClient(transport, tries=1, rng=random.Random(0))
+        result = wget.download("http://x.com/", 0.0)
+        assert result.last_connection.outcome is ConnectionOutcome.NO_CONNECTION
+
+
+class TestHTTPFailure:
+    def test_http_error_is_distinct(self):
+        transport = ScriptedTransport(
+            {"x.com": [A1]}, responses={A1: HTTPResponse(status=404, body_bytes=1)}
+        )
+        wget = WgetClient(transport, rng=random.Random(0))
+        result = wget.download("http://x.com/", 0.0)
+        assert result.http_failed and result.failed
+        assert not result.tcp_failed and not result.dns_failed
+
+
+class TestValidation:
+    def test_constructor_bounds(self):
+        transport = ScriptedTransport({})
+        with pytest.raises(ValueError):
+            WgetClient(transport, tries=0)
+        with pytest.raises(ValueError):
+            WgetClient(transport, max_redirects=-1)
+        with pytest.raises(ValueError):
+            WgetClient(transport, max_addresses=0)
+
+    def test_redirect_loop_bounded(self):
+        transport = ScriptedTransport(
+            {"x.com": [A1]},
+            responses={A1: HTTPResponse(status=302, location="http://x.com/")},
+        )
+        wget = WgetClient(transport, max_redirects=3, rng=random.Random(0))
+        result = wget.download("http://x.com/", 0.0)
+        assert result.failed
+        assert result.redirects_followed == 3

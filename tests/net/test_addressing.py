@@ -1,0 +1,182 @@
+"""Tests for IPv4 addresses, prefixes, and the LPM table."""
+
+import pytest
+
+from repro.net.addressing import (
+    AddressAllocator,
+    AddressError,
+    IPv4Address,
+    Prefix,
+    PrefixTable,
+    group_by_slash24,
+)
+
+
+class TestIPv4Address:
+    def test_parse_and_str_roundtrip(self):
+        for text in ("0.0.0.0", "10.1.2.3", "255.255.255.255", "192.168.0.1"):
+            assert str(IPv4Address.parse(text)) == text
+
+    def test_parse_rejects_bad_octet(self):
+        with pytest.raises(AddressError):
+            IPv4Address.parse("10.0.0.256")
+
+    def test_parse_rejects_short_quad(self):
+        with pytest.raises(AddressError):
+            IPv4Address.parse("10.0.0")
+
+    def test_parse_rejects_non_numeric(self):
+        with pytest.raises(AddressError):
+            IPv4Address.parse("a.b.c.d")
+
+    def test_value_bounds_enforced(self):
+        with pytest.raises(AddressError):
+            IPv4Address(-1)
+        with pytest.raises(AddressError):
+            IPv4Address(1 << 32)
+
+    def test_ordering_follows_numeric_value(self):
+        a = IPv4Address.parse("10.0.0.1")
+        b = IPv4Address.parse("10.0.0.2")
+        assert a < b
+
+    def test_slash24(self):
+        addr = IPv4Address.parse("10.5.6.7")
+        assert str(addr.slash24()) == "10.5.6.0/24"
+
+    def test_within(self):
+        addr = IPv4Address.parse("172.16.5.9")
+        assert addr.within(Prefix.parse("172.16.0.0/16"))
+        assert not addr.within(Prefix.parse("172.17.0.0/16"))
+
+    def test_hashable(self):
+        assert len({IPv4Address(1), IPv4Address(1), IPv4Address(2)}) == 2
+
+
+class TestPrefix:
+    def test_parse_and_str(self):
+        assert str(Prefix.parse("10.0.0.0/8")) == "10.0.0.0/8"
+
+    def test_rejects_host_bits(self):
+        with pytest.raises(AddressError):
+            Prefix.parse("10.0.0.1/24")
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(AddressError):
+            Prefix.parse("10.0.0.0/33")
+
+    def test_rejects_missing_length(self):
+        with pytest.raises(AddressError):
+            Prefix.parse("10.0.0.0")
+
+    def test_contains_boundaries(self):
+        p = Prefix.parse("10.1.0.0/16")
+        assert p.contains(IPv4Address.parse("10.1.0.0"))
+        assert p.contains(IPv4Address.parse("10.1.255.255"))
+        assert not p.contains(IPv4Address.parse("10.2.0.0"))
+
+    def test_covers(self):
+        outer = Prefix.parse("10.0.0.0/8")
+        inner = Prefix.parse("10.5.0.0/16")
+        assert outer.covers(inner)
+        assert not inner.covers(outer)
+        assert outer.covers(outer)
+
+    def test_size(self):
+        assert Prefix.parse("10.0.0.0/24").size() == 256
+        assert Prefix.parse("0.0.0.0/0").size() == 1 << 32
+
+    def test_nth_address(self):
+        p = Prefix.parse("10.0.0.0/30")
+        assert str(p.nth_address(3)) == "10.0.0.3"
+        with pytest.raises(AddressError):
+            p.nth_address(4)
+
+    def test_addresses_enumeration(self):
+        p = Prefix.parse("10.0.0.0/30")
+        assert len(list(p.addresses())) == 4
+
+    def test_zero_length_netmask(self):
+        assert Prefix.parse("0.0.0.0/0").netmask() == 0
+
+
+class TestPrefixTable:
+    def test_longest_prefix_wins(self):
+        table = PrefixTable()
+        table.add(Prefix.parse("10.0.0.0/8"), "coarse")
+        table.add(Prefix.parse("10.1.0.0/16"), "fine")
+        assert table.lookup(IPv4Address.parse("10.1.2.3")) == "fine"
+        assert table.lookup(IPv4Address.parse("10.2.2.3")) == "coarse"
+
+    def test_lookup_miss_returns_none(self):
+        table = PrefixTable()
+        table.add(Prefix.parse("10.0.0.0/8"), "x")
+        assert table.lookup(IPv4Address.parse("11.0.0.1")) is None
+
+    def test_all_matches_most_specific_first(self):
+        table = PrefixTable()
+        table.add(Prefix.parse("10.0.0.0/8"), "a")
+        table.add(Prefix.parse("10.1.0.0/16"), "b")
+        matches = table.all_matches(IPv4Address.parse("10.1.0.5"))
+        assert [value for _, value in matches] == ["b", "a"]
+
+    def test_len_counts_entries(self):
+        table = PrefixTable()
+        table.add(Prefix.parse("10.0.0.0/8"), 1)
+        table.add(Prefix.parse("10.1.0.0/16"), 2)
+        assert len(table) == 2
+
+    def test_overwrite_same_prefix(self):
+        table = PrefixTable()
+        table.add(Prefix.parse("10.0.0.0/8"), "old")
+        table.add(Prefix.parse("10.0.0.0/8"), "new")
+        assert table.lookup(IPv4Address.parse("10.0.0.1")) == "new"
+        assert len(table) == 1
+
+
+class TestAddressAllocator:
+    def test_prefixes_do_not_overlap(self):
+        allocator = AddressAllocator(seed=1)
+        prefixes = [allocator.allocate_prefix(24) for _ in range(50)]
+        prefixes += [allocator.allocate_prefix(16) for _ in range(5)]
+        for i, a in enumerate(prefixes):
+            for b in prefixes[i + 1:]:
+                assert not a.covers(b) and not b.covers(a)
+
+    def test_addresses_inside_prefix(self):
+        allocator = AddressAllocator(seed=2)
+        prefix = allocator.allocate_prefix(24)
+        for _ in range(20):
+            assert prefix.contains(allocator.allocate_address(prefix))
+
+    def test_deterministic_for_seed(self):
+        a = AddressAllocator(seed=3)
+        b = AddressAllocator(seed=3)
+        pa = a.allocate_prefix(24)
+        pb = b.allocate_prefix(24)
+        assert pa == pb
+        assert a.allocate_address(pa) == b.allocate_address(pb)
+
+    def test_rejects_silly_lengths(self):
+        allocator = AddressAllocator()
+        with pytest.raises(AddressError):
+            allocator.allocate_prefix(4)
+        with pytest.raises(AddressError):
+            allocator.allocate_prefix(31)
+
+    def test_allocated_property_records_all(self):
+        allocator = AddressAllocator()
+        allocator.allocate_prefix(24)
+        allocator.allocate_prefix(20)
+        assert len(allocator.allocated) == 2
+
+
+def test_group_by_slash24():
+    addrs = [
+        IPv4Address.parse("10.0.0.1"),
+        IPv4Address.parse("10.0.0.200"),
+        IPv4Address.parse("10.0.1.1"),
+    ]
+    groups = group_by_slash24(addrs)
+    assert len(groups) == 2
+    assert len(groups[Prefix.parse("10.0.0.0/24")]) == 2

@@ -1,0 +1,87 @@
+"""Tests for latency models."""
+
+import random
+
+import pytest
+
+from repro.net.latency import (
+    CATEGORY_LATENCY,
+    INTERCONTINENTAL_EXTRA,
+    LatencyModel,
+    LatencyParams,
+    bandwidth_for_category,
+)
+
+
+class TestLatencyParams:
+    def test_rejects_negative_floor(self):
+        with pytest.raises(ValueError):
+            LatencyParams(floor=-0.1, mu=0.0, sigma=0.1)
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ValueError):
+            LatencyParams(floor=0.0, mu=0.0, sigma=-1.0)
+
+    def test_mean_exceeds_floor(self):
+        params = CATEGORY_LATENCY["PL"]
+        assert params.mean() > params.floor
+
+
+class TestLatencyModel:
+    def test_unknown_category_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel("XX", random.Random(0))
+
+    def test_samples_above_floor(self):
+        model = LatencyModel("PL", random.Random(1))
+        for _ in range(200):
+            assert model.sample_rtt() > model.params.floor
+
+    def test_dialup_slower_than_planetlab(self):
+        rng = random.Random(2)
+        pl = LatencyModel("PL", rng)
+        du = LatencyModel("DU", rng)
+        pl_mean = sum(pl.sample_rtt() for _ in range(500)) / 500
+        du_mean = sum(du.sample_rtt() for _ in range(500)) / 500
+        assert du_mean > pl_mean
+
+    def test_intercontinental_adds_latency(self):
+        base = LatencyModel("PL", random.Random(3))
+        far = LatencyModel("PL", random.Random(3), intercontinental=True)
+        assert far.sample_rtt() == pytest.approx(
+            base.sample_rtt() + INTERCONTINENTAL_EXTRA
+        )
+
+    def test_dns_lookup_time_grows_with_hops(self):
+        model = LatencyModel("PL", random.Random(4))
+        one = sum(model.sample_dns_lookup_time(1) for _ in range(100))
+        three = sum(model.sample_dns_lookup_time(3) for _ in range(100))
+        assert three > one
+
+    def test_dns_lookup_rejects_zero_hops(self):
+        model = LatencyModel("PL", random.Random(5))
+        with pytest.raises(ValueError):
+            model.sample_dns_lookup_time(0)
+
+    def test_transfer_time_scales_with_bytes(self):
+        model = LatencyModel("BB", random.Random(6))
+        small = model.sample_transfer_time(1000, 1_000_000)
+        large = model.sample_transfer_time(10_000_000, 1_000_000)
+        assert large > small
+
+    def test_transfer_time_validates_inputs(self):
+        model = LatencyModel("BB", random.Random(7))
+        with pytest.raises(ValueError):
+            model.sample_transfer_time(-1, 1000.0)
+        with pytest.raises(ValueError):
+            model.sample_transfer_time(100, 0.0)
+
+
+class TestBandwidth:
+    def test_known_categories(self):
+        assert bandwidth_for_category("DU") < bandwidth_for_category("BB")
+        assert bandwidth_for_category("BB") < bandwidth_for_category("PL")
+
+    def test_unknown_category(self):
+        with pytest.raises(ValueError):
+            bandwidth_for_category("nope")

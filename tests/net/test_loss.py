@@ -1,0 +1,102 @@
+"""Tests for loss models."""
+
+import random
+
+import pytest
+
+from repro.net.loss import (
+    DEFAULT_BACKGROUND,
+    EPISODE_CHANNEL,
+    BernoulliLossModel,
+    GilbertElliottLossModel,
+    GilbertElliottParams,
+    syn_exchange_success_probability,
+)
+
+
+class TestBernoulli:
+    def test_zero_loss_never_drops(self):
+        model = BernoulliLossModel(0.0, random.Random(0))
+        assert not any(model.should_drop() for _ in range(1000))
+
+    def test_total_loss_always_drops(self):
+        model = BernoulliLossModel(1.0, random.Random(0))
+        assert all(model.should_drop() for _ in range(100))
+
+    def test_empirical_rate_matches(self):
+        model = BernoulliLossModel(0.1, random.Random(1))
+        drops = sum(model.should_drop() for _ in range(20000))
+        assert 0.08 < drops / 20000 < 0.12
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            BernoulliLossModel(1.5, random.Random(0))
+
+    def test_steady_state(self):
+        assert BernoulliLossModel(0.25, random.Random(0)).steady_state_loss_rate() == 0.25
+
+
+class TestGilbertElliottParams:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GilbertElliottParams(2.0, 0.1, 0.0, 0.5)
+        with pytest.raises(ValueError):
+            GilbertElliottParams(0.0, 0.0, 0.0, 0.5)
+
+    def test_stationary_fraction(self):
+        params = GilbertElliottParams(0.1, 0.3, 0.0, 1.0)
+        assert params.stationary_bad_fraction() == pytest.approx(0.25)
+
+
+class TestGilbertElliott:
+    def test_empirical_rate_near_steady_state(self):
+        model = GilbertElliottLossModel(DEFAULT_BACKGROUND, random.Random(5))
+        n = 50000
+        drops = sum(model.should_drop() for _ in range(n))
+        expected = model.steady_state_loss_rate()
+        assert abs(drops / n - expected) < 0.01
+
+    def test_burstiness_exceeds_bernoulli(self):
+        """Consecutive-drop (burst) probability should beat an independent
+        model of equal average rate -- the property Section 5 of the paper
+        leans on (bursty SYN loss kills handshakes)."""
+        rng = random.Random(6)
+        ge = GilbertElliottLossModel(DEFAULT_BACKGROUND, rng)
+        seq = [ge.should_drop() for _ in range(200000)]
+        rate = sum(seq) / len(seq)
+        pairs = sum(1 for a, b in zip(seq, seq[1:]) if a and b)
+        pair_rate = pairs / (len(seq) - 1)
+        assert pair_rate > 2 * rate * rate  # strongly super-independent
+
+    def test_force_state(self):
+        model = GilbertElliottLossModel(EPISODE_CHANNEL, random.Random(7))
+        model.force_state(GilbertElliottLossModel.GOOD)
+        assert model.state == GilbertElliottLossModel.GOOD
+        with pytest.raises(ValueError):
+            model.force_state(7)
+
+
+class TestSynExchangeProbability:
+    def test_extremes(self):
+        assert syn_exchange_success_probability(0.0) == pytest.approx(1.0)
+        assert syn_exchange_success_probability(1.0) == 0.0
+
+    def test_monotone_in_loss(self):
+        probs = [syn_exchange_success_probability(l / 10) for l in range(11)]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_more_retries_help(self):
+        assert syn_exchange_success_probability(
+            0.5, retries=5
+        ) > syn_exchange_success_probability(0.5, retries=1)
+
+    def test_one_direction_easier(self):
+        assert syn_exchange_success_probability(
+            0.3, both_directions=False
+        ) > syn_exchange_success_probability(0.3, both_directions=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            syn_exchange_success_probability(2.0)
+        with pytest.raises(ValueError):
+            syn_exchange_success_probability(0.1, retries=-1)

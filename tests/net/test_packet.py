@@ -1,0 +1,89 @@
+"""Tests for the packet model and builder."""
+
+import pytest
+
+from repro.net.addressing import IPv4Address
+from repro.net.packet import Packet, PacketBuilder, PacketDirection, TCPFlag, TransportProtocol
+
+CLIENT = IPv4Address.parse("10.0.0.1")
+SERVER = IPv4Address.parse("10.9.9.9")
+
+
+def make_builder() -> PacketBuilder:
+    return PacketBuilder(client=CLIENT, server=SERVER, client_port=41000)
+
+
+class TestPacketFlags:
+    def test_bare_syn(self):
+        p = make_builder().outbound(0.0, flags=TCPFlag.SYN)
+        assert p.is_syn and not p.is_synack
+
+    def test_synack(self):
+        p = make_builder().inbound(0.0, flags=TCPFlag.SYN | TCPFlag.ACK)
+        assert p.is_synack and not p.is_syn
+
+    def test_rst(self):
+        p = make_builder().inbound(0.0, flags=TCPFlag.RST)
+        assert p.is_rst
+
+    def test_fin(self):
+        p = make_builder().inbound(0.0, flags=TCPFlag.FIN | TCPFlag.ACK)
+        assert p.is_fin
+
+    def test_carries_data(self):
+        p = make_builder().inbound(0.0, payload_length=100)
+        assert p.carries_data
+        assert not make_builder().inbound(0.0).carries_data
+
+
+class TestPacketValidation:
+    def test_rejects_bad_port(self):
+        with pytest.raises(ValueError):
+            Packet(
+                timestamp=0.0,
+                direction=PacketDirection.OUTBOUND,
+                protocol=TransportProtocol.TCP,
+                src=CLIENT, dst=SERVER,
+                src_port=70000, dst_port=80,
+            )
+
+    def test_rejects_negative_payload(self):
+        with pytest.raises(ValueError):
+            Packet(
+                timestamp=0.0,
+                direction=PacketDirection.OUTBOUND,
+                protocol=TransportProtocol.TCP,
+                src=CLIENT, dst=SERVER,
+                src_port=1000, dst_port=80,
+                payload_length=-1,
+            )
+
+
+class TestFlows:
+    def test_flow_is_directional(self):
+        builder = make_builder()
+        out = builder.outbound(0.0)
+        inbound = builder.inbound(0.0)
+        assert out.flow() != inbound.flow()
+
+    def test_canonical_flow_is_direction_free(self):
+        builder = make_builder()
+        out = builder.outbound(0.0)
+        inbound = builder.inbound(0.0)
+        assert out.canonical_flow() == inbound.canonical_flow()
+
+
+class TestBuilder:
+    def test_outbound_addressing(self):
+        p = make_builder().outbound(1.0)
+        assert p.src == CLIENT and p.dst == SERVER
+        assert p.src_port == 41000 and p.dst_port == 80
+        assert p.direction is PacketDirection.OUTBOUND
+
+    def test_inbound_addressing(self):
+        p = make_builder().inbound(1.0)
+        assert p.src == SERVER and p.dst == CLIENT
+        assert p.direction is PacketDirection.INBOUND
+
+    def test_timestamps_carried(self):
+        assert make_builder().outbound(12.5).timestamp == 12.5

@@ -1,0 +1,114 @@
+"""Tests for pcap serialization of packet traces."""
+
+import random
+import struct
+
+import pytest
+
+from repro.net.addressing import IPv4Address
+from repro.net.latency import LatencyModel
+from repro.net.loss import BernoulliLossModel
+from repro.net.packet import PacketBuilder, TCPFlag
+from repro.net.pcap import (
+    LINKTYPE_RAW,
+    PCAP_MAGIC,
+    PcapError,
+    packet_from_bytes,
+    packet_to_bytes,
+    read_pcap,
+    write_pcap,
+)
+from repro.tcp.connection import ServerBehavior, TCPConnection
+from repro.tcp.trace import PacketTrace
+
+CLIENT = IPv4Address.parse("10.0.0.1")
+SERVER = IPv4Address.parse("10.8.0.1")
+
+
+def run_real_connection():
+    rng = random.Random(1)
+    trace = PacketTrace()
+    conn = TCPConnection(
+        builder=PacketBuilder(client=CLIENT, server=SERVER, client_port=41000),
+        loss=BernoulliLossModel(0.05, rng),
+        latency=LatencyModel("PL", rng),
+        trace=trace,
+        rng=rng,
+    )
+    conn.run(100.0, ServerBehavior(response_bytes=8000))
+    return trace
+
+
+class TestPacketEncoding:
+    def test_roundtrip_fields(self):
+        builder = PacketBuilder(client=CLIENT, server=SERVER, client_port=41000)
+        packet = builder.outbound(
+            1.5, flags=TCPFlag.SYN, seq=1234, payload_length=0
+        )
+        data = packet_to_bytes(packet)
+        back = packet_from_bytes(data, 1.5)
+        assert back.src == CLIENT and back.dst == SERVER
+        assert back.src_port == 41000 and back.dst_port == 80
+        assert back.is_syn
+        assert back.seq == 1234
+        assert back.payload_length == 0
+
+    def test_payload_length_preserved(self):
+        builder = PacketBuilder(client=CLIENT, server=SERVER, client_port=41000)
+        packet = builder.inbound(2.0, seq=100, payload_length=1460)
+        back = packet_from_bytes(packet_to_bytes(packet), 2.0)
+        assert back.payload_length == 1460
+
+    def test_truncated_rejected(self):
+        with pytest.raises(PcapError):
+            packet_from_bytes(b"\x45\x00", 0.0)
+
+
+class TestFileRoundTrip:
+    def test_write_read(self, tmp_path):
+        trace = run_real_connection()
+        path = tmp_path / "conn.pcap"
+        written = write_pcap(trace, path)
+        assert written == len(trace)
+        packets = read_pcap(path)
+        assert len(packets) == len(trace)
+        for original, restored in zip(trace.packets, packets):
+            assert restored.src == original.src
+            assert restored.dst == original.dst
+            assert restored.seq == original.seq
+            assert restored.payload_length == original.payload_length
+            assert restored.timestamp == pytest.approx(
+                original.timestamp, abs=1e-5
+            )
+
+    def test_header_fields(self, tmp_path):
+        trace = run_real_connection()
+        path = tmp_path / "conn.pcap"
+        write_pcap(trace, path)
+        raw = path.read_bytes()
+        magic, major, minor, _, _, snaplen, linktype = struct.unpack(
+            "<IHHiIII", raw[:24]
+        )
+        assert magic == PCAP_MAGIC
+        assert (major, minor) == (2, 4)
+        assert linktype == LINKTYPE_RAW
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.pcap"
+        assert write_pcap(PacketTrace(), path) == 0
+        assert read_pcap(path) == []
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.pcap"
+        path.write_bytes(b"\x00" * 24)
+        with pytest.raises(PcapError):
+            read_pcap(path)
+
+    def test_truncated_record_rejected(self, tmp_path):
+        trace = run_real_connection()
+        path = tmp_path / "trunc.pcap"
+        write_pcap(trace, path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-4])
+        with pytest.raises(PcapError):
+            read_pcap(path)

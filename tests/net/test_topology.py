@@ -1,0 +1,131 @@
+"""Tests for the AS-level topology."""
+
+import random
+
+import pytest
+
+from repro.net.addressing import Prefix
+from repro.net.topology import (
+    EdgeAttachment,
+    Topology,
+    TopologyError,
+    build_default_core,
+    random_attachments,
+)
+
+
+def dual_homed_topology():
+    topo = Topology()
+    topo.add_transit(7000, "T1")
+    topo.add_transit(7001, "T2")
+    topo.add_edge(
+        64500,
+        [EdgeAttachment(7000, 0.7), EdgeAttachment(7001, 0.3)],
+        name="edge",
+    )
+    topo.originate(Prefix.parse("10.1.0.0/24"), 64500)
+    return topo
+
+
+class TestConstruction:
+    def test_weights_must_sum_to_one(self):
+        topo = Topology()
+        topo.add_transit(7000)
+        with pytest.raises(TopologyError):
+            topo.add_edge(64500, [EdgeAttachment(7000, 0.5)])
+
+    def test_edge_needs_attachments(self):
+        topo = Topology()
+        with pytest.raises(TopologyError):
+            topo.add_edge(64500, [])
+
+    def test_attachment_to_unknown_transit_rejected(self):
+        topo = Topology()
+        with pytest.raises(TopologyError):
+            topo.add_edge(64500, [EdgeAttachment(9999, 1.0)])
+
+    def test_attachment_to_non_transit_rejected(self):
+        topo = Topology()
+        topo.add_transit(7000)
+        topo.add_edge(64500, [EdgeAttachment(7000, 1.0)])
+        with pytest.raises(TopologyError):
+            topo.add_edge(64501, [EdgeAttachment(64500, 1.0)])
+
+    def test_asn_bounds(self):
+        topo = Topology()
+        with pytest.raises(TopologyError):
+            topo.add_transit(0)
+
+    def test_origination_lookup(self):
+        topo = dual_homed_topology()
+        assert topo.origin_of(Prefix.parse("10.1.0.0/24")) == 64500
+        assert topo.prefixes_of(64500) == [Prefix.parse("10.1.0.0/24")]
+
+    def test_origin_of_unknown_prefix(self):
+        topo = dual_homed_topology()
+        with pytest.raises(TopologyError):
+            topo.origin_of(Prefix.parse("10.2.0.0/24"))
+
+
+class TestReachability:
+    def test_all_up_is_fully_reachable(self):
+        topo = dual_homed_topology()
+        assert topo.reachable_fraction(64500) == pytest.approx(1.0)
+
+    def test_failing_primary_drops_most_paths(self):
+        topo = dual_homed_topology()
+        topo.fail_attachment(64500, 7000)
+        assert topo.reachable_fraction(64500) == pytest.approx(0.3)
+
+    def test_fail_all_then_restore(self):
+        topo = dual_homed_topology()
+        topo.fail_attachment(64500, 7000)
+        topo.fail_attachment(64500, 7001)
+        assert topo.reachable_fraction(64500) == 0.0
+        topo.restore_all(64500)
+        assert topo.reachable_fraction(64500) == pytest.approx(1.0)
+
+    def test_restore_specific(self):
+        topo = dual_homed_topology()
+        topo.fail_attachment(64500, 7001)
+        topo.restore_attachment(64500, 7001)
+        assert topo.reachable_fraction(64500) == pytest.approx(1.0)
+
+    def test_fail_unknown_attachment(self):
+        topo = dual_homed_topology()
+        with pytest.raises(TopologyError):
+            topo.fail_attachment(64500, 7999)
+
+    def test_up_attachments(self):
+        topo = dual_homed_topology()
+        topo.fail_attachment(64500, 7000)
+        up = topo.up_attachments(64500)
+        assert [a.transit_asn for a in up] == [7001]
+
+
+class TestBuilders:
+    def test_default_core(self):
+        topo = Topology()
+        asns = build_default_core(topo, 5)
+        assert len(asns) == 5
+        assert topo.transit_asns() == sorted(asns)
+
+    def test_default_core_needs_positive(self):
+        with pytest.raises(TopologyError):
+            build_default_core(Topology(), 0)
+
+    def test_random_attachments_weights_sum(self):
+        rng = random.Random(1)
+        for _ in range(50):
+            attachments = random_attachments([7000, 7001, 7002], rng)
+            assert sum(a.weight for a in attachments) == pytest.approx(1.0)
+            assert 1 <= len(attachments) <= 3
+
+    def test_random_attachments_need_transits(self):
+        with pytest.raises(TopologyError):
+            random_attachments([], random.Random(1))
+
+    def test_forced_count(self):
+        rng = random.Random(2)
+        attachments = random_attachments([7000, 7001, 7002], rng, count=2)
+        assert len(attachments) == 2

@@ -1,0 +1,66 @@
+"""Property-based tests for addressing invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.addressing import IPv4Address, Prefix, PrefixTable
+
+addresses = st.integers(min_value=0, max_value=0xFFFFFFFF).map(IPv4Address)
+lengths = st.integers(min_value=0, max_value=32)
+
+
+@st.composite
+def prefixes(draw):
+    length = draw(lengths)
+    value = draw(st.integers(min_value=0, max_value=0xFFFFFFFF))
+    mask = (0xFFFFFFFF << (32 - length)) & 0xFFFFFFFF if length else 0
+    return Prefix(value & mask, length)
+
+
+@given(addresses)
+def test_parse_str_roundtrip(address):
+    assert IPv4Address.parse(str(address)) == address
+
+
+@given(prefixes())
+def test_prefix_parse_str_roundtrip(prefix):
+    assert Prefix.parse(str(prefix)) == prefix
+
+
+@given(prefixes())
+def test_prefix_contains_its_network(prefix):
+    assert prefix.contains(prefix.first_address())
+
+
+@given(prefixes(), addresses)
+def test_contains_consistent_with_masking(prefix, address):
+    expected = (address.value & prefix.netmask()) == prefix.network
+    assert prefix.contains(address) == expected
+
+
+@given(prefixes(), prefixes())
+def test_covers_antisymmetric_unless_equal(a, b):
+    if a.covers(b) and b.covers(a):
+        assert a == b
+
+
+@given(addresses)
+def test_slash24_contains_address(address):
+    assert address.slash24().contains(address)
+
+
+@given(st.lists(st.tuples(prefixes(), st.integers()), max_size=20), addresses)
+@settings(max_examples=50)
+def test_lpm_returns_most_specific_cover(entries, address):
+    table = PrefixTable()
+    for prefix, value in entries:
+        table.add(prefix, value)
+    match = table.lookup_prefix(address)
+    covering = [p for p, _ in entries if p.contains(address)]
+    if not covering:
+        assert match is None
+    else:
+        best_length = max(p.length for p in covering)
+        assert match is not None
+        assert match[0].length == best_length
+        assert match[0].contains(address)

@@ -1,0 +1,58 @@
+"""Property-based tests for blame attribution invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.blame import BlameBreakdown
+from repro.core.similarity import PairSimilarity, bucket_similarities
+
+counts = st.integers(min_value=0, max_value=10**6)
+
+
+@given(counts, counts, counts, counts)
+def test_breakdown_fractions_partition(server, client, both, other):
+    breakdown = BlameBreakdown(
+        threshold=0.05, server_side=server, client_side=client,
+        both=both, other=other,
+    )
+    fractions = breakdown.fractions()
+    assert all(0.0 <= f <= 1.0 for f in fractions)
+    if breakdown.total:
+        assert sum(fractions) == 1.0 or abs(sum(fractions) - 1.0) < 1e-12
+        assert abs(breakdown.classified_fraction - (1.0 - fractions[3])) < 1e-9
+
+
+@st.composite
+def episode_sets(draw):
+    h = draw(st.integers(min_value=1, max_value=60))
+    a = draw(st.lists(st.booleans(), min_size=h, max_size=h))
+    b = draw(st.lists(st.booleans(), min_size=h, max_size=h))
+    return np.array([a, b], dtype=bool)
+
+
+@given(episode_sets())
+@settings(max_examples=100)
+def test_jaccard_similarity_invariants(flags):
+    a, b = flags
+    pair = PairSimilarity(
+        client_a="a", client_b="b",
+        episodes_a=int(a.sum()), episodes_b=int(b.sum()),
+        intersection=int((a & b).sum()), union=int((a | b).sum()),
+    )
+    assert 0.0 <= pair.similarity <= 1.0
+    if (a == b).all() and a.any():
+        assert pair.similarity == 1.0
+    if not (a & b).any():
+        assert pair.similarity == 0.0
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1.0), max_size=50))
+@settings(max_examples=100)
+def test_buckets_partition_pairs(similarities):
+    class Fake:
+        def __init__(self, s):
+            self.similarity = s
+
+    buckets = bucket_similarities([Fake(s) for s in similarities])
+    assert sum(buckets.values()) == len(similarities)

@@ -1,0 +1,84 @@
+"""Property-based tests over the TCP connection machine.
+
+For arbitrary loss rates and server behaviours, the machine must land in a
+valid terminal state with a self-consistent result, and the trace analysis
+must agree with the mechanism.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.addressing import IPv4Address
+from repro.net.latency import LatencyModel
+from repro.net.loss import BernoulliLossModel
+from repro.net.packet import PacketBuilder
+from repro.tcp.connection import ConnectionOutcome, ServerBehavior, TCPConnection
+from repro.tcp.trace import PacketTrace
+from repro.tcp.trace_analysis import TraceVerdict, analyze_trace
+
+CLIENT = IPv4Address.parse("10.0.0.1")
+SERVER = IPv4Address.parse("10.8.0.1")
+
+behaviours = st.builds(
+    ServerBehavior,
+    reachable=st.booleans(),
+    accepting=st.booleans(),
+    refusing=st.booleans(),
+    responds=st.booleans(),
+    response_bytes=st.integers(min_value=1, max_value=100_000),
+    stall_after_bytes=st.one_of(
+        st.none(), st.integers(min_value=0, max_value=100_000)
+    ),
+    reset_after_bytes=st.one_of(
+        st.none(), st.integers(min_value=0, max_value=100_000)
+    ),
+)
+
+
+@given(
+    behaviours,
+    st.floats(min_value=0.0, max_value=0.9),
+    st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=120, deadline=None)
+def test_connection_result_self_consistent(behavior, loss_rate, seed):
+    rng = random.Random(seed)
+    trace = PacketTrace()
+    conn = TCPConnection(
+        builder=PacketBuilder(client=CLIENT, server=SERVER, client_port=41000),
+        loss=BernoulliLossModel(loss_rate, rng),
+        latency=LatencyModel("PL", rng),
+        trace=trace,
+        rng=rng,
+    )
+    result = conn.run(0.0, behavior)
+
+    assert result.end_time >= result.start_time
+    assert result.syn_attempts >= 1
+    assert result.bytes_received >= 0
+
+    if result.outcome is ConnectionOutcome.NO_CONNECTION:
+        assert not result.established
+        assert result.bytes_received == 0
+    else:
+        assert result.established
+    if result.outcome is ConnectionOutcome.COMPLETE:
+        assert result.bytes_received == behavior.response_bytes
+    if result.outcome is ConnectionOutcome.NO_RESPONSE:
+        assert result.bytes_received == 0
+    if result.outcome is ConnectionOutcome.PARTIAL_RESPONSE:
+        assert 0 < result.bytes_received < behavior.response_bytes
+
+    # The trace never contradicts the mechanism.
+    analysis = analyze_trace(
+        trace, expected_response_bytes=behavior.response_bytes
+    )
+    mapping = {
+        ConnectionOutcome.COMPLETE: TraceVerdict.COMPLETE,
+        ConnectionOutcome.NO_CONNECTION: TraceVerdict.NO_CONNECTION,
+        ConnectionOutcome.NO_RESPONSE: TraceVerdict.NO_RESPONSE,
+        ConnectionOutcome.PARTIAL_RESPONSE: TraceVerdict.PARTIAL_RESPONSE,
+    }
+    assert analysis.verdict is mapping[result.outcome]

@@ -1,0 +1,89 @@
+"""Property-based tests for episode identification invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core import episodes
+
+flag_matrices = arrays(
+    dtype=bool,
+    shape=st.tuples(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=50),
+    ),
+)
+
+
+@given(flag_matrices)
+@settings(max_examples=80)
+def test_coalesce_partitions_flagged_hours(flags):
+    coalesced = episodes.coalesce_episodes(flags)
+    # Total covered hours equals the flag count...
+    assert sum(e.duration_hours for e in coalesced) == int(flags.sum())
+    # ...and runs are disjoint, maximal, in-bounds.
+    for episode in coalesced:
+        row = flags[episode.entity_index]
+        assert row[episode.start_hour: episode.end_hour + 1].all()
+        if episode.start_hour > 0:
+            assert not row[episode.start_hour - 1]
+        if episode.end_hour < flags.shape[1] - 1:
+            assert not row[episode.end_hour + 1]
+
+
+@given(flag_matrices)
+@settings(max_examples=50)
+def test_episode_stats_consistency(flags):
+    stats = episodes.episode_stats(flags)
+    assert stats.total_episode_hours == int(flags.sum())
+    assert stats.entities_with_any == int(flags.any(axis=1).sum())
+    if stats.coalesced_count:
+        assert stats.mean_duration * stats.coalesced_count == pytest.approx(
+            int(flags.sum())
+        )
+
+
+@st.composite
+def rate_matrices(draw):
+    n = draw(st.integers(min_value=1, max_value=6))
+    h = draw(st.integers(min_value=5, max_value=40))
+    rates = draw(
+        arrays(
+            dtype=float, shape=(n, h),
+            elements=st.floats(min_value=0.0, max_value=1.0),
+        )
+    )
+    trans = np.full((n, h), 100, dtype=np.int64)
+    return episodes.RateMatrix(rates=rates, transactions=trans)
+
+
+@given(rate_matrices(), st.floats(min_value=0.01, max_value=0.99))
+@settings(max_examples=80)
+def test_episode_matrix_thresholding(matrix, threshold):
+    flags = episodes.episode_matrix(matrix, threshold)
+    valid = matrix.valid
+    assert (flags[valid] == (matrix.rates[valid] >= threshold)).all()
+    assert not flags[~valid].any()
+
+
+@given(rate_matrices(),
+       st.floats(min_value=0.01, max_value=0.5),
+       st.floats(min_value=0.0, max_value=0.49))
+@settings(max_examples=50)
+def test_episode_matrix_monotone_in_threshold(matrix, low, extra):
+    high = min(1.0, low + extra + 1e-6)
+    assert (
+        episodes.episode_matrix(matrix, high).sum()
+        <= episodes.episode_matrix(matrix, low).sum()
+    )
+
+
+@given(rate_matrices())
+@settings(max_examples=50)
+def test_cdf_well_formed(matrix):
+    rates, cdf = episodes.rate_cdf(matrix)
+    if rates.size:
+        assert (np.diff(rates) >= 0).all()
+        assert 0.0 < cdf[0] <= cdf[-1] == 1.0

@@ -1,0 +1,56 @@
+"""Property-based tests for TCP segmentation and schedules."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tcp.segment import (
+    data_rto_schedule,
+    handshake_failure_time,
+    plan_segments,
+    syn_attempt_times,
+)
+
+
+@given(st.integers(min_value=0, max_value=2_000_000),
+       st.integers(min_value=100, max_value=9000))
+@settings(deadline=None)
+def test_plan_conserves_bytes(total, mss):
+    plan = plan_segments(total, mss)
+    assert sum(plan.sizes) == total
+
+
+@given(st.integers(min_value=0, max_value=1_000_000),
+       st.integers(min_value=100, max_value=9000))
+@settings(deadline=None)
+def test_plan_segments_bounded_by_mss(total, mss):
+    plan = plan_segments(total, mss)
+    assert all(0 < size <= mss for size in plan.sizes)
+
+
+@given(st.integers(min_value=1, max_value=1_000_000),
+       st.integers(min_value=100, max_value=9000))
+@settings(deadline=None)
+def test_offsets_strictly_increasing_and_contiguous(total, mss):
+    plan = plan_segments(total, mss)
+    for (o1, s1), o2 in zip(zip(plan.offsets, plan.sizes), plan.offsets[1:]):
+        assert o1 + s1 == o2
+
+
+@given(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    st.lists(st.floats(min_value=0.1, max_value=120.0), min_size=1, max_size=8),
+)
+def test_syn_attempt_times_monotone(start, timeouts):
+    times = list(syn_attempt_times(start, tuple(timeouts)))
+    assert times[0] == start
+    assert all(b > a for a, b in zip(times, times[1:]))
+    assert handshake_failure_time(start, tuple(timeouts)) >= times[-1]
+
+
+@given(st.floats(min_value=0.01, max_value=10.0),
+       st.integers(min_value=0, max_value=20))
+def test_rto_schedule_monotone_capped(initial, retries):
+    schedule = data_rto_schedule(initial, retries)
+    assert len(schedule) == retries
+    assert all(b >= a or b == 60.0 for a, b in zip(schedule, schedule[1:]))
+    assert all(r <= 60.0 for r in schedule)

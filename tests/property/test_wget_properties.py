@@ -1,0 +1,81 @@
+"""Property-based tests for the wget client's retry/failover arithmetic."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.http.wget import WgetClient
+from repro.net.addressing import IPv4Address
+
+from tests.http.test_wget import ScriptedTransport
+
+ADDRESSES = [IPv4Address.parse(f"10.3.0.{i}") for i in range(1, 9)]
+
+
+@st.composite
+def scripted_worlds(draw):
+    n_addresses = draw(st.integers(min_value=1, max_value=6))
+    addresses = ADDRESSES[:n_addresses]
+    down = {
+        a for a in addresses if draw(st.booleans())
+    }
+    tries = draw(st.integers(min_value=1, max_value=3))
+    max_addresses = draw(st.integers(min_value=1, max_value=4))
+    return addresses, down, tries, max_addresses
+
+
+@given(scripted_worlds())
+@settings(max_examples=150)
+def test_connection_count_arithmetic(world):
+    """wget's connection count is fully determined by the address list,
+    the down set, `tries`, and `max_addresses`."""
+    addresses, down, tries, max_addresses = world
+    transport = ScriptedTransport({"x.com": list(addresses)}, down=down)
+    wget = WgetClient(
+        transport, tries=tries, max_addresses=max_addresses,
+        rng=random.Random(0),
+    )
+    result = wget.download("http://x.com/", 0.0)
+
+    usable = addresses[:max_addresses]
+    first_up = next((i for i, a in enumerate(usable) if a not in down), None)
+    if first_up is None:
+        # Every usable address is down: full retry budget burned.
+        assert result.tcp_failed
+        assert result.num_connections == tries * len(usable)
+    else:
+        # Failover reaches the first up address on the first try.
+        assert result.succeeded
+        assert result.num_connections == first_up + 1
+
+
+@given(scripted_worlds())
+@settings(max_examples=100)
+def test_failure_classification_exclusive(world):
+    """Exactly one of dns/tcp/http failure (or success) holds."""
+    addresses, down, tries, max_addresses = world
+    transport = ScriptedTransport({"x.com": list(addresses)}, down=down)
+    wget = WgetClient(
+        transport, tries=tries, max_addresses=max_addresses,
+        rng=random.Random(0),
+    )
+    result = wget.download("http://x.com/", 0.0)
+    flags = [result.succeeded, result.dns_failed, result.tcp_failed,
+             result.http_failed]
+    assert sum(flags) == 1
+
+
+@given(scripted_worlds())
+@settings(max_examples=100)
+def test_time_advances_monotonically(world):
+    addresses, down, tries, max_addresses = world
+    transport = ScriptedTransport({"x.com": list(addresses)}, down=down)
+    wget = WgetClient(
+        transport, tries=tries, max_addresses=max_addresses,
+        rng=random.Random(0),
+    )
+    result = wget.download("http://x.com/", 5.0)
+    assert result.end_time >= result.start_time == 5.0
+    times = [a.connection.start_time for a in result.attempts]
+    assert times == sorted(times)

@@ -1,0 +1,141 @@
+"""Tests for the TCP connection state machine.
+
+Each of the paper's TCP failure modes (Section 2.1) must be produced
+mechanistically by the right server/network condition.
+"""
+
+import random
+
+import pytest
+
+from repro.net.addressing import IPv4Address
+from repro.net.latency import LatencyModel
+from repro.net.loss import BernoulliLossModel
+from repro.net.packet import PacketBuilder
+from repro.tcp.connection import (
+    ConnectionOutcome,
+    ServerBehavior,
+    TCPConnection,
+)
+from repro.tcp.segment import SYN_TIMEOUTS
+from repro.tcp.trace import PacketTrace
+
+CLIENT = IPv4Address.parse("10.0.0.1")
+SERVER = IPv4Address.parse("10.8.0.1")
+
+
+def make_connection(loss_rate=0.0, seed=1, trace=None, idle_timeout=60.0):
+    rng = random.Random(seed)
+    trace = trace if trace is not None else PacketTrace()
+    conn = TCPConnection(
+        builder=PacketBuilder(client=CLIENT, server=SERVER, client_port=41000),
+        loss=BernoulliLossModel(loss_rate, rng),
+        latency=LatencyModel("PL", rng),
+        trace=trace,
+        rng=rng,
+        idle_timeout=idle_timeout,
+    )
+    return conn, trace
+
+
+class TestCompleteTransfer:
+    def test_clean_transfer(self):
+        conn, trace = make_connection()
+        result = conn.run(0.0, ServerBehavior(response_bytes=20000))
+        assert result.outcome is ConnectionOutcome.COMPLETE
+        assert result.established and result.request_sent
+        assert result.bytes_received == 20000
+        assert result.syn_attempts == 1
+        assert trace.data_bytes_received() == 20000
+
+    def test_transfer_with_moderate_loss_retransmits(self):
+        conn, trace = make_connection(loss_rate=0.15, seed=3)
+        result = conn.run(0.0, ServerBehavior(response_bytes=30000))
+        assert result.outcome is ConnectionOutcome.COMPLETE
+        assert result.retransmissions > 0
+        assert result.bytes_received == 30000
+
+    def test_elapsed_positive(self):
+        conn, _ = make_connection()
+        result = conn.run(5.0, ServerBehavior())
+        assert result.end_time > result.start_time
+
+
+class TestNoConnection:
+    def test_server_silent(self):
+        conn, trace = make_connection()
+        result = conn.run(0.0, ServerBehavior(accepting=False))
+        assert result.outcome is ConnectionOutcome.NO_CONNECTION
+        assert not result.established
+        assert result.syn_attempts == len(SYN_TIMEOUTS)
+        assert len(trace.syns_sent()) == len(SYN_TIMEOUTS)
+        assert not trace.synacks_received()
+
+    def test_network_dead(self):
+        conn, _ = make_connection()
+        result = conn.run(0.0, ServerBehavior(reachable=False))
+        assert result.outcome is ConnectionOutcome.NO_CONNECTION
+
+    def test_refusing_server_fails_fast(self):
+        conn, trace = make_connection()
+        result = conn.run(0.0, ServerBehavior(refusing=True))
+        assert result.outcome is ConnectionOutcome.NO_CONNECTION
+        assert result.reset_seen
+        assert result.elapsed < 5.0  # RST is immediate, no timeout burn
+
+    def test_total_loss_fails_handshake(self):
+        conn, _ = make_connection(loss_rate=1.0)
+        result = conn.run(0.0, ServerBehavior())
+        assert result.outcome is ConnectionOutcome.NO_CONNECTION
+        assert result.elapsed == pytest.approx(sum(SYN_TIMEOUTS))
+
+
+class TestNoResponse:
+    def test_silent_application(self):
+        conn, trace = make_connection()
+        result = conn.run(0.0, ServerBehavior(responds=False))
+        assert result.outcome is ConnectionOutcome.NO_RESPONSE
+        assert result.established and result.request_sent
+        assert result.bytes_received == 0
+        # The idle timer fires: the connection lasted >= 60s.
+        assert result.elapsed >= 60.0
+
+
+class TestPartialResponse:
+    def test_mid_transfer_stall(self):
+        conn, trace = make_connection()
+        result = conn.run(
+            0.0, ServerBehavior(response_bytes=20000, stall_after_bytes=5000)
+        )
+        assert result.outcome is ConnectionOutcome.PARTIAL_RESPONSE
+        assert 0 < result.bytes_received < 20000
+
+    def test_mid_transfer_reset(self):
+        conn, trace = make_connection()
+        result = conn.run(
+            0.0, ServerBehavior(response_bytes=20000, reset_after_bytes=5000)
+        )
+        assert result.outcome is ConnectionOutcome.PARTIAL_RESPONSE
+        assert result.reset_seen
+        assert any(p.is_rst for p in trace.inbound())
+
+    def test_stall_at_zero_is_no_response(self):
+        conn, _ = make_connection()
+        result = conn.run(
+            0.0, ServerBehavior(response_bytes=20000, stall_after_bytes=0)
+        )
+        assert result.outcome is ConnectionOutcome.NO_RESPONSE
+
+
+class TestValidation:
+    def test_idle_timeout_positive(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            TCPConnection(
+                builder=PacketBuilder(client=CLIENT, server=SERVER, client_port=1),
+                loss=BernoulliLossModel(0.0, rng),
+                latency=LatencyModel("PL", rng),
+                trace=PacketTrace(),
+                rng=rng,
+                idle_timeout=0.0,
+            )

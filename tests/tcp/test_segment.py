@@ -1,0 +1,71 @@
+"""Tests for segmentation and retry schedules."""
+
+import pytest
+
+from repro.tcp.segment import (
+    MSS,
+    SYN_TIMEOUTS,
+    data_rto_schedule,
+    handshake_failure_time,
+    plan_segments,
+    syn_attempt_times,
+)
+
+
+class TestPlanSegments:
+    def test_exact_multiple(self):
+        plan = plan_segments(MSS * 3)
+        assert plan.sizes == (MSS, MSS, MSS)
+        assert plan.offsets == (0, MSS, 2 * MSS)
+
+    def test_remainder(self):
+        plan = plan_segments(MSS + 1)
+        assert plan.sizes == (MSS, 1)
+
+    def test_zero_bytes(self):
+        assert len(plan_segments(0)) == 0
+
+    def test_total_preserved(self):
+        for total in (1, 999, 20000, 123456):
+            assert sum(plan_segments(total).sizes) == total
+
+    def test_offsets_contiguous(self):
+        plan = plan_segments(50000)
+        for (o1, s1), o2 in zip(
+            zip(plan.offsets, plan.sizes), plan.offsets[1:]
+        ):
+            assert o1 + s1 == o2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            plan_segments(-1)
+        with pytest.raises(ValueError):
+            plan_segments(10, mss=0)
+
+
+class TestSynSchedule:
+    def test_attempt_times(self):
+        times = list(syn_attempt_times(100.0, (3.0, 6.0, 12.0)))
+        assert times == [100.0, 103.0, 109.0]
+
+    def test_attempt_count_matches_timeouts(self):
+        assert len(list(syn_attempt_times(0.0))) == len(SYN_TIMEOUTS)
+
+    def test_failure_time_is_total_budget(self):
+        assert handshake_failure_time(10.0, (3.0, 6.0)) == 19.0
+
+    def test_exponential_backoff(self):
+        diffs = [b - a for a, b in zip(SYN_TIMEOUTS, SYN_TIMEOUTS[1:])]
+        assert all(d > 0 for d in diffs)
+
+
+class TestDataRTO:
+    def test_doubles_and_caps(self):
+        schedule = data_rto_schedule(initial=1.0, retries=8)
+        assert schedule[0] == 1.0
+        assert schedule[1] == 2.0
+        assert max(schedule) <= 60.0
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError):
+            data_rto_schedule(retries=-1)

@@ -1,0 +1,79 @@
+"""Tests for packet trace capture."""
+
+import pytest
+
+from repro.net.addressing import IPv4Address
+from repro.net.packet import PacketBuilder, TCPFlag
+from repro.tcp.trace import PacketTrace
+
+CLIENT = IPv4Address.parse("10.0.0.1")
+SERVER = IPv4Address.parse("10.8.0.1")
+
+
+def builder():
+    return PacketBuilder(client=CLIENT, server=SERVER, client_port=41000)
+
+
+class TestCaptureSemantics:
+    def test_outbound_always_captured(self):
+        trace = PacketTrace()
+        trace.observe_outbound(builder().outbound(0.0, flags=TCPFlag.SYN))
+        assert len(trace) == 1
+
+    def test_inbound_only_if_delivered(self):
+        trace = PacketTrace()
+        p = builder().inbound(0.0, flags=TCPFlag.SYN | TCPFlag.ACK)
+        trace.observe_inbound(p, delivered=False)
+        assert len(trace) == 0
+        trace.observe_inbound(p, delivered=True)
+        assert len(trace) == 1
+
+    def test_disabled_capture_drops_everything(self):
+        trace = PacketTrace(enabled=False)
+        trace.observe_outbound(builder().outbound(0.0))
+        trace.observe_inbound(builder().inbound(0.0), delivered=True)
+        assert len(trace) == 0
+
+    def test_direction_validation(self):
+        trace = PacketTrace()
+        with pytest.raises(ValueError):
+            trace.observe_outbound(builder().inbound(0.0))
+        with pytest.raises(ValueError):
+            trace.observe_inbound(builder().outbound(0.0), delivered=True)
+
+
+class TestAccessors:
+    def test_syns_and_synacks(self):
+        trace = PacketTrace()
+        b = builder()
+        trace.observe_outbound(b.outbound(0.0, flags=TCPFlag.SYN))
+        trace.observe_outbound(b.outbound(3.0, flags=TCPFlag.SYN))
+        trace.observe_inbound(
+            b.inbound(3.1, flags=TCPFlag.SYN | TCPFlag.ACK), delivered=True
+        )
+        assert len(trace.syns_sent()) == 2
+        assert len(trace.synacks_received()) == 1
+
+    def test_data_bytes_deduplicates_retransmissions(self):
+        trace = PacketTrace()
+        b = builder()
+        trace.observe_inbound(b.inbound(1.0, seq=0, payload_length=1000), True)
+        trace.observe_inbound(b.inbound(2.0, seq=0, payload_length=1000), True)
+        trace.observe_inbound(b.inbound(3.0, seq=1000, payload_length=500), True)
+        assert trace.data_bytes_received() == 1500
+
+    def test_duration(self):
+        trace = PacketTrace()
+        b = builder()
+        assert trace.duration() == 0.0
+        trace.observe_outbound(b.outbound(1.0))
+        trace.observe_outbound(b.outbound(4.5))
+        assert trace.duration() == pytest.approx(3.5)
+
+    def test_merged_sorts_by_time(self):
+        b = builder()
+        t1, t2 = PacketTrace(), PacketTrace()
+        t1.observe_outbound(b.outbound(5.0))
+        t2.observe_outbound(b.outbound(1.0))
+        merged = t1.merged(t2)
+        assert [p.timestamp for p in merged.packets] == [1.0, 5.0]

@@ -1,0 +1,138 @@
+"""Tests for trace post-processing: the Section 3.5 classifier.
+
+The key property: the classifier must recover, *from the trace alone*, the
+failure cause the connection machinery produced.
+"""
+
+import random
+
+import pytest
+
+from repro.net.addressing import IPv4Address
+from repro.net.latency import LatencyModel
+from repro.net.loss import BernoulliLossModel
+from repro.net.packet import PacketBuilder
+from repro.tcp.connection import ConnectionOutcome, ServerBehavior, TCPConnection
+from repro.tcp.trace import PacketTrace
+from repro.tcp.trace_analysis import (
+    TraceVerdict,
+    analyze_trace,
+    classify_without_trace,
+)
+
+CLIENT = IPv4Address.parse("10.0.0.1")
+SERVER = IPv4Address.parse("10.8.0.1")
+
+
+def run_connection(behavior, loss_rate=0.0, seed=1):
+    rng = random.Random(seed)
+    trace = PacketTrace()
+    conn = TCPConnection(
+        builder=PacketBuilder(client=CLIENT, server=SERVER, client_port=41000),
+        loss=BernoulliLossModel(loss_rate, rng),
+        latency=LatencyModel("PL", rng),
+        trace=trace,
+        rng=rng,
+    )
+    result = conn.run(0.0, behavior)
+    return result, trace
+
+
+class TestVerdictRecovery:
+    def test_complete(self):
+        result, trace = run_connection(ServerBehavior(response_bytes=20000))
+        analysis = analyze_trace(trace, expected_response_bytes=20000)
+        assert analysis.verdict is TraceVerdict.COMPLETE
+        assert analysis.clean_close
+
+    def test_no_connection_silent_server(self):
+        result, trace = run_connection(ServerBehavior(accepting=False))
+        analysis = analyze_trace(trace)
+        assert analysis.verdict is TraceVerdict.NO_CONNECTION
+        assert analysis.syns_sent > 1
+        assert not analysis.handshake_completed
+
+    def test_no_connection_rst(self):
+        result, trace = run_connection(ServerBehavior(refusing=True))
+        analysis = analyze_trace(trace)
+        assert analysis.verdict is TraceVerdict.NO_CONNECTION
+        assert analysis.rst_to_syn
+
+    def test_no_response(self):
+        result, trace = run_connection(ServerBehavior(responds=False))
+        analysis = analyze_trace(trace)
+        assert analysis.verdict is TraceVerdict.NO_RESPONSE
+        assert analysis.request_transmissions >= 1
+        assert analysis.response_bytes == 0
+
+    def test_partial_response_stall(self):
+        result, trace = run_connection(
+            ServerBehavior(response_bytes=20000, stall_after_bytes=4000)
+        )
+        analysis = analyze_trace(trace, expected_response_bytes=20000)
+        assert analysis.verdict is TraceVerdict.PARTIAL_RESPONSE
+        assert 0 < analysis.response_bytes < 20000
+
+    def test_partial_response_without_expected_size_uses_close(self):
+        result, trace = run_connection(
+            ServerBehavior(response_bytes=20000, reset_after_bytes=4000)
+        )
+        analysis = analyze_trace(trace)
+        assert analysis.verdict is TraceVerdict.PARTIAL_RESPONSE
+
+    def test_empty_trace(self):
+        assert analyze_trace(PacketTrace()).verdict is TraceVerdict.EMPTY_TRACE
+
+    def test_agreement_with_mechanism_over_many_runs(self):
+        """The trace verdict must match the connection outcome across
+        random loss conditions -- the trace is a faithful witness."""
+        mapping = {
+            ConnectionOutcome.COMPLETE: TraceVerdict.COMPLETE,
+            ConnectionOutcome.NO_CONNECTION: TraceVerdict.NO_CONNECTION,
+            ConnectionOutcome.NO_RESPONSE: TraceVerdict.NO_RESPONSE,
+            ConnectionOutcome.PARTIAL_RESPONSE: TraceVerdict.PARTIAL_RESPONSE,
+        }
+        for seed in range(40):
+            result, trace = run_connection(
+                ServerBehavior(response_bytes=8000), loss_rate=0.25, seed=seed
+            )
+            analysis = analyze_trace(trace, expected_response_bytes=8000)
+            assert analysis.verdict is mapping[result.outcome], seed
+
+
+class TestLossInference:
+    def test_no_loss_counts_zero(self):
+        _, trace = run_connection(ServerBehavior(response_bytes=10000))
+        assert analyze_trace(trace).inferred_losses == 0
+
+    def test_syn_retries_counted(self):
+        _, trace = run_connection(ServerBehavior(accepting=False))
+        analysis = analyze_trace(trace)
+        assert analysis.inferred_losses == analysis.syns_sent - 1
+
+    def test_data_retransmissions_counted(self):
+        result, trace = run_connection(
+            ServerBehavior(response_bytes=50000), loss_rate=0.2, seed=9
+        )
+        if result.outcome is ConnectionOutcome.COMPLETE:
+            assert analyze_trace(trace).inferred_losses > 0
+
+
+class TestWithoutTrace:
+    def test_not_established(self):
+        assert (
+            classify_without_trace(established=False, bytes_received=0)
+            is TraceVerdict.NO_CONNECTION
+        )
+
+    def test_bytes_means_partial(self):
+        assert (
+            classify_without_trace(established=True, bytes_received=100)
+            is TraceVerdict.PARTIAL_RESPONSE
+        )
+
+    def test_ambiguous(self):
+        assert (
+            classify_without_trace(established=True, bytes_received=0)
+            is TraceVerdict.AMBIGUOUS_NO_OR_PARTIAL
+        )

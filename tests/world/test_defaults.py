@@ -1,0 +1,134 @@
+"""Tests that the default world matches the paper's Tables 1 and 2."""
+
+import pytest
+
+from repro.world.defaults import (
+    CDN_SITES,
+    MULTI_REPLICA_SITES,
+    SPREAD_REPLICA_SITES,
+    build_default_world,
+)
+from repro.world.entities import ClientCategory, SiteRegion
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_default_world(hours=24)
+
+
+class TestClientRoster:
+    def test_total_effective_clients(self, world):
+        assert len(world.clients) == 134  # 95 + 26 + 6 + 7
+
+    def test_category_counts(self, world):
+        counts = {
+            cat: len(world.clients_in_category(cat)) for cat in ClientCategory
+        }
+        assert counts[ClientCategory.PLANETLAB] == 95
+        assert counts[ClientCategory.DIALUP] == 26
+        assert counts[ClientCategory.CORPNET] == 6  # 5 proxied + SEAEXT
+        assert counts[ClientCategory.BROADBAND] == 7
+
+    def test_planetlab_site_count(self, world):
+        sites = {c.site for c in world.clients_in_category(ClientCategory.PLANETLAB)}
+        assert len(sites) == 64
+
+    def test_colocated_pair_count(self, world):
+        assert len(world.colocated_pairs()) == 35  # Table 7
+
+    def test_named_hosts_present(self, world):
+        for name in (
+            "nodea.howard.edu",
+            "planetlab1.kscy.internet2.planet-lab.org",
+            "planet1.pittsburgh.intel-research.net",
+            "csplanetlab1.kaist.ac.kr",
+            "planetlab2.comet.columbia.edu",
+            "planetlab1.northwestern.edu",
+        ):
+            assert world.client_named(name) is not None
+
+    def test_dialup_pop_structure(self, world):
+        dus = world.clients_in_category(ClientCategory.DIALUP)
+        cities = {c.city for c in dus}
+        assert len(cities) == 9  # Table 1's nine cities
+        providers = {c.provider for c in dus}
+        assert providers == {"ICG", "Level3", "Qwest", "UUNet"}
+
+    def test_corpnet_proxies(self, world):
+        proxied = [c for c in world.clients_in_category(ClientCategory.CORPNET)
+                   if c.proxied]
+        assert len(proxied) == 5
+        assert len({c.proxy_name for c in proxied}) == 5  # separate proxies
+        seaext = world.client_named("SEAEXT")
+        assert not seaext.proxied
+        sea1 = world.client_named("SEA1")
+        # Same WAN connectivity as SEA1/SEA2: shared prefix, distinct site.
+        assert seaext.prefixes == sea1.prefixes
+        assert seaext.site != sea1.site
+
+    def test_broadband_pairs(self, world):
+        bbs = world.clients_in_category(ClientCategory.BROADBAND)
+        by_site = {}
+        for c in bbs:
+            by_site.setdefault(c.site, []).append(c)
+        pair_sites = [s for s, cs in by_site.items() if len(cs) == 2]
+        assert len(pair_sites) == 2  # Roadrunner SD + Verizon Seattle
+
+    def test_colocated_clients_share_prefix(self, world):
+        for a, b in world.colocated_pairs():
+            assert a.prefixes == b.prefixes
+
+
+class TestWebsiteRoster:
+    def test_eighty_sites(self, world):
+        assert len(world.websites) == 80  # Table 2
+
+    def test_replica_structure(self, world):
+        cdn = [w for w in world.websites if w.cdn]
+        single = [w for w in world.websites if not w.cdn and w.num_replicas == 1]
+        multi = [w for w in world.websites if w.num_replicas > 1]
+        assert (len(cdn), len(single), len(multi)) == (6, 42, 32)  # Section 4.5
+
+    def test_declared_sets_consistent(self, world):
+        for name in CDN_SITES:
+            assert world.website_named(name).cdn
+        for name, count in MULTI_REPLICA_SITES.items():
+            assert world.website_named(name).num_replicas == count
+        for name in SPREAD_REPLICA_SITES:
+            assert not world.website_named(name).replicas_same_subnet
+
+    def test_same_subnet_replicas_share_slash24(self, world):
+        for site in world.websites:
+            if site.multi_replica and site.replicas_same_subnet:
+                subnets = {r.address.slash24() for r in site.replicas}
+                assert len(subnets) == 1, site.name
+
+    def test_spread_replicas_on_distinct_subnets(self, world):
+        for name in SPREAD_REPLICA_SITES:
+            site = world.website_named(name)
+            subnets = {r.address.slash24() for r in site.replicas}
+            assert len(subnets) == site.num_replicas
+
+    def test_iitb_has_three_replicas(self, world):
+        assert world.website_named("iitb.ac.in").num_replicas == 3  # Section 4.7
+
+    def test_paper_hostnames_present(self, world):
+        for name in ("sina.com.cn", "sohu.com", "msn.com.tw", "brazzil.com",
+                     "royal.gov.uk", "mp3.com", "espn.go.com", "mit.edu"):
+            assert world.website_named(name) is not None
+
+    def test_regions_assigned(self, world):
+        assert world.website_named("sina.com.cn").region is SiteRegion.ASIA
+        assert world.website_named("ucl.ac.uk").region is SiteRegion.EUROPE
+        assert world.website_named("mit.edu").region is SiteRegion.US
+
+
+class TestDeterminism:
+    def test_same_seed_same_addresses(self):
+        w1 = build_default_world(hours=24)
+        w2 = build_default_world(hours=24)
+        assert [c.address for c in w1.clients] == [c.address for c in w2.clients]
+
+    def test_hours_validated(self):
+        with pytest.raises(ValueError):
+            build_default_world(hours=0)

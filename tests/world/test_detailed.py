@@ -1,0 +1,121 @@
+"""Tests for the detailed message-level engine."""
+
+import pytest
+
+from repro.core.records import DNSFailureKind, FailureType, TCPFailureKind
+from repro.world.entities import ClientCategory
+
+
+class TestSingleTransactions:
+    def test_successful_transaction_record(self, detailed_engine):
+        record, raw = detailed_engine.run_transaction(
+            "planetlab1.nyu.edu", "google.com", 0
+        )
+        assert record.client_name == "planetlab1.nyu.edu"
+        assert record.site_name == "google.com"
+        assert record.num_connections >= 1
+        assert record.hour == 0
+
+    def test_down_client_rejected(self, world, truth, detailed_engine):
+        import numpy as np
+
+        down = np.nonzero(~truth.client_up)
+        if not down[0].size:
+            pytest.skip("no downtime in this seed")
+        ci, h = int(down[0][0]), int(down[1][0])
+        with pytest.raises(RuntimeError):
+            detailed_engine.run_transaction(
+                world.clients[ci].name, "google.com", h
+            )
+
+    def test_redirecting_site_roundtrip(self, detailed_engine):
+        record, raw = detailed_engine.run_transaction(
+            "planetlab1.nyu.edu", "espn.go.com", 0
+        )
+        if record.succeeded:
+            assert raw.redirects_followed >= 1
+            assert record.num_connections >= 2
+
+    def test_traces_attached_for_pl(self, detailed_engine):
+        record, raw = detailed_engine.run_transaction(
+            "planetlab1.nyu.edu", "mit.edu", 0
+        )
+        assert raw.attempts
+        assert raw.attempts[0].trace is not None
+        assert raw.attempts[0].trace.enabled
+
+    def test_traces_disabled_for_bb(self, detailed_engine):
+        record, raw = detailed_engine.run_transaction(
+            "bb-rr-sd-1", "mit.edu", 0
+        )
+        assert raw.attempts
+        assert not raw.attempts[0].trace.enabled
+
+    def test_proxied_client_sees_no_dns(self, detailed_engine):
+        record, raw = detailed_engine.run_transaction("SEA1", "mit.edu", 0)
+        assert raw.resolution.lookup_time == 0.0  # proxy does real DNS
+        if record.failed:
+            assert record.failure_type is FailureType.MASKED
+
+
+class TestPermanentPairMechanism:
+    def test_northwestern_mp3_fails_as_partial(self, world, detailed_engine):
+        outcomes = []
+        for k in range(12):
+            record, _ = detailed_engine.run_transaction(
+                "planetlab1.northwestern.edu", "mp3.com", k % world.hours
+            )
+            outcomes.append(record)
+        failed = [r for r in outcomes if r.failed]
+        assert len(failed) >= 10  # near-permanent
+        kinds = {r.tcp_kind for r in failed if r.tcp_kind}
+        assert TCPFailureKind.PARTIAL_RESPONSE in kinds
+
+    def test_blocked_pair_noconn(self, detailed_engine, world):
+        failures = 0
+        for k in range(8):
+            record, _ = detailed_engine.run_transaction(
+                "planetlab1.hp.com", "sina.com.cn", k % world.hours
+            )
+            failures += record.failed
+        assert failures >= 7
+
+
+class TestBatch:
+    def test_batch_statistics(self, world, detailed_engine):
+        sites = [w.name for w in world.websites][:15]
+        batch = detailed_engine.run_batch(
+            ["planetlab1.nyu.edu", "planetlab1.epfl.ch", "du-icg-boston",
+             "bb-se-sea-1", "UK"],
+            sites,
+            hours=list(range(6)),
+        )
+        assert len(batch) > 300
+        assert 0.0 <= batch.failure_rate() < 0.25
+        assert batch.total_connections() >= len(
+            [r for r in batch if not r.failed]
+        )
+
+    def test_batch_failure_kinds_consistent(self, world, detailed_engine):
+        sites = [w.name for w in world.websites][:15]
+        batch = detailed_engine.run_batch(
+            ["planetlab1.unito.it"], sites, hours=list(range(8))
+        )
+        for record in batch.failures():
+            if record.failure_type is FailureType.DNS:
+                assert record.dns_kind is not None
+            if record.failure_type is FailureType.TCP:
+                assert record.tcp_kind is not None
+                assert record.num_failed_connections >= 1
+
+    def test_records_feed_dataset(self, world, truth, detailed_engine):
+        from repro.core.dataset import MeasurementDataset
+
+        sites = [w.name for w in world.websites][:10]
+        batch = detailed_engine.run_batch(
+            ["planetlab1.nyu.edu"], sites, hours=[0, 1]
+        )
+        ds = MeasurementDataset(world)
+        ds.add_records(batch)
+        assert ds.transactions.sum() == len(batch)
+        assert ds.failures.sum() == len(batch.failures())

@@ -1,0 +1,148 @@
+"""Tests for world entities and the World container."""
+
+import pytest
+
+from repro.net.addressing import IPv4Address, Prefix
+from repro.world.entities import (
+    Client,
+    ClientCategory,
+    Replica,
+    SiteCategory,
+    SiteRegion,
+    Website,
+    World,
+)
+
+PREFIX = Prefix.parse("10.1.0.0/24")
+ADDR = IPv4Address.parse("10.1.0.5")
+
+
+def make_client(name="c1", site="s1", category=ClientCategory.PLANETLAB, proxy=None):
+    return Client(
+        name=name, category=category, site=site, region=SiteRegion.US,
+        address=ADDR, prefixes=(PREFIX,), proxy_name=proxy,
+    )
+
+
+def make_website(name="x.com", replicas=1):
+    return Website(
+        name=name, category=SiteCategory.US_MISC, region=SiteRegion.US,
+        replicas=tuple(
+            Replica(address=IPv4Address(PREFIX.network + 10 + i), prefixes=(PREFIX,))
+            for i in range(replicas)
+        ),
+    )
+
+
+class TestClient:
+    def test_address_must_be_in_prefix(self):
+        with pytest.raises(ValueError):
+            Client(
+                name="bad", category=ClientCategory.PLANETLAB, site="s",
+                region=SiteRegion.US, address=IPv4Address.parse("10.2.0.1"),
+                prefixes=(PREFIX,),
+            )
+
+    def test_needs_prefix(self):
+        with pytest.raises(ValueError):
+            Client(
+                name="bad", category=ClientCategory.PLANETLAB, site="s",
+                region=SiteRegion.US, address=ADDR, prefixes=(),
+            )
+
+    def test_proxied_property(self):
+        assert make_client(proxy="p1", category=ClientCategory.CORPNET).proxied
+        assert not make_client().proxied
+
+    def test_primary_prefix_most_specific(self):
+        outer = Prefix.parse("10.0.0.0/8")
+        client = Client(
+            name="c", category=ClientCategory.PLANETLAB, site="s",
+            region=SiteRegion.US, address=ADDR, prefixes=(outer, PREFIX),
+        )
+        assert client.primary_prefix == PREFIX
+
+    def test_category_traits(self):
+        assert ClientCategory.PLANETLAB.has_packet_traces
+        assert not ClientCategory.BROADBAND.has_packet_traces
+        assert ClientCategory.CORPNET.behind_proxy
+
+
+class TestWebsite:
+    def test_replica_counts(self):
+        assert make_website(replicas=1).num_replicas == 1
+        assert make_website(replicas=3).multi_replica
+
+    def test_cdn_site_has_zero_replicas(self):
+        site = Website(
+            name="cdn.com", category=SiteCategory.US_POPULAR,
+            region=SiteRegion.US, replicas=(), cdn=True, cdn_pool_size=100,
+        )
+        assert site.num_replicas == 0 and not site.multi_replica
+
+    def test_cdn_needs_pool(self):
+        with pytest.raises(ValueError):
+            Website(
+                name="cdn.com", category=SiteCategory.US_POPULAR,
+                region=SiteRegion.US, replicas=(), cdn=True, cdn_pool_size=1,
+            )
+
+    def test_non_cdn_needs_replicas(self):
+        with pytest.raises(ValueError):
+            Website(
+                name="x.com", category=SiteCategory.US_MISC,
+                region=SiteRegion.US, replicas=(),
+            )
+
+    def test_redirect_needs_target(self):
+        with pytest.raises(ValueError):
+            Website(
+                name="x.com", category=SiteCategory.US_MISC,
+                region=SiteRegion.US,
+                replicas=make_website().replicas,
+                redirect_probability=0.5,
+            )
+
+
+class TestWorld:
+    def build(self):
+        clients = [
+            make_client("a1", site="shared"),
+            make_client("a2", site="shared"),
+            make_client("b1", site="solo"),
+            make_client("du1", site="pop1", category=ClientCategory.DIALUP),
+            make_client("du2", site="pop1", category=ClientCategory.DIALUP),
+            make_client("cn1", site="corp", category=ClientCategory.CORPNET,
+                        proxy="p1"),
+            make_client("cn2", site="corp", category=ClientCategory.CORPNET,
+                        proxy="p2"),
+        ]
+        websites = [make_website("x.com"), make_website("y.com", replicas=2)]
+        return World(clients=clients, websites=websites, proxies=[], hours=24)
+
+    def test_lookup_by_name(self):
+        world = self.build()
+        assert world.client_named("a1").name == "a1"
+        assert world.website_named("X.COM").name == "x.com"
+        assert world.client_idx("b1") == 2
+
+    def test_duplicate_names_rejected(self):
+        clients = [make_client("dup"), make_client("dup")]
+        with pytest.raises(ValueError):
+            World(clients=clients, websites=[make_website()], proxies=[], hours=1)
+
+    def test_category_filter(self):
+        world = self.build()
+        assert len(world.clients_in_category(ClientCategory.PLANETLAB)) == 3
+
+    def test_colocated_pairs_exclude_dialup_and_proxied(self):
+        world = self.build()
+        pairs = world.colocated_pairs()
+        names = {frozenset((a.name, b.name)) for a, b in pairs}
+        assert names == {frozenset(("a1", "a2"))}
+
+    def test_max_replicas(self):
+        assert self.build().max_replicas() == 2
+
+    def test_all_prefixes_deduplicated(self):
+        assert self.build().all_prefixes() == [PREFIX]

@@ -1,0 +1,91 @@
+"""Tests for the Section 3.4 experiment driver."""
+
+import pytest
+
+from repro.core.records import FailureType
+from repro.world.experiment import ExperimentDriver
+
+
+@pytest.fixture
+def driver(detailed_engine):
+    return ExperimentDriver(detailed_engine, seed=11)
+
+
+class TestIteration:
+    def test_full_iteration_covers_all_urls(self, world, driver):
+        sites = [w.name for w in world.websites][:12]
+        result = driver.run_iteration("planetlab1.nyu.edu", 0, sites)
+        assert len(result.records) == 12
+        assert {r.site_name for r in result.records} == set(sites)
+
+    def test_url_order_randomized(self, world, driver):
+        sites = [w.name for w in world.websites][:12]
+        first = driver.run_iteration("planetlab1.nyu.edu", 0, sites)
+        second = driver.run_iteration("planetlab1.nyu.edu", 1, sites)
+        order1 = [r.site_name for r in first.records]
+        order2 = [r.site_name for r in second.records]
+        assert order1 != order2  # 1/12! chance of false failure
+
+    def test_digs_run_for_direct_clients(self, world, driver):
+        sites = [w.name for w in world.websites][:5]
+        result = driver.run_iteration("planetlab1.nyu.edu", 0, sites)
+        assert set(result.digs) == set(sites)
+
+    def test_digs_skipped_for_proxied_clients(self, world, driver):
+        sites = [w.name for w in world.websites][:5]
+        result = driver.run_iteration("SEA1", 0, sites)
+        assert result.digs == {}
+
+    def test_down_client_produces_nothing(self, world, truth, driver):
+        import numpy as np
+
+        down = np.nonzero(~truth.client_up)
+        if not down[0].size:
+            pytest.skip("no downtime in this seed")
+        ci, h = int(down[0][0]), int(down[1][0])
+        result = driver.run_iteration(world.clients[ci].name, h)
+        assert result.records == []
+
+
+class TestDigAgreement:
+    def test_dns_failures_confirmed_by_dig(self, world, truth, driver):
+        """Section 4.2: when wget's DNS fails, the dig almost always fails
+        too (the fault persists across the two lookups; most LDNS timeouts
+        are connectivity problems that block the root walk as well)."""
+        import numpy as np
+
+        sites = [w.name for w in world.websites][:20]
+        # Use the chronically sick Intel node during its bad hours so DNS
+        # failures are plentiful.
+        client = "planet1.pittsburgh.intel-research.net"
+        ci = world.client_idx(client)
+        bad_hours = np.nonzero(
+            (truth.ldns_fail[ci] > 0.3) & truth.client_up[ci]
+        )[0][:12]
+        agree = total = 0
+        for hour in bad_hours:
+            result = driver.run_iteration(client, int(hour), sites)
+            a, t = result.dig_agreement()
+            agree += a
+            total += t
+        assert total > 10
+        assert agree / total > 0.7
+
+
+class TestDialupProcedure:
+    def test_dialup_session_visits_subset(self, world, driver):
+        pops = [c.name for c in world.clients if c.name.startswith("du-")]
+        results = driver.run_dialup_session(1, 0, pops)
+        assert 1 <= len(results) <= len(pops)
+        for result in results:
+            assert result.client_name.startswith("du-")
+
+
+class TestCollect:
+    def test_collect_flattens(self, world, driver):
+        sites = [w.name for w in world.websites][:5]
+        iterations = [
+            driver.run_iteration("planetlab1.nyu.edu", h, sites) for h in (0, 1)
+        ]
+        batch = driver.collect(iterations)
+        assert len(batch) == 10

@@ -1,0 +1,103 @@
+"""Tests for the shared outcome model."""
+
+import numpy as np
+import pytest
+
+from repro.world.entities import ClientCategory
+from repro.world.outcome_model import AccessConfig, OutcomeModel
+
+
+class TestStaticContext:
+    def test_masks(self, world, outcome_model):
+        assert outcome_model.proxied.sum() == 5
+        assert outcome_model.dialup.sum() == 26
+        assert outcome_model.bb.sum() == 7
+
+    def test_cdn_sites_have_no_replicas_but_addresses(self, world, outcome_model):
+        for si, site in enumerate(world.websites):
+            if site.cdn:
+                assert outcome_model.n_replicas[si] == 0
+                assert outcome_model.n_addresses[si] == 3
+
+    def test_dialup_duty_cycle_reduces_accesses(self, world, outcome_model):
+        du = outcome_model.dialup
+        assert (
+            outcome_model.base_accesses[du].mean()
+            < outcome_model.base_accesses[~du].mean()
+        )
+
+
+class TestHourMatrices:
+    def test_probabilities_in_unit_interval(self, world, outcome_model):
+        for h in (0, world.hours // 2, world.hours - 1):
+            hour = outcome_model.hour(h)
+            for array in (
+                hour.p_ldns, hour.p_nonldns, hour.p_dnserr, hour.p_tcp,
+                hour.p_http, hour.p_fail_proxied,
+            ):
+                assert float(array.min()) >= 0.0
+                assert float(array.max()) <= 1.0 + 1e-9
+
+    def test_mix_sums_to_one(self, world, outcome_model):
+        hour = outcome_model.hour(0)
+        total = hour.tcp_mix_noconn + hour.tcp_mix_noresp + hour.tcp_mix_partial
+        assert np.allclose(total, 1.0)
+
+    def test_down_client_has_zero_accesses(self, world, truth, outcome_model):
+        down = np.nonzero(~truth.client_up)
+        if down[0].size:
+            ci, h = down[0][0], down[1][0]
+            assert outcome_model.hour(int(h)).n_expected[ci].sum() == 0.0
+
+    def test_permanent_pair_dominates_tcp(self, world, truth, outcome_model):
+        ci, si = [int(x[0]) for x in np.nonzero(truth.permanent_pair > 0.9)]
+        hour = outcome_model.hour(0)
+        assert hour.p_tcp[ci, si] > 0.9
+
+    def test_memoisation_returns_same_object(self, outcome_model):
+        assert outcome_model.hour(3) is outcome_model.hour(3)
+
+    def test_ldns_outage_drives_p_ldns(self, world, truth, outcome_model):
+        rows = np.nonzero(truth.ldns_fail > 0.5)
+        if rows[0].size:
+            ci, h = int(rows[0][0]), int(rows[1][0])
+            assert outcome_model.hour(h).p_ldns[ci, 0] >= 0.5
+
+
+class TestProxiedModel:
+    def test_proxied_failure_includes_first_replica_only(
+        self, world, truth, outcome_model
+    ):
+        """During a single-replica outage at iitb, the proxied failure
+        probability reflects the mean replica failure (no failover) while
+        direct clients' p_tcp barely moves (failover saves them)."""
+        si = world.site_idx("iitb.ac.in")
+        down_hours = np.nonzero(
+            (truth.replica_fail[si, :3] > 0.5).sum(axis=0) == 1
+        )[0]
+        # Exclude hours polluted by site-wide episodes.
+        clean = [h for h in down_hours if truth.site_fail[si, h] == 0]
+        if not clean:
+            pytest.skip("no single-replica-outage hours in this seed")
+        h = int(clean[0])
+        hour = outcome_model.hour(h)
+        proxied_row = int(np.nonzero(outcome_model.proxied)[0][0])
+        direct_row = world.client_idx("planetlab1.nyu.edu")
+        assert hour.p_fail_proxied[proxied_row, si] > 0.25
+        assert hour.p_tcp[direct_row, si] < 0.1
+
+
+class TestCellView:
+    def test_cell_matches_matrices(self, world, outcome_model):
+        cell = outcome_model.cell("planetlab1.nyu.edu", "google.com", 0)
+        hour = outcome_model.hour(0)
+        ci = world.client_idx("planetlab1.nyu.edu")
+        si = world.site_idx("google.com")
+        assert cell["p_tcp"] == pytest.approx(float(hour.p_tcp[ci, si]))
+        assert cell["p_ldns"] == pytest.approx(float(hour.p_ldns[ci, si]))
+        assert len(cell["replica_fail"]) == outcome_model.n_replicas[si]
+
+    def test_config_validation_defaults(self):
+        config = AccessConfig()
+        assert config.per_hour == 4
+        assert config.permanent_tries > config.tries

@@ -1,0 +1,77 @@
+"""Tests for the what-if intervention scenarios (Section 5)."""
+
+import pytest
+
+from repro.world import scenarios
+
+
+class TestTransforms:
+    def test_reliable_ldns_zeroes_dns_client_faults(self, truth):
+        fixed = scenarios.reliable_ldns(truth)
+        assert fixed.ldns_fail.max() == 0.0
+        assert fixed.wan_dns_fail.max() == 0.0
+        # TCP-side client trouble remains.
+        assert fixed.wan_fail.sum() == truth.wan_fail.sum()
+
+    def test_transforms_do_not_mutate_original(self, truth):
+        before = truth.ldns_fail.sum()
+        scenarios.reliable_ldns(truth)
+        scenarios.stable_bgp(truth)
+        scenarios.no_permanent_pairs(truth)
+        assert truth.ldns_fail.sum() == before
+        assert truth.permanent_pair.max() > 0.9
+
+    def test_stable_bgp(self, truth):
+        fixed = scenarios.stable_bgp(truth)
+        assert fixed.bgp_client_fail.max() == 0.0
+        assert fixed.bgp_replica_fail.max() == 0.0
+
+    def test_no_permanent_pairs(self, truth):
+        fixed = scenarios.no_permanent_pairs(truth)
+        assert fixed.permanent_pair.max() == 0.0
+
+    def test_unknown_intervention_rejected(self, world, truth):
+        with pytest.raises(ValueError):
+            scenarios.run_intervention(world, truth, "magic")
+
+
+class TestStudy:
+    @pytest.fixture(scope="class")
+    def study(self, world, truth):
+        return scenarios.intervention_study(world, truth, per_hour=1, seed=3)
+
+    def test_all_interventions_present(self, study):
+        assert set(study) == {"baseline"} | set(scenarios.INTERVENTIONS)
+
+    def test_every_intervention_helps(self, study):
+        """Each fix removes a real failure source, so no intervention may
+        do (statistically) worse than baseline."""
+        for name, rate in study.items():
+            if name == "baseline":
+                continue
+            assert rate <= study["baseline"] * 1.05, name
+
+    def test_reliable_ldns_is_the_big_win(self, study):
+        """Section 5, implication #1: fixing local DNS removes the largest
+        chunk of failures (DNS is 34-50% of them, mostly LDNS timeouts)."""
+        gain = {
+            name: study["baseline"] - rate
+            for name, rate in study.items() if name != "baseline"
+        }
+        assert gain["reliable_ldns"] == max(gain.values())
+        assert gain["reliable_ldns"] > 0.15 * study["baseline"]
+
+    def test_permanent_pairs_matter(self, study):
+        gain = study["baseline"] - study["no_permanent_pairs"]
+        assert gain > 0.05 * study["baseline"]
+
+    def test_bgp_fix_is_small(self, study):
+        """Severe instability is rare: fixing it moves the needle the
+        least among structural fixes (the paper's 'does not account for
+        the vast majority of end-to-end failures')."""
+        gain = {
+            name: study["baseline"] - rate
+            for name, rate in study.items() if name != "baseline"
+        }
+        assert gain["stable_bgp"] <= gain["reliable_ldns"]
+        assert gain["stable_bgp"] < 0.2 * study["baseline"]

@@ -1,0 +1,139 @@
+"""Tests for the fast vectorised simulator."""
+
+import numpy as np
+import pytest
+
+from repro.world.entities import ClientCategory
+from repro.world.outcome_model import AccessConfig
+from repro.world.rng import RNGRegistry
+from repro.world.simulator import MonthSimulator, _expected_leading_failures, _split
+
+
+class TestDatasetIntegrity:
+    def test_transactions_positive(self, dataset):
+        assert dataset.transactions.sum() > 0
+
+    def test_failures_never_exceed_transactions(self, dataset):
+        assert (dataset.failures <= dataset.transactions).all()
+
+    def test_failed_connections_never_exceed_connections(self, dataset):
+        assert (dataset.failed_connections <= dataset.connections).all()
+
+    def test_replica_failed_never_exceed_connections(self, dataset):
+        assert (
+            dataset.replica_failed_connections <= dataset.replica_connections
+        ).all()
+
+    def test_proxied_clients_have_no_connection_counts(self, dataset):
+        proxied = dataset.proxied_mask()
+        assert dataset.connections[proxied].sum() == 0
+
+    def test_proxied_failures_all_masked(self, dataset):
+        proxied = dataset.proxied_mask()
+        assert dataset.dns_ldns[proxied].sum() == 0
+        assert dataset.tcp_noconn[proxied].sum() == 0
+        assert dataset.masked_failures[proxied].sum() > 0
+
+    def test_direct_clients_have_no_masked_failures(self, dataset):
+        direct = ~dataset.proxied_mask()
+        assert dataset.masked_failures[direct].sum() == 0
+
+    def test_down_hours_have_no_transactions(self, dataset, truth):
+        down = ~truth.client_up
+        per_client_hour = dataset.transactions.sum(axis=1)
+        assert per_client_hour[down].sum() == 0
+
+    def test_bb_uses_ambiguous_category(self, dataset):
+        bb = dataset.category_mask(ClientCategory.BROADBAND)
+        assert dataset.tcp_ambiguous[bb].sum() > 0
+        assert dataset.tcp_noresp[bb].sum() == 0
+        assert dataset.tcp_partial[bb].sum() == 0
+
+    def test_non_bb_direct_have_no_ambiguous(self, dataset):
+        pl = dataset.category_mask(ClientCategory.PLANETLAB)
+        assert dataset.tcp_ambiguous[pl].sum() == 0
+
+
+class TestStatisticalShape:
+    def test_category_failure_ordering(self, dataset):
+        """PL must be the worst category; DU/CN near the bottom."""
+        rates = {}
+        for cat in ClientCategory:
+            mask = dataset.category_mask(cat)
+            t = dataset.transactions[mask].sum()
+            rates[cat] = dataset.failures[mask].sum() / t
+        assert rates[ClientCategory.PLANETLAB] == max(rates.values())
+        assert rates[ClientCategory.PLANETLAB] > 2 * rates[ClientCategory.DIALUP]
+
+    def test_overall_rate_plausible(self, dataset):
+        rate = dataset.failures.sum() / dataset.transactions.sum()
+        assert 0.01 < rate < 0.06
+
+    def test_dns_and_tcp_dominate(self, dataset):
+        dns = dataset.dns_failures.sum()
+        tcp = dataset.tcp_failures.sum()
+        http = dataset.http_errors.sum()
+        assert http < 0.05 * (dns + tcp)
+
+    def test_permanent_pairs_fail_almost_always(self, dataset, truth):
+        pairs = np.nonzero(truth.permanent_pair > 0.9)
+        trans = dataset.transactions.sum(axis=2)[pairs]
+        fails = dataset.failures.sum(axis=2)[pairs]
+        assert (fails / np.maximum(1, trans)).min() > 0.9
+
+    def test_connections_at_least_transactions_for_direct(self, dataset):
+        direct = ~dataset.proxied_mask()
+        conns = dataset.connections[direct].sum()
+        trans = dataset.transactions[direct].sum()
+        assert conns >= trans
+        assert conns < 2 * trans  # mild inflation (redirects + retries)
+
+
+class TestDeterminism:
+    def test_same_seed_reproduces(self, world, truth):
+        a = MonthSimulator(
+            world, access=AccessConfig(per_hour=1),
+            rngs=RNGRegistry(5), truth=truth,
+        ).run()
+        b = MonthSimulator(
+            world, access=AccessConfig(per_hour=1),
+            rngs=RNGRegistry(5), truth=truth,
+        ).run()
+        assert (a.dataset.transactions == b.dataset.transactions).all()
+        assert (a.dataset.failed_connections == b.dataset.failed_connections).all()
+
+    def test_different_seed_differs(self, world, truth):
+        a = MonthSimulator(
+            world, access=AccessConfig(per_hour=1),
+            rngs=RNGRegistry(5), truth=truth,
+        ).run()
+        b = MonthSimulator(
+            world, access=AccessConfig(per_hour=1),
+            rngs=RNGRegistry(6), truth=truth,
+        ).run()
+        assert (a.dataset.transactions != b.dataset.transactions).any()
+
+
+class TestHelpers:
+    def test_split_conserves_total(self):
+        rng = np.random.default_rng(0)
+        for total, parts in ((100, 3), (0, 4), (7, 1)):
+            assert _split(total, parts, rng).sum() == total
+
+    def test_split_weights_respected(self):
+        rng = np.random.default_rng(1)
+        out = _split(10000, 2, rng, weights=[0.9, 0.1])
+        assert out[0] > 5 * out[1]
+
+    def test_expected_leading_failures(self):
+        eff = np.array([[0.0, 0.0, 0.0], [1.0, 0.0, 0.0]])
+        n = np.array([3, 3])
+        out = _expected_leading_failures(eff, n)
+        assert out[0] == 0.0
+        assert out[1] == pytest.approx(1.0 / 3.0)
+
+    def test_expected_leading_failures_all_down(self):
+        eff = np.array([[1.0, 1.0]])
+        out = _expected_leading_failures(eff, np.array([2]))
+        assert out[0] == 0.0  # conditioned on reachability; all-down is
+        # handled by the transaction-failure path instead
