@@ -1,24 +1,13 @@
 """Legacy setup shim.
 
-The execution environment has no ``wheel`` package and no network, so PEP
-660 editable installs (which need ``bdist_wheel``) cannot run.  With this
-``setup.py`` present and no ``[build-system]`` table in ``pyproject.toml``,
-``pip install -e .`` falls back to the classic ``setup.py develop`` path,
-which works offline.
+All project metadata lives in ``pyproject.toml`` ([project] table, src/
+layout, console scripts).  This file exists so the classic
+``python setup.py develop`` path keeps working in offline environments
+where PEP 660 editable installs cannot build (no ``wheel`` package and no
+network for build isolation); setuptools >= 61 reads the pyproject
+metadata either way.  Prefer ``pip install -e . --no-build-isolation``.
 """
 
-from setuptools import find_packages, setup
+from setuptools import setup
 
-setup(
-    name="repro",
-    version="1.0.0",
-    description=(
-        "Reproduction of 'A Study of End-to-End Web Access Failures' "
-        "(CoNEXT 2006)"
-    ),
-    package_dir={"": "src"},
-    packages=find_packages(where="src"),
-    python_requires=">=3.9",
-    install_requires=["numpy"],
-    entry_points={"console_scripts": ["webfail = repro.cli:main"]},
-)
+setup()

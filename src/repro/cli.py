@@ -1,56 +1,114 @@
-"""Command-line interface: ``webfail``.
+"""Command-line interface: ``repro`` (alias ``webfail``).
 
 Subcommands:
 
-* ``webfail simulate`` -- run the month simulation, print the headline
+* ``repro simulate`` -- run the month simulation, print the headline
   statistics, and optionally save the dataset to an .npz file.
-* ``webfail report`` -- run the simulation (or load a saved dataset) and
+* ``repro report`` -- run the simulation (or load a saved dataset) and
   print every paper table/figure comparison.
-* ``webfail timeseries --client NAME`` -- print the Figure 5/7 panel data
+* ``repro timeseries --client NAME`` -- print the Figure 5/7 panel data
   for one client as CSV.
+* ``repro figures`` / ``repro diagnose`` -- figure CSV export and the
+  permanent-pair triage.
+* ``repro obs trace.jsonl`` -- replay a JSONL trace into the span-tree
+  summary.
+
+Observability flags (global, also accepted after any subcommand):
+
+* ``--metrics PATH`` -- after the run, write the metrics registry to PATH
+  in Prometheus text format (``-`` prints the human summary table).
+* ``--trace PATH`` -- stream spans and events (including every RNG stream
+  seed) to PATH as JSONL; replay with ``repro obs PATH``.
+* ``-v/--verbose`` -- log progress to stderr (repeat for DEBUG, which
+  includes the event stream).
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import List, Optional
+
+from repro import obs
+
+
+def _add_run_options(parser: argparse.ArgumentParser, suppress: bool) -> None:
+    """Simulation + observability options, shared by every subcommand.
+
+    The same options are registered on the main parser (with real
+    defaults) and on each subparser (with ``SUPPRESS`` defaults so a
+    value given before the subcommand is not clobbered) -- both
+    ``repro --hours 24 simulate`` and ``repro simulate --hours 24`` work.
+    """
+    d = argparse.SUPPRESS if suppress else None
+    parser.add_argument(
+        "--hours", type=int,
+        default=d if suppress else 744,
+        help="experiment duration in hours (default: the paper's month)",
+    )
+    parser.add_argument(
+        "--per-hour", type=int,
+        default=d if suppress else 4,
+        help="accesses per client per URL per hour (default 4)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=d if suppress else 20050101
+    )
+    parser.add_argument(
+        "--metrics", metavar="PATH",
+        default=d if suppress else None,
+        help="write run metrics to PATH (Prometheus text format; "
+        "'-' prints the human summary table)",
+    )
+    parser.add_argument(
+        "--trace", metavar="PATH",
+        default=d if suppress else None,
+        help="stream spans/events (incl. RNG seeds) to PATH as JSONL",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count",
+        default=d if suppress else 0,
+        help="log progress to stderr (-vv for debug + event stream)",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
-        prog="webfail",
+        prog="repro",
         description=(
             "Reproduction of 'A Study of End-to-End Web Access Failures' "
             "(CoNEXT 2006)"
         ),
     )
-    parser.add_argument(
-        "--hours", type=int, default=744,
-        help="experiment duration in hours (default: the paper's month)",
-    )
-    parser.add_argument(
-        "--per-hour", type=int, default=4,
-        help="accesses per client per URL per hour (default 4)",
-    )
-    parser.add_argument("--seed", type=int, default=20050101)
+    _add_run_options(parser, suppress=False)
+    common = argparse.ArgumentParser(add_help=False)
+    _add_run_options(common, suppress=True)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    simulate = sub.add_parser("simulate", help="run the simulation")
+    simulate = sub.add_parser(
+        "simulate", help="run the simulation", parents=[common]
+    )
     simulate.add_argument("--save", help="save the dataset to this .npz path")
 
-    report_cmd = sub.add_parser("report", help="print all table/figure comparisons")
+    report_cmd = sub.add_parser(
+        "report", help="print all table/figure comparisons", parents=[common]
+    )
     report_cmd.add_argument(
         "--only",
         help="comma-separated subset: table3,figure1,table4,figure2,"
         "figure3,figure4,table5,table6,table7,table8,table9,headline",
     )
 
-    ts = sub.add_parser("timeseries", help="Figure 5/7 panel data for a client")
+    ts = sub.add_parser(
+        "timeseries", help="Figure 5/7 panel data for a client",
+        parents=[common],
+    )
     ts.add_argument("--client", required=True)
 
     figures_cmd = sub.add_parser(
-        "figures", help="export figure data series as CSV (and ASCII previews)"
+        "figures", help="export figure data series as CSV (and ASCII previews)",
+        parents=[common],
     )
     figures_cmd.add_argument("--out", required=True, help="output directory")
     figures_cmd.add_argument(
@@ -60,6 +118,16 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser(
         "diagnose",
         help="triage the permanent-failure pairs (the deferred 4.4.2 study)",
+        parents=[common],
+    )
+
+    obs_cmd = sub.add_parser(
+        "obs", help="replay a JSONL trace file into a span-tree summary"
+    )
+    obs_cmd.add_argument("trace_file", help="JSONL trace from a --trace run")
+    obs_cmd.add_argument(
+        "--tree-only", action="store_true",
+        help="print just the reconstructed span tree",
     )
     return parser
 
@@ -67,6 +135,10 @@ def _build_parser() -> argparse.ArgumentParser:
 def _simulate(args):
     from repro.world.simulator import simulate_default_month
 
+    obs.logger.info(
+        "simulate: hours=%d per_hour=%d seed=%d",
+        args.hours, args.per_hour, args.seed,
+    )
     return simulate_default_month(
         hours=args.hours, per_hour=args.per_hour, seed=args.seed
     )
@@ -88,8 +160,9 @@ def cmd_report(args) -> int:
 
     result = _simulate(args)
     dataset = result.dataset
-    perm = permanent.find_permanent_pairs(dataset)
-    analysis = blame.run_blame_analysis(dataset, 0.05, perm.mask)
+    with obs.span("cli.report.analysis"):
+        perm = permanent.find_permanent_pairs(dataset)
+        analysis = blame.run_blame_analysis(dataset, 0.05, perm.mask)
 
     builders = {
         "headline": lambda: report.headline_summary(dataset),
@@ -113,6 +186,7 @@ def cmd_report(args) -> int:
         if builder is None:
             print(f"unknown report {name!r}", file=sys.stderr)
             return 2
+        obs.logger.info("report: building %s", name)
         print(builder())
         print()
     return 0
@@ -130,14 +204,15 @@ def cmd_figures(args) -> int:
 
     result = _simulate(args)
     dataset, truth = result.dataset, result.truth
-    perm = permanent.find_permanent_pairs(dataset)
-    index = EndpointIndex.build(
-        dataset, truth.prefix_of_client, truth.prefix_of_replica
-    )
-    by_neighbors, _ = correlate_instability(dataset, truth.bgp_archive, index)
-    howard = client_timeseries(
-        dataset, truth.bgp_archive, index, "nodea.howard.edu"
-    )
+    with obs.span("cli.figures.analysis"):
+        perm = permanent.find_permanent_pairs(dataset)
+        index = EndpointIndex.build(
+            dataset, truth.prefix_of_client, truth.prefix_of_replica
+        )
+        by_neighbors, _ = correlate_instability(dataset, truth.bgp_archive, index)
+        howard = client_timeseries(
+            dataset, truth.bgp_archive, index, "nodea.howard.edu"
+        )
 
     series_list = [
         figures.figure1_series(dataset),
@@ -164,8 +239,9 @@ def cmd_diagnose(args) -> int:
 
     result = _simulate(args)
     dataset = result.dataset
-    perm = permanent.find_permanent_pairs(dataset)
-    investigation = diagnosis.investigate_permanent_failures(dataset, perm)
+    with obs.span("cli.diagnose.analysis"):
+        perm = permanent.find_permanent_pairs(dataset)
+        investigation = diagnosis.investigate_permanent_failures(dataset, perm)
     print(investigation.summary())
     print()
     for d in investigation.pair_specific_cases():
@@ -196,9 +272,75 @@ def cmd_timeseries(args) -> int:
     return 0
 
 
+def cmd_obs(args) -> int:
+    from repro.obs import replay
+
+    try:
+        trace = replay.load_trace(args.trace_file)
+    except OSError as exc:
+        print(f"cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    if args.tree_only:
+        print(replay.render_tree(trace) or "(no spans)")
+    else:
+        print(replay.summarize(trace))
+    return 0
+
+
+def _configure_observability(args) -> None:
+    """Fresh registry + tracer per run; wire up -v logging and --trace."""
+    verbose = getattr(args, "verbose", 0) or 0
+    if verbose:
+        level = logging.DEBUG if verbose > 1 else logging.INFO
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s %(message)s")
+        )
+        obs.logger.handlers = [handler]
+        obs.logger.setLevel(level)
+    obs.set_registry(obs.MetricsRegistry())
+    tracer = obs.Tracer()
+    if getattr(args, "trace", None):
+        # Streaming only: a month-long run's 744 hour-spans need not be
+        # retained in memory as well.
+        try:
+            tracer.enable(args.trace, keep_in_memory=False)
+        except OSError as exc:
+            raise SystemExit(f"repro: error: cannot write trace: {exc}")
+        obs.logger.info("tracing to %s", args.trace)
+    obs.set_tracer(tracer)
+    metrics_path = getattr(args, "metrics", None)
+    if metrics_path and metrics_path != "-":
+        # Fail fast: don't discover an unwritable path after the run.
+        try:
+            open(metrics_path, "w", encoding="utf-8").close()
+        except OSError as exc:
+            raise SystemExit(f"repro: error: cannot write metrics: {exc}")
+
+
+def _export_metrics(args) -> None:
+    metrics_path = getattr(args, "metrics", None)
+    if not metrics_path:
+        return
+    registry = obs.registry()
+    if metrics_path == "-":
+        print()
+        print(obs.summary_table(registry))
+    else:
+        try:
+            with open(metrics_path, "w", encoding="utf-8") as fh:
+                fh.write(obs.to_prometheus_text(registry))
+        except OSError as exc:
+            print(f"repro: error: cannot write metrics: {exc}", file=sys.stderr)
+            return
+        obs.logger.info("metrics written to %s", metrics_path)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = _build_parser().parse_args(argv)
+    if args.command == "obs":
+        return cmd_obs(args)
     handlers = {
         "simulate": cmd_simulate,
         "report": cmd_report,
@@ -206,7 +348,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figures": cmd_figures,
         "diagnose": cmd_diagnose,
     }
-    return handlers[args.command](args)
+    _configure_observability(args)
+    tracer = obs.tracer()
+    try:
+        with obs.span(
+            f"cli.{args.command}", hours=args.hours, per_hour=args.per_hour
+        ):
+            code = handlers[args.command](args)
+    finally:
+        tracer.close()
+        _export_metrics(args)
+    return code
 
 
 if __name__ == "__main__":

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
+from repro import obs
 
 from repro.bgp.cleaning import (
     CleanedHourlyStats,
@@ -107,6 +108,7 @@ class InstabilityCorrelation:
         return rates, np.arange(1, rates.size + 1) / rates.size
 
 
+@obs.timed("bgp.correlate_instability")
 def correlate_instability(
     dataset: MeasurementDataset,
     archive: UpdateArchive,
@@ -167,6 +169,7 @@ class ClientTimeseries:
     withdrawing_neighbors: np.ndarray
 
 
+@obs.timed("bgp.client_timeseries")
 def client_timeseries(
     dataset: MeasurementDataset,
     archive: UpdateArchive,

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 import numpy as np
+from repro import obs
 
 from repro.core.dataset import MeasurementDataset
 from repro.core.episodes import (
@@ -82,6 +83,7 @@ class BlameAnalysis:
     excluded_pairs: Optional[np.ndarray] = None
 
 
+@obs.timed("blame.run")
 def run_blame_analysis(
     dataset: MeasurementDataset,
     threshold: float = 0.05,
@@ -124,6 +126,19 @@ def run_blame_analysis(
         both=both,
         other=other,
     )
+    registry = obs.registry()
+    threshold_label = f"{threshold:g}"
+    for side, count in (
+        ("server", server_only), ("client", client_only),
+        ("both", both), ("other", other),
+    ):
+        registry.gauge(
+            "blame_attributed_failures", side=side, threshold=threshold_label
+        ).set(count)
+    obs.current_span().set(
+        threshold=threshold, server_side=server_only, client_side=client_only,
+        both=both, other=other,
+    )
     return BlameAnalysis(
         threshold=threshold,
         client_rates=client_rates,
@@ -137,6 +152,7 @@ def run_blame_analysis(
     )
 
 
+@obs.timed("blame.table")
 def blame_table(
     dataset: MeasurementDataset,
     thresholds: Tuple[float, ...] = (0.05, 0.10),

@@ -11,6 +11,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
+from repro import obs
 
 from repro.core.dataset import MeasurementDataset
 from repro.world.entities import ClientCategory
@@ -41,6 +42,7 @@ class CategorySummary:
         return self.failed_connections / self.connections
 
 
+@obs.timed("classify.category_summary")
 def category_summary(dataset: MeasurementDataset) -> List[CategorySummary]:
     """Table 3: overall transaction and connection counts per category.
 
@@ -97,6 +99,7 @@ class TypeBreakdown:
         return getattr(self, which) / total if total else 0.0
 
 
+@obs.timed("classify.failure_type_breakdown")
 def failure_type_breakdown(
     dataset: MeasurementDataset,
 ) -> List[TypeBreakdown]:
@@ -141,6 +144,7 @@ class DNSBreakdown:
         )
 
 
+@obs.timed("classify.dns_breakdown")
 def dns_breakdown(dataset: MeasurementDataset) -> List[DNSBreakdown]:
     """Table 4: DNS failure breakdown per category (PL, BB, DU)."""
     rows = []
@@ -167,6 +171,7 @@ def dns_breakdown(dataset: MeasurementDataset) -> List[DNSBreakdown]:
     return rows
 
 
+@obs.timed("classify.dns_domain_contributions")
 def dns_domain_contributions(
     dataset: MeasurementDataset,
 ) -> Dict[str, List[Tuple[str, int]]]:
@@ -245,6 +250,7 @@ class TCPBreakdown:
         return getattr(self, which) / total if total else 0.0
 
 
+@obs.timed("classify.tcp_breakdown")
 def tcp_breakdown(dataset: MeasurementDataset) -> List[TCPBreakdown]:
     """Figure 3: TCP connection failure breakdown (CN excluded)."""
     rows = []
@@ -268,6 +274,7 @@ def tcp_breakdown(dataset: MeasurementDataset) -> List[TCPBreakdown]:
     return rows
 
 
+@obs.timed("classify.loss_correlation")
 def packet_loss_failure_correlation(dataset: MeasurementDataset) -> float:
     """Section 4.1.3: correlation between per-pair packet loss rate and
     transaction failure rate (the paper finds a weak r ~ 0.19)."""

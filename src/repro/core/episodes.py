@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
+from repro import obs
 
 from repro.core.dataset import MIN_SAMPLES_PER_HOUR, MeasurementDataset
 
@@ -39,6 +40,7 @@ class RateMatrix:
         return self.rates[self.valid]
 
 
+@obs.timed("episodes.client_rate_matrix")
 def client_rate_matrix(
     dataset: MeasurementDataset,
     transactions: Optional[np.ndarray] = None,
@@ -59,6 +61,7 @@ def client_rate_matrix(
     return _rates(trans, fails, min_samples)
 
 
+@obs.timed("episodes.server_rate_matrix")
 def server_rate_matrix(
     dataset: MeasurementDataset,
     transactions: Optional[np.ndarray] = None,
@@ -99,6 +102,7 @@ def rate_cdf(matrix: RateMatrix) -> Tuple[np.ndarray, np.ndarray]:
     return samples, cdf
 
 
+@obs.timed("episodes.detect_knee")
 def detect_knee(
     matrix: RateMatrix,
     candidate_range: Tuple[float, float] = (0.01, 0.30),
@@ -161,6 +165,7 @@ class CoalescedEpisode:
         return self.end_hour - self.start_hour + 1
 
 
+@obs.timed("episodes.coalesce")
 def coalesce_episodes(flags: np.ndarray) -> List[CoalescedEpisode]:
     """Merge consecutive episode-hours per entity (Section 4.4.5)."""
     episodes: List[CoalescedEpisode] = []
@@ -192,6 +197,7 @@ class EpisodeStats:
     entities_with_multiple: int
 
 
+@obs.timed("episodes.stats")
 def episode_stats(flags: np.ndarray) -> EpisodeStats:
     """Compute the Section 4.4.5 duration/spread statistics."""
     coalesced = coalesce_episodes(flags)

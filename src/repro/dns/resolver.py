@@ -22,6 +22,7 @@ import random
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro import obs
 from repro.dns.cache import DNSCache
 from repro.dns.message import DNSQuery, DNSResponse, RCode
 from repro.dns.server import RecursiveResolverServer
@@ -108,6 +109,19 @@ class StubResolver:
 
     def resolve(self, name: str, now: float) -> ResolutionOutcome:
         """Resolve ``name`` to addresses, classifying any failure."""
+        outcome = self._resolve(name, now)
+        registry = obs.registry()
+        registry.counter("dns_resolutions_total").inc()
+        registry.counter("dns_outcome_total", status=outcome.status.value).inc()
+        if not outcome.from_cache:
+            registry.histogram("dns_lookup_seconds").observe(outcome.lookup_time)
+        if outcome.status.is_failure:
+            obs.current_span().event(
+                "dns.failure", name=name, status=outcome.status.value
+            )
+        return outcome
+
+    def _resolve(self, name: str, now: float) -> ResolutionOutcome:
         query = DNSQuery(name)
         if self.cache is not None:
             cached = self.cache.lookup(query, now)

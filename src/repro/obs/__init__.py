@@ -1,0 +1,79 @@
+"""repro.obs -- metrics, tracing, and profiling for the whole pipeline.
+
+The measurement substrate for the reproduction itself: the paper is a
+measurement study, and this package is how the simulator and analyses
+measure *themselves*.  Three pieces:
+
+* **Metrics** (:mod:`repro.obs.metrics`): a dependency-free, thread-safe
+  :class:`MetricsRegistry` of counters, gauges, and fixed-bucket
+  histograms, exported as Prometheus text or a human summary table.
+* **Tracing** (:mod:`repro.obs.tracing`): ``with obs.span("simulate.hour",
+  hour=h):`` builds a tree of timed spans; a context-var current span
+  lets nested library code (DNS resolver, TCP connection, wget) annotate
+  without plumbing; spans/events stream to a JSONL file that ``repro
+  obs`` replays.
+* **Profiling** (:mod:`repro.obs.profiler`): ``stage(...)``/``@timed``
+  record per-stage wall time and item counts under uniform
+  ``stage_*_total{stage=...}`` metrics.
+
+Everything is off-by-default-cheap: the default tracer is disabled (spans
+are shared no-ops) and a :class:`NullRegistry` can be installed to make
+metric calls no-ops too, so instrumentation can stay inline in hot paths.
+"""
+
+from repro.obs.exporters import summary_table, to_prometheus_text
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.obs.profiler import StageTimer, stage, timed
+from repro.obs.runtime import (
+    NULL_REGISTRY,
+    counter,
+    current_span,
+    event,
+    gauge,
+    histogram,
+    logger,
+    registry,
+    set_registry,
+    set_tracer,
+    span,
+    tracer,
+    use,
+)
+from repro.obs.tracing import NULL_SPAN, Span, Tracer
+
+__all__ = [
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+    "Tracer",
+    "Span",
+    "NULL_SPAN",
+    "stage",
+    "StageTimer",
+    "timed",
+    "registry",
+    "tracer",
+    "set_registry",
+    "set_tracer",
+    "use",
+    "counter",
+    "gauge",
+    "histogram",
+    "span",
+    "current_span",
+    "event",
+    "logger",
+    "summary_table",
+    "to_prometheus_text",
+]

@@ -1,0 +1,143 @@
+"""Metric exporters: Prometheus text format and the human summary table.
+
+Two renderings of one :class:`~repro.obs.metrics.MetricsRegistry`:
+
+* :func:`to_prometheus_text` -- the ``text/plain; version=0.0.4``
+  exposition format, so a scrape endpoint or a ``--metrics PATH`` file
+  drops straight into existing dashboards;
+* :func:`summary_table` -- the ``obs summary`` fixed-width table a human
+  reads after a run, leading with the per-stage wall-time breakdown.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+
+def _sanitize(name: str) -> str:
+    return name.replace(".", "_").replace("-", "_")
+
+
+def _render_labels(labels: Tuple[Tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    return "{" + ",".join(f'{k}="{v}"' for k, v in labels) + "}"
+
+
+def _fmt(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_prometheus_text(registry: MetricsRegistry, prefix: str = "repro_") -> str:
+    """Dump every instrument in the Prometheus exposition format."""
+    lines: List[str] = []
+    seen_types = set()
+    for metric in registry.collect():
+        name = prefix + _sanitize(metric.name)
+        if name not in seen_types:
+            lines.append(f"# TYPE {name} {metric.kind}")
+            seen_types.add(name)
+        labels = _render_labels(metric.labels)
+        if isinstance(metric, Histogram):
+            for bound, count in metric.bucket_counts():
+                bucket_labels = metric.labels + (("le", _fmt(bound)),)
+                lines.append(
+                    f"{name}_bucket{_render_labels(bucket_labels)} {count}"
+                )
+            lines.append(f"{name}_sum{labels} {_fmt(metric.sum)}")
+            lines.append(f"{name}_count{labels} {metric.count}")
+        else:
+            lines.append(f"{name}{labels} {_fmt(metric.value)}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _stage_rows(registry: MetricsRegistry) -> List[Tuple[str, int, float, int]]:
+    """(stage, calls, seconds, items) rows from the canonical stage metrics."""
+    calls: Dict[str, float] = {}
+    seconds: Dict[str, float] = {}
+    items: Dict[str, float] = {}
+    for metric in registry.collect():
+        labels = dict(metric.labels)
+        if "stage" not in labels:
+            continue
+        target = {
+            "stage_calls_total": calls,
+            "stage_seconds_total": seconds,
+            "stage_items_total": items,
+        }.get(metric.name)
+        if target is not None:
+            target[labels["stage"]] = metric.value
+    rows = []
+    for stage in sorted(set(calls) | set(seconds)):
+        rows.append(
+            (
+                stage,
+                int(calls.get(stage, 0)),
+                seconds.get(stage, 0.0),
+                int(items.get(stage, 0)),
+            )
+        )
+    rows.sort(key=lambda r: r[2], reverse=True)
+    return rows
+
+
+def summary_table(registry: MetricsRegistry, title: str = "obs summary") -> str:
+    """The human-readable metrics summary (stages, counters, histograms)."""
+    lines = [f"== {title} =="]
+
+    stages = _stage_rows(registry)
+    if stages:
+        lines.append("")
+        lines.append("-- stages (by wall time) --")
+        lines.append(
+            f"{'stage':<38} {'calls':>8} {'total_s':>10} "
+            f"{'mean_ms':>10} {'items':>12}"
+        )
+        for name, calls, seconds, items in stages:
+            mean_ms = (seconds / calls * 1000.0) if calls else 0.0
+            lines.append(
+                f"{name:<38} {calls:>8} {seconds:>10.3f} "
+                f"{mean_ms:>10.2f} {items:>12}"
+            )
+
+    counters = [
+        m for m in registry.collect()
+        if m.kind == "counter" and "stage" not in dict(m.labels)
+    ]
+    if counters:
+        lines.append("")
+        lines.append("-- counters --")
+        for metric in counters:
+            label = metric.name + _render_labels(metric.labels)
+            lines.append(f"{label:<58} {_fmt(metric.value):>14}")
+
+    gauges = [m for m in registry.collect() if m.kind == "gauge"]
+    if gauges:
+        lines.append("")
+        lines.append("-- gauges --")
+        for metric in gauges:
+            label = metric.name + _render_labels(metric.labels)
+            lines.append(f"{label:<58} {_fmt(metric.value):>14}")
+
+    histograms = [m for m in registry.collect() if isinstance(m, Histogram)]
+    if histograms:
+        lines.append("")
+        lines.append("-- histograms --")
+        for metric in histograms:
+            label = metric.name + _render_labels(metric.labels)
+            lines.append(
+                f"{label:<44} count={metric.count} sum={metric.sum:.4f} "
+                f"mean={metric.mean:.5f} p50<={_fmt(metric.quantile(0.5))} "
+                f"p99<={_fmt(metric.quantile(0.99))}"
+            )
+
+    if len(lines) == 1:
+        lines.append("(no metrics recorded)")
+    return "\n".join(lines)

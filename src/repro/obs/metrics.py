@@ -1,0 +1,291 @@
+"""Counters, gauges, and fixed-bucket histograms.
+
+A :class:`MetricsRegistry` hands out named instruments (optionally with
+Prometheus-style labels) and is the single object exporters consume.  It
+is dependency-free, thread-safe, and resettable so test suites can assert
+on exact counts.  :class:`NullRegistry` is the disabled variant: it hands
+out shared no-op instruments so instrumented code pays only an attribute
+call when collection is off.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: Default histogram buckets: wall-clock-seconds oriented, spanning the
+#: sub-millisecond vectorised hot paths up to minute-scale timeouts.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0,
+)
+
+LabelSet = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, str]) -> LabelSet:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing value (float increments allowed)."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: LabelSet = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        """Current cumulative value."""
+        return self._value
+
+    def reset(self) -> None:
+        """Zero the counter (test support)."""
+        with self._lock:
+            self._value = 0.0
+
+
+class Gauge:
+    """A value that can go up and down (last-set wins)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "_value", "_lock")
+
+    def __init__(self, name: str, labels: LabelSet = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        """Set the gauge to ``value``."""
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` to the gauge."""
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Subtract ``amount`` from the gauge."""
+        self.inc(-amount)
+
+    @property
+    def value(self) -> float:
+        """Current value."""
+        return self._value
+
+    def reset(self) -> None:
+        """Zero the gauge (test support)."""
+        with self._lock:
+            self._value = 0.0
+
+
+class Histogram:
+    """Fixed-bucket histogram with cumulative bucket counts.
+
+    ``bucket_counts[i]`` counts observations <= ``buckets[i]``; a final
+    implicit +Inf bucket equals ``count``.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "labels", "buckets", "_counts", "_sum", "_count", "_lock")
+
+    def __init__(
+        self,
+        name: str,
+        labels: LabelSet = (),
+        buckets: Optional[Tuple[float, ...]] = None,
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self.buckets = tuple(sorted(buckets or DEFAULT_BUCKETS))
+        if not self.buckets:
+            raise ValueError("histogram needs at least one bucket")
+        self._counts = [0] * len(self.buckets)
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        with self._lock:
+            self._sum += value
+            self._count += 1
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self._counts[i] += 1
+
+    @property
+    def count(self) -> int:
+        """Number of observations."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """Sum of observed values."""
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        """Mean observed value (0.0 when empty)."""
+        return self._sum / self._count if self._count else 0.0
+
+    def bucket_counts(self) -> List[Tuple[float, int]]:
+        """Cumulative (upper_bound, count) pairs, +Inf last."""
+        pairs = [(b, c) for b, c in zip(self.buckets, self._counts)]
+        pairs.append((float("inf"), self._count))
+        return pairs
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile from the cumulative buckets."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self._count == 0:
+            return 0.0
+        target = q * self._count
+        for bound, cum in zip(self.buckets, self._counts):
+            if cum >= target:
+                return bound
+        return float("inf")
+
+    def reset(self) -> None:
+        """Clear all observations (test support)."""
+        with self._lock:
+            self._counts = [0] * len(self.buckets)
+            self._sum = 0.0
+            self._count = 0
+
+
+class MetricsRegistry:
+    """Named, labelled instruments with get-or-create semantics."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._metrics: Dict[Tuple[str, str, LabelSet], object] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, kind: str, name: str, labels: Dict[str, str], factory):
+        key = (kind, name, _label_key(labels))
+        instrument = self._metrics.get(key)
+        if instrument is None:
+            with self._lock:
+                instrument = self._metrics.get(key)
+                if instrument is None:
+                    instrument = factory(name, key[2])
+                    self._metrics[key] = instrument
+        return instrument
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        """The counter for ``name``/``labels`` (created on first use)."""
+        return self._get("counter", name, labels, Counter)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        """The gauge for ``name``/``labels`` (created on first use)."""
+        return self._get("gauge", name, labels, Gauge)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Optional[Tuple[float, ...]] = None,
+        **labels: str,
+    ) -> Histogram:
+        """The histogram for ``name``/``labels`` (created on first use)."""
+        return self._get(
+            "histogram", name, labels,
+            lambda n, ls: Histogram(n, ls, buckets),
+        )
+
+    def collect(self) -> List[object]:
+        """All instruments, sorted by (name, labels) for stable export."""
+        with self._lock:
+            instruments = list(self._metrics.values())
+        return sorted(instruments, key=lambda m: (m.name, m.labels))
+
+    def reset(self) -> None:
+        """Drop every instrument (tests / fresh CLI runs)."""
+        with self._lock:
+            self._metrics.clear()
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat {rendered_name: value} map (histograms -> _count/_sum)."""
+        out: Dict[str, float] = {}
+        for m in self.collect():
+            label_str = (
+                "{" + ",".join(f'{k}="{v}"' for k, v in m.labels) + "}"
+                if m.labels else ""
+            )
+            base = m.name + label_str
+            if isinstance(m, Histogram):
+                out[base + "_count"] = float(m.count)
+                out[base + "_sum"] = m.sum
+            else:
+                out[base] = m.value
+        return out
+
+
+class _NullInstrument:
+    """Shared no-op counter/gauge/histogram."""
+
+    kind = "null"
+    name = ""
+    labels: LabelSet = ()
+    value = 0.0
+    count = 0
+    sum = 0.0
+    mean = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:  # noqa: D102 - no-op
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:  # noqa: D102 - no-op
+        pass
+
+    def set(self, value: float) -> None:  # noqa: D102 - no-op
+        pass
+
+    def observe(self, value: float) -> None:  # noqa: D102 - no-op
+        pass
+
+    def reset(self) -> None:  # noqa: D102 - no-op
+        pass
+
+    def bucket_counts(self):  # noqa: D102 - no-op
+        return []
+
+    def quantile(self, q: float) -> float:  # noqa: D102 - no-op
+        return 0.0
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry(MetricsRegistry):
+    """Disabled registry: every instrument is one shared no-op object."""
+
+    enabled = False
+
+    def counter(self, name: str, **labels: str):  # noqa: D102 - no-op
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, **labels: str):  # noqa: D102 - no-op
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, buckets=None, **labels: str):  # noqa: D102
+        return _NULL_INSTRUMENT
+
+    def collect(self) -> List[object]:  # noqa: D102 - always empty
+        return []

@@ -1,0 +1,110 @@
+"""Process-wide observability state.
+
+Library code reaches the active registry/tracer through this module so a
+CLI run (or a test) can swap in a fresh :class:`MetricsRegistry`, a
+:class:`NullRegistry`, or an enabled :class:`Tracer` without threading
+objects through every constructor::
+
+    from repro import obs
+
+    obs.counter("dns_resolutions_total").inc()
+    with obs.span("simulate.hour", hour=h):
+        ...
+    obs.event("rng.fork", name="faults", seed=123)
+"""
+
+from __future__ import annotations
+
+import contextlib
+import logging
+from typing import Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry, NullRegistry
+from repro.obs.tracing import Tracer
+
+logger = logging.getLogger("repro")
+
+_registry: MetricsRegistry = MetricsRegistry()
+_tracer: Tracer = Tracer()
+
+NULL_REGISTRY = NullRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The active metrics registry."""
+    return _registry
+
+
+def tracer() -> Tracer:
+    """The active tracer."""
+    return _tracer
+
+
+def set_registry(new: MetricsRegistry) -> MetricsRegistry:
+    """Install ``new`` as the active registry; returns the previous one."""
+    global _registry
+    old, _registry = _registry, new
+    return old
+
+
+def set_tracer(new: Tracer) -> Tracer:
+    """Install ``new`` as the active tracer; returns the previous one."""
+    global _tracer
+    old, _tracer = _tracer, new
+    return old
+
+
+@contextlib.contextmanager
+def use(
+    registry_: Optional[MetricsRegistry] = None,
+    tracer_: Optional[Tracer] = None,
+):
+    """Temporarily install a registry and/or tracer (test support)."""
+    old_registry = set_registry(registry_) if registry_ is not None else None
+    old_tracer = set_tracer(tracer_) if tracer_ is not None else None
+    try:
+        yield (registry_ or _registry, tracer_ or _tracer)
+    finally:
+        if old_registry is not None:
+            set_registry(old_registry)
+        if old_tracer is not None:
+            set_tracer(old_tracer)
+
+
+# -- convenience pass-throughs (the instrumentation surface) ------------------
+
+
+def counter(name: str, **labels: str):
+    """Counter from the active registry."""
+    return _registry.counter(name, **labels)
+
+
+def gauge(name: str, **labels: str):
+    """Gauge from the active registry."""
+    return _registry.gauge(name, **labels)
+
+
+def histogram(name: str, buckets: Optional[Tuple[float, ...]] = None, **labels: str):
+    """Histogram from the active registry."""
+    return _registry.histogram(name, buckets, **labels)
+
+
+def span(name: str, **attrs):
+    """Context manager: a span on the active tracer."""
+    return _tracer.span(name, **attrs)
+
+
+def current_span():
+    """The active tracer's innermost span (a null span when idle)."""
+    return _tracer.current()
+
+
+def event(name: str, /, **fields) -> None:
+    """Record an event on the active tracer's event log.
+
+    Also logged at DEBUG level on the ``repro`` logger so ``-v -v`` runs
+    show the event stream even without a trace file.
+    """
+    _tracer.event(name, **fields)
+    if logger.isEnabledFor(logging.DEBUG):
+        logger.debug("event %s %s", name, fields)

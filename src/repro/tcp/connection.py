@@ -18,6 +18,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro import obs
 from repro.net.latency import LatencyModel
 from repro.net.loss import LossModel
 from repro.net.packet import PacketBuilder, TCPFlag
@@ -137,7 +138,7 @@ class TCPConnection:
             )
             if reset:
                 end = start_time + self.latency.sample_rtt()
-            return ConnectionResult(
+            result = ConnectionResult(
                 outcome=ConnectionOutcome.NO_CONNECTION,
                 established=False,
                 request_sent=False,
@@ -147,9 +148,34 @@ class TCPConnection:
                 syn_attempts=attempts,
                 reset_seen=reset,
             )
-        return self._transfer(
-            start_time, established_at, attempts, behavior, request_bytes
-        )
+        else:
+            result = self._transfer(
+                start_time, established_at, attempts, behavior, request_bytes
+            )
+        self._observe(result)
+        return result
+
+    def _observe(self, result: ConnectionResult) -> None:
+        """Record the connection's outcome on the metrics registry."""
+        registry = obs.registry()
+        registry.counter("tcp_connections_total").inc()
+        registry.counter(
+            "tcp_outcome_total", outcome=result.outcome.value
+        ).inc()
+        if result.retransmissions:
+            registry.counter("tcp_retransmissions_total").inc(
+                result.retransmissions
+            )
+        registry.histogram(
+            "tcp_syn_attempts", buckets=(1.0, 2.0, 3.0, 4.0, 5.0)
+        ).observe(result.syn_attempts)
+        if result.failed:
+            obs.current_span().event(
+                "tcp.failure",
+                outcome=result.outcome.value,
+                syn_attempts=result.syn_attempts,
+                reset_seen=result.reset_seen,
+            )
 
     # -- handshake -----------------------------------------------------------
 

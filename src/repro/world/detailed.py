@@ -18,8 +18,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.core.records import (
     DNSFailureKind,
     FailureType,
@@ -314,35 +316,55 @@ class DetailedEngine:
         now = hour * 3600.0 + offset_seconds
 
         dig = None
+        started = perf_counter()
         self._apply_dns_scenario(state, site, scenario)
         try:
-            if client.proxied:
-                transport: Transport = state["proxy_transport"]
-                state["_scenario"] = scenario
-                wget = WgetClient(
-                    transport, tries=1, rng=state["rng"], no_cache=True
-                )
-            else:
-                transport = _DirectTransport(self, client, state, scenario=scenario)
-                wget = WgetClient(
-                    transport,
-                    tries=self.access.tries,
-                    max_addresses=self.access.max_addresses,
-                    rng=state["rng"],
-                )
-            state["resolver"].flush_cache()  # step 1 of the procedure
-            result = wget.download(f"http://{site.name}/", now)
-            if run_dig and not client.proxied:
-                # Step 3: iterative dig, while the fault still holds.  The
-                # LDNS cache is flushed again so a cached answer from the
-                # wget lookup does not mask the authoritative fault.
-                state["ldns"].cache.flush_name(site.name)
-                dig = state["digger"].dig(site.name, result.end_time + 1.0)
+            with obs.span(
+                "detailed.transaction",
+                client=client_name, site=site_name, hour=hour,
+            ):
+                if client.proxied:
+                    transport: Transport = state["proxy_transport"]
+                    state["_scenario"] = scenario
+                    wget = WgetClient(
+                        transport, tries=1, rng=state["rng"], no_cache=True
+                    )
+                else:
+                    transport = _DirectTransport(
+                        self, client, state, scenario=scenario
+                    )
+                    wget = WgetClient(
+                        transport,
+                        tries=self.access.tries,
+                        max_addresses=self.access.max_addresses,
+                        rng=state["rng"],
+                    )
+                state["resolver"].flush_cache()  # step 1 of the procedure
+                result = wget.download(f"http://{site.name}/", now)
+                if run_dig and not client.proxied:
+                    # Step 3: iterative dig, while the fault still holds.  The
+                    # LDNS cache is flushed again so a cached answer from the
+                    # wget lookup does not mask the authoritative fault.
+                    with obs.span("detailed.dig", site=site_name):
+                        state["ldns"].cache.flush_name(site.name)
+                        dig = state["digger"].dig(
+                            site.name, result.end_time + 1.0
+                        )
         finally:
             self._clear_dns_scenario(state, site)
             state.pop("_scenario", None)
 
         record = self._to_record(client, site, hour, now, result)
+        registry = obs.registry()
+        registry.counter("stage_calls_total", stage="detailed.access").inc()
+        registry.counter("stage_seconds_total", stage="detailed.access").inc(
+            perf_counter() - started
+        )
+        registry.counter("detailed_transactions_total").inc()
+        if record.failed:
+            registry.counter(
+                "detailed_failures_total", type=record.failure_type.value
+            ).inc()
         return record, result, dig
 
     def _apply_dns_scenario(self, state, site: Website, scenario: Scenario) -> None:
@@ -482,21 +504,23 @@ class DetailedEngine:
         """Run a grid of transactions (skipping down clients)."""
         batch = RecordBatch()
         rng = self._rng
-        for hour in hours:
-            for client_name in client_names:
-                ci = self.world.client_idx(client_name)
-                if not self.truth.client_up[ci, hour]:
-                    continue
-                # Randomized URL order, as in Section 3.4.
-                order = list(site_names)
-                rng.shuffle(order)
-                for site_name in order:
-                    for k in range(accesses_per_cell):
-                        offset = rng.uniform(0, 3500.0)
-                        record, _ = self.run_transaction(
-                            client_name, site_name, hour, offset
-                        )
-                        batch.append(record)
+        with obs.stage("detailed.batch", trace=True) as batch_stage:
+            for hour in hours:
+                for client_name in client_names:
+                    ci = self.world.client_idx(client_name)
+                    if not self.truth.client_up[ci, hour]:
+                        continue
+                    # Randomized URL order, as in Section 3.4.
+                    order = list(site_names)
+                    rng.shuffle(order)
+                    for site_name in order:
+                        for k in range(accesses_per_cell):
+                            offset = rng.uniform(0, 3500.0)
+                            record, _ = self.run_transaction(
+                                client_name, site_name, hour, offset
+                            )
+                            batch.append(record)
+            batch_stage.add_items(len(batch))
         return batch
 
 

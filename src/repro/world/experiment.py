@@ -20,6 +20,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.core.records import PerformanceRecord, RecordBatch
 from repro.dns.iterative import DigResult
 from repro.world.detailed import DetailedEngine
@@ -84,18 +85,25 @@ class ExperimentDriver:
 
         result = IterationResult(client_name=client_name, hour=hour)
         offset = self._rng.uniform(0.0, 600.0)
-        for site_name in urls:
-            # Step 1 (cache flush) happens inside the engine; steps 2-4
-            # (wget, iterative dig, trace capture) are one call so the dig
-            # observes the same fault state the download did.
-            do_dig = run_digs and not client.proxied
-            record, raw, dig = self.engine.run_transaction_with_dig(
-                client_name, site_name, hour, offset, run_dig=do_dig
-            )
-            result.records.append(record)
-            offset += max(0.5, min(90.0, record.download_time + 0.5))
-            if dig is not None:
-                result.digs[site_name] = dig
+        with obs.span(
+            "experiment.iteration", client=client_name, hour=hour, urls=len(urls)
+        ):
+            for site_name in urls:
+                # Step 1 (cache flush) happens inside the engine; steps 2-4
+                # (wget, iterative dig, trace capture) are one call so the dig
+                # observes the same fault state the download did.
+                do_dig = run_digs and not client.proxied
+                record, raw, dig = self.engine.run_transaction_with_dig(
+                    client_name, site_name, hour, offset, run_dig=do_dig
+                )
+                result.records.append(record)
+                offset += max(0.5, min(90.0, record.download_time + 0.5))
+                if dig is not None:
+                    result.digs[site_name] = dig
+        registry = obs.registry()
+        registry.counter("experiment_iterations_total").inc()
+        registry.counter("experiment_records_total").inc(len(result.records))
+        registry.counter("experiment_digs_total").inc(len(result.digs))
         return result
 
     def run_dialup_session(

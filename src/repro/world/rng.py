@@ -15,9 +15,17 @@ from typing import Dict
 
 import numpy as np
 
+from repro import obs
+
 
 class RNGRegistry:
-    """Hands out independent :class:`random.Random` and numpy generators."""
+    """Hands out independent :class:`random.Random` and numpy generators.
+
+    Every stream creation and fork is recorded on the observability event
+    log (``rng.stream`` / ``rng.np_stream`` / ``rng.fork`` events carrying
+    the derived seed), so a ``--trace`` run's JSONL file contains every
+    seed needed to reproduce the simulation exactly.
+    """
 
     def __init__(self, master_seed: int = 20050101) -> None:
         self.master_seed = master_seed
@@ -33,15 +41,25 @@ class RNGRegistry:
     def stream(self, name: str) -> random.Random:
         """The stdlib Random stream for ``name`` (created on first use)."""
         if name not in self._streams:
-            self._streams[name] = random.Random(self._derive(name))
+            seed = self._derive(name)
+            obs.event(
+                "rng.stream", name=name, seed=seed, master=self.master_seed
+            )
+            self._streams[name] = random.Random(seed)
         return self._streams[name]
 
     def np_stream(self, name: str) -> np.random.Generator:
         """The numpy Generator stream for ``name`` (created on first use)."""
         if name not in self._np_streams:
-            self._np_streams[name] = np.random.default_rng(self._derive(name))
+            seed = self._derive(name)
+            obs.event(
+                "rng.np_stream", name=name, seed=seed, master=self.master_seed
+            )
+            self._np_streams[name] = np.random.default_rng(seed)
         return self._np_streams[name]
 
     def fork(self, name: str) -> "RNGRegistry":
         """A child registry whose master seed is derived from ``name``."""
-        return RNGRegistry(self._derive(name))
+        seed = self._derive(name)
+        obs.event("rng.fork", name=name, seed=seed, master=self.master_seed)
+        return RNGRegistry(seed)

