@@ -1,0 +1,144 @@
+"""Parallel-simulation perf baseline: ``BENCH_parallel.json``.
+
+Times the full paper-scale month (744 hours) sequentially and with the
+hour-sharded parallel engine, records the speedup and the dataset digest,
+and asserts the determinism contract: the parallel dataset is
+bit-identical to the sequential one (equal digests), whatever the worker
+count.
+
+The >= 1.7x speedup criterion only makes sense with real cores to run on,
+so it is asserted only when at least 4 CPUs are available to this
+process; on smaller machines the benchmark still runs, still checks
+determinism, and still writes ``BENCH_parallel.json`` (with the measured
+-- possibly sub-1x -- speedup and the core count that explains it).
+
+Standalone by design: does not use the session-scoped full-month fixture,
+so ``pytest benchmarks/test_parallel_baseline.py`` only pays for its own
+runs.  Scale via ``REPRO_BENCH_PAR_HOURS`` (default 744 -- the paper's
+month).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+from repro import obs
+from repro.obs.metrics import NullRegistry
+from repro.obs.tracing import Tracer
+from repro.world.defaults import build_default_world
+from repro.world.faults import FaultGenerator
+from repro.world.outcome_model import AccessConfig
+from repro.world.parallel import available_cpus
+from repro.world.rng import RNGRegistry
+from repro.world.simulator import MonthSimulator
+
+BENCH_PATH = pathlib.Path(__file__).parent.parent / "BENCH_parallel.json"
+OBS_BASELINE_PATH = pathlib.Path(__file__).parent.parent / "BENCH_obs.json"
+
+HOURS = int(os.environ.get("REPRO_BENCH_PAR_HOURS", 744))
+PER_HOUR = int(os.environ.get("REPRO_BENCH_PAR_PER_HOUR", 4))
+SEED = int(os.environ.get("REPRO_BENCH_SEED", 20050101))
+WORKERS = int(os.environ.get("REPRO_BENCH_PAR_WORKERS", 4))
+#: Best-of-N filters scheduler noise out of the speedup ratio.
+REPEATS = 3
+#: Acceptance criterion, asserted only with enough real cores.
+MIN_SPEEDUP = 1.7
+
+
+def _build():
+    world = build_default_world(hours=HOURS)
+    rngs = RNGRegistry(SEED)
+    truth = FaultGenerator(world, rngs=rngs.fork("faults")).generate()
+    return world, truth
+
+
+def _timed_run(world, truth, workers):
+    """One dark (uninstrumented) run so the ratio measures parallelism,
+    not instrumentation."""
+    with obs.use(NullRegistry(), Tracer()):
+        sim = MonthSimulator(
+            world, access=AccessConfig(per_hour=PER_HOUR),
+            rngs=RNGRegistry(SEED), truth=truth,
+        )
+        started = time.perf_counter()
+        result = sim.run(workers=workers)
+        return time.perf_counter() - started, result
+
+
+def _best_of(n, fn):
+    times, last = [], None
+    for _ in range(n):
+        elapsed, last = fn()
+        times.append(elapsed)
+    return min(times), last
+
+
+def test_parallel_baseline(emit):
+    world, truth = _build()
+    cpus = available_cpus()
+
+    sequential_s, seq_result = _best_of(
+        REPEATS, lambda: _timed_run(world, truth, workers=1)
+    )
+    parallel_s, par_result = _best_of(
+        REPEATS, lambda: _timed_run(world, truth, workers=WORKERS)
+    )
+
+    # The determinism contract holds regardless of machine size: the
+    # merged parallel dataset is bit-identical to the sequential one.
+    seq_digest = seq_result.dataset.digest()
+    par_digest = par_result.dataset.digest()
+    assert par_digest == seq_digest, (
+        "parallel dataset diverged from sequential "
+        f"({par_digest} != {seq_digest})"
+    )
+    assert 1 <= par_result.dataset.provenance["workers"] <= WORKERS
+
+    speedup = sequential_s / parallel_s if parallel_s else float("inf")
+    transactions = int(seq_result.dataset.transactions.sum(dtype="int64"))
+
+    obs_baseline = None
+    if OBS_BASELINE_PATH.exists():
+        obs_baseline = json.loads(OBS_BASELINE_PATH.read_text()).get(
+            "simulate_seconds"
+        )
+
+    payload = {
+        "hours": HOURS,
+        "per_hour": PER_HOUR,
+        "seed": SEED,
+        "workers": WORKERS,
+        "available_cpus": cpus,
+        "transactions": transactions,
+        "sequential_seconds": round(sequential_s, 4),
+        "parallel_seconds": round(parallel_s, 4),
+        "speedup": round(speedup, 3),
+        "digest": seq_digest,
+        "deterministic": par_digest == seq_digest,
+        "obs_baseline_simulate_seconds": obs_baseline,
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    emit(
+        "Parallel baseline (BENCH_parallel.json)\n"
+        f"hours={HOURS} per_hour={PER_HOUR} transactions={transactions}\n"
+        f"sequential: {sequential_s:.3f}s   "
+        f"{WORKERS} workers: {parallel_s:.3f}s   "
+        f"speedup {speedup:.2f}x on {cpus} available cpu(s)\n"
+        f"digest: {seq_digest} (parallel == sequential: "
+        f"{par_digest == seq_digest})"
+    )
+
+    if cpus < WORKERS:
+        # Still a pass: determinism was verified above, and the JSON
+        # records the measured numbers with the core count explaining
+        # them.  The speedup criterion needs real cores.
+        return
+    assert speedup >= MIN_SPEEDUP, (
+        f"{WORKERS}-worker speedup {speedup:.2f}x below the "
+        f"{MIN_SPEEDUP}x acceptance criterion on {cpus} cpus "
+        f"(sequential {sequential_s:.3f}s, parallel {parallel_s:.3f}s)"
+    )

@@ -13,6 +13,11 @@ Subcommands:
 * ``repro obs trace.jsonl`` -- replay a JSONL trace into the span-tree
   summary.
 
+Simulation flags (global, also accepted after any subcommand): ``--hours``,
+``--per-hour``, ``--seed``, and ``--workers N`` (hour-sharded parallel
+simulation; the dataset is bit-identical for any worker count, so the
+flag is purely a speed knob).
+
 Observability flags (global, also accepted after any subcommand):
 
 * ``--metrics PATH`` -- after the run, write the metrics registry to PATH
@@ -54,6 +59,12 @@ def _add_run_options(parser: argparse.ArgumentParser, suppress: bool) -> None:
     )
     parser.add_argument(
         "--seed", type=int, default=d if suppress else 20050101
+    )
+    parser.add_argument(
+        "--workers", type=int, metavar="N",
+        default=d if suppress else None,
+        help="worker processes for the month simulation (default: auto "
+        "from CPU count; output is bit-identical for any worker count)",
     )
     parser.add_argument(
         "--metrics", metavar="PATH",
@@ -133,14 +144,21 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _simulate(args):
+    from repro.world.parallel import default_workers
     from repro.world.simulator import simulate_default_month
 
+    workers = getattr(args, "workers", None)
+    if workers is None:
+        workers = default_workers(args.hours)
+    elif workers < 1:
+        raise SystemExit(f"repro: error: --workers must be >= 1, got {workers}")
     obs.logger.info(
-        "simulate: hours=%d per_hour=%d seed=%d",
-        args.hours, args.per_hour, args.seed,
+        "simulate: hours=%d per_hour=%d seed=%d workers=%d",
+        args.hours, args.per_hour, args.seed, workers,
     )
     return simulate_default_month(
-        hours=args.hours, per_hour=args.per_hour, seed=args.seed
+        hours=args.hours, per_hour=args.per_hour, seed=args.seed,
+        workers=workers,
     )
 
 
@@ -149,9 +167,12 @@ def cmd_simulate(args) -> int:
 
     result = _simulate(args)
     print(report.headline_summary(result.dataset))
+    # The determinism contract's observable: same seed => same digest,
+    # independent of --workers (CI compares these lines across runs).
+    print(f"\ndataset digest: {result.dataset.digest()}")
     if args.save:
         result.dataset.save(args.save)
-        print(f"\ndataset saved to {args.save}")
+        print(f"dataset saved to {args.save}")
     return 0
 
 

@@ -13,11 +13,14 @@ as ``(sites, max_replicas, hours)`` arrays aggregated across clients.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
+from repro import obs
 from repro.core.records import (
     DNSFailureKind,
     FailureType,
@@ -28,6 +31,25 @@ from repro.world.entities import ClientCategory, World
 
 #: Minimum samples for a rate to be considered meaningful in an hour bin.
 MIN_SAMPLES_PER_HOUR = 10
+
+#: Promotion ladder for count arrays: when a count no longer fits its
+#: dtype the array is widened to the next step instead of wrapping.
+_DTYPE_LADDER = (np.uint16, np.uint32, np.int64)
+
+#: Archive format version for :meth:`MeasurementDataset.save`.
+_ARCHIVE_FORMAT = 1
+
+
+def _widened_dtype(needed: int, current: np.dtype) -> np.dtype:
+    """The narrowest ladder dtype holding both ``needed`` and ``current``."""
+    for candidate in _DTYPE_LADDER:
+        info = np.iinfo(candidate)
+        if needed <= info.max and np.iinfo(current).max <= info.max:
+            return np.dtype(candidate)
+    raise OverflowError(
+        f"count {needed} exceeds the widest supported count dtype "
+        f"({_DTYPE_LADDER[-1].__name__})"
+    )
 
 
 class MeasurementDataset:
@@ -71,6 +93,9 @@ class MeasurementDataset:
         self.replica_failed_connections = np.zeros((s, r, h), dtype=np.uint32)
         # Optional packet-loss estimate (retransmission-inferred).
         self.packet_losses = count(np.uint32)
+        #: Free-form provenance (master seed, engine, worker count ...):
+        #: embedded in saved archives and restored on load.
+        self.provenance: Dict[str, Any] = {}
 
     # -- ingestion ----------------------------------------------------------
 
@@ -180,6 +205,116 @@ class MeasurementDataset:
         used to exclude permanent-failure pairs (Section 4.4.2)."""
         return MaskedCounts(self, excluded)
 
+    # -- capacity and merging ---------------------------------------------------
+
+    #: The transaction-level count arrays (initially ``uint16``): every
+    #: per-cell count in this group is bounded by ``transactions``, so one
+    #: capacity check on the transaction draw covers them all.
+    _TRANSACTION_FIELDS = (
+        "transactions", "dns_ldns", "dns_nonldns", "dns_error",
+        "tcp_noconn", "tcp_noresp", "tcp_partial", "tcp_ambiguous",
+        "http_errors", "masked_failures",
+    )
+
+    def ensure_count_capacity(
+        self, max_count: int, fields: Optional[Iterable[str]] = None
+    ) -> None:
+        """Widen count arrays so ``max_count`` fits without wrapping.
+
+        Counts used to be committed into ``uint16`` arrays unchecked: a
+        scaled run (large ``per_hour``) or a merge of shards silently
+        wrapped mod 65536.  Callers about to commit counts up to
+        ``max_count`` call this first; affected arrays are promoted up the
+        ``uint16 -> uint32 -> int64`` ladder in place.
+        """
+        for name in fields if fields is not None else self._TRANSACTION_FIELDS:
+            arr = getattr(self, name)
+            if max_count > np.iinfo(arr.dtype).max:
+                setattr(self, name, arr.astype(_widened_dtype(max_count, arr.dtype)))
+
+    def merge(
+        self,
+        shard: Union["MeasurementDataset", Mapping[str, np.ndarray]],
+        hours: Optional[Tuple[int, int]] = None,
+    ) -> None:
+        """Accumulate another dataset's (or shard's) counts into this one.
+
+        ``shard`` is either a whole :class:`MeasurementDataset` or a
+        mapping of array-field name to counts.  With ``hours=(h0, h1)``
+        the shard arrays cover only that contiguous hour block (the
+        parallel engine's unit) and are added into the matching slice;
+        otherwise they must be full-width.  Accumulation is
+        overflow-checked: sums are formed in ``int64`` and the target
+        array is promoted to a wider dtype whenever the result would no
+        longer fit, so counts can never silently wrap.
+        """
+        if isinstance(shard, MeasurementDataset):
+            arrays: Mapping[str, np.ndarray] = {
+                name: getattr(shard, name) for name in self._ARRAY_FIELDS
+            }
+        else:
+            arrays = shard
+        h0, h1 = (0, self.world.hours) if hours is None else hours
+        if not 0 <= h0 <= h1 <= self.world.hours:
+            raise ValueError(
+                f"hour block [{h0}, {h1}) outside experiment "
+                f"(0..{self.world.hours})"
+            )
+        for name in self._ARRAY_FIELDS:
+            src = arrays.get(name)
+            if src is None:
+                raise ValueError(f"shard is missing array {name!r}")
+            dst = getattr(self, name)
+            view = dst[..., h0:h1]
+            if src.shape != view.shape:
+                raise ValueError(
+                    f"array {name}: shard shape {src.shape} does not match "
+                    f"hour block shape {view.shape}"
+                )
+            if src.size == 0:
+                continue
+            total = view.astype(np.int64) + src.astype(np.int64)
+            if total.size and int(total.min()) < 0:
+                raise ValueError(f"array {name}: negative counts in shard")
+            needed = int(total.max()) if total.size else 0
+            if needed > np.iinfo(dst.dtype).max:
+                self.ensure_count_capacity(needed, fields=(name,))
+                dst = getattr(self, name)
+                view = dst[..., h0:h1]
+            view[...] = total.astype(dst.dtype)
+
+    # -- identity ----------------------------------------------------------------
+
+    def fingerprint(self) -> Dict[str, Any]:
+        """The world identity this dataset's axes are bound to.
+
+        Client/site *names and order* matter: two worlds with identically
+        shaped arrays but different rosters (or orderings) would misattribute
+        every per-client analysis if confused for each other.
+        """
+        return {
+            "clients": [c.name for c in self.world.clients],
+            "sites": [w.name for w in self.world.websites],
+            "hours": self.world.hours,
+            "max_replicas": self.max_replicas,
+        }
+
+    def digest(self) -> str:
+        """SHA-256 over every count array, dtype-normalised.
+
+        Arrays are hashed as ``int64`` so the digest is invariant under
+        capacity promotion: two datasets with equal counts digest equal
+        even if one was widened.  This is the determinism contract's
+        observable -- same seed, any worker count, same digest.
+        """
+        h = hashlib.sha256()
+        for name in self._ARRAY_FIELDS:
+            arr = getattr(self, name)
+            h.update(name.encode("utf-8"))
+            h.update(str(arr.shape).encode("utf-8"))
+            h.update(np.ascontiguousarray(arr, dtype=np.int64).tobytes())
+        return h.hexdigest()
+
     # -- persistence ------------------------------------------------------------
 
     _ARRAY_FIELDS = (
@@ -190,16 +325,54 @@ class MeasurementDataset:
     )
 
     def save(self, path: str) -> None:
-        """Persist all count arrays to an .npz file."""
+        """Persist all count arrays plus the world fingerprint to .npz."""
+        meta = {
+            "format": _ARCHIVE_FORMAT,
+            "fingerprint": self.fingerprint(),
+            "provenance": self.provenance,
+        }
         np.savez_compressed(
-            path, **{name: getattr(self, name) for name in self._ARRAY_FIELDS}
+            path,
+            __meta__=np.array(json.dumps(meta)),
+            **{name: getattr(self, name) for name in self._ARRAY_FIELDS},
         )
 
     @classmethod
-    def load(cls, path: str, world: World) -> "MeasurementDataset":
-        """Load arrays saved by :meth:`save` against a matching world."""
+    def load(
+        cls,
+        path: str,
+        world: World,
+        expected_seed: Optional[int] = None,
+    ) -> "MeasurementDataset":
+        """Load arrays saved by :meth:`save` against a matching world.
+
+        The archive's embedded fingerprint (client/site names and order,
+        hours, replica width) must match ``world`` exactly -- a same-shaped
+        archive from a different world loads into the wrong axes and
+        silently misattributes every per-client analysis, so it is
+        rejected with a description of what differs.  Pass
+        ``expected_seed`` to additionally pin the archive to one master
+        seed.  Archives written before the fingerprint existed fall back
+        to the shape check with a warning.
+        """
         dataset = cls(world)
         with np.load(path) as data:
+            if "__meta__" in data.files:
+                meta = json.loads(str(data["__meta__"][()]))
+                _verify_fingerprint(meta.get("fingerprint", {}), dataset, path)
+                dataset.provenance = dict(meta.get("provenance", {}))
+                if expected_seed is not None:
+                    stored = dataset.provenance.get("master_seed")
+                    if stored is not None and stored != expected_seed:
+                        raise ValueError(
+                            f"{path}: archive was generated with master seed "
+                            f"{stored}, expected {expected_seed}"
+                        )
+            else:
+                obs.logger.warning(
+                    "%s: no embedded world fingerprint (legacy archive); "
+                    "falling back to shape checks only", path,
+                )
             for name in cls._ARRAY_FIELDS:
                 stored = data[name]
                 current = getattr(dataset, name)
@@ -249,6 +422,42 @@ class MaskedCounts:
     def failed_connections(self) -> np.ndarray:
         """Failed connections with excluded pairs zeroed."""
         return self._masked(self.dataset.failed_connections)
+
+
+def _verify_fingerprint(
+    stored: Dict[str, Any], dataset: MeasurementDataset, path: str
+) -> None:
+    """Raise with a precise mismatch description when an archive's world
+    fingerprint does not match the world it is being loaded against."""
+    current = dataset.fingerprint()
+    problems: List[str] = []
+    for key in ("hours", "max_replicas"):
+        if stored.get(key) != current[key]:
+            problems.append(
+                f"{key}: archive has {stored.get(key)}, world has {current[key]}"
+            )
+    for key in ("clients", "sites"):
+        theirs, ours = stored.get(key), current[key]
+        if theirs != ours:
+            if theirs is None:
+                problems.append(f"{key}: archive carries no {key} roster")
+            elif len(theirs) != len(ours):
+                problems.append(
+                    f"{key}: archive has {len(theirs)}, world has {len(ours)}"
+                )
+            else:
+                first = next(
+                    i for i, (a, b) in enumerate(zip(theirs, ours)) if a != b
+                )
+                problems.append(
+                    f"{key}: first mismatch at index {first} "
+                    f"(archive {theirs[first]!r}, world {ours[first]!r})"
+                )
+    if problems:
+        raise ValueError(
+            f"{path}: archive does not belong to this world -- "
+            + "; ".join(problems)
+        )
 
 
 def _safe_rate(numerator: np.ndarray, denominator: np.ndarray) -> np.ndarray:

@@ -220,6 +220,62 @@ class MetricsRegistry:
         with self._lock:
             self._metrics.clear()
 
+    def dump_state(self) -> List[Dict[str, object]]:
+        """A picklable, registry-free description of every instrument.
+
+        The transport format worker processes use to ship their metrics
+        back to the parent (instruments themselves hold locks and cannot
+        cross a process boundary); feed it to :meth:`merge_state`.
+        """
+        state: List[Dict[str, object]] = []
+        for m in self.collect():
+            record: Dict[str, object] = {
+                "kind": m.kind,
+                "name": m.name,
+                "labels": list(m.labels),
+            }
+            if isinstance(m, Histogram):
+                record["buckets"] = list(m.buckets)
+                record["counts"] = list(m._counts)
+                record["sum"] = m.sum
+                record["count"] = m.count
+            else:
+                record["value"] = m.value
+            state.append(record)
+        return state
+
+    def merge_state(self, state: Iterable[Dict[str, object]]) -> None:
+        """Fold a :meth:`dump_state` snapshot into this registry.
+
+        Counters and histograms accumulate (sums, counts, and bucket
+        counts add); gauges take the snapshot's value (last write wins).
+        Histograms with differing bucket boundaries cannot be combined
+        and raise ``ValueError``.
+        """
+        for record in state:
+            labels = dict(record.get("labels") or ())
+            kind = record.get("kind")
+            name = record["name"]
+            if kind == "counter":
+                self.counter(name, **labels).inc(float(record["value"]))
+            elif kind == "gauge":
+                self.gauge(name, **labels).set(float(record["value"]))
+            elif kind == "histogram":
+                buckets = tuple(record["buckets"])
+                hist = self.histogram(name, buckets=buckets, **labels)
+                if hist.buckets != buckets:
+                    raise ValueError(
+                        f"histogram {name}: cannot merge buckets {buckets} "
+                        f"into {hist.buckets}"
+                    )
+                with hist._lock:
+                    hist._sum += float(record["sum"])
+                    hist._count += int(record["count"])
+                    for i, c in enumerate(record["counts"]):
+                        hist._counts[i] += int(c)
+            else:
+                raise ValueError(f"unknown instrument kind {kind!r}")
+
     def snapshot(self) -> Dict[str, float]:
         """Flat {rendered_name: value} map (histograms -> _count/_sum)."""
         out: Dict[str, float] = {}

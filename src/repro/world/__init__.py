@@ -7,7 +7,11 @@
   calibrated to the paper's headline statistics.
 * :mod:`repro.world.outcome_model` -- the shared probabilistic model
   mapping fault states to per-access outcome probabilities.
-* :mod:`repro.world.simulator` -- the fast vectorised month simulator.
+* :mod:`repro.world.simulator` -- the fast vectorised month simulator
+  (per-hour RNG streams; bit-identical for any worker count).
+* :mod:`repro.world.parallel` -- hour-sharded parallel driver for the
+  fast engine: contiguous blocks across worker processes, merged with
+  overflow-checked accumulation.
 * :mod:`repro.world.detailed` -- the message-level engine that drives the
   real DNS/TCP/HTTP substrates and produces packet traces.
 * :mod:`repro.world.experiment` -- the Section 3.4 download procedure.

@@ -1,0 +1,189 @@
+"""Deterministic hour-sharded parallel month simulation.
+
+The fast engine's month loop is embarrassingly parallel once every hour
+draws from its own derived RNG stream (``fast-engine/hour/<h>``): a worker
+process simulating hours ``[h0, h1)`` produces exactly the counts the
+sequential engine would for those hours, because seed derivation depends
+only on the master seed and the hour -- never on which process runs it or
+what ran before.  The month is therefore sharded into contiguous hour
+blocks, one per worker, and the shards' count arrays are summed back into
+one dataset with overflow-checked accumulation.
+
+Determinism contract: for a given master seed the merged dataset is
+bit-identical for *any* worker count -- ``--workers 1``, the in-process
+fallback, and any process-pool width all digest equal.
+
+Observability: each worker runs under its own fresh
+:class:`~repro.obs.metrics.MetricsRegistry` (instruments hold locks and
+cannot cross process boundaries), dumps it into the
+:class:`~repro.world.simulator.ShardResult`, and the parent folds every
+worker's state back into the active registry after the join.  The parent's
+trace gains one ``simulate.shard`` span per shard carrying the worker's
+hour range and wall time.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import TYPE_CHECKING, List, Sequence, Tuple
+
+from repro import obs
+from repro.core.dataset import MeasurementDataset
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+from repro.world.rng import RNGRegistry
+
+if TYPE_CHECKING:  # circular at runtime: simulator dispatches to us
+    from repro.world.simulator import MonthSimulator, ShardResult, SimulationResult
+
+#: Floor on shard size: below this, process spin-up dominates the work and
+#: the auto worker count backs off toward sequential.
+MIN_HOURS_PER_SHARD = 24
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def default_workers(hours: int) -> int:
+    """The ``--workers`` auto default: CPU-bound, but never shards
+    smaller than :data:`MIN_HOURS_PER_SHARD` hours of work."""
+    return max(1, min(available_cpus(), hours // MIN_HOURS_PER_SHARD))
+
+
+def plan_shards(hours: int, workers: int) -> List[Tuple[int, int]]:
+    """Contiguous, near-equal hour blocks exactly covering ``[0, hours)``.
+
+    The first ``hours % workers`` blocks get one extra hour.  Never
+    returns empty blocks; with ``workers >= hours`` each block is a
+    single hour.
+    """
+    if hours < 0:
+        raise ValueError(f"negative hours: {hours}")
+    if workers < 1:
+        raise ValueError(f"need at least one worker, got {workers}")
+    if hours == 0:
+        return []
+    workers = min(workers, hours)
+    base, extra = divmod(hours, workers)
+    shards: List[Tuple[int, int]] = []
+    start = 0
+    for i in range(workers):
+        size = base + (1 if i < extra else 0)
+        shards.append((start, start + size))
+        start += size
+    return shards
+
+
+def _simulate_shard(payload) -> "ShardResult":
+    """Worker entry point: simulate one hour block under fresh obs state.
+
+    Runs in a worker process (or in-process on fallback).  A fresh
+    metrics registry captures exactly this shard's instruments for the
+    parent to merge; the tracer is disabled -- worker processes must not
+    interleave writes into the parent's trace file.
+    """
+    from repro.world.simulator import MonthSimulator
+
+    world, truth, access, master_seed, hour_start, hour_stop = payload
+    registry = MetricsRegistry()
+    old_registry = obs.set_registry(registry)
+    old_tracer = obs.set_tracer(Tracer())
+    try:
+        simulator = MonthSimulator(
+            world, access=access, rngs=RNGRegistry(master_seed), truth=truth
+        )
+        shard = simulator.run_shard(hour_start, hour_stop)
+        shard.metrics = registry.dump_state()
+        return shard
+    finally:
+        obs.set_registry(old_registry)
+        obs.set_tracer(old_tracer)
+
+
+def _dispatch(payloads: Sequence[tuple], in_process: bool) -> List["ShardResult"]:
+    """Run every shard payload, preferring a process pool.
+
+    Falls back to in-process execution when pools are unavailable
+    (sandboxed environments, unpicklable worlds, broken pools) -- the
+    result is bit-identical either way, only slower.
+    """
+    if not in_process and len(payloads) > 1:
+        try:
+            methods = multiprocessing.get_all_start_methods()
+            ctx = multiprocessing.get_context(
+                "fork" if "fork" in methods else None
+            )
+            with ProcessPoolExecutor(
+                max_workers=len(payloads), mp_context=ctx
+            ) as pool:
+                return list(pool.map(_simulate_shard, payloads))
+        except (OSError, ValueError, pickle.PicklingError, BrokenProcessPool) as exc:
+            obs.logger.warning(
+                "parallel dispatch unavailable (%s); running %d shards "
+                "in-process", exc, len(payloads),
+            )
+            obs.event(
+                "simulate.parallel_fallback", reason=repr(exc),
+                shards=len(payloads),
+            )
+    return [_simulate_shard(payload) for payload in payloads]
+
+
+def run_parallel(
+    simulator: "MonthSimulator",
+    workers: int,
+    in_process: bool = False,
+) -> "SimulationResult":
+    """Shard ``simulator``'s month across ``workers`` and merge the results.
+
+    ``in_process=True`` forces the fallback path (every shard runs in
+    this process, sequentially) -- useful for tests and environments
+    without working process pools; output is identical.
+    """
+    from repro.world.simulator import SimulationResult
+
+    if workers < 1:
+        raise ValueError(f"need at least one worker, got {workers}")
+    world = simulator.world
+    shards = plan_shards(world.hours, workers)
+    if len(shards) <= 1:
+        return simulator.run(workers=1)
+    master_seed = simulator.rngs.master_seed
+    payloads = [
+        (world, simulator.truth, simulator.access, master_seed, h0, h1)
+        for h0, h1 in shards
+    ]
+    dataset = MeasurementDataset(world)
+    with obs.stage(
+        "simulate.month", hours=world.hours, workers=len(shards)
+    ) as month_stage:
+        results = _dispatch(payloads, in_process)
+        for i, shard in enumerate(results):
+            with obs.span(
+                "simulate.shard",
+                worker=i,
+                hour_start=shard.hour_start,
+                hour_stop=shard.hour_stop,
+                worker_seconds=round(shard.elapsed_seconds, 6),
+                transactions=shard.transactions,
+            ):
+                dataset.merge(
+                    shard.arrays, (shard.hour_start, shard.hour_stop)
+                )
+                if shard.metrics:
+                    obs.registry().merge_state(shard.metrics)
+        month_stage.add_items(int(dataset.transactions.sum()))
+    simulator._commit_outcome_metrics(dataset)
+    simulator._attach_provenance(dataset, workers=len(shards))
+    return SimulationResult(
+        dataset=dataset, truth=simulator.truth, model=simulator.model
+    )

@@ -10,13 +10,19 @@ The statistical model is identical to the detailed message-level engine
 (:mod:`repro.world.detailed`); a validation test holds the two to
 agreement.  Counts are drawn with sequential conditional binomials, exactly
 matching the per-access stage ordering (DNS -> TCP -> HTTP).
+
+Determinism contract: every hour draws from its own derived RNG stream
+(``fast-engine/hour/<h>``), so the month can be simulated in any order --
+sequentially, or sharded across worker processes in contiguous hour blocks
+(:mod:`repro.world.parallel`) -- and the resulting dataset is bit-identical
+for the same master seed, independent of worker count.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -39,6 +45,28 @@ class SimulationResult:
     dataset: MeasurementDataset
     truth: GroundTruth
     model: OutcomeModel
+
+
+@dataclass
+class ShardResult:
+    """One worker's simulated contiguous hour block.
+
+    ``arrays`` maps every dataset array field to its counts restricted to
+    ``[hour_start, hour_stop)`` -- the compact unit workers ship back to
+    the parent, which accumulates them with
+    :meth:`~repro.core.dataset.MeasurementDataset.merge`.
+    """
+
+    hour_start: int
+    hour_stop: int  # exclusive
+    arrays: Dict[str, np.ndarray]
+    transactions: int
+    elapsed_seconds: float
+    stage_seconds: Dict[str, float]
+    #: Dumped per-worker metrics registry state (see
+    #: :meth:`~repro.obs.metrics.MetricsRegistry.dump_state`), merged into
+    #: the parent registry after the join.  Filled by the parallel driver.
+    metrics: Optional[list] = None
 
 
 class MonthSimulator:
@@ -65,26 +93,103 @@ class MonthSimulator:
 
     # -- public API -------------------------------------------------------------
 
-    def run(self) -> SimulationResult:
-        """Simulate every hour and return the filled dataset."""
+    def run(self, workers: Optional[int] = None) -> SimulationResult:
+        """Simulate every hour and return the filled dataset.
+
+        ``workers`` > 1 shards the month across that many worker
+        processes in contiguous hour blocks (see
+        :mod:`repro.world.parallel`); the result is bit-identical to the
+        sequential path for the same master seed.  ``None`` or 1 runs
+        in-process.
+        """
+        if workers is not None and workers > 1:
+            from repro.world.parallel import run_parallel
+
+            return run_parallel(self, workers)
         dataset = MeasurementDataset(self.world)
-        rng = self.rngs.np_stream("fast-engine")
-        proxied = self.model.proxied
         # Per-stage wall time is accumulated locally and committed to the
         # registry once, so the hot loop pays only perf_counter() calls.
         self._stage_seconds = {"dns": 0.0, "tcp": 0.0, "http": 0.0, "commit": 0.0}
         with obs.stage(
             "simulate.month", hours=self.world.hours
         ) as month_stage:
-            for h in range(self.world.hours):
-                with obs.span("simulate.hour", hour=h):
-                    self._simulate_hour(h, dataset, rng, proxied)
+            self._simulate_block(0, self.world.hours, dataset)
             month_stage.add_items(int(dataset.transactions.sum()))
-        self._commit_metrics(dataset)
+        self._commit_stage_metrics(self.world.hours)
+        self._commit_outcome_metrics(dataset)
+        self._attach_provenance(dataset, workers=1)
         return SimulationResult(dataset=dataset, truth=self.truth, model=self.model)
 
-    def _commit_metrics(self, dataset: MeasurementDataset) -> None:
-        """Record the run's outcome counts and stage wall-times."""
+    def run_shard(self, hour_start: int, hour_stop: int) -> ShardResult:
+        """Simulate one contiguous hour block and return its counts.
+
+        The unit of work the parallel engine dispatches to worker
+        processes.  Stage wall-times are committed to the active (per
+        worker) metrics registry; the hour-sliced arrays travel back to
+        the parent compactly.
+        """
+        if not 0 <= hour_start <= hour_stop <= self.world.hours:
+            raise ValueError(
+                f"hour block [{hour_start}, {hour_stop}) outside experiment "
+                f"(0..{self.world.hours})"
+            )
+        started = perf_counter()
+        dataset = MeasurementDataset(self.world)
+        self._stage_seconds = {"dns": 0.0, "tcp": 0.0, "http": 0.0, "commit": 0.0}
+        with obs.stage(
+            "simulate.shard", hour_start=hour_start, hour_stop=hour_stop
+        ) as shard_stage:
+            self._simulate_block(hour_start, hour_stop, dataset)
+            transactions = int(
+                dataset.transactions[..., hour_start:hour_stop]
+                .sum(dtype=np.int64)
+            )
+            shard_stage.add_items(transactions)
+        self._commit_stage_metrics(hour_stop - hour_start)
+        arrays = {
+            name: np.ascontiguousarray(
+                getattr(dataset, name)[..., hour_start:hour_stop]
+            )
+            for name in MeasurementDataset._ARRAY_FIELDS
+        }
+        return ShardResult(
+            hour_start=hour_start,
+            hour_stop=hour_stop,
+            arrays=arrays,
+            transactions=transactions,
+            elapsed_seconds=perf_counter() - started,
+            stage_seconds=dict(self._stage_seconds),
+        )
+
+    def _simulate_block(
+        self, hour_start: int, hour_stop: int, dataset: MeasurementDataset
+    ) -> None:
+        """Simulate ``[hour_start, hour_stop)`` into ``dataset``.
+
+        Each hour draws from its own freshly derived stream, so blocks
+        are order- and process-independent.
+        """
+        proxied = self.model.proxied
+        for h in range(hour_start, hour_stop):
+            with obs.span("simulate.hour", hour=h):
+                rng = self.rngs.np_fresh(f"fast-engine/hour/{h}")
+                self._simulate_hour(h, dataset, rng, proxied)
+
+    def _attach_provenance(
+        self, dataset: MeasurementDataset, workers: int
+    ) -> None:
+        """Stamp the dataset with how it was generated (saved in .npz)."""
+        dataset.provenance.update(
+            {
+                "engine": "fast",
+                "master_seed": self.rngs.master_seed,
+                "per_hour": self.access.per_hour,
+                "workers": workers,
+            }
+        )
+
+    def _commit_stage_metrics(self, hours: int) -> None:
+        """Record per-stage wall-times accumulated over ``hours`` hours."""
         registry = obs.registry()
         for stage_name, seconds in self._stage_seconds.items():
             registry.counter(
@@ -92,7 +197,11 @@ class MonthSimulator:
             ).inc(seconds)
             registry.counter(
                 "stage_calls_total", stage=f"simulate.{stage_name}"
-            ).inc(self.world.hours)
+            ).inc(hours)
+
+    def _commit_outcome_metrics(self, dataset: MeasurementDataset) -> None:
+        """Record the run's outcome counts."""
+        registry = obs.registry()
         transactions = int(dataset.transactions.sum())
         dns = int(dataset.dns_failures.sum())
         tcp = int(dataset.tcp_failures.sum())
@@ -125,6 +234,11 @@ class MonthSimulator:
     ) -> None:
         hour = self.model.hour(h)
         n = rng.poisson(hour.n_expected).astype(np.int64)
+        # Scaled runs (large per_hour) would silently wrap the uint16
+        # count arrays; every transaction-level count is bounded by n, so
+        # one capacity check covers the whole commit below.
+        if n.size:
+            dataset.ensure_count_capacity(int(n.max()))
         # Clients that are down make no accesses at all this hour; the
         # Poisson above is per-cell thinning for DU duty cycles etc.
         direct = ~proxied
@@ -244,6 +358,11 @@ class MonthSimulator:
 
         failed_conns = tcp_f * (tries * n_addr) + extra_failed
         total_conns = delivered + redirects + failed_conns
+        if total_conns.size:
+            dataset.ensure_count_capacity(
+                int(total_conns.max()),
+                fields=("connections", "failed_connections"),
+            )
 
         direct_col = direct[:, None]
         dataset.connections[:, :, h] = np.where(direct_col, total_conns, 0)
@@ -335,11 +454,18 @@ def simulate_default_month(
     per_hour: int = 4,
     seed: int = 20050101,
     faults: Optional[FaultConfig] = None,
+    workers: Optional[int] = None,
 ) -> SimulationResult:
-    """Convenience one-call entry point: default world, default faults."""
+    """Convenience one-call entry point: default world, default faults.
+
+    ``workers`` > 1 runs the hour-sharded parallel engine; output is
+    bit-identical to the sequential path for the same seed.
+    """
     from repro.world.defaults import build_default_world
 
     world = build_default_world(hours=hours)
     access = AccessConfig(per_hour=per_hour)
     rngs = RNGRegistry(seed)
-    return MonthSimulator(world, access=access, faults=faults, rngs=rngs).run()
+    return MonthSimulator(world, access=access, faults=faults, rngs=rngs).run(
+        workers=workers
+    )

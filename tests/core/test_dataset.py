@@ -107,6 +107,126 @@ class TestMaskedView:
             dataset.pair_exclusion_view(np.zeros((2, 2), dtype=bool))
 
 
+class TestCountCapacity:
+    """Regression tests for the silent uint16 wraparound.
+
+    Counts used to be committed into ``uint16`` unchecked: 70000 accesses
+    in one cell stored as 4464.  Commit and merge paths now promote the
+    arrays up the uint16 -> uint32 -> int64 ladder instead of wrapping.
+    """
+
+    def test_large_count_previously_wrapped(self, world):
+        ds = MeasurementDataset(world)
+        big = int(np.iinfo(np.uint16).max) + 5000  # would wrap mod 65536
+        ds.ensure_count_capacity(big)
+        ds.transactions[0, 0, 0] = big
+        assert int(ds.transactions[0, 0, 0]) == big
+
+    def test_promotion_preserves_counts(self, world):
+        ds = MeasurementDataset(world)
+        ds.transactions[1, 2, 3] = 777
+        ds.ensure_count_capacity(10**9)
+        assert ds.transactions.dtype == np.uint32
+        assert int(ds.transactions[1, 2, 3]) == 777
+
+    def test_promotion_ladder_reaches_int64(self, world):
+        ds = MeasurementDataset(world)
+        ds.ensure_count_capacity(2**40, fields=("transactions",))
+        assert ds.transactions.dtype == np.int64
+        assert ds.http_errors.dtype == np.uint16  # untouched field
+
+    def test_no_promotion_when_counts_fit(self, world):
+        ds = MeasurementDataset(world)
+        ds.ensure_count_capacity(100)
+        assert ds.transactions.dtype == np.uint16
+
+    def test_count_beyond_ladder_rejected(self, world):
+        ds = MeasurementDataset(world)
+        with pytest.raises(OverflowError):
+            ds.ensure_count_capacity(2**63)
+
+
+class TestMerge:
+    def test_merge_sums_exactly(self, world):
+        a, b = MeasurementDataset(world), MeasurementDataset(world)
+        a.transactions[0, 0, 0] = 3
+        b.transactions[0, 0, 0] = 4
+        b.http_errors[1, 1, 1] = 2
+        a.merge(b)
+        assert int(a.transactions[0, 0, 0]) == 7
+        assert int(a.http_errors[1, 1, 1]) == 2
+
+    def test_merge_hour_block_lands_in_slice(self, world):
+        ds = MeasurementDataset(world)
+        h0, h1 = 10, 20
+        shard = {
+            name: np.zeros(
+                getattr(ds, name)[..., h0:h1].shape, dtype=np.uint16
+            )
+            for name in MeasurementDataset._ARRAY_FIELDS
+        }
+        shard["transactions"][0, 0, 0] = 9  # hour 10 in absolute terms
+        ds.merge(shard, hours=(h0, h1))
+        assert int(ds.transactions[0, 0, 10]) == 9
+        assert ds.transactions[..., :10].sum() == 0
+
+    def test_merge_promotes_on_overflow(self, world):
+        a, b = MeasurementDataset(world), MeasurementDataset(world)
+        a.transactions[0, 0, 0] = 60000
+        b.transactions[0, 0, 0] = 60000
+        a.merge(b)  # 120000 does not fit uint16
+        assert a.transactions.dtype == np.uint32
+        assert int(a.transactions[0, 0, 0]) == 120000
+
+    def test_merge_rejects_bad_hour_block(self, world):
+        ds = MeasurementDataset(world)
+        with pytest.raises(ValueError):
+            ds.merge(MeasurementDataset(world), hours=(5, world.hours + 1))
+        with pytest.raises(ValueError):
+            ds.merge(MeasurementDataset(world), hours=(-1, 5))
+
+    def test_merge_rejects_shape_mismatch(self, world):
+        ds = MeasurementDataset(world)
+        shard = {
+            name: np.zeros_like(getattr(ds, name))
+            for name in MeasurementDataset._ARRAY_FIELDS
+        }
+        # Full-width arrays offered for a 10-hour block must be rejected.
+        with pytest.raises(ValueError, match="does not match"):
+            ds.merge(shard, hours=(0, 10))
+
+    def test_merge_rejects_missing_array(self, world):
+        ds = MeasurementDataset(world)
+        with pytest.raises(ValueError, match="missing array"):
+            ds.merge({"transactions": np.zeros(ds.shape, dtype=np.uint16)})
+
+    def test_merge_rejects_negative_counts(self, world):
+        ds = MeasurementDataset(world)
+        shard = {
+            name: np.zeros(ds.shape if name not in (
+                "replica_connections", "replica_failed_connections"
+            ) else ds.replica_connections.shape, dtype=np.int64)
+            for name in MeasurementDataset._ARRAY_FIELDS
+        }
+        shard["transactions"][0, 0, 0] = -1
+        with pytest.raises(ValueError, match="negative"):
+            ds.merge(shard)
+
+
+class TestDigest:
+    def test_digest_invariant_under_promotion(self, world):
+        a, b = MeasurementDataset(world), MeasurementDataset(world)
+        a.transactions[0, 0, 0] = 5
+        b.transactions[0, 0, 0] = 5
+        b.ensure_count_capacity(10**9)  # widen b's dtypes
+        assert a.digest() == b.digest()
+
+    def test_digest_sensitive_to_counts(self, world):
+        a, b = MeasurementDataset(world), MeasurementDataset(world)
+        a.transactions[0, 0, 0] = 5
+        assert a.digest() != b.digest()
+
+
 class TestPersistence:
     def test_save_load_roundtrip(self, dataset, world, tmp_path):
         path = str(tmp_path / "ds.npz")
@@ -123,3 +243,58 @@ class TestPersistence:
         other = build_default_world(hours=10)
         with pytest.raises(ValueError):
             MeasurementDataset.load(path, other)
+
+    def test_load_rejects_renamed_roster(self, dataset, world, tmp_path):
+        """Same shapes, different client roster: before the embedded
+        fingerprint this loaded silently into the wrong axes."""
+        import dataclasses
+
+        from repro.world.entities import World
+
+        path = str(tmp_path / "ds.npz")
+        dataset.save(path)
+        clients = list(world.clients)
+        clients[0] = dataclasses.replace(clients[0], name="impostor.example")
+        other = World(
+            clients=clients, websites=world.websites,
+            proxies=world.proxies, hours=world.hours,
+        )
+        with pytest.raises(ValueError, match="impostor.example"):
+            MeasurementDataset.load(path, other)
+
+    def test_provenance_roundtrip(self, world, tmp_path):
+        ds = MeasurementDataset(world)
+        ds.provenance = {"engine": "fast", "master_seed": 42, "workers": 2}
+        path = str(tmp_path / "ds.npz")
+        ds.save(path)
+        loaded = MeasurementDataset.load(path, world)
+        assert loaded.provenance == ds.provenance
+
+    def test_expected_seed_enforced(self, world, tmp_path):
+        ds = MeasurementDataset(world)
+        ds.provenance = {"master_seed": 42}
+        path = str(tmp_path / "ds.npz")
+        ds.save(path)
+        MeasurementDataset.load(path, world, expected_seed=42)  # fine
+        with pytest.raises(ValueError, match="seed"):
+            MeasurementDataset.load(path, world, expected_seed=7)
+
+    def test_legacy_archive_still_loads(self, world, tmp_path):
+        """Archives written before the fingerprint existed (no __meta__)
+        fall back to shape checks with a warning."""
+        ds = MeasurementDataset(world)
+        ds.transactions[0, 0, 0] = 3
+        path = str(tmp_path / "legacy.npz")
+        np.savez_compressed(
+            path,
+            **{n: getattr(ds, n) for n in MeasurementDataset._ARRAY_FIELDS},
+        )
+        loaded = MeasurementDataset.load(path, world)
+        assert int(loaded.transactions[0, 0, 0]) == 3
+        assert loaded.provenance == {}
+
+    def test_fingerprint_contents(self, dataset, world):
+        fp = dataset.fingerprint()
+        assert fp["hours"] == world.hours
+        assert fp["clients"] == [c.name for c in world.clients]
+        assert fp["sites"] == [w.name for w in world.websites]

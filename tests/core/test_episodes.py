@@ -77,6 +77,54 @@ class TestCDFAndKnee:
             episodes.detect_knee(matrix)
 
 
+class TestKneeEdgeCases:
+    """Degenerate inputs must yield a sane threshold or a clean ValueError,
+    never an index error or NaN."""
+
+    @staticmethod
+    def _matrix(rates):
+        rates = np.asarray(rates, dtype=float).reshape(1, -1)
+        return episodes.RateMatrix(
+            rates=rates,
+            transactions=np.full_like(rates, 100, dtype=np.int64),
+        )
+
+    def test_all_identical_rates_in_range(self):
+        """A zero-spread window has no curvature to find; the knee is the
+        one rate everything sits at."""
+        knee = episodes.detect_knee(self._matrix([0.05] * 50))
+        assert knee == pytest.approx(0.05)
+
+    def test_all_identical_rates_below_range(self):
+        """Failure-free data leaves no candidate samples: fall back to the
+        paper's f = 5%."""
+        assert episodes.detect_knee(self._matrix([0.0] * 50)) == 0.05
+
+    def test_fewer_than_three_valid_samples(self):
+        assert episodes.detect_knee(self._matrix([0.02, 0.04])) == 0.05
+
+    def test_no_samples_in_candidate_range(self):
+        """Rates exist but none land inside the candidate window."""
+        knee = episodes.detect_knee(
+            self._matrix([0.001] * 20 + [0.9] * 20),
+            candidate_range=(0.05, 0.30),
+        )
+        assert knee == 0.05
+
+    def test_inverted_candidate_range(self):
+        """A lo > hi range selects nothing and degrades like an empty one."""
+        knee = episodes.detect_knee(
+            self._matrix(np.linspace(0.0, 1.0, 100)),
+            candidate_range=(0.30, 0.01),
+        )
+        assert knee == 0.05
+
+    def test_result_is_finite(self):
+        rng = np.random.default_rng(3)
+        knee = episodes.detect_knee(self._matrix(rng.uniform(0, 1, 500)))
+        assert np.isfinite(knee)
+
+
 class TestEpisodeMatrix:
     def test_threshold_applied(self, dataset):
         matrix = episodes.server_rate_matrix(dataset)

@@ -21,6 +21,20 @@ class TestParser:
         with pytest.raises(SystemExit):
             cli._build_parser().parse_args(["timeseries"])
 
+    def test_workers_flag_parsed(self):
+        args = cli._build_parser().parse_args(
+            ["--hours", "24", "--workers", "2", "simulate"]
+        )
+        assert args.workers == 2
+
+    def test_workers_defaults_to_auto(self):
+        args = cli._build_parser().parse_args(["--hours", "24", "simulate"])
+        assert getattr(args, "workers", None) is None
+
+    def test_workers_rejects_zero(self):
+        with pytest.raises(SystemExit):
+            cli.main(["--hours", "12", "--workers", "0", "simulate"])
+
 
 class TestCommands:
     def test_simulate_and_save(self, tmp_path, capsys):
@@ -31,7 +45,25 @@ class TestCommands:
         assert code == 0
         captured = capsys.readouterr().out
         assert "median client failure rate" in captured
+        assert "dataset digest: " in captured
         assert (tmp_path / "ds.npz").exists()
+
+    def test_simulate_workers_digest_matches_sequential(self, capsys):
+        """The CLI's printed digest is worker-count invariant -- the line
+        CI compares across runs."""
+
+        def digest_of(argv):
+            assert cli.main(argv) == 0
+            out = capsys.readouterr().out
+            return next(
+                line.split(": ", 1)[1] for line in out.splitlines()
+                if line.startswith("dataset digest: ")
+            )
+
+        base = ["--hours", "12", "--per-hour", "1"]
+        seq = digest_of(base + ["--workers", "1", "simulate"])
+        par = digest_of(base + ["--workers", "2", "simulate"])
+        assert seq == par
 
     def test_report_subset(self, capsys):
         code = cli.main(

@@ -76,7 +76,10 @@ class TestStatisticalShape:
         assert http < 0.05 * (dns + tcp)
 
     def test_permanent_pairs_fail_almost_always(self, dataset, truth):
-        pairs = np.nonzero(truth.permanent_pair > 0.9)
+        # Select strongly-permanent pairs (>0.95 intensity): a 0.90-0.95
+        # pair legitimately realises below 0.9 over a few hundred samples
+        # at test scale, which is variance, not a regression.
+        pairs = np.nonzero(truth.permanent_pair > 0.95)
         trans = dataset.transactions.sum(axis=2)[pairs]
         fails = dataset.failures.sum(axis=2)[pairs]
         assert (fails / np.maximum(1, trans)).min() > 0.9
