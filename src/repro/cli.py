@@ -12,6 +12,8 @@ Subcommands:
   permanent-pair triage.
 * ``repro obs trace.jsonl`` -- replay a JSONL trace into the span-tree
   summary.
+* ``repro lint [paths]`` -- run the AST-based determinism & safety
+  linter (see :mod:`repro.lint`) over the source tree.
 
 Simulation flags (global, also accepted after any subcommand): ``--hours``,
 ``--per-hour``, ``--seed``, and ``--workers N`` (hour-sharded parallel
@@ -140,6 +142,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--tree-only", action="store_true",
         help="print just the reconstructed span tree",
     )
+
+    from repro.lint.cli import configure_parser as configure_lint_parser
+
+    lint_cmd = sub.add_parser(
+        "lint",
+        help="run the determinism & safety linter over the source tree",
+    )
+    configure_lint_parser(lint_cmd)
     return parser
 
 
@@ -362,6 +372,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "obs":
         return cmd_obs(args)
+    if args.command == "lint":
+        from repro.lint.cli import run as run_lint
+
+        return run_lint(args)
     handlers = {
         "simulate": cmd_simulate,
         "report": cmd_report,

@@ -161,12 +161,20 @@ class WgetClient:
             raise ValueError("negative redirect budget")
         if max_addresses < 1:
             raise ValueError("need at least one address per try")
+        if rng is None:
+            # An OS-seeded fallback here would make every transaction's
+            # draws unreproducible; callers must hand in a stream from
+            # the world's RNGRegistry (or an explicitly seeded Random).
+            raise ValueError(
+                "WgetClient requires a seeded rng "
+                "(e.g. RNGRegistry.stream('client:...'))"
+            )
         self.transport = transport
         self.tries = tries
         self.max_redirects = max_redirects
         self.max_addresses = max_addresses
         self.no_cache = no_cache
-        self._rng = rng or random.Random()
+        self._rng = rng
 
     def download(self, url: str, start_time: float) -> TransactionResult:
         """Fetch ``url``, following redirects; returns the transaction record."""

@@ -1,0 +1,67 @@
+"""Baseline files: grandfathered findings.
+
+A baseline is a committed JSON list of finding identities ``(path, rule,
+line)``.  ``repro lint --baseline FILE`` subtracts them from the report,
+so the gate can be turned on for a tree that is not yet clean and
+ratchet from there: new findings fail, old ones are burned down at
+leisure.  Regenerate with ``--write-baseline`` after intentional churn
+(line numbers shift).  The shipped tree keeps an *empty* baseline --
+the gate holds the codebase at zero.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List, Set, Tuple
+
+from repro.lint.findings import Finding
+
+BASELINE_VERSION = 1
+
+BaselineKey = Tuple[str, str, int]
+
+
+def load_baseline(path: str) -> Set[BaselineKey]:
+    """Load a baseline file into a set of finding identities."""
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict) or "findings" not in data:
+        raise ValueError(f"{path}: not a lint baseline file")
+    version = data.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: unsupported baseline version {version!r} "
+            f"(expected {BASELINE_VERSION})"
+        )
+    keys: Set[BaselineKey] = set()
+    for entry in data["findings"]:
+        keys.add((entry["path"], entry["rule"], int(entry["line"])))
+    return keys
+
+
+def write_baseline(path: str, findings: Iterable[Finding]) -> int:
+    """Write ``findings`` as a baseline file; returns the entry count.
+
+    Entries are sorted so regeneration produces minimal diffs.
+    """
+    entries = sorted(
+        {f.baseline_key for f in findings},
+    )
+    payload = {
+        "version": BASELINE_VERSION,
+        "findings": [
+            {"path": p, "rule": r, "line": line} for (p, r, line) in entries
+        ],
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return len(entries)
+
+
+def apply_baseline(
+    findings: List[Finding], baseline: Set[BaselineKey]
+) -> Tuple[List[Finding], int]:
+    """(findings not in baseline, count of baselined-out findings)."""
+    kept = [f for f in findings if f.baseline_key not in baseline]
+    return kept, len(findings) - len(kept)

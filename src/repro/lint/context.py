@@ -1,0 +1,106 @@
+"""Per-file analysis context: parsed tree, import resolution, location.
+
+Rules never touch the filesystem; the engine hands each rule one
+:class:`FileContext` carrying the AST, the raw source, the file's
+position inside the ``repro`` package (several rules are path-scoped),
+and an :class:`ImportMap` that resolves local names back to canonical
+dotted module paths -- so ``np.random.default_rng``, ``numpy.random.
+default_rng`` and ``from numpy.random import default_rng`` all look the
+same to a rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import PurePath
+from typing import Dict, Optional, Tuple
+
+
+class ImportMap:
+    """Resolves names used in a module to canonical dotted paths.
+
+    Built from every ``import``/``from ... import`` in the file (at any
+    nesting level -- local imports count).  Two tables:
+
+    * module aliases: ``import numpy as np`` -> ``np`` => ``numpy``
+    * member aliases: ``from random import shuffle as sh`` ->
+      ``sh`` => ``random.shuffle``
+    """
+
+    def __init__(self, tree: ast.AST) -> None:
+        self.module_aliases: Dict[str, str] = {}
+        self.member_aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    name = alias.asname or alias.name.split(".", 1)[0]
+                    # `import numpy.random` binds `numpy`; `import
+                    # numpy.random as npr` binds `npr` to the full path.
+                    target = alias.name if alias.asname else name
+                    self.module_aliases[name] = target
+            elif isinstance(node, ast.ImportFrom):
+                if node.module is None or node.level:
+                    continue  # relative imports never reach stdlib/numpy
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.member_aliases[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Canonical dotted path for a Name/Attribute chain, or None.
+
+        ``None`` means the head of the chain is not a tracked import --
+        a local variable, an attribute of ``self``, etc.
+        """
+        parts = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.reverse()
+        head = node.id
+        if head in self.member_aliases:
+            return ".".join([self.member_aliases[head]] + parts)
+        if head in self.module_aliases:
+            return ".".join([self.module_aliases[head]] + parts)
+        return None
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to know about one source file."""
+
+    path: str  # display path (posix)
+    tree: ast.AST
+    source: str
+    imports: ImportMap
+    #: Path parts below the innermost ``repro`` package directory, e.g.
+    #: ``("world", "experiment.py")``.  Empty when the file is not part
+    #: of a ``repro`` package tree (loose fixture files).
+    package_parts: Tuple[str, ...] = ()
+
+    @property
+    def subpackage(self) -> str:
+        """First-level subpackage name (``"world"``), or ``""``."""
+        return self.package_parts[0] if len(self.package_parts) > 1 else ""
+
+    @classmethod
+    def build(cls, path: str, source: str, tree: ast.AST) -> "FileContext":
+        parts = PurePath(path).parts
+        package_parts: Tuple[str, ...] = ()
+        # Innermost occurrence wins so /home/repro/src/repro/world/x.py
+        # still scopes to ("world", "x.py").
+        for i in range(len(parts) - 2, -1, -1):
+            if parts[i] == "repro":
+                package_parts = tuple(parts[i + 1:])
+                break
+        return cls(
+            path=PurePath(path).as_posix(),
+            tree=tree,
+            source=source,
+            imports=ImportMap(tree),
+            package_parts=package_parts,
+        )

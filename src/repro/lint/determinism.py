@@ -1,0 +1,218 @@
+"""Determinism rules: DET001-DET004.
+
+These encode the contract behind the dataset-digest guarantee (same
+seed, same digest, any worker count): every random draw is derived from
+the master seed through a named stream, and nothing in engine code can
+observe real time.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import Rule, register
+
+#: RNG constructors whose seed argument decides determinism.
+RNG_CONSTRUCTORS = frozenset({
+    "random.Random",
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+})
+
+#: Keyword names that carry the seed for the constructors above
+#: (``random.Random(x=...)``, ``default_rng(seed=...)``).
+_SEED_KEYWORDS = frozenset({"seed", "x"})
+
+#: Module-level functions of the stdlib ``random`` module -- every one
+#: draws from (and therefore mutates) the hidden global Random instance.
+GLOBAL_RANDOM_FUNCTIONS = frozenset({
+    "seed", "getstate", "setstate", "random", "uniform", "triangular",
+    "randint", "randrange", "getrandbits", "randbytes", "choice",
+    "choices", "shuffle", "sample", "betavariate", "binomialvariate",
+    "expovariate", "gammavariate", "gauss", "lognormvariate",
+    "normalvariate", "vonmisesvariate", "paretovariate",
+    "weibullvariate",
+})
+
+#: Legacy numpy global-state API (np.random.seed / np.random.rand ...).
+GLOBAL_NP_FUNCTIONS = frozenset({
+    "seed", "rand", "randn", "randint", "random", "random_sample",
+    "ranf", "sample", "choice", "shuffle", "permutation", "uniform",
+    "normal", "standard_normal", "poisson", "binomial", "exponential",
+    "get_state", "set_state",
+})
+
+#: Wall-clock reads banned from engine code (``time.perf_counter`` is
+#: deliberately absent: it only ever feeds metrics, never the model).
+WALL_CLOCK_CALLS = frozenset({
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+})
+
+#: Engine subpackages where wall-clock reads would leak real time into
+#: simulated behaviour.  ``obs`` (and ``lint`` itself) are exempt:
+#: observability legitimately timestamps spans with real time.
+ENGINE_SUBPACKAGES = frozenset({
+    "world", "core", "net", "tcp", "dns", "http", "bgp",
+})
+
+
+def _seed_arguments(node: ast.Call):
+    """(has_positional_seed, seed_keyword_value_or_None)."""
+    seed_kw = None
+    for kw in node.keywords:
+        if kw.arg in _SEED_KEYWORDS:
+            seed_kw = kw.value
+    return bool(node.args), seed_kw
+
+
+def _is_unseeded(node: ast.Call) -> bool:
+    """True when the constructor call pins no seed.
+
+    ``Random()``, ``default_rng()`` and ``default_rng(seed=None)`` are
+    unseeded; any positional argument or non-None seed keyword counts
+    as seeded (DET004's business in ``world/``, not DET001's).
+    """
+    has_positional, seed_kw = _seed_arguments(node)
+    if has_positional:
+        return False
+    if seed_kw is None:
+        return True
+    return isinstance(seed_kw, ast.Constant) and seed_kw.value is None
+
+
+@register
+class UnseededRNGRule(Rule):
+    """DET001: RNG constructed without a seed.
+
+    An unseeded generator is seeded from the OS entropy pool, so two
+    runs of the same code diverge silently -- the exact failure the
+    dataset digest exists to catch.
+    """
+
+    id = "DET001"
+    severity = Severity.ERROR
+    title = "unseeded RNG construction"
+    hint = (
+        "pass an explicit seed, or draw a named stream from "
+        "world.rng.RNGRegistry"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = ctx.imports.resolve(node.func)
+            if target in RNG_CONSTRUCTORS and _is_unseeded(node):
+                yield self.finding(
+                    ctx, node, f"unseeded RNG construction: {target}()"
+                )
+
+
+@register
+class GlobalRandomStateRule(Rule):
+    """DET002: module-level ``random.*`` call.
+
+    The module-level functions share one hidden ``Random`` instance, so
+    any library or test that also touches it perturbs every draw after
+    it -- cross-component coupling the named streams exist to prevent.
+    """
+
+    id = "DET002"
+    severity = Severity.ERROR
+    title = "call mutates the global RNG"
+    hint = (
+        "draw from a dedicated stream (world.rng.RNGRegistry) instead "
+        "of the process-global RNG"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = ctx.imports.resolve(node.func)
+            if target is None:
+                continue
+            module, _, attr = target.rpartition(".")
+            if module == "random" and attr in GLOBAL_RANDOM_FUNCTIONS:
+                yield self.finding(
+                    ctx, node, f"{target}() mutates the global RNG state"
+                )
+            elif module == "numpy.random" and attr in GLOBAL_NP_FUNCTIONS:
+                yield self.finding(
+                    ctx, node,
+                    f"{target}() mutates numpy's global RNG state",
+                )
+
+
+@register
+class WallClockRule(Rule):
+    """DET003: wall-clock read inside an engine subpackage.
+
+    Simulated time is the only time engine code may observe; a real
+    timestamp flowing into model state makes every run unique.
+    """
+
+    id = "DET003"
+    severity = Severity.ERROR
+    title = "wall-clock read in engine code"
+    hint = (
+        "engine code must use simulated time; real timing belongs in "
+        "the obs layer (time.perf_counter for durations is allowed)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.subpackage not in ENGINE_SUBPACKAGES:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = ctx.imports.resolve(node.func)
+            if target in WALL_CLOCK_CALLS:
+                yield self.finding(
+                    ctx, node,
+                    f"wall-clock read {target}() in repro.{ctx.subpackage}",
+                )
+
+
+@register
+class DirectRNGInWorldRule(Rule):
+    """DET004: seeded RNG constructed directly inside ``world/``.
+
+    ``world/`` owns the RNGRegistry and its namespaced sha256 seed
+    derivation; a raw ``random.Random(seed)`` there bypasses namespacing
+    (risking stream collisions -- the PR 2 bug class) and never appears
+    in the ``--trace`` seed log.
+    """
+
+    id = "DET004"
+    severity = Severity.ERROR
+    title = "direct RNG construction bypasses RNGRegistry"
+    hint = (
+        "derive the generator from RNGRegistry "
+        "(stream/fresh/np_stream/np_fresh/fork) so the seed is "
+        "namespaced and trace-logged"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.subpackage != "world":
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = ctx.imports.resolve(node.func)
+            if target in RNG_CONSTRUCTORS and not _is_unseeded(node):
+                yield self.finding(
+                    ctx, node,
+                    f"direct {target}(...) in repro.world bypasses "
+                    "RNGRegistry",
+                )

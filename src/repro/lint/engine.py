@@ -1,0 +1,154 @@
+"""The lint engine: file discovery, parsing, rule dispatch.
+
+One pass per file: parse, build the :class:`FileContext`, run every
+rule, drop findings covered by a justified suppression, add LNT000/
+LNT001 meta-findings, then (optionally) subtract the baseline.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence
+
+from repro.lint.baseline import apply_baseline, load_baseline
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import Rule, all_rules
+from repro.lint.suppress import SuppressionIndex
+
+#: Meta-finding id for files the parser rejects.
+SYNTAX_ERROR_RULE = "LNT001"
+
+
+@dataclass
+class FileReport:
+    """One file's surviving findings plus suppression accounting."""
+
+    path: str
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    suppressed: int = 0
+    baselined: int = 0
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for f in self.findings if f.severity is Severity.ERROR)
+
+    @property
+    def warnings(self) -> int:
+        return sum(
+            1 for f in self.findings if f.severity is Severity.WARNING
+        )
+
+    def exit_code(self, strict: bool = False) -> int:
+        """1 when the run should fail CI: any error, or (under
+        ``--strict``) any finding at all."""
+        if self.errors:
+            return 1
+        if strict and self.findings:
+            return 1
+        return 0
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Every .py file under ``paths`` (files listed directly always
+    count), in sorted order for stable reports."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(
+                str(p) for p in path.rglob("*.py") if p.is_file()
+            )
+        elif path.is_file():
+            yield str(path)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+
+
+def display_path(path: str) -> str:
+    """Posix-style path, relative to the working directory when inside
+    it -- the form baselines and suppression docs use."""
+    resolved = Path(path).resolve()
+    try:
+        return resolved.relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return resolved.as_posix()
+
+
+def lint_file(
+    path: str, rules: Optional[Sequence[Rule]] = None
+) -> FileReport:
+    """Lint one file (meta-findings LNT000/LNT001 included)."""
+    shown = display_path(path)
+    report = FileReport(path=shown)
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            source = fh.read()
+    except (OSError, UnicodeDecodeError) as exc:
+        report.findings.append(
+            Finding(
+                rule=SYNTAX_ERROR_RULE,
+                severity=Severity.ERROR,
+                message=f"cannot read file: {exc}",
+                path=shown,
+                line=1,
+            )
+        )
+        return report
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        report.findings.append(
+            Finding(
+                rule=SYNTAX_ERROR_RULE,
+                severity=Severity.ERROR,
+                message=f"syntax error: {exc.msg}",
+                path=shown,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+            )
+        )
+        return report
+
+    ctx = FileContext.build(shown, source, tree)
+    suppressions = SuppressionIndex.scan(source)
+    for rule in rules if rules is not None else all_rules():
+        for finding in rule.check(ctx):
+            if suppressions.matches(finding):
+                report.suppressed += 1
+            else:
+                report.findings.append(finding)
+    report.findings.extend(suppressions.inert_findings(shown))
+    report.findings.sort(key=lambda f: f.sort_key)
+    return report
+
+
+def lint_paths(
+    paths: Sequence[str],
+    rules: Optional[Sequence[Rule]] = None,
+    baseline_path: Optional[str] = None,
+) -> LintResult:
+    """Lint every python file under ``paths``."""
+    result = LintResult()
+    for path in iter_python_files(paths):
+        report = lint_file(path, rules)
+        result.findings.extend(report.findings)
+        result.suppressed += report.suppressed
+        result.files_scanned += 1
+    result.findings.sort(key=lambda f: f.sort_key)
+    if baseline_path:
+        baseline = load_baseline(baseline_path)
+        result.findings, result.baselined = apply_baseline(
+            result.findings, baseline
+        )
+    return result

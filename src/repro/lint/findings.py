@@ -1,0 +1,70 @@
+"""The linter's output unit: one finding at one source location."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings break the determinism/safety contract and always
+    fail the lint run; ``WARNING`` findings are hygiene problems that
+    fail only under ``--strict``.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one location.
+
+    ``path`` is the display path (posix separators, relative to the
+    working directory when the file lives under it); ``line`` and
+    ``col`` are 1-based / 0-based as in the ``ast`` module.
+    """
+
+    rule: str
+    severity: Severity
+    message: str
+    path: str
+    line: int
+    col: int = 0
+    hint: str = ""
+
+    @property
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    @property
+    def baseline_key(self) -> Tuple[str, str, int]:
+        """Identity used for baseline matching (column excluded: editors
+        and formatters move columns far more often than lines)."""
+        return (self.path, self.rule, self.line)
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "hint": self.hint,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Finding":
+        return cls(
+            rule=data["rule"],
+            severity=Severity(data["severity"]),
+            message=data["message"],
+            path=data["path"],
+            line=int(data["line"]),
+            col=int(data.get("col", 0)),
+            hint=data.get("hint", ""),
+        )

@@ -1,0 +1,70 @@
+"""Finding reporters: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.lint.engine import LintResult
+from repro.lint.findings import Finding
+
+JSON_REPORT_VERSION = 1
+
+
+def render_text(result: LintResult, verbose_hints: bool = True) -> str:
+    """The classic compiler-style report::
+
+        src/repro/http/wget.py:169:27: DET001 error: unseeded RNG ...
+            hint: pass an explicit seed, or ...
+    """
+    lines: List[str] = []
+    for finding in result.findings:
+        lines.append(
+            f"{finding.path}:{finding.line}:{finding.col}: "
+            f"{finding.rule} {finding.severity.value}: {finding.message}"
+        )
+        if verbose_hints and finding.hint:
+            lines.append(f"    hint: {finding.hint}")
+    summary = (
+        f"{len(result.findings)} finding"
+        f"{'' if len(result.findings) == 1 else 's'} "
+        f"({result.errors} error{'' if result.errors == 1 else 's'}, "
+        f"{result.warnings} warning{'' if result.warnings == 1 else 's'}) "
+        f"in {result.files_scanned} file"
+        f"{'' if result.files_scanned == 1 else 's'}"
+    )
+    extras = []
+    if result.suppressed:
+        extras.append(f"{result.suppressed} suppressed")
+    if result.baselined:
+        extras.append(f"{result.baselined} baselined")
+    if extras:
+        summary += f" ({', '.join(extras)})"
+    if lines:
+        lines.append("")
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Stable machine-readable report (round-trips via
+    :meth:`Finding.from_dict`)."""
+    payload = {
+        "version": JSON_REPORT_VERSION,
+        "findings": [f.to_dict() for f in result.findings],
+        "summary": {
+            "files_scanned": result.files_scanned,
+            "findings": len(result.findings),
+            "errors": result.errors,
+            "warnings": result.warnings,
+            "suppressed": result.suppressed,
+            "baselined": result.baselined,
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def parse_json_report(text: str) -> List[Finding]:
+    """Findings back out of a :func:`render_json` report."""
+    data = json.loads(text)
+    return [Finding.from_dict(entry) for entry in data["findings"]]

@@ -1,0 +1,119 @@
+"""Per-line suppressions: ``# repro: lint-ok[RULE] reason``.
+
+A suppression silences the named rule(s) on its own line, or -- when it
+is a standalone comment -- on the next line (for statements too long to
+share a line with their justification).  Several ids may be listed:
+``# repro: lint-ok[DET001,DET004] fixture exercising both``.
+
+The reason is not decoration: a suppression without one is *inert* (it
+silences nothing) and is itself reported as LNT000, so every silenced
+finding carries a reviewable justification.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional
+
+from repro.lint.findings import Finding, Severity
+
+SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*lint-ok\[([A-Za-z0-9_,\s]+)\]\s*(.*)\s*$"
+)
+
+#: Meta-finding id for an inert (reason-less) suppression.
+INERT_SUPPRESSION_RULE = "LNT000"
+
+
+@dataclass
+class Suppression:
+    """One parsed suppression comment."""
+
+    line: int  # line the comment sits on
+    ids: FrozenSet[str]
+    reason: str
+    standalone: bool  # comment is alone on its line -> covers line + 1
+    used: bool = False
+
+    @property
+    def inert(self) -> bool:
+        return not self.reason.strip()
+
+    def covers(self, line: int) -> bool:
+        if self.inert:
+            return False
+        if line == self.line:
+            return True
+        return self.standalone and line == self.line + 1
+
+
+class SuppressionIndex:
+    """All suppressions in one file, queryable by finding location."""
+
+    def __init__(self, suppressions: List[Suppression]) -> None:
+        self.suppressions = suppressions
+
+    @classmethod
+    def scan(cls, source: str) -> "SuppressionIndex":
+        """Parse suppression comments via the tokenizer.
+
+        Tokenizing (rather than regex over raw lines) keeps '#' inside
+        string literals from being misread as comments.
+        """
+        suppressions: List[Suppression] = []
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+            for tok in tokens:
+                if tok.type != tokenize.COMMENT:
+                    continue
+                match = SUPPRESS_RE.match(tok.string)
+                if not match:
+                    continue
+                ids = frozenset(
+                    part.strip()
+                    for part in match.group(1).split(",")
+                    if part.strip()
+                )
+                standalone = not tok.line[: tok.start[1]].strip()
+                suppressions.append(
+                    Suppression(
+                        line=tok.start[0],
+                        ids=ids,
+                        reason=match.group(2).strip(),
+                        standalone=standalone,
+                    )
+                )
+        except tokenize.TokenError:
+            pass  # unterminated source: the engine reports LNT001 anyway
+        return cls(suppressions)
+
+    def matches(self, finding: Finding) -> Optional[Suppression]:
+        """The suppression covering ``finding``, if any (marks it used)."""
+        for suppression in self.suppressions:
+            if finding.rule in suppression.ids and suppression.covers(
+                finding.line
+            ):
+                suppression.used = True
+                return suppression
+        return None
+
+    def inert_findings(self, path: str) -> List[Finding]:
+        """LNT000 findings for suppressions missing a justification."""
+        return [
+            Finding(
+                rule=INERT_SUPPRESSION_RULE,
+                severity=Severity.WARNING,
+                message=(
+                    "suppression has no reason and is ignored -- write "
+                    "`# repro: lint-ok[RULE] why it is safe`"
+                ),
+                path=path,
+                line=s.line,
+                hint="state why the finding is a false positive here",
+            )
+            for s in self.suppressions
+            if s.inert
+        ]

@@ -16,7 +16,6 @@ results Section 4.2's breakdown uses.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -60,12 +59,20 @@ class IterationResult:
 
 
 class ExperimentDriver:
-    """Runs the Section 3.4 procedure over the detailed engine."""
+    """Runs the Section 3.4 procedure over the detailed engine.
+
+    The driver's randomness (URL shuffle, start-offset jitter, dial-up
+    PoP order) is derived from the engine's :class:`~repro.world.rng.
+    RNGRegistry` under ``experiment:*`` stream names, so every seed is
+    namespaced against the master seed and appears in the ``--trace``
+    seed log.  ``seed`` disambiguates drivers sharing one engine; equal
+    (engine, seed) pairs draw identically.
+    """
 
     def __init__(self, engine: DetailedEngine, seed: int = 1) -> None:
         self.engine = engine
         self.world = engine.world
-        self._rng = random.Random(seed)
+        self._rng = engine.rngs.fresh(f"experiment:driver:{seed}")
 
     def run_iteration(
         self,
@@ -112,10 +119,14 @@ class ExperimentDriver:
         """The DU procedure: dial a random PoP, fetch all URLs, move on.
 
         ``pops`` are DU client names (one per PoP); a physical machine
-        visits them in random order within the hour.
+        visits them in random order within the hour.  Each physical
+        client's PoP order comes from its own registry-derived stream,
+        rewound per call, so re-running a session replays it exactly.
         """
         order = list(pops)
-        rng = random.Random(physical_client_seed)
+        rng = self.engine.rngs.fresh(
+            f"experiment:dialup:{physical_client_seed}"
+        )
         rng.shuffle(order)
         results = []
         for pop_client in order[: max(1, len(order) // 5)]:

@@ -1,0 +1,35 @@
+"""Fixtures for the linter tests: snippet -> findings."""
+
+import textwrap
+
+import pytest
+
+from repro.lint.engine import lint_file
+
+
+@pytest.fixture
+def lint_snippet(tmp_path):
+    """Write a snippet at a package-relative path and lint it.
+
+    The default location (``src/repro/world/snippet.py``) puts the
+    snippet inside the path scope of every rule, including the
+    ``world/``-only DET004 and the engine-package DET003.
+    """
+
+    def run(source, relpath="src/repro/world/snippet.py", rules=None):
+        target = tmp_path / relpath
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source))
+        return lint_file(str(target), rules=rules)
+
+    return run
+
+
+@pytest.fixture
+def findings_of(lint_snippet):
+    """Like lint_snippet but returns just the findings list."""
+
+    def run(source, **kwargs):
+        return lint_snippet(source, **kwargs).findings
+
+    return run

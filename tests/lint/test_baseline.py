@@ -1,0 +1,86 @@
+"""Baseline round-trip: write findings, reload, subtract."""
+
+import json
+
+import pytest
+
+from repro.lint.baseline import (
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.engine import lint_paths
+
+SNIPPET = """\
+import random
+
+def pick():
+    rng = random.Random()
+    return rng.random()
+"""
+
+
+@pytest.fixture
+def violating_tree(tmp_path):
+    target = tmp_path / "src" / "repro" / "world" / "mod.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(SNIPPET)
+    return tmp_path / "src" / "repro"
+
+
+class TestBaselineRoundTrip:
+    def test_write_load_subtract(self, violating_tree, tmp_path):
+        result = lint_paths([str(violating_tree)])
+        assert result.errors == 1
+
+        baseline_file = tmp_path / "baseline.json"
+        count = write_baseline(str(baseline_file), result.findings)
+        assert count == 1
+
+        keys = load_baseline(str(baseline_file))
+        kept, baselined = apply_baseline(result.findings, keys)
+        assert kept == []
+        assert baselined == 1
+
+    def test_engine_applies_baseline(self, violating_tree, tmp_path):
+        baseline_file = tmp_path / "baseline.json"
+        first = lint_paths([str(violating_tree)])
+        write_baseline(str(baseline_file), first.findings)
+
+        second = lint_paths(
+            [str(violating_tree)], baseline_path=str(baseline_file)
+        )
+        assert second.findings == []
+        assert second.baselined == 1
+        assert second.exit_code(strict=True) == 0
+
+    def test_new_findings_survive_baseline(self, violating_tree, tmp_path):
+        baseline_file = tmp_path / "baseline.json"
+        write_baseline(str(baseline_file), [])  # empty baseline
+
+        result = lint_paths(
+            [str(violating_tree)], baseline_path=str(baseline_file)
+        )
+        assert [f.rule for f in result.findings] == ["DET001"]
+        assert result.exit_code() == 1
+
+    def test_baseline_is_sorted_and_versioned(self, violating_tree, tmp_path):
+        baseline_file = tmp_path / "baseline.json"
+        result = lint_paths([str(violating_tree)])
+        write_baseline(str(baseline_file), result.findings)
+        data = json.loads(baseline_file.read_text())
+        assert data["version"] == 1
+        entries = [
+            (e["path"], e["rule"], e["line"]) for e in data["findings"]
+        ]
+        assert entries == sorted(entries)
+
+    def test_bad_baseline_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(ValueError):
+            load_baseline(str(bad))
+        notdict = tmp_path / "notdict.json"
+        notdict.write_text("[]")
+        with pytest.raises(ValueError):
+            load_baseline(str(notdict))

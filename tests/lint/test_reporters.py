@@ -1,0 +1,97 @@
+"""Reporter tests: text format shape and JSON round-trip."""
+
+import json
+
+from repro.lint.engine import LintResult
+from repro.lint.findings import Finding, Severity
+from repro.lint.reporters import (
+    parse_json_report,
+    render_json,
+    render_text,
+)
+
+
+def sample_result():
+    return LintResult(
+        findings=[
+            Finding(
+                rule="DET001",
+                severity=Severity.ERROR,
+                message="unseeded RNG construction: random.Random()",
+                path="src/repro/http/wget.py",
+                line=169,
+                col=27,
+                hint="pass an explicit seed",
+            ),
+            Finding(
+                rule="GEN002",
+                severity=Severity.WARNING,
+                message="bare `except:` clause",
+                path="src/repro/core/x.py",
+                line=7,
+            ),
+        ],
+        files_scanned=2,
+        suppressed=3,
+        baselined=1,
+    )
+
+
+class TestTextReporter:
+    def test_compiler_style_lines(self):
+        text = render_text(sample_result())
+        assert (
+            "src/repro/http/wget.py:169:27: DET001 error: "
+            "unseeded RNG construction: random.Random()" in text
+        )
+        assert "hint: pass an explicit seed" in text
+        assert "2 findings (1 error, 1 warning) in 2 files" in text
+        assert "3 suppressed" in text
+        assert "1 baselined" in text
+
+    def test_clean_run_summary(self):
+        text = render_text(LintResult(files_scanned=5))
+        assert text == "0 findings (0 errors, 0 warnings) in 5 files"
+
+
+class TestJSONReporter:
+    def test_round_trip(self):
+        result = sample_result()
+        reloaded = parse_json_report(render_json(result))
+        assert reloaded == result.findings
+
+    def test_summary_block(self):
+        data = json.loads(render_json(sample_result()))
+        assert data["version"] == 1
+        assert data["summary"] == {
+            "files_scanned": 2,
+            "findings": 2,
+            "errors": 1,
+            "warnings": 1,
+            "suppressed": 3,
+            "baselined": 1,
+        }
+
+
+class TestExitCodes:
+    def test_error_fails_without_strict(self):
+        assert sample_result().exit_code(strict=False) == 1
+
+    def test_warning_only_fails_under_strict(self):
+        warn_only = LintResult(
+            findings=[
+                Finding(
+                    rule="GEN002",
+                    severity=Severity.WARNING,
+                    message="bare `except:` clause",
+                    path="x.py",
+                    line=1,
+                )
+            ],
+            files_scanned=1,
+        )
+        assert warn_only.exit_code(strict=False) == 0
+        assert warn_only.exit_code(strict=True) == 1
+
+    def test_clean_passes(self):
+        assert LintResult(files_scanned=1).exit_code(strict=True) == 0

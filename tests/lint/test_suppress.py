@@ -1,0 +1,87 @@
+"""Suppression semantics: same-line, standalone-previous-line, mandatory
+reasons, id matching, and suppression accounting."""
+
+
+def ids(findings):
+    return [f.rule for f in findings]
+
+
+class TestSuppression:
+    SNIPPET = """\
+        import random
+
+        def pick():
+            rng = random.Random()  # repro: lint-ok[DET001] test fixture rng
+            return rng.random()
+        """
+
+    def test_same_line_suppression(self, lint_snippet):
+        report = lint_snippet(self.SNIPPET)
+        assert "DET001" not in ids(report.findings)
+        assert report.suppressed == 1
+
+    def test_standalone_previous_line_suppression(self, lint_snippet):
+        report = lint_snippet(
+            """\
+            import random
+
+            def pick():
+                # repro: lint-ok[DET001] fixture needs an arbitrary rng
+                rng = random.Random()
+                return rng.random()
+            """
+        )
+        assert "DET001" not in ids(report.findings)
+        assert report.suppressed == 1
+
+    def test_reasonless_suppression_is_inert_and_flagged(self, lint_snippet):
+        report = lint_snippet(
+            """\
+            import random
+
+            def pick():
+                rng = random.Random()  # repro: lint-ok[DET001]
+                return rng.random()
+            """
+        )
+        assert "DET001" in ids(report.findings)  # not silenced
+        assert "LNT000" in ids(report.findings)  # and called out
+        assert report.suppressed == 0
+
+    def test_wrong_id_does_not_suppress(self, lint_snippet):
+        report = lint_snippet(
+            """\
+            import random
+
+            def pick():
+                rng = random.Random()  # repro: lint-ok[GEN001] wrong rule
+                return rng.random()
+            """
+        )
+        assert "DET001" in ids(report.findings)
+
+    def test_multiple_ids_in_one_comment(self, lint_snippet):
+        report = lint_snippet(
+            """\
+            import random
+
+            def build(seed=0):
+                return random.Random(seed)  # repro: lint-ok[DET001,DET004] registry shim
+            """
+        )
+        assert ids(report.findings) == []
+        assert report.suppressed == 1  # DET004 fired and was silenced
+
+    def test_comment_inside_string_is_not_a_suppression(self, lint_snippet):
+        report = lint_snippet(
+            """\
+            import random
+
+            DOC = "# repro: lint-ok[DET001] not a real comment"
+
+            def pick():
+                rng = random.Random()
+                return rng.random()
+            """
+        )
+        assert "DET001" in ids(report.findings)
