@@ -31,6 +31,7 @@ from repro.world.rng import RNGRegistry
 from repro.world.simulator import MonthSimulator
 
 BENCH_PATH = pathlib.Path(__file__).parent.parent / "BENCH_obs.json"
+TRAJECTORY_PATH = pathlib.Path(__file__).parent.parent / "BENCH_trajectory.json"
 
 HOURS = int(os.environ.get("REPRO_BENCH_OBS_HOURS", 168))
 PER_HOUR = int(os.environ.get("REPRO_BENCH_OBS_PER_HOUR", 4))
@@ -142,6 +143,21 @@ def test_obs_baseline(emit):
         "span_count": len(tracer.spans),
     }
     BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    # Append this observation to the shared bench trajectory: the
+    # committed history `repro runs check --baseline` gates against.
+    from repro.obs.runstore import append_entry
+
+    append_entry(TRAJECTORY_PATH, {
+        "bench": "obs_baseline",
+        "config": {"hours": HOURS, "per_hour": PER_HOUR, "seed": SEED},
+        "engine": "fast",
+        "simulate_seconds": round(instrumented_s, 4),
+        "report_seconds": round(report_s, 4),
+        "transactions": transactions,
+        "digest": result.dataset.digest(),
+        "instrumentation_overhead": round(overhead, 4),
+    })
 
     emit(
         "Observability baseline (BENCH_obs.json)\n"

@@ -37,6 +37,7 @@ from repro.world.simulator import MonthSimulator
 
 BENCH_PATH = pathlib.Path(__file__).parent.parent / "BENCH_parallel.json"
 OBS_BASELINE_PATH = pathlib.Path(__file__).parent.parent / "BENCH_obs.json"
+TRAJECTORY_PATH = pathlib.Path(__file__).parent.parent / "BENCH_trajectory.json"
 
 HOURS = int(os.environ.get("REPRO_BENCH_PAR_HOURS", 744))
 PER_HOUR = int(os.environ.get("REPRO_BENCH_PAR_PER_HOUR", 4))
@@ -121,6 +122,22 @@ def test_parallel_baseline(emit):
         "obs_baseline_simulate_seconds": obs_baseline,
     }
     BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    # Append this observation to the shared bench trajectory: the
+    # committed history `repro runs check --baseline` gates against.
+    from repro.obs.runstore import append_entry
+
+    append_entry(TRAJECTORY_PATH, {
+        "bench": "parallel_baseline",
+        "config": {"hours": HOURS, "per_hour": PER_HOUR, "seed": SEED},
+        "engine": "fast",
+        "workers": WORKERS,
+        "simulate_seconds": round(parallel_s, 4),
+        "sequential_seconds": round(sequential_s, 4),
+        "speedup": round(speedup, 3),
+        "transactions": transactions,
+        "digest": seq_digest,
+    })
 
     emit(
         "Parallel baseline (BENCH_parallel.json)\n"

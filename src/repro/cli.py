@@ -14,6 +14,12 @@ Subcommands:
   summary.
 * ``repro lint [paths]`` -- run the AST-based determinism & safety
   linter (see :mod:`repro.lint`) over the source tree.
+* ``repro runs list|show|diff|check`` -- the persistent run registry
+  (see :mod:`repro.obs.runstore`): every simulate/report/diagnose run
+  writes a content-addressed manifest + attribution evidence under
+  ``runs/<run-id>/``; these verbs render, compare, and regression-gate
+  them.  Disable recording with ``--no-run-record``; relocate the
+  registry with ``--runs-dir`` or ``$REPRO_RUNS_DIR``.
 
 Simulation flags (global, also accepted after any subcommand): ``--hours``,
 ``--per-hour``, ``--seed``, and ``--workers N`` (hour-sharded parallel
@@ -84,6 +90,16 @@ def _add_run_options(parser: argparse.ArgumentParser, suppress: bool) -> None:
         default=d if suppress else 0,
         help="log progress to stderr (-vv for debug + event stream)",
     )
+    parser.add_argument(
+        "--runs-dir", metavar="DIR",
+        default=d if suppress else None,
+        help="run-registry root (default: $REPRO_RUNS_DIR or ./runs)",
+    )
+    parser.add_argument(
+        "--no-run-record", action="store_true",
+        default=d if suppress else False,
+        help="do not record this run in the run registry",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -150,6 +166,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run the determinism & safety linter over the source tree",
     )
     configure_lint_parser(lint_cmd)
+
+    from repro.obs.runstore.cli import configure_parser as configure_runs_parser
+
+    runs_cmd = sub.add_parser(
+        "runs",
+        help="render, diff, and regression-gate the recorded run registry",
+    )
+    configure_runs_parser(runs_cmd)
     return parser
 
 
@@ -166,10 +190,25 @@ def _simulate(args):
         "simulate: hours=%d per_hour=%d seed=%d workers=%d",
         args.hours, args.per_hour, args.seed, workers,
     )
-    return simulate_default_month(
+    result = simulate_default_month(
         hours=args.hours, per_hour=args.per_hour, seed=args.seed,
         workers=workers,
     )
+    recorder = getattr(args, "_run_recorder", None)
+    if recorder is not None:
+        recorder.record_result(result)
+    return result
+
+
+def _record_evidence(args, dataset, mask) -> None:
+    """Collect attribution evidence into the run recorder, if recording."""
+    recorder = getattr(args, "_run_recorder", None)
+    if recorder is None:
+        return
+    from repro.obs.runstore import collect_evidence
+
+    with obs.span("cli.evidence"):
+        recorder.record_evidence(collect_evidence(dataset, mask))
 
 
 def cmd_simulate(args) -> int:
@@ -180,6 +219,11 @@ def cmd_simulate(args) -> int:
     # The determinism contract's observable: same seed => same digest,
     # independent of --workers (CI compares these lines across runs).
     print(f"\ndataset digest: {result.dataset.digest()}")
+    if getattr(args, "_run_recorder", None) is not None:
+        from repro.core import permanent
+
+        perm = permanent.find_permanent_pairs(result.dataset)
+        _record_evidence(args, result.dataset, perm.mask)
     if args.save:
         result.dataset.save(args.save)
         print(f"dataset saved to {args.save}")
@@ -194,6 +238,7 @@ def cmd_report(args) -> int:
     with obs.span("cli.report.analysis"):
         perm = permanent.find_permanent_pairs(dataset)
         analysis = blame.run_blame_analysis(dataset, 0.05, perm.mask)
+    _record_evidence(args, dataset, perm.mask)
 
     builders = {
         "headline": lambda: report.headline_summary(dataset),
@@ -273,6 +318,7 @@ def cmd_diagnose(args) -> int:
     with obs.span("cli.diagnose.analysis"):
         perm = permanent.find_permanent_pairs(dataset)
         investigation = diagnosis.investigate_permanent_failures(dataset, perm)
+    _record_evidence(args, dataset, perm.mask)
     print(investigation.summary())
     print()
     for d in investigation.pair_specific_cases():
@@ -367,6 +413,49 @@ def _export_metrics(args) -> None:
         obs.logger.info("metrics written to %s", metrics_path)
 
 
+#: Subcommands recorded in the run registry (the ones that simulate).
+_RECORDED_COMMANDS = ("simulate", "report", "diagnose")
+
+
+def _make_recorder(args, argv: Optional[List[str]]):
+    """A RunRecorder for this invocation, or None when not recording."""
+    if args.command not in _RECORDED_COMMANDS:
+        return None
+    if getattr(args, "no_run_record", False):
+        return None
+    from repro.obs.runstore import RunRecorder
+
+    return RunRecorder(
+        command=args.command,
+        argv=list(argv) if argv is not None else sys.argv[1:],
+        config={
+            "hours": args.hours,
+            "per_hour": args.per_hour,
+            "seed": args.seed,
+            "workers": getattr(args, "workers", None),
+        },
+        runs_dir=getattr(args, "runs_dir", None),
+    )
+
+
+def _finalize_recorder(args) -> None:
+    """Write the run manifest; a failing registry never fails the run."""
+    recorder = getattr(args, "_run_recorder", None)
+    if recorder is None:
+        return
+    try:
+        manifest = recorder.finalize(
+            obs.registry(), trace_path=getattr(args, "trace", None)
+        )
+    except OSError as exc:
+        print(f"repro: warning: run not recorded: {exc}", file=sys.stderr)
+        return
+    print(
+        f"run recorded: {manifest.run_id} "
+        f"({recorder.store.run_dir(manifest.run_id)})"
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = _build_parser().parse_args(argv)
@@ -376,6 +465,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.lint.cli import run as run_lint
 
         return run_lint(args)
+    if args.command == "runs":
+        from repro.obs.runstore.cli import run as run_runs
+
+        return run_runs(args)
     handlers = {
         "simulate": cmd_simulate,
         "report": cmd_report,
@@ -384,6 +477,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "diagnose": cmd_diagnose,
     }
     _configure_observability(args)
+    args._run_recorder = _make_recorder(args, argv)
     tracer = obs.tracer()
     try:
         with obs.span(
@@ -393,6 +487,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     finally:
         tracer.close()
         _export_metrics(args)
+    if code == 0:
+        # After tracer.close() so a --trace file is complete when copied
+        # into the run directory.
+        _finalize_recorder(args)
     return code
 
 

@@ -139,6 +139,16 @@ def run_blame_analysis(
         threshold=threshold, server_side=server_only, client_side=client_only,
         both=both, other=other,
     )
+    # Evidence trail: the verdict counts plus which entities were in an
+    # episode at all (the facts `repro runs diff` explains churn with).
+    obs.current_span().event(
+        "blame.verdicts",
+        threshold=threshold,
+        server_side=server_only, client_side=client_only,
+        both=both, other=other,
+        clients_flagged=int(client_flags.any(axis=1).sum()),
+        servers_flagged=int(server_flags.any(axis=1).sum()),
+    )
     return BlameAnalysis(
         threshold=threshold,
         client_rates=client_rates,

@@ -121,6 +121,15 @@ def failure_type_breakdown(
                 http=int(dataset.http_errors[mask].sum()),
             )
         )
+    # Evidence trail: the classified totals a run manifest's diff can
+    # explain DNS/TCP/HTTP composition shifts with.
+    obs.current_span().event(
+        "classify.type_totals",
+        dns=sum(r.dns for r in rows),
+        tcp=sum(r.tcp for r in rows),
+        http=sum(r.http for r in rows),
+        transactions=sum(r.transactions for r in rows),
+    )
     return rows
 
 

@@ -123,7 +123,12 @@ def detect_knee(
     window = (rates >= lo) & (rates <= hi)
     if window.sum() < 3:
         # Degenerate (nearly failure-free) data: fall back to the paper's f.
-        return 0.05
+        knee = 0.05
+        obs.current_span().event(
+            "episodes.knee", f=knee, samples=int(rates.size),
+            in_window=int(window.sum()), fallback=True,
+        )
+        return knee
     x = rates[window]
     y = cdf[window]
     # Chord from first to last point in the window.
@@ -131,9 +136,17 @@ def detect_knee(
     dx, dy = x1 - x0, y1 - y0
     norm = np.hypot(dx, dy)
     if norm == 0:
-        return float(x0)
-    distance = np.abs(dy * (x - x0) - dx * (y - y0)) / norm
-    return float(x[int(np.argmax(distance))])
+        knee = float(x0)
+    else:
+        distance = np.abs(dy * (x - x0) - dx * (y - y0)) / norm
+        knee = float(x[int(np.argmax(distance))])
+    # The evidence trail: the knee f, how many episode-rate samples the
+    # CDF had, and how many sat in the candidate window.
+    obs.current_span().event(
+        "episodes.knee", f=round(knee, 6), samples=int(rates.size),
+        in_window=int(window.sum()), fallback=False,
+    )
+    return knee
 
 
 # --------------------------------------------------------------------------

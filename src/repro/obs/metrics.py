@@ -249,8 +249,14 @@ class MetricsRegistry:
 
         Counters and histograms accumulate (sums, counts, and bucket
         counts add); gauges take the snapshot's value (last write wins).
-        Histograms with differing bucket boundaries cannot be combined
-        and raise ``ValueError``.
+
+        Declared bucket boundaries survive the round-trip even for
+        histograms that saw no observations: an empty snapshot either
+        creates the instrument with its declared buckets or folds
+        trivially into an existing one, *never* discarding or fighting
+        over boundaries.  Only a non-empty snapshot whose buckets differ
+        from the receiving instrument's is unmergeable (``ValueError``) --
+        there is no correct way to redistribute its counts.
         """
         for record in state:
             labels = dict(record.get("labels") or ())
@@ -261,18 +267,33 @@ class MetricsRegistry:
             elif kind == "gauge":
                 self.gauge(name, **labels).set(float(record["value"]))
             elif kind == "histogram":
-                buckets = tuple(record["buckets"])
+                # Snapshots may arrive via JSON as well as pickle: coerce
+                # boundaries/counts back to their canonical types before
+                # comparing with a live instrument's.
+                buckets = tuple(float(b) for b in record["buckets"])
+                counts = [int(c) for c in record["counts"]]
+                count = int(record["count"])
+                empty = count == 0 and not any(counts)
                 hist = self.histogram(name, buckets=buckets, **labels)
                 if hist.buckets != buckets:
+                    if empty:
+                        # Nothing to fold; the receiver's declared
+                        # boundaries stand.
+                        continue
                     raise ValueError(
                         f"histogram {name}: cannot merge buckets {buckets} "
                         f"into {hist.buckets}"
                     )
+                if len(counts) != len(hist.buckets):
+                    raise ValueError(
+                        f"histogram {name}: snapshot has {len(counts)} "
+                        f"bucket counts for {len(hist.buckets)} buckets"
+                    )
                 with hist._lock:
                     hist._sum += float(record["sum"])
-                    hist._count += int(record["count"])
-                    for i, c in enumerate(record["counts"]):
-                        hist._counts[i] += int(c)
+                    hist._count += count
+                    for i, c in enumerate(counts):
+                        hist._counts[i] += c
             else:
                 raise ValueError(f"unknown instrument kind {kind!r}")
 

@@ -1,0 +1,299 @@
+"""Cross-run comparison and regression gating.
+
+``diff_runs`` compares two recorded runs along the axes that matter for
+this repository's contracts:
+
+* **determinism** -- dataset digest and world-fingerprint match/mismatch
+  (same seed must digest identically at any worker count);
+* **performance** -- per-stage wall-time deltas from the two metrics
+  snapshots;
+* **conclusions** -- episode-verdict churn, explained at the evidence
+  level: which entities were flagged in one run but not the other, with
+  the peak rate vs knee threshold on each side of the comparison.
+
+``check_run`` is the CI gate: it matches a manifest against the
+committed bench trajectory (same hours/per_hour/seed), and fails on
+dataset-digest drift or a simulate-stage slowdown beyond the allowed
+factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.runstore.evidence import EvidenceBundle
+from repro.obs.runstore.manifest import RunManifest, config_key
+
+
+@dataclass
+class VerdictChange:
+    """One entity flagged in exactly one of the two runs."""
+
+    side: str
+    entity: str
+    flagged_in: str  # "a" | "b"
+    explanation: str
+
+
+@dataclass
+class RunDiff:
+    """The structured comparison ``repro runs diff`` renders."""
+
+    a: RunManifest
+    b: RunManifest
+    config_changes: List[Tuple[str, Any, Any]] = field(default_factory=list)
+    digest_match: bool = False
+    fingerprint_match: bool = False
+    #: {stage: (seconds_a, seconds_b)} union of both snapshots.
+    stage_deltas: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+    #: {metric_name: (value_a, value_b)} for differing outcome counters.
+    counter_deltas: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+    verdict_changes: List[VerdictChange] = field(default_factory=list)
+    threshold_changes: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+
+    @property
+    def identical_dataset(self) -> bool:
+        """True when both digests exist and agree."""
+        return self.digest_match
+
+
+def _flat_counters(manifest: RunManifest) -> Dict[str, float]:
+    """{rendered_name: value} for every counter in the snapshot."""
+    out: Dict[str, float] = {}
+    for record in manifest.metrics:
+        if record.get("kind") != "counter":
+            continue
+        labels = sorted(
+            (str(k), str(v)) for k, v in (record.get("labels") or ())
+        )
+        label_str = (
+            "{" + ",".join(f"{k}={v}" for k, v in labels) + "}"
+            if labels else ""
+        )
+        out[str(record.get("name")) + label_str] = float(
+            record.get("value", 0.0)
+        )
+    return out
+
+
+def _explain_change(
+    side: str,
+    entity: str,
+    flagged_in: str,
+    evidence_a: Optional[EvidenceBundle],
+    evidence_b: Optional[EvidenceBundle],
+) -> str:
+    """Evidence-level sentence for why an entity's flag churned."""
+    parts: List[str] = []
+    for tag, bundle in (("a", evidence_a), ("b", evidence_b)):
+        if bundle is None:
+            parts.append(f"run {tag}: no evidence recorded")
+            continue
+        knee = bundle.thresholds.get(side)
+        peak = bundle.entity_peak_rates.get(side, {}).get(entity)
+        if peak is None:
+            parts.append(f"run {tag}: no valid rate bins")
+            continue
+        op = ">=" if tag == flagged_in else "<"
+        knee_str = f"f={knee:.2%}" if knee is not None else "f=?"
+        parts.append(f"run {tag}: peak rate {peak:.2%} {op} {knee_str}")
+    return "; ".join(parts)
+
+
+def diff_runs(
+    a: RunManifest,
+    b: RunManifest,
+    evidence_a: Optional[EvidenceBundle] = None,
+    evidence_b: Optional[EvidenceBundle] = None,
+) -> RunDiff:
+    """Compare two runs (see module docstring for the axes)."""
+    diff = RunDiff(a=a, b=b)
+
+    keys = sorted(set(a.config) | set(b.config))
+    for key in keys:
+        va, vb = a.config.get(key), b.config.get(key)
+        if va != vb:
+            diff.config_changes.append((key, va, vb))
+
+    digest_a = a.dataset.get("digest")
+    digest_b = b.dataset.get("digest")
+    diff.digest_match = bool(digest_a and digest_a == digest_b)
+    fp_a = a.dataset.get("fingerprint_sha256")
+    fp_b = b.dataset.get("fingerprint_sha256")
+    diff.fingerprint_match = bool(fp_a and fp_a == fp_b)
+
+    stages_a, stages_b = a.stage_seconds(), b.stage_seconds()
+    for stage in sorted(set(stages_a) | set(stages_b)):
+        diff.stage_deltas[stage] = (
+            stages_a.get(stage, 0.0), stages_b.get(stage, 0.0)
+        )
+
+    counters_a, counters_b = _flat_counters(a), _flat_counters(b)
+    for name in sorted(set(counters_a) | set(counters_b)):
+        va, vb = counters_a.get(name, 0.0), counters_b.get(name, 0.0)
+        if va != vb and not name.startswith("stage_"):
+            diff.counter_deltas[name] = (va, vb)
+
+    if evidence_a is not None and evidence_b is not None:
+        for side in ("client", "server"):
+            ka = evidence_a.thresholds.get(side)
+            kb = evidence_b.thresholds.get(side)
+            if ka is not None and kb is not None and ka != kb:
+                diff.threshold_changes[side] = (ka, kb)
+            flagged_a = set(evidence_a.flagged.get(side, ()))
+            flagged_b = set(evidence_b.flagged.get(side, ()))
+            for entity in sorted(flagged_a - flagged_b):
+                diff.verdict_changes.append(VerdictChange(
+                    side=side, entity=entity, flagged_in="a",
+                    explanation=_explain_change(
+                        side, entity, "a", evidence_a, evidence_b
+                    ),
+                ))
+            for entity in sorted(flagged_b - flagged_a):
+                diff.verdict_changes.append(VerdictChange(
+                    side=side, entity=entity, flagged_in="b",
+                    explanation=_explain_change(
+                        side, entity, "b", evidence_a, evidence_b
+                    ),
+                ))
+    return diff
+
+
+def render_diff(diff: RunDiff) -> str:
+    """Human-readable diff report."""
+    a, b = diff.a, diff.b
+    lines: List[str] = []
+    lines.append(f"run a: {a.run_id}  ({a.command}, engine={a.engine})")
+    lines.append(f"run b: {b.run_id}  ({b.command}, engine={b.engine})")
+    lines.append("")
+
+    if diff.config_changes:
+        lines.append("-- config changes --")
+        for key, va, vb in diff.config_changes:
+            lines.append(f"{key:<16} {va!r:>12} -> {vb!r}")
+    else:
+        lines.append("-- config: identical --")
+    lines.append("")
+
+    lines.append("-- dataset --")
+    digest_a = a.dataset.get("digest") or "(none)"
+    digest_b = b.dataset.get("digest") or "(none)"
+    verdict = "IDENTICAL" if diff.digest_match else "MISMATCH"
+    lines.append(f"digest: {verdict}")
+    lines.append(f"  a: {digest_a}")
+    lines.append(f"  b: {digest_b}")
+    if a.dataset.get("fingerprint_sha256") or b.dataset.get("fingerprint_sha256"):
+        fp = "match" if diff.fingerprint_match else "MISMATCH"
+        lines.append(f"world fingerprint: {fp}")
+    lines.append("")
+
+    if diff.stage_deltas:
+        lines.append("-- stage timings (wall seconds) --")
+        lines.append(f"{'stage':<28} {'a':>9} {'b':>9} {'delta':>9}")
+        for stage, (sa, sb) in sorted(
+            diff.stage_deltas.items(), key=lambda kv: -max(kv[1])
+        ):
+            lines.append(
+                f"{stage:<28} {sa:>9.3f} {sb:>9.3f} {sb - sa:>+9.3f}"
+            )
+        lines.append("")
+
+    if diff.counter_deltas:
+        lines.append("-- differing counters --")
+        for name, (va, vb) in sorted(diff.counter_deltas.items()):
+            lines.append(f"{name:<44} {va:>14g} -> {vb:g}")
+        lines.append("")
+
+    if diff.threshold_changes:
+        lines.append("-- knee thresholds --")
+        for side, (ka, kb) in sorted(diff.threshold_changes.items()):
+            lines.append(f"{side}: f={ka:.2%} -> f={kb:.2%}")
+        lines.append("")
+
+    if diff.verdict_changes:
+        lines.append("-- episode-verdict churn --")
+        for change in diff.verdict_changes:
+            only = "only in a" if change.flagged_in == "a" else "only in b"
+            lines.append(f"{change.side} {change.entity} ({only})")
+            lines.append(f"  {change.explanation}")
+    else:
+        lines.append("-- episode verdicts: no churn --")
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------
+# Regression gate
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class CheckResult:
+    """Outcome of gating one run against the bench trajectory."""
+
+    ok: bool
+    lines: List[str] = field(default_factory=list)
+
+
+def check_run(
+    manifest: RunManifest,
+    entries: List[Dict[str, Any]],
+    max_slowdown: float = 2.0,
+    require_entry: bool = False,
+) -> CheckResult:
+    """Gate a run against trajectory ``entries`` (newest entry wins).
+
+    Fails on dataset-digest drift against the matching baseline entry,
+    or on ``simulate.month`` wall time exceeding ``max_slowdown`` x the
+    baseline.  With no matching entry: pass unless ``require_entry``.
+    """
+    lines: List[str] = []
+    key = config_key(manifest.config)
+    matching = [e for e in entries if config_key(e.get("config") or {}) == key]
+    if not matching:
+        lines.append(
+            f"no baseline entry for config hours={key[0]} "
+            f"per_hour={key[1]} seed={key[2]}"
+        )
+        if require_entry:
+            lines.append("FAIL: baseline entry required (--require-entry)")
+            return CheckResult(ok=False, lines=lines)
+        lines.append("PASS: nothing to compare against")
+        return CheckResult(ok=True, lines=lines)
+
+    baseline = matching[-1]
+    ok = True
+    lines.append(
+        f"baseline: bench={baseline.get('bench')} t={baseline.get('t')}"
+    )
+
+    base_digest = baseline.get("digest")
+    run_digest = manifest.dataset.get("digest")
+    if base_digest and run_digest:
+        if base_digest == run_digest:
+            lines.append(f"digest: OK ({run_digest[:16]}...)")
+        else:
+            ok = False
+            lines.append("digest: DRIFT")
+            lines.append(f"  baseline: {base_digest}")
+            lines.append(f"  run:      {run_digest}")
+    else:
+        lines.append("digest: not compared (missing on one side)")
+
+    base_seconds = baseline.get("simulate_seconds")
+    run_seconds = manifest.simulate_seconds()
+    if base_seconds and run_seconds:
+        ratio = run_seconds / float(base_seconds)
+        verdict = "OK" if ratio <= max_slowdown else "SLOW"
+        lines.append(
+            f"simulate.month: {run_seconds:.3f}s vs baseline "
+            f"{float(base_seconds):.3f}s ({ratio:.2f}x, limit "
+            f"{max_slowdown:.2f}x): {verdict}"
+        )
+        if ratio > max_slowdown:
+            ok = False
+    else:
+        lines.append("simulate.month: not compared (missing timing)")
+
+    lines.append("PASS" if ok else "FAIL")
+    return CheckResult(ok=ok, lines=lines)

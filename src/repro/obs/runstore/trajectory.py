@@ -1,0 +1,76 @@
+"""The bench trajectory: an append-only log of benchmark observations.
+
+``BENCH_trajectory.json`` is a single committed document every benchmark
+appends to (simulator wall time, dataset digest, configuration), so the
+repository carries its own performance history and ``repro runs check``
+has a baseline to gate against.  Schema ``repro.bench-trajectory/1``;
+the same additive-within-a-major compatibility rule as run manifests.
+
+Entries are plain dicts::
+
+    {"t": <unix>, "bench": "obs_baseline", "config": {"hours": ..,
+     "per_hour": .., "seed": ..}, "engine": "fast",
+     "simulate_seconds": .., "transactions": .., "digest": "..."}
+
+Appends are atomic (write-temp-then-rename) so a crashed benchmark
+cannot tear the committed file.  Timestamps flow through the injected
+``clock`` (DET003-by-construction, as everywhere in the runstore).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Union
+
+from repro.obs.runstore.manifest import check_schema, config_key
+
+#: Trajectory schema identifier.
+SCHEMA = "repro.bench-trajectory/1"
+
+
+class TrajectoryError(ValueError):
+    """The trajectory file is unreadable or from a newer schema."""
+
+
+def load_trajectory(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """All entries, oldest first; empty list for a missing file."""
+    path = Path(path)
+    if not path.is_file():
+        return []
+    try:
+        document = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise TrajectoryError(f"cannot read {path}: {exc}")
+    if not isinstance(document, dict):
+        raise TrajectoryError(f"{path}: not a trajectory document")
+    check_schema(str(document.get("schema", SCHEMA)), SCHEMA)
+    entries = document.get("entries") or []
+    return sorted(entries, key=lambda e: (e.get("t", 0.0),))
+
+
+def append_entry(
+    path: Union[str, Path],
+    entry: Dict[str, Any],
+    clock: Callable[[], float] = time.time,
+) -> Dict[str, Any]:
+    """Stamp ``entry`` with the clock and append it atomically."""
+    path = Path(path)
+    entries = load_trajectory(path)
+    stamped = dict(entry)
+    stamped.setdefault("t", clock())
+    entries.append(stamped)
+    document = {"schema": SCHEMA, "entries": entries}
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    tmp.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    tmp.replace(path)
+    return stamped
+
+
+def matching_entries(
+    entries: List[Dict[str, Any]], config: Dict[str, Any]
+) -> List[Dict[str, Any]]:
+    """Entries whose config identity matches ``config``, oldest first."""
+    key = config_key(config)
+    return [e for e in entries if config_key(e.get("config") or {}) == key]

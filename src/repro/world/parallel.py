@@ -167,6 +167,7 @@ def run_parallel(
         "simulate.month", hours=world.hours, workers=len(shards)
     ) as month_stage:
         results = _dispatch(payloads, in_process)
+        registry = obs.registry()
         for i, shard in enumerate(results):
             with obs.span(
                 "simulate.shard",
@@ -174,13 +175,22 @@ def run_parallel(
                 hour_start=shard.hour_start,
                 hour_stop=shard.hour_stop,
                 worker_seconds=round(shard.elapsed_seconds, 6),
+                worker_cpu_seconds=round(shard.cpu_seconds, 6),
                 transactions=shard.transactions,
             ):
                 dataset.merge(
                     shard.arrays, (shard.hour_start, shard.hour_stop)
                 )
                 if shard.metrics:
-                    obs.registry().merge_state(shard.metrics)
+                    registry.merge_state(shard.metrics)
+            # Per-shard wall/CPU accounting: run manifests report
+            # aggregate worker compute alongside the parent's wall time.
+            registry.gauge(
+                "simulate_shard_seconds", worker=str(i)
+            ).set(shard.elapsed_seconds)
+            registry.counter(
+                "simulate_worker_cpu_seconds_total"
+            ).inc(shard.cpu_seconds)
         month_stage.add_items(int(dataset.transactions.sum()))
     simulator._commit_outcome_metrics(dataset)
     simulator._attach_provenance(dataset, workers=len(shards))

@@ -21,7 +21,7 @@ for the same master seed, independent of worker count.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from time import perf_counter
+from time import perf_counter, process_time
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -63,6 +63,10 @@ class ShardResult:
     transactions: int
     elapsed_seconds: float
     stage_seconds: Dict[str, float]
+    #: CPU seconds this shard's worker process spent on it -- summed by
+    #: the parent into ``simulate_worker_cpu_seconds_total`` so a run
+    #: manifest can report aggregate compute, not just wall time.
+    cpu_seconds: float = 0.0
     #: Dumped per-worker metrics registry state (see
     #: :meth:`~repro.obs.metrics.MetricsRegistry.dump_state`), merged into
     #: the parent registry after the join.  Filled by the parallel driver.
@@ -134,6 +138,7 @@ class MonthSimulator:
                 f"(0..{self.world.hours})"
             )
         started = perf_counter()
+        cpu_started = process_time()
         dataset = MeasurementDataset(self.world)
         self._stage_seconds = {"dns": 0.0, "tcp": 0.0, "http": 0.0, "commit": 0.0}
         with obs.stage(
@@ -159,6 +164,7 @@ class MonthSimulator:
             transactions=transactions,
             elapsed_seconds=perf_counter() - started,
             stage_seconds=dict(self._stage_seconds),
+            cpu_seconds=process_time() - cpu_started,
         )
 
     def _simulate_block(

@@ -27,6 +27,16 @@ TEST_HOURS = 168
 TEST_SEED = 20050102
 
 
+@pytest.fixture(autouse=True)
+def _isolated_runs_dir(tmp_path, monkeypatch):
+    """Point the run registry at a per-test temp dir.
+
+    CLI tests exercise run recording; without this, every `cli.main`
+    call would litter the working tree with a ./runs directory.
+    """
+    monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "runs"))
+
+
 @pytest.fixture(scope="session")
 def world():
     """The default roster at reduced duration."""

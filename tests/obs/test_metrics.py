@@ -148,3 +148,83 @@ class TestExporters:
             registry.counter("stage_seconds_total", stage=name).inc(seconds)
         table = summary_table(registry)
         assert table.index("slow") < table.index("fast")
+
+
+class TestStateRoundTrip:
+    """dump_state/merge_state: the worker -> parent metrics transport."""
+
+    def test_counters_accumulate_and_gauges_overwrite(self):
+        worker = MetricsRegistry()
+        worker.counter("n_total").inc(3)
+        worker.gauge("depth").set(7)
+        parent = MetricsRegistry()
+        parent.counter("n_total").inc(1)
+        parent.gauge("depth").set(2)
+        parent.merge_state(worker.dump_state())
+        assert parent.counter("n_total").value == 4
+        assert parent.gauge("depth").value == 7
+
+    def test_histogram_counts_accumulate(self):
+        worker = MetricsRegistry()
+        worker.histogram("lat", buckets=(0.5, 1.0)).observe(0.2)
+        parent = MetricsRegistry()
+        parent.histogram("lat", buckets=(0.5, 1.0)).observe(0.7)
+        parent.merge_state(worker.dump_state())
+        hist = parent.histogram("lat", buckets=(0.5, 1.0))
+        assert hist.count == 2
+        assert hist.bucket_counts()[0] == (0.5, 1)
+
+    def test_empty_histogram_preserves_declared_buckets(self):
+        # The regression: a worker that declared custom buckets but saw
+        # no observations must not lose (or corrupt) the boundaries on
+        # the way through dump_state -> merge_state.
+        worker = MetricsRegistry()
+        worker.histogram("lat_seconds", buckets=(0.25, 0.75))
+        parent = MetricsRegistry()
+        parent.merge_state(worker.dump_state())
+        merged = parent.histogram("lat_seconds")
+        assert merged.buckets == (0.25, 0.75)
+        assert merged.count == 0
+
+    def test_empty_histogram_with_conflicting_buckets_merges_trivially(self):
+        # An observation-free snapshot has nothing to redistribute, so a
+        # bucket mismatch with the receiving instrument must not raise --
+        # the receiver's declared boundaries stand.
+        worker = MetricsRegistry()
+        worker.histogram("lat_seconds")  # DEFAULT_BUCKETS, no observations
+        parent = MetricsRegistry()
+        parent.histogram("lat_seconds", buckets=(0.25, 0.75)).observe(0.5)
+        parent.merge_state(worker.dump_state())
+        merged = parent.histogram("lat_seconds")
+        assert merged.buckets == (0.25, 0.75)
+        assert merged.count == 1
+
+    def test_nonempty_conflicting_buckets_raise(self):
+        worker = MetricsRegistry()
+        worker.histogram("lat_seconds", buckets=(1.0, 2.0)).observe(1.5)
+        parent = MetricsRegistry()
+        parent.histogram("lat_seconds", buckets=(0.25, 0.75)).observe(0.5)
+        with pytest.raises(ValueError, match="cannot merge buckets"):
+            parent.merge_state(worker.dump_state())
+
+    def test_corrupt_counts_length_rejected(self):
+        worker = MetricsRegistry()
+        worker.histogram("lat", buckets=(0.5, 1.0)).observe(0.2)
+        state = worker.dump_state()
+        state[0]["counts"] = [1]  # torn snapshot: 1 count for 2 buckets
+        with pytest.raises(ValueError, match="bucket counts"):
+            MetricsRegistry().merge_state(state)
+
+    def test_json_round_trip_preserves_buckets(self):
+        # Run manifests persist dump_state as JSON; a reloaded snapshot
+        # must merge exactly like the in-memory one (type coercion).
+        import json
+
+        worker = MetricsRegistry()
+        worker.histogram("lat", buckets=(0.25, 0.75))
+        worker.counter("n_total").inc(2)
+        state = json.loads(json.dumps(worker.dump_state()))
+        parent = MetricsRegistry()
+        parent.merge_state(state)
+        assert parent.histogram("lat").buckets == (0.25, 0.75)
+        assert parent.counter("n_total").value == 2

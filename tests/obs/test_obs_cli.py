@@ -96,6 +96,69 @@ class TestTraceRoundTrip:
         assert "cannot read trace" in capsys.readouterr().err
 
 
+class TestMultiWorkerTrace:
+    """Replay of a merged multi-worker trace (simulate.shard spans).
+
+    The parallel driver emits one ``simulate.shard`` span per worker
+    into the *parent's* trace after the join, so a --workers N trace is
+    already merged -- replay must reconstruct it like any other.
+    """
+
+    @pytest.fixture(scope="class")
+    def trace_path(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("trace") / "parallel.jsonl"
+        code = cli.main(
+            ["--hours", "48", "--per-hour", "1", "simulate",
+             "--workers", "2", "--trace", str(path), "--no-run-record"]
+        )
+        assert code == 0
+        return path
+
+    def test_trace_contains_one_shard_span_per_worker(self, trace_path):
+        records = [json.loads(l) for l in trace_path.open() if l.strip()]
+        shards = [
+            r for r in records
+            if r["type"] == "span" and r["name"] == "simulate.shard"
+        ]
+        assert len(shards) == 2
+        assert sorted(s["attrs"]["worker"] for s in shards) == [0, 1]
+        # The shards exactly cover the experiment, in hour order.
+        ranges = sorted(
+            (s["attrs"]["hour_start"], s["attrs"]["hour_stop"])
+            for s in shards
+        )
+        assert ranges[0][0] == 0
+        assert ranges[-1][1] == 48
+        assert all(s["attrs"]["worker_cpu_seconds"] >= 0 for s in shards)
+
+    def test_replay_reconstructs_merged_tree(self, trace_path, capsys):
+        code = cli.main(["obs", str(trace_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "-- span tree --" in out
+        assert "cli.simulate" in out
+        assert "simulate.shard" in out
+        # The by-name aggregation sees both workers' spans.
+        by_name = out.split("-- by span name --")[1]
+        shard_line = next(
+            line for line in by_name.splitlines()
+            if line.strip().startswith("simulate.shard")
+        )
+        assert " 2 " in shard_line
+
+    def test_replay_tree_groups_shards_under_month(self, trace_path, capsys):
+        code = cli.main(["obs", str(trace_path), "--tree-only"])
+        assert code == 0
+        out = capsys.readouterr().out
+        month_indent = next(
+            line for line in out.splitlines() if "simulate.month" in line
+        ).index("simulate.month")
+        shard_indent = next(
+            line for line in out.splitlines() if "simulate.shard" in line
+        ).index("simulate.shard")
+        assert shard_indent > month_indent
+
+
 class TestVerboseFlag:
     def test_verbose_logs_to_stderr(self, capsys):
         code = cli.main(

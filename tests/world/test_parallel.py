@@ -139,6 +139,12 @@ class TestShardExecution:
 
 class TestObservability:
     def test_outcome_metrics_match_sequential(self, small_world, small_truth):
+        # Per-worker timing metrics (simulate_shard_seconds,
+        # simulate_worker_cpu_seconds_total) are wall-clock and exist
+        # only under parallel runs; the equivalence contract covers the
+        # outcome counters.
+        timing = ("simulate_shard_seconds", "simulate_worker_cpu_seconds")
+
         def totals(runner):
             registry = MetricsRegistry()
             with obs.use(registry):
@@ -146,9 +152,9 @@ class TestObservability:
             snap = registry.snapshot()
             return {
                 k: v for k, v in snap.items()
-                if k.startswith("simulate_") or k == (
+                if (k.startswith("simulate_") or k == (
                     'stage_calls_total{stage="simulate.dns"}'
-                )
+                )) and not k.startswith(timing)
             }
 
         seq = totals(lambda: _simulator(small_world, small_truth).run())
