@@ -86,6 +86,20 @@ def _add_run_options(parser: argparse.ArgumentParser, suppress: bool) -> None:
         help="stream spans/events (incl. RNG seeds) to PATH as JSONL",
     )
     parser.add_argument(
+        "--live", action="store_true",
+        default=d if suppress else False,
+        help="render a live progress dashboard on stderr while the "
+        "simulation runs (ANSI on a capable TTY, plain lines otherwise); "
+        "the dataset is bit-identical with or without it",
+    )
+    parser.add_argument(
+        "--serve-metrics", type=int, metavar="PORT",
+        default=d if suppress else None,
+        help="serve a Prometheus /metrics endpoint on 127.0.0.1:PORT "
+        "while the run is in flight (0 binds an ephemeral port, "
+        "announced on stderr)",
+    )
+    parser.add_argument(
         "-v", "--verbose", action="count",
         default=d if suppress else 0,
         help="log progress to stderr (-vv for debug + event stream)",
@@ -157,6 +171,11 @@ def _build_parser() -> argparse.ArgumentParser:
     obs_cmd.add_argument(
         "--tree-only", action="store_true",
         help="print just the reconstructed span tree",
+    )
+    obs_cmd.add_argument(
+        "--follow", action="store_true",
+        help="tail the trace as it is written (one line per record, "
+        "like tail -f); Ctrl-C to stop",
     )
 
     from repro.lint.cli import configure_parser as configure_lint_parser
@@ -352,6 +371,16 @@ def cmd_timeseries(args) -> int:
 def cmd_obs(args) -> int:
     from repro.obs import replay
 
+    if getattr(args, "follow", False):
+        try:
+            for record in replay.tail_records(args.trace_file):
+                print(replay.format_record(record), flush=True)
+        except OSError as exc:
+            print(f"cannot read trace: {exc}", file=sys.stderr)
+            return 2
+        except KeyboardInterrupt:
+            pass
+        return 0
     try:
         trace = replay.load_trace(args.trace_file)
     except OSError as exc:
@@ -393,6 +422,32 @@ def _configure_observability(args) -> None:
             open(metrics_path, "w", encoding="utf-8").close()
         except OSError as exc:
             raise SystemExit(f"repro: error: cannot write metrics: {exc}")
+
+
+def _configure_live(args):
+    """Start a live-telemetry session when ``--live``/``--serve-metrics``
+    ask for one; returns it (or None).
+
+    The session spools the event stream to a temp file which
+    :func:`_finalize_recorder` copies into the run directory as
+    ``events.jsonl`` once the content-addressed run id is known.
+    """
+    live = bool(getattr(args, "live", False))
+    port = getattr(args, "serve_metrics", None)
+    if not live and port is None:
+        return None
+    from repro.obs.live.session import LiveSession
+
+    session = LiveSession(dashboard=live, serve_port=port)
+    session.start()
+    if session.port is not None:
+        # stderr, not the logger: the scrape address must be visible
+        # (and parseable) even without -v.
+        print(
+            f"serving /metrics on http://127.0.0.1:{session.port}",
+            file=sys.stderr,
+        )
+    return session
 
 
 def _export_metrics(args) -> None:
@@ -443,9 +498,13 @@ def _finalize_recorder(args) -> None:
     recorder = getattr(args, "_run_recorder", None)
     if recorder is None:
         return
+    live_session = getattr(args, "_live_session", None)
     try:
         manifest = recorder.finalize(
-            obs.registry(), trace_path=getattr(args, "trace", None)
+            obs.registry(), trace_path=getattr(args, "trace", None),
+            events_path=(
+                live_session.events_path if live_session is not None else None
+            ),
         )
     except OSError as exc:
         print(f"repro: warning: run not recorded: {exc}", file=sys.stderr)
@@ -478,6 +537,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     }
     _configure_observability(args)
     args._run_recorder = _make_recorder(args, argv)
+    args._live_session = _configure_live(args)
     tracer = obs.tracer()
     try:
         with obs.span(
@@ -485,12 +545,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         ):
             code = handlers[args.command](args)
     finally:
+        # Stop the live session before exporting/finalizing so the event
+        # spool is fully drained when the recorder copies it.
+        if args._live_session is not None:
+            args._live_session.stop()
         tracer.close()
         _export_metrics(args)
     if code == 0:
         # After tracer.close() so a --trace file is complete when copied
         # into the run directory.
         _finalize_recorder(args)
+    if args._live_session is not None:
+        args._live_session.cleanup()
     return code
 
 

@@ -32,14 +32,19 @@ from repro.obs.metrics import (
 )
 from repro.obs.profiler import StageTimer, stage, timed
 from repro.obs.runtime import (
+    NULL_EMITTER,
     NULL_REGISTRY,
+    NullEmitter,
     counter,
     current_span,
+    emitter,
     event,
     gauge,
     histogram,
     logger,
+    progress,
     registry,
+    set_emitter,
     set_registry,
     set_tracer,
     span,
@@ -66,6 +71,11 @@ __all__ = [
     "tracer",
     "set_registry",
     "set_tracer",
+    "NullEmitter",
+    "NULL_EMITTER",
+    "emitter",
+    "set_emitter",
+    "progress",
     "use",
     "counter",
     "gauge",

@@ -12,19 +12,38 @@ Two renderings of one :class:`~repro.obs.metrics.MetricsRegistry`:
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Tuple
+import re
+from typing import Dict, List, Sequence, Tuple
 
 from repro.obs.metrics import Histogram, MetricsRegistry
 
+_INVALID_METRIC_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
 
 def _sanitize(name: str) -> str:
-    return name.replace(".", "_").replace("-", "_")
+    """A valid Prometheus metric name: ``[a-zA-Z_:][a-zA-Z0-9_:]*``."""
+    name = _INVALID_METRIC_CHARS.sub("_", name)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape per the exposition format: backslash, quote, newline."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
 
 
 def _render_labels(labels: Tuple[Tuple[str, str], ...]) -> str:
     if not labels:
         return ""
-    return "{" + ",".join(f'{k}="{v}"' for k, v in labels) + "}"
+    return "{" + ",".join(
+        f'{k}="{_escape_label_value(v)}"' for k, v in labels
+    ) + "}"
 
 
 def _fmt(value: float) -> str:
@@ -35,9 +54,58 @@ def _fmt(value: float) -> str:
     return repr(float(value))
 
 
+#: Quantiles estimated for every histogram in both exports.
+QUANTILES: Tuple[Tuple[str, float], ...] = (
+    ("p50", 0.50), ("p95", 0.95), ("p99", 0.99),
+)
+
+
+def estimate_quantile(
+    bucket_pairs: Sequence[Tuple[float, int]], q: float
+) -> float:
+    """Linearly interpolated quantile from cumulative (bound, count) pairs.
+
+    ``bucket_pairs`` is :meth:`Histogram.bucket_counts` output: cumulative
+    counts per upper bound, ``+Inf`` last.  Within the bucket holding the
+    target rank the observation mass is assumed uniform (the standard
+    ``histogram_quantile`` construction); the lower edge of the first
+    bucket is 0.  Ranks landing in the ``+Inf`` bucket clamp to the last
+    finite bound -- there is nothing to interpolate towards.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must be in [0, 1]")
+    if not bucket_pairs:
+        return 0.0
+    total = bucket_pairs[-1][1]
+    if total == 0:
+        return 0.0
+    target = q * total
+    prev_bound, prev_cum = 0.0, 0
+    for bound, cum in bucket_pairs:
+        if cum >= target:
+            if bound == math.inf:
+                return prev_bound
+            in_bucket = cum - prev_cum
+            if in_bucket <= 0:
+                return bound
+            frac = (target - prev_cum) / in_bucket
+            return prev_bound + (bound - prev_bound) * frac
+        prev_bound, prev_cum = bound, cum
+    return prev_bound
+
+
 def to_prometheus_text(registry: MetricsRegistry, prefix: str = "repro_") -> str:
-    """Dump every instrument in the Prometheus exposition format."""
+    """Dump every instrument in the Prometheus exposition format.
+
+    Histograms additionally export interpolated ``<name>_p50`` /
+    ``_p95`` / ``_p99`` gauges (grouped after the main families --
+    quantile-labelled samples inside a ``TYPE histogram`` family would
+    be invalid exposition).
+    """
     lines: List[str] = []
+    # qname -> sample lines, insertion-ordered so each gauge family is
+    # emitted contiguously even when one histogram has many label sets.
+    quantile_families: Dict[str, List[str]] = {}
     seen_types = set()
     for metric in registry.collect():
         name = prefix + _sanitize(metric.name)
@@ -46,15 +114,25 @@ def to_prometheus_text(registry: MetricsRegistry, prefix: str = "repro_") -> str
             seen_types.add(name)
         labels = _render_labels(metric.labels)
         if isinstance(metric, Histogram):
-            for bound, count in metric.bucket_counts():
+            pairs = metric.bucket_counts()
+            for bound, count in pairs:
                 bucket_labels = metric.labels + (("le", _fmt(bound)),)
                 lines.append(
                     f"{name}_bucket{_render_labels(bucket_labels)} {count}"
                 )
             lines.append(f"{name}_sum{labels} {_fmt(metric.sum)}")
             lines.append(f"{name}_count{labels} {metric.count}")
+            if metric.count:
+                for suffix, q in QUANTILES:
+                    qname = f"{name}_{suffix}"
+                    quantile_families.setdefault(qname, []).append(
+                        f"{qname}{labels} {_fmt(estimate_quantile(pairs, q))}"
+                    )
         else:
             lines.append(f"{name}{labels} {_fmt(metric.value)}")
+    for qname, samples in quantile_families.items():
+        lines.append(f"# TYPE {qname} gauge")
+        lines.extend(samples)
     return "\n".join(lines) + ("\n" if lines else "")
 
 
@@ -132,10 +210,14 @@ def summary_table(registry: MetricsRegistry, title: str = "obs summary") -> str:
         lines.append("-- histograms --")
         for metric in histograms:
             label = metric.name + _render_labels(metric.labels)
+            pairs = metric.bucket_counts()
+            quantiles = " ".join(
+                f"{suffix}~{estimate_quantile(pairs, q):.5f}"
+                for suffix, q in QUANTILES
+            )
             lines.append(
                 f"{label:<44} count={metric.count} sum={metric.sum:.4f} "
-                f"mean={metric.mean:.5f} p50<={_fmt(metric.quantile(0.5))} "
-                f"p99<={_fmt(metric.quantile(0.99))}"
+                f"mean={metric.mean:.5f} {quantiles}"
             )
 
     if len(lines) == 1:

@@ -1,0 +1,277 @@
+"""Windowed aggregation of the telemetry stream.
+
+The :class:`LiveAggregator` is the bus subscriber that turns raw events
+into everything the dashboard and the ``/metrics`` endpoint render:
+
+* overall progress (hours done / total) and an ETA from the observed
+  completion rate;
+* one lane per worker: its hour block, hours completed, CPU seconds;
+* per-failure-type running counts and a windowed per-hour rate series
+  (the dashboard's sparklines);
+* a running episode-threshold estimate: the knee of the CDF of hourly
+  overall failure rates, the same "kneedle" construction
+  :func:`repro.core.episodes.detect_knee` applies to per-entity rates
+  (re-implemented here on plain floats -- ``repro.core`` imports
+  :mod:`repro.obs`, so the dependency cannot point back).
+
+Thread-safety: ``update`` runs on the bus's drain thread while
+``snapshot``/``to_registry`` run on the dashboard timer and HTTP server
+threads, so all state sits behind one lock.  Wall-clock reads flow
+through the injected ``clock`` (the runstore pattern).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.obs.live.events import FAILURE_FIELDS, HOUR_DONE, hour_rate
+from repro.obs.metrics import MetricsRegistry
+
+#: Fallback episode threshold when the rate CDF is too degenerate for a
+#: knee (mirrors the paper's f=5% and ``detect_knee``'s own fallback).
+FALLBACK_THRESHOLD = 0.05
+
+#: Candidate rate window the knee is searched in (as in
+#: ``repro.core.episodes.detect_knee``).
+KNEE_WINDOW = (0.01, 0.30)
+
+
+def knee_of_rates(
+    rates: List[float],
+    candidate_range: Tuple[float, float] = KNEE_WINDOW,
+) -> float:
+    """The knee of a rate sample's CDF (kneedle, chord construction).
+
+    Returns :data:`FALLBACK_THRESHOLD` when fewer than three samples
+    fall inside the candidate window.
+    """
+    samples = sorted(rates)
+    if not samples:
+        return FALLBACK_THRESHOLD
+    lo, hi = candidate_range
+    window = [
+        (x, (i + 1) / len(samples))
+        for i, x in enumerate(samples)
+        if lo <= x <= hi
+    ]
+    if len(window) < 3:
+        return FALLBACK_THRESHOLD
+    x0, y0 = window[0]
+    x1, y1 = window[-1]
+    dx, dy = x1 - x0, y1 - y0
+    norm = (dx * dx + dy * dy) ** 0.5
+    if norm == 0:
+        return float(x0)
+    best_x, best_d = x0, -1.0
+    for x, y in window:
+        distance = abs(dy * (x - x0) - dx * (y - y0)) / norm
+        if distance > best_d:
+            best_x, best_d = x, distance
+    return float(best_x)
+
+
+class WorkerLane:
+    """Mutable progress state of one worker's shard."""
+
+    __slots__ = (
+        "worker", "hour_start", "hour_stop", "hours_done", "last_hour",
+        "cpu_seconds", "elapsed_seconds", "done",
+    )
+
+    def __init__(self, worker: int) -> None:
+        self.worker = worker
+        self.hour_start: Optional[int] = None
+        self.hour_stop: Optional[int] = None
+        self.hours_done = 0
+        self.last_hour: Optional[int] = None
+        self.cpu_seconds = 0.0
+        self.elapsed_seconds = 0.0
+        self.done = False
+
+    @property
+    def hours_total(self) -> Optional[int]:
+        """Hours in this lane's shard, when the range is known."""
+        if self.hour_start is None or self.hour_stop is None:
+            return None
+        return self.hour_stop - self.hour_start
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Snapshot view of the lane."""
+        return {
+            "worker": self.worker,
+            "hour_start": self.hour_start,
+            "hour_stop": self.hour_stop,
+            "hours_done": self.hours_done,
+            "hours_total": self.hours_total,
+            "last_hour": self.last_hour,
+            "cpu_seconds": self.cpu_seconds,
+            "elapsed_seconds": self.elapsed_seconds,
+            "done": self.done,
+        }
+
+
+class LiveAggregator:
+    """Fold telemetry events into dashboard- and scrape-ready state."""
+
+    def __init__(
+        self,
+        window_hours: int = 48,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.window_hours = window_hours
+        self._clock = clock
+        self._lock = threading.Lock()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.hours_total: Optional[int] = None
+        self.workers: Optional[int] = None
+        self.engine: Optional[str] = None
+        self.hours_done = 0
+        self.transactions = 0
+        self.failures: Dict[str, int] = {f: 0 for f in FAILURE_FIELDS}
+        self._lanes: Dict[int, WorkerLane] = {}
+        #: hour -> per-type counts for the sparkline window (pruned to
+        #: the most recent ``window_hours`` completed hours).
+        self._hour_counts: Dict[int, Dict[str, int]] = {}
+        #: All hourly overall failure rates seen (feeds the knee).
+        self._hour_rates: List[float] = []
+        self.events_seen = 0
+
+    # -- ingestion ------------------------------------------------------------
+
+    def update(self, event: Dict[str, Any]) -> None:
+        """Fold one event in (bus drain-thread context)."""
+        kind = event.get("type")
+        with self._lock:
+            self.events_seen += 1
+            if self.started_at is None:
+                self.started_at = float(event.get("t") or self._clock())
+            if kind == "run_start":
+                self.hours_total = int(event.get("hours") or 0) or None
+                self.workers = event.get("workers")
+                self.engine = event.get("engine")
+            elif kind == "shard_start":
+                lane = self._lane(event)
+                lane.hour_start = event.get("hour_start")
+                lane.hour_stop = event.get("hour_stop")
+            elif kind == HOUR_DONE:
+                self._ingest_hour(event)
+            elif kind == "shard_done":
+                lane = self._lane(event)
+                lane.done = True
+                lane.cpu_seconds = float(event.get("cpu_seconds") or 0.0)
+                lane.elapsed_seconds = float(
+                    event.get("elapsed_seconds") or 0.0
+                )
+            elif kind == "run_done":
+                self.finished_at = float(event.get("t") or self._clock())
+
+    def _lane(self, event: Dict[str, Any]) -> WorkerLane:
+        worker = int(event.get("worker") or 0)
+        lane = self._lanes.get(worker)
+        if lane is None:
+            lane = self._lanes[worker] = WorkerLane(worker)
+        return lane
+
+    def _ingest_hour(self, event: Dict[str, Any]) -> None:
+        hour = int(event.get("hour") or 0)
+        lane = self._lane(event)
+        lane.hours_done += 1
+        lane.last_hour = hour
+        self.hours_done += 1
+        self.transactions += int(event.get("transactions") or 0)
+        counts: Dict[str, int] = {}
+        for field in FAILURE_FIELDS:
+            value = int(event.get(field) or 0)
+            self.failures[field] += value
+            counts[field] = value
+        counts["transactions"] = int(event.get("transactions") or 0)
+        self._hour_counts[hour] = counts
+        if len(self._hour_counts) > self.window_hours:
+            del self._hour_counts[min(self._hour_counts)]
+        self._hour_rates.append(hour_rate(event))
+
+    # -- derived views --------------------------------------------------------
+
+    def episode_threshold_estimate(self) -> float:
+        """Running knee estimate over the hourly overall failure rates."""
+        with self._lock:
+            rates = list(self._hour_rates)
+        return knee_of_rates(rates)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A consistent, render-ready view of everything (locked copy)."""
+        with self._lock:
+            now = self._clock()
+            reference = self.finished_at if self.finished_at else now
+            elapsed = (
+                reference - self.started_at if self.started_at else 0.0
+            )
+            eta = None
+            if (
+                self.hours_total
+                and 0 < self.hours_done < self.hours_total
+                and elapsed > 0
+            ):
+                rate = self.hours_done / elapsed
+                eta = (self.hours_total - self.hours_done) / rate
+            window = [
+                self._hour_counts[h] for h in sorted(self._hour_counts)
+            ]
+            sparks: Dict[str, List[float]] = {}
+            for field in FAILURE_FIELDS:
+                sparks[field] = [
+                    (c[field] / c["transactions"]) if c["transactions"] else 0.0
+                    for c in window
+                ]
+            rates = list(self._hour_rates)
+            return {
+                "engine": self.engine,
+                "hours_total": self.hours_total,
+                "hours_done": self.hours_done,
+                "workers": self.workers,
+                "transactions": self.transactions,
+                "failures": dict(self.failures),
+                "elapsed_seconds": elapsed,
+                "eta_seconds": eta,
+                "finished": self.finished_at is not None,
+                "lanes": [
+                    lane.as_dict()
+                    for _, lane in sorted(self._lanes.items())
+                ],
+                "rate_window": sparks,
+                "episode_threshold": knee_of_rates(rates),
+                "events_seen": self.events_seen,
+            }
+
+    def to_registry(self) -> MetricsRegistry:
+        """The live state as gauges, for the ``/metrics`` endpoint.
+
+        A fresh registry per call: scrape-time state, not accumulation.
+        """
+        snap = self.snapshot()
+        registry = MetricsRegistry()
+        registry.gauge("live_hours_total").set(snap["hours_total"] or 0)
+        registry.gauge("live_hours_done").set(snap["hours_done"])
+        registry.gauge("live_transactions").set(snap["transactions"])
+        registry.gauge("live_elapsed_seconds").set(snap["elapsed_seconds"])
+        registry.gauge("live_finished").set(1.0 if snap["finished"] else 0.0)
+        registry.gauge("live_episode_threshold_estimate").set(
+            snap["episode_threshold"]
+        )
+        if snap["eta_seconds"] is not None:
+            registry.gauge("live_eta_seconds").set(snap["eta_seconds"])
+        for field, total in snap["failures"].items():
+            registry.gauge("live_failures", type=field).set(total)
+        for lane in snap["lanes"]:
+            worker = str(lane["worker"])
+            registry.gauge("live_worker_hours_done", worker=worker).set(
+                lane["hours_done"]
+            )
+            if lane["cpu_seconds"]:
+                registry.gauge("live_worker_cpu_seconds", worker=worker).set(
+                    lane["cpu_seconds"]
+                )
+        return registry

@@ -1,0 +1,121 @@
+"""A scrapeable ``/metrics`` endpoint for in-flight simulations.
+
+``repro simulate --serve-metrics PORT`` starts a
+:class:`MetricsServer`: a daemon-threaded stdlib HTTP server whose
+``/metrics`` route renders, in the Prometheus text exposition format,
+
+* the process's active :class:`~repro.obs.metrics.MetricsRegistry`
+  (stage counters, outcome totals -- sparse until workers merge), and
+* the live aggregator's gauges (progress, ETA, per-failure-type running
+  counts, the episode-threshold estimate), prefixed ``repro_live_*``,
+
+so a month-long run can sit on an existing Prometheus/Grafana stack
+while it is still in flight.  Port ``0`` binds an ephemeral port
+(tests); the bound port is exposed as :attr:`MetricsServer.port`.
+
+The server only ever *reads* observability state -- it can neither slow
+the determinism-critical path nor perturb it, and a scrape mid-run
+leaves the dataset digest bit-identical to an unscraped run (asserted
+in CI).
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Optional
+
+from repro.obs import runtime
+from repro.obs.exporters import to_prometheus_text
+from repro.obs.live.aggregate import LiveAggregator
+
+DEFAULT_HOST = "127.0.0.1"
+
+
+class MetricsServer:
+    """Serve ``/metrics`` (and a tiny index) on a daemon thread."""
+
+    def __init__(
+        self,
+        port: int,
+        aggregator: Optional[LiveAggregator] = None,
+        registry_provider: Optional[Callable[[], object]] = None,
+        host: str = DEFAULT_HOST,
+    ) -> None:
+        self.aggregator = aggregator
+        self._registry_provider = registry_provider or runtime.registry
+        self._requested = (host, port)
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self.scrapes = 0
+
+    # -- rendering ------------------------------------------------------------
+
+    def render_metrics(self) -> str:
+        """The full exposition body: process registry + live gauges."""
+        body = to_prometheus_text(self._registry_provider())
+        if self.aggregator is not None:
+            body += to_prometheus_text(
+                self.aggregator.to_registry(), prefix="repro_"
+            )
+        return body
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def port(self) -> Optional[int]:
+        """The bound port (meaningful after :meth:`start`)."""
+        if self._httpd is None:
+            return None
+        return self._httpd.server_address[1]
+
+    def start(self) -> "MetricsServer":
+        """Bind and start serving on a daemon thread."""
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                if self.path.split("?", 1)[0] == "/metrics":
+                    body = server.render_metrics().encode("utf-8")
+                    server.scrapes += 1
+                    self.send_response(200)
+                    self.send_header(
+                        "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+                    )
+                else:
+                    body = (
+                        "repro live metrics endpoint; scrape /metrics\n"
+                    ).encode("utf-8")
+                    self.send_response(200)
+                    self.send_header("Content-Type", "text/plain; charset=utf-8")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, format: str, *args) -> None:
+                runtime.logger.debug(
+                    "metrics server: " + format, *args
+                )
+
+        self._httpd = ThreadingHTTPServer(self._requested, Handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-metrics-server",
+            daemon=True,
+        )
+        self._thread.start()
+        runtime.logger.info(
+            "serving /metrics on http://%s:%d", *self._httpd.server_address[:2]
+        )
+        return self
+
+    def stop(self) -> None:
+        """Shut the server down and join its thread."""
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None

@@ -1,0 +1,97 @@
+"""One CLI invocation's live-telemetry wiring, composed and torn down.
+
+:class:`LiveSession` is what ``repro simulate --live --serve-metrics
+PORT`` actually constructs: a :class:`~repro.obs.live.bus.TelemetryBus`
+spooling events to a temp file, a
+:class:`~repro.obs.live.aggregate.LiveAggregator` subscribed to it,
+optionally a :class:`~repro.obs.live.dashboard.LiveDashboard` (when
+``--live``) and a :class:`~repro.obs.live.server.MetricsServer` (when
+``--serve-metrics``).  ``stop()`` tears everything down in reverse
+order; the spool file survives until :meth:`cleanup` so the run
+recorder can copy it into ``runs/<run-id>/events.jsonl`` after the
+content-addressed run id becomes known.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Optional
+
+from repro.obs import runtime
+from repro.obs.live.aggregate import LiveAggregator
+from repro.obs.live.bus import TelemetryBus
+from repro.obs.live.dashboard import LiveDashboard
+from repro.obs.live.server import MetricsServer
+
+
+class LiveSession:
+    """Bus + aggregator + optional dashboard + optional /metrics server."""
+
+    def __init__(
+        self,
+        dashboard: bool = False,
+        serve_port: Optional[int] = None,
+        stream=None,
+    ) -> None:
+        fd, self.events_path = tempfile.mkstemp(
+            prefix="repro-events-", suffix=".jsonl"
+        )
+        os.close(fd)
+        self.aggregator = LiveAggregator()
+        self.bus = TelemetryBus(events_path=self.events_path)
+        self.bus.subscribe(self.aggregator.update)
+        self.dashboard: Optional[LiveDashboard] = None
+        if dashboard:
+            self.dashboard = LiveDashboard(self.aggregator, stream=stream)
+            self.bus.subscribe(self.dashboard.update)
+        self.server: Optional[MetricsServer] = None
+        if serve_port is not None:
+            self.server = MetricsServer(serve_port, aggregator=self.aggregator)
+        self._started = False
+
+    @property
+    def port(self) -> Optional[int]:
+        """The metrics server's bound port, when one is serving."""
+        return self.server.port if self.server is not None else None
+
+    def start(self) -> "LiveSession":
+        """Start the server (if any) and the bus; install the emitter."""
+        if self.server is not None:
+            self.server.start()
+        self.bus.start()
+        self._started = True
+        return self
+
+    def stop(self) -> None:
+        """Final drain, last dashboard frame, server shutdown."""
+        if not self._started:
+            return
+        self._started = False
+        self.bus.stop()
+        if self.dashboard is not None:
+            self.dashboard.close()
+        if self.server is not None:
+            self.server.stop()
+
+    def cleanup(self) -> None:
+        """Remove the spool file (after the recorder copied it, if ever)."""
+        try:
+            os.unlink(self.events_path)
+        except OSError:
+            pass
+
+    def __enter__(self) -> "LiveSession":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+        self.cleanup()
+
+
+def log_endpoints(session: LiveSession) -> None:
+    """Announce the scrape endpoint on the ``repro`` logger."""
+    if session.port is not None:
+        runtime.logger.info(
+            "live metrics: scrape http://127.0.0.1:%d/metrics", session.port
+        )

@@ -1,0 +1,150 @@
+"""Post-hoc replay of a recorded event stream as a progress timeline.
+
+``repro runs show REF --timeline`` loads the ``events.jsonl`` persisted
+into the run directory and renders what the live dashboard *would* have
+shown over the run's lifetime: one density lane per worker (each column
+is an equal slice of wall time, shaded by how many hours that worker
+completed in it), the per-shard summary, and the final per-failure-type
+totals.  Together with the trace file this makes any past run's
+progress inspectable without re-running it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, TextIO, Union
+
+from repro.obs.live.events import FAILURE_FIELDS, HOUR_DONE, is_event
+
+_DENSITY_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def load_events(source: Union[str, TextIO]) -> List[Dict[str, Any]]:
+    """Parse an ``events.jsonl`` file; torn/alien lines are skipped."""
+    if hasattr(source, "read"):
+        lines = source.read().splitlines()
+    else:
+        with open(source, "r", encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+    events: List[Dict[str, Any]] = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if is_event(record):
+            events.append(record)
+    events.sort(key=lambda e: (float(e.get("t") or 0.0), e.get("seq") or 0))
+    return events
+
+
+def _density_row(times: List[float], t0: float, t1: float, width: int) -> str:
+    """Shade ``width`` equal wall-time columns by event count."""
+    counts = [0] * width
+    span = max(t1 - t0, 1e-9)
+    for t in times:
+        column = int((t - t0) / span * width)
+        counts[min(max(column, 0), width - 1)] += 1
+    peak = max(counts) if counts else 0
+    if peak == 0:
+        return " " * width
+    row = []
+    for c in counts:
+        idx = int(c / peak * (len(_DENSITY_BLOCKS) - 1) + 0.5)
+        row.append(_DENSITY_BLOCKS[min(idx, len(_DENSITY_BLOCKS) - 1)])
+    return "".join(row)
+
+
+def render_timeline(events: List[Dict[str, Any]], width: int = 60) -> str:
+    """The full timeline view of one recorded event stream."""
+    if not events:
+        return "(no events recorded)"
+    hour_events = [e for e in events if e.get("type") == HOUR_DONE]
+    run_start = next(
+        (e for e in events if e.get("type") == "run_start"), None
+    )
+    run_done = next(
+        (e for e in events if e.get("type") == "run_done"), None
+    )
+    times = [float(e.get("t") or 0.0) for e in events]
+    t0, t1 = min(times), max(times)
+    duration = t1 - t0
+
+    lines = [
+        f"timeline: {len(events)} events over {duration:.2f}s "
+        f"({len(hour_events)} hours simulated)"
+    ]
+    if run_start is not None:
+        lines.append(
+            f"run: hours={run_start.get('hours')} "
+            f"workers={run_start.get('workers')} "
+            f"engine={run_start.get('engine') or '?'}"
+        )
+
+    by_worker: Dict[int, List[Dict[str, Any]]] = {}
+    for e in hour_events:
+        by_worker.setdefault(int(e.get("worker") or 0), []).append(e)
+    shard_done = {
+        int(e.get("worker") or 0): e
+        for e in events if e.get("type") == "shard_done"
+    }
+    shard_start = {
+        int(e.get("worker") or 0): e
+        for e in events if e.get("type") == "shard_start"
+    }
+    if by_worker:
+        lines.append("")
+        lines.append(
+            "-- per-worker hour completions "
+            f"(each column ~{duration / width:.3f}s) --"
+        )
+        for worker in sorted(by_worker):
+            worker_events = by_worker[worker]
+            row = _density_row(
+                [float(e.get("t") or 0.0) for e in worker_events], t0, t1, width
+            )
+            start = shard_start.get(worker) or {}
+            done = shard_done.get(worker) or {}
+            span = (
+                f"[{start.get('hour_start')},{start.get('hour_stop')})"
+                if start.get("hour_start") is not None else ""
+            )
+            suffix = f"{len(worker_events)}h"
+            cpu = done.get("cpu_seconds")
+            if cpu is not None:
+                suffix += f" cpu={float(cpu):.2f}s"
+            lines.append(f"  w{worker:<3} |{row}| {span} {suffix}")
+
+    totals: Dict[str, int] = {f: 0 for f in FAILURE_FIELDS}
+    transactions = 0
+    for e in hour_events:
+        transactions += int(e.get("transactions") or 0)
+        for f in FAILURE_FIELDS:
+            totals[f] += int(e.get(f) or 0)
+    if transactions:
+        lines.append("")
+        breakdown = "  ".join(
+            f"{f}={totals[f]}" for f in FAILURE_FIELDS
+        )
+        lines.append(
+            f"totals: {transactions} transactions  {breakdown}"
+        )
+    if run_done is not None:
+        lines.append("run completed (run_done recorded)")
+    elif hour_events:
+        lines.append("(stream ends without run_done -- interrupted run?)")
+    return "\n".join(lines)
+
+
+def summarize_events_file(path: str, width: int = 60) -> Optional[str]:
+    """Timeline for ``path`` or None when the file is absent/empty."""
+    try:
+        events = load_events(path)
+    except OSError:
+        return None
+    if not events:
+        return None
+    return render_timeline(events, width=width)

@@ -10,8 +10,11 @@ per-name duration table and the event log highlights (e.g. the
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import (
+    Any, Callable, Dict, Iterator, List, Optional, Tuple,
+)
 
 
 @dataclass
@@ -85,6 +88,59 @@ def load_trace(path: str) -> LoadedTrace:
         node.children.sort(key=lambda n: n.start)
     roots.sort(key=lambda n: n.start)
     return LoadedTrace(roots=roots, spans=spans, events=events)
+
+
+def tail_records(
+    path: str,
+    poll_interval: float = 0.5,
+    sleep: Callable[[float], None] = time.sleep,
+    stop: Optional[Callable[[], bool]] = None,
+) -> Iterator[Dict[str, Any]]:
+    """Yield records from ``path`` as they are appended (``tail -f``).
+
+    Existing records are yielded first, then the file is polled every
+    ``poll_interval`` seconds for new lines.  A torn final line (the
+    writer mid-append) is buffered until its newline arrives, so a
+    record is never yielded half-parsed.  ``stop`` is polled at EOF;
+    returning True ends the stream (tests and the CLI's Ctrl-C path).
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        buffer = ""
+        while True:
+            chunk = fh.readline()
+            if chunk:
+                buffer += chunk
+                if not buffer.endswith("\n"):
+                    continue
+                line, buffer = buffer.strip(), ""
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(record, dict):
+                    yield record
+                continue
+            if stop is not None and stop():
+                return
+            sleep(poll_interval)
+
+
+def format_record(record: Dict[str, Any]) -> str:
+    """One compact ``--follow`` line for a streamed span or event."""
+    kind = record.get("type")
+    if kind == "span":
+        return (
+            f"span  {record.get('name', '?')}  "
+            f"{float(record.get('duration', 0.0)):.3f}s"
+            f"{_fmt_attrs(record.get('attrs') or {})}"
+        )
+    if kind == "event":
+        fields = record.get("fields") or {}
+        body = " ".join(f"{k}={v}" for k, v in list(fields.items())[:6])
+        return f"event {record.get('name', '?')}  {body}".rstrip()
+    return json.dumps(record, sort_keys=True)
 
 
 def _fmt_attrs(attrs: Dict[str, Any], limit: int = 3) -> str:

@@ -51,6 +51,11 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         "--max-episodes", type=int, default=10, metavar="N",
         help="episode records to print per side (default 10)",
     )
+    show.add_argument(
+        "--timeline", action="store_true",
+        help="replay the recorded live-telemetry event stream "
+        "(events.jsonl) as a per-worker progress timeline",
+    )
 
     diff = verbs.add_parser(
         "diff", help="compare two runs (exit 1 on dataset-digest mismatch)"
@@ -149,7 +154,9 @@ def _show_evidence(evidence: EvidenceBundle, max_episodes: int) -> None:
         )
 
 
-def _cmd_show(store: RunStore, ref: str, max_episodes: int) -> int:
+def _cmd_show(
+    store: RunStore, ref: str, max_episodes: int, timeline: bool = False
+) -> int:
     manifest = store.load(ref)
     print(f"run {manifest.run_id}  ({manifest.schema})")
     print(f"command:    {manifest.command} ({' '.join(manifest.argv)})")
@@ -176,6 +183,12 @@ def _cmd_show(store: RunStore, ref: str, max_episodes: int) -> int:
         print(f"digest:     {digest}")
     if manifest.trace_file:
         print(f"trace:      {store.run_dir(manifest.run_id) / manifest.trace_file}")
+    if manifest.events_file:
+        print(
+            f"events:     "
+            f"{store.run_dir(manifest.run_id) / manifest.events_file} "
+            f"(replay with `repro runs show {manifest.run_id} --timeline`)"
+        )
     stages = sorted(
         manifest.stage_seconds().items(), key=lambda kv: -kv[1]
     )
@@ -190,6 +203,21 @@ def _cmd_show(store: RunStore, ref: str, max_episodes: int) -> int:
         print("(no attribution evidence recorded)")
     else:
         _show_evidence(evidence, max_episodes)
+    if timeline:
+        from repro.obs.live.timeline import summarize_events_file
+
+        events_name = manifest.events_file or "events.jsonl"
+        rendered = summarize_events_file(
+            str(store.run_dir(manifest.run_id) / events_name)
+        )
+        print()
+        if rendered is None:
+            print(
+                "(no live-telemetry events recorded for this run -- "
+                "re-run with --live or --serve-metrics)"
+            )
+        else:
+            print(rendered)
     return 0
 
 
@@ -229,7 +257,10 @@ def run(args) -> int:
         if args.runs_verb == "list":
             return _cmd_list(store)
         if args.runs_verb == "show":
-            return _cmd_show(store, args.ref, args.max_episodes)
+            return _cmd_show(
+                store, args.ref, args.max_episodes,
+                timeline=getattr(args, "timeline", False),
+            )
         if args.runs_verb == "diff":
             return _cmd_diff(store, args.ref_a, args.ref_b)
         if args.runs_verb == "check":

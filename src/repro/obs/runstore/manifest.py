@@ -106,6 +106,9 @@ class RunManifest:
     evidence_summary: Dict[str, Any] = field(default_factory=dict)
     #: Name of the trace file copied into the run directory, if any.
     trace_file: Optional[str] = None
+    #: Name of the live-telemetry event stream copied into the run
+    #: directory (``repro runs show --timeline`` replays it), if any.
+    events_file: Optional[str] = None
     schema: str = SCHEMA
 
     # -- identity ------------------------------------------------------------
@@ -185,6 +188,7 @@ class RunManifest:
             "evidence_digest": self.evidence_digest,
             "evidence_summary": dict(self.evidence_summary),
             "trace_file": self.trace_file,
+            "events_file": self.events_file,
         }
 
 
@@ -193,7 +197,7 @@ class RunManifest:
 _KNOWN_FIELDS = (
     "run_id", "command", "argv", "config", "engine", "git_rev",
     "created_unix", "timings", "metrics", "dataset", "evidence_digest",
-    "evidence_summary", "trace_file", "schema",
+    "evidence_summary", "trace_file", "events_file", "schema",
 )
 
 

@@ -50,6 +50,7 @@ ENV_RUNS_DIR = "REPRO_RUNS_DIR"
 MANIFEST_FILE = "manifest.json"
 EVIDENCE_FILE = "evidence.json"
 TRACE_FILE = "trace.jsonl"
+EVENTS_FILE = "events.jsonl"
 
 
 class RunStoreError(RuntimeError):
@@ -103,8 +104,15 @@ class RunStore:
         manifest: RunManifest,
         evidence: Optional[EvidenceBundle] = None,
         trace_path: Optional[Union[str, Path]] = None,
+        events_path: Optional[Union[str, Path]] = None,
     ) -> Path:
-        """Persist a run; returns its directory."""
+        """Persist a run; returns its directory.
+
+        ``events_path`` is the live-telemetry spool written during the
+        run (run ids are content-addressed over the dataset digest, so
+        the destination directory is only known now); a non-empty spool
+        is copied in as ``events.jsonl`` for ``runs show --timeline``.
+        """
         run_dir = self.run_dir(manifest.run_id)
         run_dir.mkdir(parents=True, exist_ok=True)
         if evidence is not None:
@@ -114,6 +122,11 @@ class RunStore:
             if source.is_file():
                 shutil.copyfile(source, run_dir / TRACE_FILE)
                 manifest.trace_file = TRACE_FILE
+        if events_path is not None:
+            source = Path(events_path)
+            if source.is_file() and source.stat().st_size > 0:
+                shutil.copyfile(source, run_dir / EVENTS_FILE)
+                manifest.events_file = EVENTS_FILE
         _write_json_atomic(run_dir / MANIFEST_FILE, manifest.to_dict())
         return run_dir
 
@@ -234,6 +247,7 @@ class RunRecorder:
         self,
         registry: MetricsRegistry,
         trace_path: Optional[Union[str, Path]] = None,
+        events_path: Optional[Union[str, Path]] = None,
     ) -> RunManifest:
         """Build the manifest, write the run directory, return the manifest."""
         timings = {
@@ -261,5 +275,8 @@ class RunRecorder:
             evidence_digest=evidence_digest,
             evidence_summary=evidence_summary,
         ).seal()
-        self.store.write(manifest, evidence=self.evidence, trace_path=trace_path)
+        self.store.write(
+            manifest, evidence=self.evidence, trace_path=trace_path,
+            events_path=events_path,
+        )
         return manifest

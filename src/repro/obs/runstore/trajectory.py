@@ -29,6 +29,10 @@ from repro.obs.runstore.manifest import check_schema, config_key
 #: Trajectory schema identifier.
 SCHEMA = "repro.bench-trajectory/1"
 
+#: Retained observations per (bench, config) series; older ones are
+#: pruned on append so the committed file stays bounded.
+MAX_ENTRIES_PER_SERIES = 50
+
 
 class TrajectoryError(ValueError):
     """The trajectory file is unreadable or from a newer schema."""
@@ -50,17 +54,65 @@ def load_trajectory(path: Union[str, Path]) -> List[Dict[str, Any]]:
     return sorted(entries, key=lambda e: (e.get("t", 0.0),))
 
 
+def _series_key(entry: Dict[str, Any]) -> tuple:
+    return (str(entry.get("bench", "")), config_key(entry.get("config") or {}))
+
+
+def prune_entries(entries: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Dedupe per git revision and cap each series' retained history.
+
+    Within one (bench, config) series only the newest entry per git
+    revision survives, so re-running a benchmark on the same commit
+    refreshes its observation instead of growing the file without
+    bound.  Legacy entries without a ``git_rev`` (written before the
+    field existed) are never deduped against each other, only capped.
+    Each series keeps at most :data:`MAX_ENTRIES_PER_SERIES` newest
+    entries.  Input and output are both oldest-first.
+    """
+    seen_revs: set = set()
+    per_series: Dict[tuple, int] = {}
+    kept: List[Dict[str, Any]] = []
+    for entry in reversed(entries):  # newest first: newest wins a dupe
+        series = _series_key(entry)
+        rev = entry.get("git_rev")
+        if rev is not None:
+            if (series, rev) in seen_revs:
+                continue
+            seen_revs.add((series, rev))
+        count = per_series.get(series, 0)
+        if count >= MAX_ENTRIES_PER_SERIES:
+            continue
+        per_series[series] = count + 1
+        kept.append(entry)
+    kept.reverse()
+    return kept
+
+
 def append_entry(
     path: Union[str, Path],
     entry: Dict[str, Any],
     clock: Callable[[], float] = time.time,
 ) -> Dict[str, Any]:
-    """Stamp ``entry`` with the clock and append it atomically."""
+    """Stamp ``entry`` with the clock and git revision; append atomically.
+
+    Appending also prunes: entries from the same (bench, config) series
+    and git revision are replaced rather than accumulated, and each
+    series is capped at :data:`MAX_ENTRIES_PER_SERIES` observations.
+    """
     path = Path(path)
     entries = load_trajectory(path)
     stamped = dict(entry)
     stamped.setdefault("t", clock())
+    if "git_rev" not in stamped:
+        # Lazy import: store pulls in the heavier manifest/evidence
+        # machinery that plain trajectory readers don't need.
+        from repro.obs.runstore.store import _git_revision
+
+        rev = _git_revision()
+        if rev is not None:
+            stamped["git_rev"] = rev
     entries.append(stamped)
+    entries = prune_entries(entries)
     document = {"schema": SCHEMA, "entries": entries}
     tmp = path.with_suffix(path.suffix + ".tmp")
     tmp.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")

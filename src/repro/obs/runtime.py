@@ -24,8 +24,27 @@ from repro.obs.tracing import Tracer
 
 logger = logging.getLogger("repro")
 
+
+class NullEmitter:
+    """Disabled progress emitter: ``emit`` is a no-op.
+
+    The live-telemetry counterpart of :class:`NullRegistry` -- engine
+    code guards the (mildly) expensive per-hour count summation behind
+    ``emitter.enabled`` so a non-``--live`` run pays one attribute read
+    per hour and nothing else.
+    """
+
+    enabled = False
+
+    def emit(self, kind: str, /, **fields) -> None:  # noqa: D102 - no-op
+        pass
+
+
+NULL_EMITTER = NullEmitter()
+
 _registry: MetricsRegistry = MetricsRegistry()
 _tracer: Tracer = Tracer()
+_emitter = NULL_EMITTER
 
 NULL_REGISTRY = NullRegistry()
 
@@ -51,6 +70,18 @@ def set_tracer(new: Tracer) -> Tracer:
     """Install ``new`` as the active tracer; returns the previous one."""
     global _tracer
     old, _tracer = _tracer, new
+    return old
+
+
+def emitter():
+    """The active progress emitter (a no-op unless live telemetry is on)."""
+    return _emitter
+
+
+def set_emitter(new):
+    """Install ``new`` as the active emitter; returns the previous one."""
+    global _emitter
+    old, _emitter = _emitter, new
     return old
 
 
@@ -108,3 +139,13 @@ def event(name: str, /, **fields) -> None:
     _tracer.event(name, **fields)
     if logger.isEnabledFor(logging.DEBUG):
         logger.debug("event %s %s", name, fields)
+
+
+def progress(kind: str, /, **fields) -> None:
+    """Emit a live-telemetry progress event on the active emitter.
+
+    A no-op unless a :mod:`repro.obs.live` bus installed an emitter;
+    callers producing non-trivial field payloads should guard on
+    ``obs.emitter().enabled`` instead of calling this unconditionally.
+    """
+    _emitter.emit(kind, **fields)

@@ -89,14 +89,20 @@ def _simulate_shard(payload) -> "ShardResult":
     Runs in a worker process (or in-process on fallback).  A fresh
     metrics registry captures exactly this shard's instruments for the
     parent to merge; the tracer is disabled -- worker processes must not
-    interleave writes into the parent's trace file.
+    interleave writes into the parent's trace file.  Live telemetry, in
+    contrast, *is* wired through: when the parent parked a telemetry
+    queue before forking the pool, the worker installs an emitter bound
+    to it (labelled with its worker index) so per-hour progress streams
+    to the parent while the shard runs.
     """
+    from repro.obs.live.bus import inherited_emitter
     from repro.world.simulator import MonthSimulator
 
-    world, truth, access, master_seed, hour_start, hour_stop = payload
+    world, truth, access, master_seed, hour_start, hour_stop, worker = payload
     registry = MetricsRegistry()
     old_registry = obs.set_registry(registry)
     old_tracer = obs.set_tracer(Tracer())
+    old_emitter = obs.set_emitter(inherited_emitter(worker))
     try:
         simulator = MonthSimulator(
             world, access=access, rngs=RNGRegistry(master_seed), truth=truth
@@ -107,6 +113,7 @@ def _simulate_shard(payload) -> "ShardResult":
     finally:
         obs.set_registry(old_registry)
         obs.set_tracer(old_tracer)
+        obs.set_emitter(old_emitter)
 
 
 def _dispatch(payloads: Sequence[tuple], in_process: bool) -> List["ShardResult"]:
@@ -159,9 +166,15 @@ def run_parallel(
         return simulator.run(workers=1)
     master_seed = simulator.rngs.master_seed
     payloads = [
-        (world, simulator.truth, simulator.access, master_seed, h0, h1)
-        for h0, h1 in shards
+        (world, simulator.truth, simulator.access, master_seed, h0, h1, i)
+        for i, (h0, h1) in enumerate(shards)
     ]
+    emitter = obs.emitter()
+    if emitter.enabled:
+        emitter.emit(
+            "run_start", hours=world.hours, workers=len(shards),
+            engine="fast", shards=[[h0, h1] for h0, h1 in shards],
+        )
     dataset = MeasurementDataset(world)
     with obs.stage(
         "simulate.month", hours=world.hours, workers=len(shards)
@@ -194,6 +207,10 @@ def run_parallel(
         month_stage.add_items(int(dataset.transactions.sum()))
     simulator._commit_outcome_metrics(dataset)
     simulator._attach_provenance(dataset, workers=len(shards))
+    if emitter.enabled:
+        from repro.world.simulator import _dataset_totals
+
+        emitter.emit("run_done", **_dataset_totals(dataset))
     return SimulationResult(
         dataset=dataset, truth=simulator.truth, model=simulator.model
     )

@@ -114,6 +114,16 @@ class MonthSimulator:
         # Per-stage wall time is accumulated locally and committed to the
         # registry once, so the hot loop pays only perf_counter() calls.
         self._stage_seconds = {"dns": 0.0, "tcp": 0.0, "http": 0.0, "commit": 0.0}
+        emitter = obs.emitter()
+        if emitter.enabled:
+            emitter.emit(
+                "run_start", hours=self.world.hours, workers=1, engine="fast"
+            )
+            emitter.emit(
+                "shard_start", hour_start=0, hour_stop=self.world.hours
+            )
+        started = perf_counter()
+        cpu_started = process_time()
         with obs.stage(
             "simulate.month", hours=self.world.hours
         ) as month_stage:
@@ -122,6 +132,16 @@ class MonthSimulator:
         self._commit_stage_metrics(self.world.hours)
         self._commit_outcome_metrics(dataset)
         self._attach_provenance(dataset, workers=1)
+        if emitter.enabled:
+            emitter.emit(
+                "shard_done",
+                hour_start=0,
+                hour_stop=self.world.hours,
+                transactions=int(dataset.transactions.sum(dtype=np.int64)),
+                elapsed_seconds=round(perf_counter() - started, 6),
+                cpu_seconds=round(process_time() - cpu_started, 6),
+            )
+            emitter.emit("run_done", **_dataset_totals(dataset))
         return SimulationResult(dataset=dataset, truth=self.truth, model=self.model)
 
     def run_shard(self, hour_start: int, hour_stop: int) -> ShardResult:
@@ -141,6 +161,11 @@ class MonthSimulator:
         cpu_started = process_time()
         dataset = MeasurementDataset(self.world)
         self._stage_seconds = {"dns": 0.0, "tcp": 0.0, "http": 0.0, "commit": 0.0}
+        emitter = obs.emitter()
+        if emitter.enabled:
+            emitter.emit(
+                "shard_start", hour_start=hour_start, hour_stop=hour_stop
+            )
         with obs.stage(
             "simulate.shard", hour_start=hour_start, hour_stop=hour_stop
         ) as shard_stage:
@@ -157,14 +182,25 @@ class MonthSimulator:
             )
             for name in MeasurementDataset._ARRAY_FIELDS
         }
+        elapsed_seconds = perf_counter() - started
+        cpu_seconds = process_time() - cpu_started
+        if emitter.enabled:
+            emitter.emit(
+                "shard_done",
+                hour_start=hour_start,
+                hour_stop=hour_stop,
+                transactions=transactions,
+                elapsed_seconds=round(elapsed_seconds, 6),
+                cpu_seconds=round(cpu_seconds, 6),
+            )
         return ShardResult(
             hour_start=hour_start,
             hour_stop=hour_stop,
             arrays=arrays,
             transactions=transactions,
-            elapsed_seconds=perf_counter() - started,
+            elapsed_seconds=elapsed_seconds,
             stage_seconds=dict(self._stage_seconds),
-            cpu_seconds=process_time() - cpu_started,
+            cpu_seconds=cpu_seconds,
         )
 
     def _simulate_block(
@@ -176,10 +212,19 @@ class MonthSimulator:
         are order- and process-independent.
         """
         proxied = self.model.proxied
+        emitter = obs.emitter()
         for h in range(hour_start, hour_stop):
+            stream = f"fast-engine/hour/{h}"
             with obs.span("simulate.hour", hour=h):
-                rng = self.rngs.np_fresh(f"fast-engine/hour/{h}")
+                rng = self.rngs.np_fresh(stream)
                 self._simulate_hour(h, dataset, rng, proxied)
+            # Live telemetry: per-hour failure-type counts, read back off
+            # the committed slices (pure reads -- the emitter can never
+            # perturb the dataset or the RNG, so the digest is identical
+            # with telemetry on or off).
+            if emitter.enabled:
+                emitter.emit("hour_done", hour=h, stream=stream,
+                             **_hour_counts(dataset, h))
 
     def _attach_provenance(
         self, dataset: MeasurementDataset, workers: int
@@ -418,6 +463,42 @@ class MonthSimulator:
             dataset.replica_failed_connections[si, :r, h] += per_replica_failed.astype(
                 np.uint32
             )
+
+
+def _hour_counts(dataset: MeasurementDataset, h: int) -> Dict[str, int]:
+    """Per-failure-type transaction counts of hour ``h`` (pure reads).
+
+    Sums the component slices directly rather than going through the
+    ``dns_failures``/``tcp_failures`` properties, which would
+    materialize full month-sized arrays once per hour.
+    """
+
+    def total(*fields: str) -> int:
+        return int(
+            sum(
+                getattr(dataset, name)[:, :, h].sum(dtype=np.int64)
+                for name in fields
+            )
+        )
+
+    return {
+        "transactions": total("transactions"),
+        "dns": total("dns_ldns", "dns_nonldns", "dns_error"),
+        "tcp": total("tcp_noconn", "tcp_noresp", "tcp_partial", "tcp_ambiguous"),
+        "http": total("http_errors"),
+        "masked": total("masked_failures"),
+    }
+
+
+def _dataset_totals(dataset: MeasurementDataset) -> Dict[str, int]:
+    """Month-wide per-failure-type totals for the ``run_done`` event."""
+    return {
+        "transactions": int(dataset.transactions.sum(dtype=np.int64)),
+        "dns": int(dataset.dns_failures.sum(dtype=np.int64)),
+        "tcp": int(dataset.tcp_failures.sum(dtype=np.int64)),
+        "http": int(dataset.http_errors.sum(dtype=np.int64)),
+        "masked": int(dataset.masked_failures.sum(dtype=np.int64)),
+    }
 
 
 def _split(total: int, parts: int, rng: np.random.Generator, weights=None) -> np.ndarray:

@@ -1,10 +1,15 @@
 """Registry, counter, gauge, and histogram semantics."""
 
+import math
 import threading
 
 import pytest
 
-from repro.obs.exporters import summary_table, to_prometheus_text
+from repro.obs.exporters import (
+    estimate_quantile,
+    summary_table,
+    to_prometheus_text,
+)
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     Histogram,
@@ -148,6 +153,129 @@ class TestExporters:
             registry.counter("stage_seconds_total", stage=name).inc(seconds)
         table = summary_table(registry)
         assert table.index("slow") < table.index("fast")
+
+
+class TestExpositionCorrectness:
+    """The exposition format details a real Prometheus scrape relies on."""
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "weird_total", path='C:\\tmp\\"x"\nnext'
+        ).inc()
+        text = to_prometheus_text(registry)
+        assert (
+            'repro_weird_total{path="C:\\\\tmp\\\\\\"x\\"\\nnext"} 1' in text
+        )
+        # The embedded newline stayed escaped: the sample is one line.
+        sample_lines = [
+            l for l in text.splitlines()
+            if l.startswith("repro_weird_total{")
+        ]
+        assert len(sample_lines) == 1
+
+    def test_metric_names_are_sanitized(self):
+        registry = MetricsRegistry()
+        registry.counter("dns.lookup-time/total").inc()
+        registry.gauge("2fast").set(1)
+        text = to_prometheus_text(registry)
+        assert "repro_dns_lookup_time_total 1" in text
+        assert "repro__2fast 1" in text
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            name = line.split("{")[0].split(" ")[0]
+            assert name[0].isalpha() or name[0] == "_"
+            assert all(c.isalnum() or c in "_:" for c in name)
+
+    def test_bucket_le_values_ascend_with_inf_last(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat_seconds", buckets=(1.0, 0.5, 2.0))
+        for v in (0.2, 0.7, 1.5, 9.0):
+            hist.observe(v)
+        text = to_prometheus_text(registry)
+        le_values = [
+            line.split('le="')[1].split('"')[0]
+            for line in text.splitlines()
+            if "repro_lat_seconds_bucket" in line
+        ]
+        assert le_values == ["0.5", "1", "2", "+Inf"]
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if "repro_lat_seconds_bucket" in line
+        ]
+        assert counts == sorted(counts)  # cumulative
+        assert counts[-1] == 4
+
+    def test_quantile_gauges_exported(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat_seconds", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 1.6, 3.0):
+            hist.observe(v)
+        text = to_prometheus_text(registry)
+        assert "# TYPE repro_lat_seconds_p50 gauge" in text
+        for suffix in ("p50", "p95", "p99"):
+            assert f"repro_lat_seconds_{suffix} " in text
+        # Interpolated, not a raw bucket boundary: the median rank (2 of
+        # 4) sits halfway into the (1, 2] bucket, which holds ranks 2-3.
+        p50 = float(next(
+            line.split(" ")[1] for line in text.splitlines()
+            if line.startswith("repro_lat_seconds_p50")
+        ))
+        assert p50 == pytest.approx(1.5)  # near the true median, 1.55
+        p99 = float(next(
+            line.split(" ")[1] for line in text.splitlines()
+            if line.startswith("repro_lat_seconds_p99")
+        ))
+        assert 2.0 < p99 <= 4.0
+
+    def test_no_quantiles_for_empty_histograms(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat_seconds")
+        text = to_prometheus_text(registry)
+        assert "_p50" not in text
+        assert "repro_lat_seconds_count 0" in text
+
+    def test_quantile_families_grouped_across_label_sets(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat_seconds", stage="a").observe(0.1)
+        registry.histogram("lat_seconds", stage="b").observe(0.2)
+        lines = to_prometheus_text(registry).splitlines()
+        p50_lines = [
+            i for i, l in enumerate(lines) if "lat_seconds_p50" in l
+        ]
+        # TYPE line + both samples, contiguous.
+        assert p50_lines == list(
+            range(p50_lines[0], p50_lines[0] + 3)
+        )
+
+    def test_summary_table_shows_interpolated_quantiles(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat_seconds", buckets=(1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 1.6, 3.0):
+            hist.observe(v)
+        table = summary_table(registry)
+        assert "p50~" in table and "p95~" in table and "p99~" in table
+
+
+class TestEstimateQuantile:
+    def test_interpolates_within_bucket(self):
+        # 10 observations <= 1, 10 more in (1, 2]: the 75th percentile
+        # sits halfway into the second bucket.
+        pairs = [(1.0, 10), (2.0, 20), (math.inf, 20)]
+        assert estimate_quantile(pairs, 0.75) == pytest.approx(1.5)
+        assert estimate_quantile(pairs, 0.25) == pytest.approx(0.5)
+
+    def test_inf_bucket_clamps_to_last_finite_bound(self):
+        pairs = [(1.0, 1), (math.inf, 10)]
+        assert estimate_quantile(pairs, 0.99) == 1.0
+
+    def test_empty_and_bounds(self):
+        assert estimate_quantile([], 0.5) == 0.0
+        assert estimate_quantile([(1.0, 0), (math.inf, 0)], 0.5) == 0.0
+        with pytest.raises(ValueError):
+            estimate_quantile([(1.0, 1)], 1.5)
 
 
 class TestStateRoundTrip:

@@ -159,6 +159,85 @@ class TestMultiWorkerTrace:
         assert shard_indent > month_indent
 
 
+class TestFollowMode:
+    """``repro obs --follow``: tail a trace as it is written."""
+
+    def test_tail_yields_existing_then_appended_records(self, tmp_path):
+        from repro.obs.replay import tail_records
+
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"type": "event", "name": "a"}\n')
+        got = []
+        polls = {"n": 0}
+
+        def sleep(seconds):
+            # Append mid-tail, torn across two "writes", then stop.
+            polls["n"] += 1
+            if polls["n"] == 1:
+                with path.open("a") as fh:
+                    fh.write('{"type": "event", ')
+            elif polls["n"] == 2:
+                with path.open("a") as fh:
+                    fh.write('"name": "b"}\n')
+
+        for record in tail_records(
+            path, sleep=sleep, stop=lambda: polls["n"] >= 3
+        ):
+            got.append(record)
+        assert [r["name"] for r in got] == ["a", "b"]
+
+    def test_tail_skips_garbage_lines(self, tmp_path):
+        from repro.obs.replay import tail_records
+
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            'not json\n{"type": "event", "name": "ok"}\n[1, 2]\n'
+        )
+        got = list(tail_records(path, sleep=lambda s: None, stop=lambda: True))
+        assert [r["name"] for r in got] == ["ok"]
+
+    def test_format_record_compact_lines(self):
+        from repro.obs.replay import format_record
+
+        span = format_record({
+            "type": "span", "name": "simulate.hour", "duration": 0.25,
+            "attrs": {"hour": 7},
+        })
+        assert span == "span  simulate.hour  0.250s [hour=7]"
+        event = format_record({
+            "type": "event", "name": "rng.fork", "fields": {"seed": 3},
+        })
+        assert event == "event rng.fork  seed=3"
+
+    def test_cli_follow_prints_record_lines(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        from repro.obs import replay
+
+        path = tmp_path / "trace.jsonl"
+        path.write_text(
+            '{"type": "span", "name": "cli.simulate", "duration": 1.0}\n'
+            '{"type": "event", "name": "rng.fork", "fields": {"seed": 1}}\n'
+        )
+
+        real_tail = replay.tail_records
+
+        def fake_tail(source, **kwargs):
+            return real_tail(source, sleep=lambda s: None, stop=lambda: True)
+
+        monkeypatch.setattr(replay, "tail_records", fake_tail)
+        code = cli.main(["obs", str(path), "--follow"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "span  cli.simulate  1.000s" in out
+        assert "event rng.fork  seed=1" in out
+
+    def test_cli_follow_missing_file(self, tmp_path, capsys):
+        code = cli.main(["obs", str(tmp_path / "nope.jsonl"), "--follow"])
+        assert code == 2
+        assert "cannot read trace" in capsys.readouterr().err
+
+
 class TestVerboseFlag:
     def test_verbose_logs_to_stderr(self, capsys):
         code = cli.main(

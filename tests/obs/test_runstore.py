@@ -287,21 +287,93 @@ class TestTrajectory:
         clock_value = [100.0]
         entry = append_entry(
             path,
-            {"bench": "b", "config": {"hours": 24, "per_hour": 2, "seed": 1}},
+            {
+                "bench": "b", "git_rev": "aaa",
+                "config": {"hours": 24, "per_hour": 2, "seed": 1},
+            },
             clock=lambda: clock_value[0],
         )
         assert entry["t"] == 100.0
         clock_value[0] = 200.0
         append_entry(
             path,
-            {"bench": "b", "config": {"hours": 24, "per_hour": 2, "seed": 1}},
+            {
+                "bench": "b", "git_rev": "bbb",
+                "config": {"hours": 24, "per_hour": 2, "seed": 1},
+            },
             clock=lambda: clock_value[0],
         )
         entries = load_trajectory(path)
         assert [e["t"] for e in entries] == [100.0, 200.0]
 
+    def test_append_dedupes_same_git_revision(self, tmp_path):
+        path = tmp_path / "BENCH_trajectory.json"
+        config = {"hours": 24, "per_hour": 2, "seed": 1}
+        for t in (100.0, 200.0):
+            append_entry(
+                path,
+                {"bench": "b", "git_rev": "aaa", "config": config,
+                 "simulate_seconds": t},
+                clock=lambda t=t: t,
+            )
+        entries = load_trajectory(path)
+        assert [e["t"] for e in entries] == [200.0]
+        # A different bench on the same revision is a separate series.
+        append_entry(
+            path,
+            {"bench": "other", "git_rev": "aaa", "config": config},
+            clock=lambda: 300.0,
+        )
+        assert len(load_trajectory(path)) == 2
+
     def test_missing_file_is_empty(self, tmp_path):
         assert load_trajectory(tmp_path / "nope.json") == []
+
+    def test_series_capped_at_max_entries(self, tmp_path):
+        from repro.obs.runstore.trajectory import MAX_ENTRIES_PER_SERIES
+
+        path = tmp_path / "BENCH_trajectory.json"
+        config = {"hours": 24, "per_hour": 2, "seed": 1}
+        for i in range(MAX_ENTRIES_PER_SERIES + 10):
+            append_entry(
+                path,
+                {"bench": "b", "git_rev": f"rev{i}", "config": config},
+                clock=lambda i=i: float(i),
+            )
+        entries = load_trajectory(path)
+        assert len(entries) == MAX_ENTRIES_PER_SERIES
+        # The newest survive, the oldest are pruned.
+        assert entries[0]["t"] == 10.0
+        assert entries[-1]["t"] == float(MAX_ENTRIES_PER_SERIES + 9)
+
+    def test_legacy_entries_without_git_rev_survive(self, tmp_path):
+        # Files written before the git_rev field existed must load and
+        # keep accumulating without dedupe (only the cap applies).
+        path = tmp_path / "BENCH_trajectory.json"
+        config = {"hours": 24, "per_hour": 2, "seed": 1}
+        legacy = {
+            "schema": "repro.bench-trajectory/1",
+            "entries": [
+                {"bench": "b", "t": 1.0, "config": dict(config)},
+                {"bench": "b", "t": 2.0, "config": dict(config)},
+            ],
+        }
+        path.write_text(json.dumps(legacy))
+        append_entry(
+            path, {"bench": "b", "git_rev": "ccc", "config": config},
+            clock=lambda: 3.0,
+        )
+        entries = load_trajectory(path)
+        assert [e["t"] for e in entries] == [1.0, 2.0, 3.0]
+
+    def test_append_stamps_current_git_revision(self, tmp_path):
+        # Inside this repository the revision is discoverable; the
+        # entry carries it so later appends on the same commit dedupe.
+        path = tmp_path / "BENCH_trajectory.json"
+        entry = append_entry(
+            path, {"bench": "b", "config": {"hours": 1}}, clock=lambda: 1.0
+        )
+        assert entry.get("git_rev"), "expected a git revision stamp"
 
     def test_matching_entries_filters_config(self, tmp_path):
         path = tmp_path / "t.json"
