@@ -97,7 +97,30 @@ def _add_run_options(parser: argparse.ArgumentParser, suppress: bool) -> None:
         default=d if suppress else None,
         help="serve a Prometheus /metrics endpoint on 127.0.0.1:PORT "
         "while the run is in flight (0 binds an ephemeral port, "
-        "announced on stderr)",
+        "announced on stderr); with --detect the same server also "
+        "serves /alerts",
+    )
+    parser.add_argument(
+        "--detect", action="store_true",
+        default=d if suppress else False,
+        help="run the online failure-detection pipeline during the "
+        "simulation: streaming episode/blame analysis with alerting; "
+        "the alert stream is persisted as alerts.jsonl in the run "
+        "directory and is bit-identical at any --workers count",
+    )
+    parser.add_argument(
+        "--alert-rules", metavar="PATH",
+        default=d if suppress else None,
+        help="alert-rule file (TOML or JSON) for --detect; implies "
+        "--detect (default: the built-in rules)",
+    )
+    parser.add_argument(
+        "--fault", metavar="SPEC",
+        default=d if suppress else None,
+        help="plant a ground-truth fault before simulating, e.g. "
+        "server:berkeley.edu:24-48:0.5 (site-wide outage over hours "
+        "[24,48) at intensity 0.5) -- the controlled target for "
+        "detection-latency experiments",
     )
     parser.add_argument(
         "-v", "--verbose", action="count",
@@ -193,6 +216,15 @@ def _build_parser() -> argparse.ArgumentParser:
         help="render, diff, and regression-gate the recorded run registry",
     )
     configure_runs_parser(runs_cmd)
+
+    from repro.obs.online.cli import configure_parser as configure_detect_parser
+
+    detect_cmd = sub.add_parser(
+        "detect",
+        help="score a recorded run's online detection against the batch "
+        "analysis (precision/recall, blame agreement, detection latency)",
+    )
+    configure_detect_parser(detect_cmd)
     return parser
 
 
@@ -209,10 +241,26 @@ def _simulate(args):
         "simulate: hours=%d per_hour=%d seed=%d workers=%d",
         args.hours, args.per_hour, args.seed, workers,
     )
-    result = simulate_default_month(
-        hours=args.hours, per_hour=args.per_hour, seed=args.seed,
-        workers=workers,
-    )
+    truth_transform = None
+    fault = getattr(args, "fault", None)
+    if fault:
+        from repro.world.scenarios import parse_fault_spec
+
+        try:
+            truth_transform = parse_fault_spec(fault)
+        except ValueError as exc:
+            raise SystemExit(f"repro: error: {exc}")
+    try:
+        result = simulate_default_month(
+            hours=args.hours, per_hour=args.per_hour, seed=args.seed,
+            workers=workers, truth_transform=truth_transform,
+        )
+    except ValueError as exc:
+        if truth_transform is None:
+            raise
+        # The transform validates against the built world (site names,
+        # the hour span) -- surface that as a usage error too.
+        raise SystemExit(f"repro: error: bad --fault: {exc}")
     recorder = getattr(args, "_run_recorder", None)
     if recorder is not None:
         recorder.record_result(result)
@@ -434,11 +482,24 @@ def _configure_live(args):
     """
     live = bool(getattr(args, "live", False))
     port = getattr(args, "serve_metrics", None)
-    if not live and port is None:
+    rules_path = getattr(args, "alert_rules", None)
+    detect = bool(getattr(args, "detect", False)) or rules_path is not None
+    if not live and port is None and not detect:
         return None
     from repro.obs.live.session import LiveSession
 
-    session = LiveSession(dashboard=live, serve_port=port)
+    try:
+        session = LiveSession(
+            dashboard=live, serve_port=port, detect=detect,
+            rules_path=rules_path,
+        )
+    except Exception as exc:
+        # A bad rule file is a usage error, not a crash.
+        from repro.obs.online import RuleError
+
+        if isinstance(exc, (RuleError, OSError)):
+            raise SystemExit(f"repro: error: {exc}")
+        raise
     session.start()
     if session.port is not None:
         # stderr, not the logger: the scrape address must be visible
@@ -447,6 +508,11 @@ def _configure_live(args):
             f"serving /metrics on http://127.0.0.1:{session.port}",
             file=sys.stderr,
         )
+        if session.detector is not None:
+            print(
+                f"serving /alerts on http://127.0.0.1:{session.port}/alerts",
+                file=sys.stderr,
+            )
     return session
 
 
@@ -488,6 +554,7 @@ def _make_recorder(args, argv: Optional[List[str]]):
             "per_hour": args.per_hour,
             "seed": args.seed,
             "workers": getattr(args, "workers", None),
+            "fault": getattr(args, "fault", None),
         },
         runs_dir=getattr(args, "runs_dir", None),
     )
@@ -504,6 +571,10 @@ def _finalize_recorder(args) -> None:
             obs.registry(), trace_path=getattr(args, "trace", None),
             events_path=(
                 live_session.events_path if live_session is not None else None
+            ),
+            alerts=(
+                live_session.export_alerts()
+                if live_session is not None else None
             ),
         )
     except OSError as exc:
@@ -528,6 +599,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.obs.runstore.cli import run as run_runs
 
         return run_runs(args)
+    if args.command == "detect":
+        from repro.obs.online.cli import run as run_detect_cli
+
+        return run_detect_cli(args)
     handlers = {
         "simulate": cmd_simulate,
         "report": cmd_report,

@@ -20,6 +20,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 from repro import obs
 
+from repro.core import knee as knee_mod
 from repro.core.dataset import MIN_SAMPLES_PER_HOUR, MeasurementDataset
 
 
@@ -111,40 +112,30 @@ def detect_knee(
 
     The paper identifies "the distinct knee in each CDF that separates the
     low failure rates (the 'normal' range) ... from the wide range of
-    significantly higher failure rates".  We implement this as the point of
-    maximum perpendicular distance from the chord of the CDF restricted to
-    the candidate range (the "kneedle" construction), which lands on the
-    flat shoulder where the mass of normal episodes ends.
+    significantly higher failure rates".  The construction itself lives in
+    :mod:`repro.core.knee` (maximum perpendicular distance from the chord
+    of the CDF restricted to the candidate range -- "kneedle"), shared
+    with the live aggregator and the online detection pipeline so all
+    three land on the identical threshold for the same rates.
     """
-    rates, cdf = rate_cdf(matrix)
-    if rates.size == 0:
+    samples = np.sort(matrix.flatten_valid())
+    if samples.size == 0:
         raise ValueError("no valid episode rates to detect a knee in")
-    lo, hi = candidate_range
-    window = (rates >= lo) & (rates <= hi)
-    if window.sum() < 3:
+    points = knee_mod.cdf_points(samples.tolist(), candidate_range)
+    if len(points) < knee_mod.MIN_WINDOW_POINTS:
         # Degenerate (nearly failure-free) data: fall back to the paper's f.
-        knee = 0.05
+        knee = knee_mod.FALLBACK_THRESHOLD
         obs.current_span().event(
-            "episodes.knee", f=knee, samples=int(rates.size),
-            in_window=int(window.sum()), fallback=True,
+            "episodes.knee", f=knee, samples=int(samples.size),
+            in_window=len(points), fallback=True,
         )
         return knee
-    x = rates[window]
-    y = cdf[window]
-    # Chord from first to last point in the window.
-    x0, y0, x1, y1 = x[0], y[0], x[-1], y[-1]
-    dx, dy = x1 - x0, y1 - y0
-    norm = np.hypot(dx, dy)
-    if norm == 0:
-        knee = float(x0)
-    else:
-        distance = np.abs(dy * (x - x0) - dx * (y - y0)) / norm
-        knee = float(x[int(np.argmax(distance))])
+    knee = knee_mod.knee_of_points(points)
     # The evidence trail: the knee f, how many episode-rate samples the
     # CDF had, and how many sat in the candidate window.
     obs.current_span().event(
-        "episodes.knee", f=round(knee, 6), samples=int(rates.size),
-        in_window=int(window.sum()), fallback=False,
+        "episodes.knee", f=round(knee, 6), samples=int(samples.size),
+        in_window=len(points), fallback=False,
     )
     return knee
 

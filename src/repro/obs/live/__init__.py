@@ -11,7 +11,11 @@ state (:mod:`~repro.obs.live.aggregate`) feeding
   (:mod:`~repro.obs.live.server`, behind ``--serve-metrics PORT``), and
 * an ``events.jsonl`` stream persisted into the run registry and
   replayed post-hoc by ``repro runs show --timeline``
-  (:mod:`~repro.obs.live.timeline`).
+  (:mod:`~repro.obs.live.timeline`), and
+* the online failure-detection pipeline (:mod:`repro.obs.online`,
+  behind ``--detect``): streaming episode/blame analysis whose alerts
+  surface on the dashboard, on ``/alerts``, and in the run registry's
+  ``alerts.jsonl``.
 
 Import as ``from repro.obs import live`` -- :mod:`repro.obs` itself
 does **not** import this package eagerly (the CLI and the parallel

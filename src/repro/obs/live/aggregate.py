@@ -9,10 +9,10 @@ into everything the dashboard and the ``/metrics`` endpoint render:
 * per-failure-type running counts and a windowed per-hour rate series
   (the dashboard's sparklines);
 * a running episode-threshold estimate: the knee of the CDF of hourly
-  overall failure rates, the same "kneedle" construction
-  :func:`repro.core.episodes.detect_knee` applies to per-entity rates
-  (re-implemented here on plain floats -- ``repro.core`` imports
-  :mod:`repro.obs`, so the dependency cannot point back).
+  overall failure rates, via the shared "kneedle" construction in
+  :mod:`repro.core.knee` (the same module
+  :func:`repro.core.episodes.detect_knee` and the online detector use;
+  it is stdlib-only, so no dependency cycle).
 
 Thread-safety: ``update`` runs on the bus's drain thread while
 ``snapshot``/``to_registry`` run on the dashboard timer and HTTP server
@@ -26,50 +26,36 @@ import threading
 import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.core import knee as knee_mod
 from repro.obs.live.events import FAILURE_FIELDS, HOUR_DONE, hour_rate
 from repro.obs.metrics import MetricsRegistry
 
 #: Fallback episode threshold when the rate CDF is too degenerate for a
 #: knee (mirrors the paper's f=5% and ``detect_knee``'s own fallback).
-FALLBACK_THRESHOLD = 0.05
+FALLBACK_THRESHOLD = knee_mod.FALLBACK_THRESHOLD
 
 #: Candidate rate window the knee is searched in (as in
 #: ``repro.core.episodes.detect_knee``).
-KNEE_WINDOW = (0.01, 0.30)
+KNEE_WINDOW = knee_mod.DEFAULT_CANDIDATE_RANGE
 
 
 def knee_of_rates(
     rates: List[float],
     candidate_range: Tuple[float, float] = KNEE_WINDOW,
-) -> float:
-    """The knee of a rate sample's CDF (kneedle, chord construction).
+) -> Optional[float]:
+    """The knee of a rate sample's CDF, or ``None`` when degenerate.
 
-    Returns :data:`FALLBACK_THRESHOLD` when fewer than three samples
-    fall inside the candidate window.
+    ``None`` is the sentinel for "not enough signal to estimate a
+    threshold": fewer than three samples inside the candidate window,
+    or fewer than three *distinct* values there (an all-equal window
+    has a chord of zero length -- any "knee" read off it would be a
+    misleading number).  The dashboard renders the sentinel as
+    ``knee: —`` and the ``/metrics`` gauge is simply absent.
     """
     samples = sorted(rates)
-    if not samples:
-        return FALLBACK_THRESHOLD
-    lo, hi = candidate_range
-    window = [
-        (x, (i + 1) / len(samples))
-        for i, x in enumerate(samples)
-        if lo <= x <= hi
-    ]
-    if len(window) < 3:
-        return FALLBACK_THRESHOLD
-    x0, y0 = window[0]
-    x1, y1 = window[-1]
-    dx, dy = x1 - x0, y1 - y0
-    norm = (dx * dx + dy * dy) ** 0.5
-    if norm == 0:
-        return float(x0)
-    best_x, best_d = x0, -1.0
-    for x, y in window:
-        distance = abs(dy * (x - x0) - dx * (y - y0)) / norm
-        if distance > best_d:
-            best_x, best_d = x, distance
-    return float(best_x)
+    if knee_mod.distinct_in_window(samples, candidate_range) < 3:
+        return None
+    return knee_mod.knee_of_sorted(samples, candidate_range)
 
 
 class WorkerLane:
@@ -195,8 +181,12 @@ class LiveAggregator:
 
     # -- derived views --------------------------------------------------------
 
-    def episode_threshold_estimate(self) -> float:
-        """Running knee estimate over the hourly overall failure rates."""
+    def episode_threshold_estimate(self) -> Optional[float]:
+        """Running knee estimate over the hourly overall failure rates.
+
+        ``None`` when the rates seen so far are too degenerate for a
+        meaningful knee (see :func:`knee_of_rates`).
+        """
         with self._lock:
             rates = list(self._hour_rates)
         return knee_of_rates(rates)
@@ -258,9 +248,12 @@ class LiveAggregator:
         registry.gauge("live_transactions").set(snap["transactions"])
         registry.gauge("live_elapsed_seconds").set(snap["elapsed_seconds"])
         registry.gauge("live_finished").set(1.0 if snap["finished"] else 0.0)
-        registry.gauge("live_episode_threshold_estimate").set(
-            snap["episode_threshold"]
-        )
+        if snap["episode_threshold"] is not None:
+            # Absent, not zero: a scraper must not mistake "no signal
+            # yet" for "threshold is 0%".
+            registry.gauge("live_episode_threshold_estimate").set(
+                snap["episode_threshold"]
+            )
         if snap["eta_seconds"] is not None:
             registry.gauge("live_eta_seconds").set(snap["eta_seconds"])
         for field, total in snap["failures"].items():

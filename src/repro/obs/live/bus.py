@@ -26,6 +26,15 @@ Emission must never perturb the simulation: emitters swallow queue
 errors, carry no RNG state, and only ever *read* dataset counts.  The
 dataset digest is therefore bit-identical with telemetry on or off --
 the acceptance test of this whole subsystem.
+
+Backpressure: the queue is *bounded* (:data:`DEFAULT_QUEUE_CAPACITY`)
+and emitters put without blocking -- a stalled or slow consumer (hung
+dashboard terminal, wedged drain thread) makes workers *drop* telemetry
+events, never wait for it.  Drops are counted on the emitter
+(:attr:`QueueEmitter.drops`) and in the process-local metrics registry
+as ``live_events_dropped_total`` (worker registries merge into the
+parent after the join, so the ``/metrics`` surface reports the fleet
+total as ``repro_live_events_dropped_total``).
 """
 
 from __future__ import annotations
@@ -44,6 +53,16 @@ from repro.obs.live.events import SCHEMA
 #: created, cleared on :meth:`TelemetryBus.stop`).
 _WORKER_QUEUE = None
 
+#: Whether forked workers should emit per-entity ``hour_stats`` events
+#: (parked next to the queue for the same inheritance reason: the online
+#: detector's appetite must survive the fork).
+_WORKER_ENTITY_STATS = False
+
+#: Bound on undrained telemetry events.  Sized for minutes of full-rate
+#: emission: beyond it the consumer is not slow, it is gone, and
+#: dropping beats blocking the simulation hot path.
+DEFAULT_QUEUE_CAPACITY = 10_000
+
 #: How long the drain thread blocks on an empty queue before re-checking
 #: the stop flag.
 _DRAIN_POLL_SECONDS = 0.1
@@ -57,7 +76,12 @@ _STOP_KIND = "__bus_stop__"
 
 
 class QueueEmitter:
-    """Process-local emitter writing events onto a shared queue."""
+    """Process-local emitter writing events onto a shared queue.
+
+    ``put`` should be non-blocking (``Queue.put_nowait``): when the
+    bounded queue is full the event is dropped and counted rather than
+    stalling the simulation (see the module docstring).
+    """
 
     enabled = True
 
@@ -66,14 +90,21 @@ class QueueEmitter:
         put: Callable[[Dict[str, Any]], None],
         worker: Optional[int] = None,
         clock: Callable[[], float] = time.time,
+        entity_stats: bool = False,
     ) -> None:
         self._put = put
         self.worker = worker
         self._clock = clock
         self._seq = 0
+        #: Engines check this before computing per-entity hour stats --
+        #: the (cheap but not free) payload is only built when an
+        #: online-analysis consumer asked for it.
+        self.entity_stats = entity_stats
+        #: Events dropped by this emitter (full queue / dead pipe).
+        self.drops = 0
 
     def emit(self, kind: str, /, **fields) -> None:
-        """Stamp and enqueue one event; never raises into the caller."""
+        """Stamp and enqueue one event; never raises or blocks."""
         event: Dict[str, Any] = {
             "type": kind,
             "t": self._clock(),
@@ -85,9 +116,11 @@ class QueueEmitter:
         try:
             self._put(event)
         except (OSError, ValueError, queue_module.Full):
-            # A telemetry hiccup (closed queue at teardown, full pipe)
-            # must never fail the simulation it is watching.
-            pass
+            # A telemetry hiccup (full queue, closed queue at teardown,
+            # dead pipe) must never fail or slow the simulation it is
+            # watching: count the drop and move on.
+            self.drops += 1
+            runtime.registry().counter("live_events_dropped_total").inc()
 
 
 def inherited_emitter(worker: int):
@@ -98,7 +131,10 @@ def inherited_emitter(worker: int):
     """
     if _WORKER_QUEUE is None:
         return runtime.NULL_EMITTER
-    return QueueEmitter(_WORKER_QUEUE.put, worker=worker)
+    return QueueEmitter(
+        _WORKER_QUEUE.put_nowait, worker=worker,
+        entity_stats=_WORKER_ENTITY_STATS,
+    )
 
 
 class TelemetryBus:
@@ -121,14 +157,17 @@ class TelemetryBus:
         self,
         events_path: Optional[str] = None,
         clock: Callable[[], float] = time.time,
+        entity_stats: bool = False,
+        maxsize: int = DEFAULT_QUEUE_CAPACITY,
     ) -> None:
         self.events_path = events_path
         self._clock = clock
+        self.entity_stats = entity_stats
         ctx_methods = multiprocessing.get_all_start_methods()
         self._ctx = multiprocessing.get_context(
             "fork" if "fork" in ctx_methods else None
         )
-        self.queue = self._ctx.Queue()
+        self.queue = self._ctx.Queue(maxsize)
         self._subscribers: List[Callable[[Dict[str, Any]], None]] = []
         self._thread: Optional[threading.Thread] = None
         self._stop = threading.Event()
@@ -144,16 +183,20 @@ class TelemetryBus:
 
     def emitter(self, worker: Optional[int] = None) -> QueueEmitter:
         """A new emitter publishing onto this bus's queue."""
-        return QueueEmitter(self.queue.put, worker=worker, clock=self._clock)
+        return QueueEmitter(
+            self.queue.put_nowait, worker=worker, clock=self._clock,
+            entity_stats=self.entity_stats,
+        )
 
     # -- lifecycle ------------------------------------------------------------
 
     def start(self) -> "TelemetryBus":
         """Open the sink, park the queue for workers, start draining."""
-        global _WORKER_QUEUE
+        global _WORKER_QUEUE, _WORKER_ENTITY_STATS
         if self.events_path is not None:
             self._sink = open(self.events_path, "w", encoding="utf-8")
         _WORKER_QUEUE = self.queue
+        _WORKER_ENTITY_STATS = self.entity_stats
         self._old_emitter = runtime.set_emitter(self.emitter())
         self._stop.clear()
         self._thread = threading.Thread(
@@ -165,14 +208,18 @@ class TelemetryBus:
 
     def stop(self) -> None:
         """Drain what is left, restore the emitter, close the sink."""
-        global _WORKER_QUEUE
+        global _WORKER_QUEUE, _WORKER_ENTITY_STATS
         if self._old_emitter is not None:
             runtime.set_emitter(self._old_emitter)
             self._old_emitter = None
         _WORKER_QUEUE = None
+        _WORKER_ENTITY_STATS = False
         try:
-            self.queue.put({"type": _STOP_KIND})
-        except (OSError, ValueError):
+            # Non-blocking like every other put: on a full queue the
+            # drain thread is woken by the stop flag instead, and any
+            # backlog is taken synchronously below.
+            self.queue.put_nowait({"type": _STOP_KIND})
+        except (OSError, ValueError, queue_module.Full):
             self._stop.set()
         if self._thread is not None:
             self._thread.join(timeout=10.0)

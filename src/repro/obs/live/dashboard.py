@@ -130,6 +130,40 @@ def render(snapshot: Dict[str, Any], width: int = 78) -> str:
             f"episode threshold estimate f~{threshold:.2%} "
             f"(knee over {hours_done} hourly rates)"
         )
+    elif hours_done:
+        # Degenerate rate CDF (no traffic yet, or all rates equal):
+        # show the sentinel rather than a misleading number.
+        lines.append("")
+        lines.append(
+            f"episode threshold estimate knee: — "
+            f"(rate CDF too degenerate over {hours_done} hours)"
+        )
+
+    online = snapshot.get("online")
+    if online is not None:
+        lines.append("")
+        lines.append(f"-- alerts ({online.get('alert_count') or 0} fired) --")
+        recent = online.get("alerts") or []
+        for alert in recent[-4:]:
+            entity = f" {alert['entity']}" if alert.get("entity") else ""
+            lines.append(
+                f"  h{alert.get('hour', '?'):<4} "
+                f"[{alert.get('severity', '?')}] "
+                f"{alert.get('rule', '?')}{entity}"
+            )
+        if not recent:
+            lines.append("  (none)")
+        open_episodes = online.get("open_episodes") or []
+        if open_episodes:
+            shown = ", ".join(
+                f"{e['side']} {e['entity']}" for e in open_episodes[:4]
+            )
+            more = (
+                f" (+{len(open_episodes) - 4} more)"
+                if len(open_episodes) > 4 else ""
+            )
+            lines.append(f"  open episodes: {shown}{more}")
+
     if snapshot.get("finished"):
         lines.append("simulation finished; finalizing ...")
     return "\n".join(line[:width] for line in lines)
@@ -149,6 +183,9 @@ def render_plain(snapshot: Dict[str, Any]) -> str:
     parts.extend(
         f"{field}={count}" for field, count in failures.items() if count
     )
+    online = snapshot.get("online")
+    if online is not None:
+        parts.append(f"alerts={online.get('alert_count') or 0}")
     return "  ".join(parts)
 
 
@@ -172,12 +209,17 @@ class LiveDashboard:
         interval_seconds: float = 0.5,
         clock: Callable[[], float] = time.time,
         ansi: Optional[bool] = None,
+        alerts_provider: Optional[Callable[[], Dict[str, Any]]] = None,
     ) -> None:
         self.aggregator = aggregator
         self.stream = stream if stream is not None else sys.stderr
         self.interval_seconds = interval_seconds
         self._clock = clock
         self.ansi = ansi_capable(self.stream) if ansi is None else ansi
+        #: When online detection is on, a callable returning the
+        #: detector's snapshot -- merged into each frame's snapshot as
+        #: ``online`` so :func:`render` draws the alerts pane.
+        self.alerts_provider = alerts_provider
         self._last_render = 0.0
         self.frames = 0
 
@@ -192,6 +234,8 @@ class LiveDashboard:
     def draw(self) -> None:
         """Render one frame unconditionally."""
         snapshot = self.aggregator.snapshot()
+        if self.alerts_provider is not None:
+            snapshot["online"] = self.alerts_provider()
         try:
             if self.ansi:
                 self.stream.write(_HOME_AND_CLEAR + render(snapshot) + "\n")

@@ -21,6 +21,7 @@ in CI).
 
 from __future__ import annotations
 
+import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Optional
@@ -33,7 +34,7 @@ DEFAULT_HOST = "127.0.0.1"
 
 
 class MetricsServer:
-    """Serve ``/metrics`` (and a tiny index) on a daemon thread."""
+    """Serve ``/metrics``, ``/alerts``, and a tiny index, on a daemon thread."""
 
     def __init__(
         self,
@@ -41,8 +42,14 @@ class MetricsServer:
         aggregator: Optional[LiveAggregator] = None,
         registry_provider: Optional[Callable[[], object]] = None,
         host: str = DEFAULT_HOST,
+        detector=None,
     ) -> None:
         self.aggregator = aggregator
+        #: An :class:`~repro.obs.online.detector.OnlineDetector` (or
+        #: anything with ``snapshot()``/``to_registry()``); adds the
+        #: ``/alerts`` route and the ``repro_alert_*`` /
+        #: ``repro_detection_latency_hours`` gauges when present.
+        self.detector = detector
         self._registry_provider = registry_provider or runtime.registry
         self._requested = (host, port)
         self._httpd: Optional[ThreadingHTTPServer] = None
@@ -58,7 +65,19 @@ class MetricsServer:
             body += to_prometheus_text(
                 self.aggregator.to_registry(), prefix="repro_"
             )
+        if self.detector is not None:
+            body += to_prometheus_text(
+                self.detector.to_registry(), prefix="repro_"
+            )
         return body
+
+    def render_alerts(self) -> str:
+        """The ``/alerts`` JSON document (the detector's snapshot)."""
+        if self.detector is None:
+            document = {"error": "online detection not enabled for this run"}
+        else:
+            document = self.detector.snapshot()
+        return json.dumps(document, indent=2, sort_keys=True) + "\n"
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -75,16 +94,26 @@ class MetricsServer:
 
         class Handler(BaseHTTPRequestHandler):
             def do_GET(self) -> None:  # noqa: N802 - http.server API
-                if self.path.split("?", 1)[0] == "/metrics":
+                route = self.path.split("?", 1)[0]
+                if route == "/metrics":
                     body = server.render_metrics().encode("utf-8")
                     server.scrapes += 1
                     self.send_response(200)
                     self.send_header(
                         "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
                     )
+                elif route == "/alerts":
+                    body = server.render_alerts().encode("utf-8")
+                    self.send_response(
+                        200 if server.detector is not None else 404
+                    )
+                    self.send_header(
+                        "Content-Type", "application/json; charset=utf-8"
+                    )
                 else:
                     body = (
-                        "repro live metrics endpoint; scrape /metrics\n"
+                        "repro live metrics endpoint; "
+                        "scrape /metrics, alerts at /alerts\n"
                     ).encode("utf-8")
                     self.send_response(200)
                     self.send_header("Content-Type", "text/plain; charset=utf-8")

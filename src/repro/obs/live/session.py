@@ -5,18 +5,22 @@ PORT`` actually constructs: a :class:`~repro.obs.live.bus.TelemetryBus`
 spooling events to a temp file, a
 :class:`~repro.obs.live.aggregate.LiveAggregator` subscribed to it,
 optionally a :class:`~repro.obs.live.dashboard.LiveDashboard` (when
-``--live``) and a :class:`~repro.obs.live.server.MetricsServer` (when
-``--serve-metrics``).  ``stop()`` tears everything down in reverse
-order; the spool file survives until :meth:`cleanup` so the run
+``--live``), a :class:`~repro.obs.live.server.MetricsServer` (when
+``--serve-metrics``), and an
+:class:`~repro.obs.online.detector.OnlineDetector` (when ``--detect``,
+or implied by the other two) folding per-hour entity stats into
+episodes, blame, and alerts.  ``stop()`` tears everything down in
+reverse order; the spool file survives until :meth:`cleanup` so the run
 recorder can copy it into ``runs/<run-id>/events.jsonl`` after the
-content-addressed run id becomes known.
+content-addressed run id becomes known, and the detector's exported
+alert stream rides along into ``alerts.jsonl``.
 """
 
 from __future__ import annotations
 
 import os
 import tempfile
-from typing import Optional
+from typing import Any, Dict, Optional
 
 from repro.obs import runtime
 from repro.obs.live.aggregate import LiveAggregator
@@ -26,28 +30,54 @@ from repro.obs.live.server import MetricsServer
 
 
 class LiveSession:
-    """Bus + aggregator + optional dashboard + optional /metrics server."""
+    """Bus + aggregator + optional dashboard / ``/metrics`` server /
+    online detector."""
 
     def __init__(
         self,
         dashboard: bool = False,
         serve_port: Optional[int] = None,
         stream=None,
+        detect: bool = False,
+        rules_path: Optional[str] = None,
     ) -> None:
         fd, self.events_path = tempfile.mkstemp(
             prefix="repro-events-", suffix=".jsonl"
         )
         os.close(fd)
+        self.detector = None
+        if detect or rules_path is not None:
+            # Imported lazily: plain --live/--serve-metrics sessions
+            # never pay for the online pipeline.
+            from repro.obs.online import OnlineDetector, load_rules
+
+            rules = load_rules(rules_path) if rules_path else None
+            self.detector = OnlineDetector(rules=rules)
         self.aggregator = LiveAggregator()
-        self.bus = TelemetryBus(events_path=self.events_path)
+        self.bus = TelemetryBus(
+            events_path=self.events_path,
+            entity_stats=self.detector is not None,
+        )
         self.bus.subscribe(self.aggregator.update)
+        if self.detector is not None:
+            self.bus.subscribe(self.detector.update)
         self.dashboard: Optional[LiveDashboard] = None
         if dashboard:
-            self.dashboard = LiveDashboard(self.aggregator, stream=stream)
+            self.dashboard = LiveDashboard(
+                self.aggregator,
+                stream=stream,
+                alerts_provider=(
+                    self.detector.snapshot
+                    if self.detector is not None else None
+                ),
+            )
             self.bus.subscribe(self.dashboard.update)
         self.server: Optional[MetricsServer] = None
         if serve_port is not None:
-            self.server = MetricsServer(serve_port, aggregator=self.aggregator)
+            self.server = MetricsServer(
+                serve_port, aggregator=self.aggregator,
+                detector=self.detector,
+            )
         self._started = False
 
     @property
@@ -69,10 +99,18 @@ class LiveSession:
             return
         self._started = False
         self.bus.stop()
+        if self.detector is not None:
+            self.detector.drain_pending()
         if self.dashboard is not None:
             self.dashboard.close()
         if self.server is not None:
             self.server.stop()
+
+    def export_alerts(self) -> Optional[Dict[str, Any]]:
+        """The detector's persistable alert stream (None when off)."""
+        if self.detector is None:
+            return None
+        return self.detector.export()
 
     def cleanup(self) -> None:
         """Remove the spool file (after the recorder copied it, if ever)."""
@@ -90,8 +128,12 @@ class LiveSession:
 
 
 def log_endpoints(session: LiveSession) -> None:
-    """Announce the scrape endpoint on the ``repro`` logger."""
+    """Announce the scrape endpoints on the ``repro`` logger."""
     if session.port is not None:
         runtime.logger.info(
             "live metrics: scrape http://127.0.0.1:%d/metrics", session.port
         )
+        if session.detector is not None:
+            runtime.logger.info(
+                "live alerts: http://127.0.0.1:%d/alerts", session.port
+            )

@@ -1,0 +1,506 @@
+"""The streaming episode/blame detector.
+
+:class:`OnlineDetector` subscribes to the telemetry bus and, per
+completed simulated hour, mirrors the batch Section 4.4 pipeline
+incrementally:
+
+* folds the hour's per-entity transaction/failure vectors into running
+  per-client and per-server rate samples (validity: at least
+  ``MIN_SAMPLES_PER_HOUR`` transactions, exactly as the batch rate
+  matrices);
+* re-estimates the episode knee threshold per side from the rate
+  samples seen so far, via the shared :mod:`repro.core.knee`
+  construction (fallback to the paper's f = 5% while degenerate);
+* opens and closes failure episodes with hysteresis: an episode opens
+  the first hour an entity's rate clears the current threshold, and
+  closes after :data:`CLOSE_AFTER_HOURS` consecutive valid hours below
+  it.  On open, the *onset* is found by walking back over contiguous
+  flagged hours -- the gap between onset and open is the detection
+  latency the SLO report scores;
+* attributes the hour's TCP failures (client-side / server-side / both
+  / other) under the paper's fixed f = 5%, mirroring
+  :func:`repro.core.blame.run_blame_analysis` with no pair exclusion
+  (an online observer cannot know which pairs will prove permanent);
+* evaluates the declarative alert rules (:mod:`repro.obs.online.rules`)
+  and appends any fired alerts to the run's alert stream.
+
+Determinism is the design center: shards arrive interleaved from worker
+processes, so events are parked in a pending map and folded strictly in
+hour order behind a cursor.  Alert records carry no wall-clock fields,
+entity names are resolved from the ``run_start`` roster, and every
+per-hour quantity is a pure function of the hours folded so far -- the
+exported alert stream is therefore bit-identical at any worker count.
+
+End-of-run equivalence: the per-entity-hour rates the detector stores
+are exactly the batch rate matrices' valid cells, and the final
+threshold runs through the same knee code, so
+:meth:`OnlineDetector.final_flags` reproduces the batch episode matrix
+cell for cell (the property test in ``tests/obs/test_online.py`` holds
+this at workers 1 and 4).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import insort
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core import knee as knee_mod
+from repro.core.dataset import MIN_SAMPLES_PER_HOUR
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.online.rules import (
+    BLAME_VERDICT,
+    DEFAULT_RULES,
+    EPISODE_OPENED,
+    FAILURE_RATE_BURN,
+    AlertRule,
+)
+
+#: Schema identifier stamped on the ``alerts.jsonl`` header line.
+ALERTS_SCHEMA = "repro.alerts/1"
+
+#: Consecutive *valid* below-threshold hours before an open episode
+#: closes (hysteresis against single-hour dips).
+CLOSE_AFTER_HOURS = 2
+
+#: The fixed threshold blame attribution runs at (the paper's f = 5%;
+#: the adaptive knee drives episode *alerting*, but verdict bucketing
+#: must match the batch Table 5 pipeline exactly).
+BLAME_THRESHOLD = knee_mod.FALLBACK_THRESHOLD
+
+_SIDES = ("client", "server")
+
+
+class _SideState:
+    """Running per-side detection state (one for clients, one for servers)."""
+
+    __slots__ = (
+        "side", "names", "sorted_rates", "hour_rates", "open", "episodes",
+    )
+
+    def __init__(self, side: str) -> None:
+        self.side = side
+        self.names: Optional[List[str]] = None
+        #: Every valid entity-hour rate seen, ascending (feeds the knee).
+        self.sorted_rates: List[float] = []
+        #: entity index -> {hour: rate} for valid hours (onset walk-back
+        #: and the end-of-run batch-equivalence flags).
+        self.hour_rates: Dict[int, Dict[int, float]] = {}
+        #: entity index -> mutable open-episode state.
+        self.open: Dict[int, Dict[str, Any]] = {}
+        #: Closed-or-open episode log, in open order.
+        self.episodes: List[Dict[str, Any]] = []
+
+    def name_of(self, index: int) -> str:
+        if self.names is not None and 0 <= index < len(self.names):
+            return self.names[index]
+        return f"{self.side}:{index}"
+
+    def threshold(self) -> float:
+        """The current episode threshold: the online knee, else f = 5%."""
+        knee = knee_mod.knee_of_sorted(self.sorted_rates)
+        return knee if knee is not None else knee_mod.FALLBACK_THRESHOLD
+
+    def knee(self) -> Optional[float]:
+        """The raw online knee (``None`` while degenerate)."""
+        return knee_mod.knee_of_sorted(self.sorted_rates)
+
+
+class OnlineDetector:
+    """Fold ``hour_stats`` telemetry into episodes, blame, and alerts."""
+
+    def __init__(self, rules: Optional[Sequence[AlertRule]] = None) -> None:
+        self.rules: Tuple[AlertRule, ...] = tuple(
+            DEFAULT_RULES if rules is None else rules
+        )
+        self._lock = threading.Lock()
+        self._sides = {side: _SideState(side) for side in _SIDES}
+        #: Out-of-order arrivals parked until the cursor reaches them.
+        self._pending: Dict[int, Dict[str, Any]] = {}
+        self._next_hour = 0
+        self._last_folded: Optional[int] = None
+        self.hours_total: Optional[int] = None
+        self.hours_folded = 0
+        #: Running blame buckets at the fixed f = 5%.
+        self.blame = {"server": 0, "client": 0, "both": 0, "other": 0}
+        #: Latched rules (blame-verdict / burn fire at most once).
+        self._latched: Set[str] = set()
+        #: Per-burn-rule consecutive-hours streaks.
+        self._burn_streak: Dict[str, int] = {
+            r.name: 0 for r in self.rules if r.kind == FAILURE_RATE_BURN
+        }
+        self.alerts: List[Dict[str, Any]] = []
+        #: Detection latencies (open hour minus onset hour), per episode.
+        self.latencies: List[int] = []
+        self.events_seen = 0
+
+    # -- bus subscription -------------------------------------------------------
+
+    def update(self, event: Dict[str, Any]) -> None:
+        """Fold one telemetry event in (bus drain-thread context)."""
+        kind = event.get("type")
+        with self._lock:
+            self.events_seen += 1
+            if kind == "run_start":
+                self.hours_total = int(event.get("hours") or 0) or None
+                clients = event.get("clients")
+                servers = event.get("servers")
+                if isinstance(clients, list):
+                    self._sides["client"].names = [str(n) for n in clients]
+                if isinstance(servers, list):
+                    self._sides["server"].names = [str(n) for n in servers]
+            elif kind == "hour_stats":
+                hour = int(event.get("hour") or 0)
+                # Shards arrive interleaved; fold strictly in hour order
+                # so the alert stream is identical at any worker count.
+                self._pending[hour] = event
+                while self._next_hour in self._pending:
+                    self._fold_hour(self._pending.pop(self._next_hour))
+                    self._next_hour += 1
+
+    def drain_pending(self) -> None:
+        """Fold any still-parked hours, in order (end-of-run flush).
+
+        Normally empty: the cursor keeps up unless some ``hour_stats``
+        event was dropped by backpressure, in which case the hours after
+        the gap are folded here (burn streaks reset across the gap).
+        """
+        with self._lock:
+            for hour in sorted(self._pending):
+                self._fold_hour(self._pending.pop(hour))
+            self._next_hour = (
+                self._last_folded + 1
+                if self._last_folded is not None else 0
+            )
+
+    # -- the per-hour pipeline --------------------------------------------------
+
+    def _fold_hour(self, event: Dict[str, Any]) -> None:
+        hour = int(event.get("hour") or 0)
+        if self._last_folded is not None and hour != self._last_folded + 1:
+            # A gap (dropped event): consecutive-hours conditions cannot
+            # be trusted across it.
+            for name in self._burn_streak:
+                self._burn_streak[name] = 0
+        self._last_folded = hour
+        self.hours_folded += 1
+
+        ct = [int(v) for v in event.get("ct") or []]
+        cf = [int(v) for v in event.get("cf") or []]
+        st = [int(v) for v in event.get("st") or []]
+        sf = [int(v) for v in event.get("sf") or []]
+
+        opened: List[Tuple[str, int, Dict[str, Any]]] = []
+        blame_flags: Dict[str, Dict[int, bool]] = {}
+        for side, trans, fails in (("client", ct, cf), ("server", st, sf)):
+            state = self._sides[side]
+            hour_rates: Dict[int, float] = {}
+            for i in range(len(trans)):
+                if trans[i] >= MIN_SAMPLES_PER_HOUR:
+                    rate = fails[i] / trans[i]
+                    hour_rates[i] = rate
+                    state.hour_rates.setdefault(i, {})[hour] = rate
+                    insort(state.sorted_rates, rate)
+            threshold = state.threshold()
+            for i in sorted(hour_rates):
+                rate = hour_rates[i]
+                flagged = rate >= threshold
+                info = state.open.get(i)
+                if info is not None:
+                    if flagged:
+                        info["below"] = 0
+                        info["peak"] = max(info["peak"], rate)
+                        info["last_hour"] = hour
+                    else:
+                        info["below"] += 1
+                        if info["below"] >= CLOSE_AFTER_HOURS:
+                            info["close_hour"] = hour
+                            del state.open[i]
+                elif flagged:
+                    onset = self._walk_back_onset(state, i, hour)
+                    info = {
+                        "entity_index": i,
+                        "onset_hour": onset,
+                        "open_hour": hour,
+                        "peak": rate,
+                        "last_hour": hour,
+                        "below": 0,
+                        "close_hour": None,
+                    }
+                    state.open[i] = info
+                    state.episodes.append(info)
+                    self.latencies.append(hour - onset)
+                    opened.append((side, i, {
+                        "rate": rate, "threshold": threshold, "info": info,
+                    }))
+            blame_flags[side] = {
+                i: rate >= BLAME_THRESHOLD for i, rate in hour_rates.items()
+            }
+
+        self._fold_blame(event, blame_flags)
+        self._evaluate_rules(hour, opened, ct, cf)
+
+    def _walk_back_onset(self, state: _SideState, i: int, hour: int) -> int:
+        """Earliest hour of the contiguous flagged run ending at ``hour``.
+
+        Walks back over hours where the entity was valid and its rate
+        clears the *current* threshold -- earlier hours that only now
+        look episodic (the threshold moved) are what make detection
+        latency nonzero.
+        """
+        threshold = state.threshold()
+        rates = state.hour_rates.get(i, {})
+        onset = hour
+        while (onset - 1) in rates and rates[onset - 1] >= threshold:
+            onset -= 1
+        return onset
+
+    def _fold_blame(
+        self,
+        event: Dict[str, Any],
+        flags: Dict[str, Dict[int, bool]],
+    ) -> None:
+        client_flags = flags["client"]
+        server_flags = flags["server"]
+        for triple in event.get("tcp") or []:
+            ci, si, count = int(triple[0]), int(triple[1]), int(triple[2])
+            c = client_flags.get(ci, False)
+            s = server_flags.get(si, False)
+            if s and not c:
+                self.blame["server"] += count
+            elif c and not s:
+                self.blame["client"] += count
+            elif c and s:
+                self.blame["both"] += count
+            else:
+                self.blame["other"] += count
+
+    def _evaluate_rules(
+        self,
+        hour: int,
+        opened: List[Tuple[str, int, Dict[str, Any]]],
+        ct: List[int],
+        cf: List[int],
+    ) -> None:
+        transactions = sum(ct)
+        overall = (sum(cf) / transactions) if transactions > 0 else 0.0
+        blame_total = sum(self.blame.values())
+        for rule in self.rules:
+            if rule.kind == EPISODE_OPENED:
+                for side, i, data in opened:
+                    if rule.side is not None and rule.side != side:
+                        continue
+                    if data["rate"] < rule.min_peak_rate:
+                        continue
+                    info = data["info"]
+                    self._fire(
+                        rule, hour, side=side,
+                        entity=self._sides[side].name_of(i),
+                        detail={
+                            "entity_index": i,
+                            "onset_hour": info["onset_hour"],
+                            "open_hour": hour,
+                            "latency_hours": hour - info["onset_hour"],
+                            "rate": data["rate"],
+                            "threshold": data["threshold"],
+                        },
+                    )
+            elif rule.kind == BLAME_VERDICT:
+                if rule.name in self._latched or blame_total < rule.min_total:
+                    continue
+                count = self.blame[rule.side]
+                fraction = count / blame_total
+                if fraction >= rule.min_fraction:
+                    self._latched.add(rule.name)
+                    self._fire(
+                        rule, hour, side=rule.side, entity=None,
+                        detail={
+                            "fraction": fraction,
+                            "count": count,
+                            "total": blame_total,
+                            "counts": dict(
+                                sorted(self.blame.items())
+                            ),
+                        },
+                    )
+            elif rule.kind == FAILURE_RATE_BURN:
+                if overall >= rule.rate:
+                    self._burn_streak[rule.name] += 1
+                else:
+                    self._burn_streak[rule.name] = 0
+                if (
+                    rule.name not in self._latched
+                    and self._burn_streak[rule.name] >= rule.hours
+                ):
+                    self._latched.add(rule.name)
+                    self._fire(
+                        rule, hour, side=None, entity=None,
+                        detail={
+                            "rate": overall,
+                            "streak_hours": self._burn_streak[rule.name],
+                            "rate_floor": rule.rate,
+                        },
+                    )
+
+    def _fire(
+        self,
+        rule: AlertRule,
+        hour: int,
+        side: Optional[str],
+        entity: Optional[str],
+        detail: Dict[str, Any],
+    ) -> None:
+        # No wall-clock fields: the stream must digest identically
+        # across runs and worker counts.
+        self.alerts.append({
+            "type": "alert",
+            "seq": len(self.alerts),
+            "hour": hour,
+            "rule": rule.name,
+            "kind": rule.kind,
+            "severity": rule.severity,
+            "side": side,
+            "entity": entity,
+            "detail": detail,
+        })
+
+    @property
+    def last_folded_hour(self) -> Optional[int]:
+        """The newest hour folded so far (None before any)."""
+        with self._lock:
+            return self._last_folded
+
+    # -- read surfaces ----------------------------------------------------------
+
+    def snapshot(self, recent_alerts: int = 20) -> Dict[str, Any]:
+        """Render-ready view for ``/alerts`` and the dashboard pane."""
+        with self._lock:
+            open_episodes = []
+            for side in _SIDES:
+                state = self._sides[side]
+                for i in sorted(state.open):
+                    info = state.open[i]
+                    open_episodes.append({
+                        "side": side,
+                        "entity": state.name_of(i),
+                        "onset_hour": info["onset_hour"],
+                        "open_hour": info["open_hour"],
+                        "peak_rate": info["peak"],
+                    })
+            by_rule: Dict[str, int] = {}
+            for alert in self.alerts:
+                by_rule[alert["rule"]] = by_rule.get(alert["rule"], 0) + 1
+            return {
+                "schema": ALERTS_SCHEMA,
+                "rules": [r.name for r in self.rules],
+                "hours_total": self.hours_total,
+                "hours_folded": self.hours_folded,
+                "pending_hours": len(self._pending),
+                "thresholds": {
+                    side: self._sides[side].knee() for side in _SIDES
+                },
+                "open_episodes": open_episodes,
+                "episodes_opened": {
+                    side: len(self._sides[side].episodes) for side in _SIDES
+                },
+                "blame": dict(sorted(self.blame.items())),
+                "alert_count": len(self.alerts),
+                "alerts_by_rule": dict(sorted(by_rule.items())),
+                "alerts": list(self.alerts[-recent_alerts:]),
+                "detection_latency_hours": _latency_stats(self.latencies),
+            }
+
+    def to_registry(self) -> MetricsRegistry:
+        """Alerting state as gauges (merged into ``/metrics``)."""
+        snap = self.snapshot()
+        registry = MetricsRegistry()
+        registry.gauge("alert_count").set(snap["alert_count"])
+        for rule, count in snap["alerts_by_rule"].items():
+            registry.gauge("alerts_fired", rule=rule).set(count)
+        for side in _SIDES:
+            registry.gauge(
+                "alert_open_episodes", side=side
+            ).set(
+                sum(
+                    1 for e in snap["open_episodes"] if e["side"] == side
+                )
+            )
+            threshold = snap["thresholds"][side]
+            if threshold is not None:
+                # Absent while degenerate, like the live aggregator's
+                # estimate gauge.
+                registry.gauge(
+                    "alert_episode_threshold", side=side
+                ).set(threshold)
+        latency = snap["detection_latency_hours"]
+        if latency["count"]:
+            registry.gauge("detection_latency_hours").set(latency["mean"])
+            registry.gauge("detection_latency_hours_max").set(latency["max"])
+        return registry
+
+    # -- end-of-run surfaces ----------------------------------------------------
+
+    def final_threshold(self, side: str) -> float:
+        """The end-of-run threshold for ``side`` (knee, else f = 5%)."""
+        with self._lock:
+            return self._sides[side].threshold()
+
+    def final_flags(
+        self, side: str, threshold: Optional[float] = None
+    ) -> Set[Tuple[int, int]]:
+        """The batch-equivalent episode set: (entity, hour) cells.
+
+        Under the final threshold this is exactly
+        ``episode_matrix(rate_matrix, detect_knee(rate_matrix))`` from
+        the batch pipeline -- same valid cells, same rates, same shared
+        knee code.
+        """
+        with self._lock:
+            state = self._sides[side]
+            if threshold is None:
+                threshold = state.threshold()
+            return {
+                (i, hour)
+                for i, rates in state.hour_rates.items()
+                for hour, rate in rates.items()
+                if rate >= threshold
+            }
+
+    def export(self) -> Dict[str, Any]:
+        """The persistable alert stream: jsonl-ready lines plus summary.
+
+        The run store serializes each line with canonical JSON and
+        digests the file bytes; everything here is already
+        wall-clock-free and worker-count-invariant.
+        """
+        with self._lock:
+            by_rule: Dict[str, int] = {}
+            for alert in self.alerts:
+                by_rule[alert["rule"]] = by_rule.get(alert["rule"], 0) + 1
+            summary = {
+                "count": len(self.alerts),
+                "by_rule": dict(sorted(by_rule.items())),
+                "hours_folded": self.hours_folded,
+                "detection_latency_hours": _latency_stats(self.latencies),
+            }
+            lines: List[Dict[str, Any]] = [{
+                "type": "header",
+                "schema": ALERTS_SCHEMA,
+                "rules": [r.to_dict() for r in self.rules],
+            }]
+            lines.extend(self.alerts)
+            lines.append({"type": "summary", **summary})
+            return {"lines": lines, "summary": summary}
+
+
+def _latency_stats(latencies: List[int]) -> Dict[str, Any]:
+    """Mean/median/max of the onset-to-alert latencies seen so far."""
+    if not latencies:
+        return {"count": 0, "mean": None, "p50": None, "max": None}
+    ordered = sorted(latencies)
+    return {
+        "count": len(ordered),
+        "mean": sum(ordered) / len(ordered),
+        "p50": ordered[len(ordered) // 2],
+        "max": ordered[-1],
+    }

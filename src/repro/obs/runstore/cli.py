@@ -56,6 +56,11 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         help="replay the recorded live-telemetry event stream "
         "(events.jsonl) as a per-worker progress timeline",
     )
+    show.add_argument(
+        "--alerts", action="store_true",
+        help="replay the recorded online-detection alert stream "
+        "(alerts.jsonl) in firing order",
+    )
 
     diff = verbs.add_parser(
         "diff", help="compare two runs (exit 1 on dataset-digest mismatch)"
@@ -154,8 +159,55 @@ def _show_evidence(evidence: EvidenceBundle, max_episodes: int) -> None:
         )
 
 
+def _show_alerts(path) -> None:
+    """Replay ``alerts.jsonl`` in firing order (header, alerts, summary)."""
+    import json
+
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = [json.loads(line) for line in fh if line.strip()]
+    except (OSError, ValueError) as exc:
+        print(f"(cannot replay alert stream: {exc})")
+        return
+    print("-- alert stream --")
+    header = lines[0] if lines and lines[0].get("type") == "header" else {}
+    if header:
+        rules = header.get("rules") or []
+        print(
+            f"schema {header.get('schema', '?')}; "
+            f"{len(rules)} rule(s): "
+            + ", ".join(r.get("name", "?") for r in rules)
+        )
+    fired = [line for line in lines if line.get("type") == "alert"]
+    for alert in fired:
+        entity = f" {alert['entity']}" if alert.get("entity") else ""
+        detail = f" -- {alert['detail']}" if alert.get("detail") else ""
+        print(
+            f"  h{alert.get('hour', '?'):>4} [{alert.get('severity', '?')}] "
+            f"{alert.get('rule', '?')}{entity}{detail}"
+        )
+    if not fired:
+        print("  (no alerts fired)")
+    summary = next(
+        (line for line in lines if line.get("type") == "summary"), None
+    )
+    if summary:
+        latency = summary.get("detection_latency_hours") or {}
+        mean = latency.get("mean")
+        print(
+            f"summary: {summary.get('count', len(fired))} alert(s) over "
+            f"{summary.get('hours_folded', '?')} folded hour(s)"
+            + (
+                f"; detection latency mean {mean:.2f}h "
+                f"max {latency.get('max', 0)}h"
+                if mean is not None else ""
+            )
+        )
+
+
 def _cmd_show(
-    store: RunStore, ref: str, max_episodes: int, timeline: bool = False
+    store: RunStore, ref: str, max_episodes: int, timeline: bool = False,
+    alerts: bool = False,
 ) -> int:
     manifest = store.load(ref)
     print(f"run {manifest.run_id}  ({manifest.schema})")
@@ -189,6 +241,15 @@ def _cmd_show(
             f"{store.run_dir(manifest.run_id) / manifest.events_file} "
             f"(replay with `repro runs show {manifest.run_id} --timeline`)"
         )
+    if manifest.alerts_file:
+        summary = manifest.alerts_summary
+        print(
+            f"alerts:     "
+            f"{store.run_dir(manifest.run_id) / manifest.alerts_file} "
+            f"({summary.get('count', '?')} fired, "
+            f"digest {(summary.get('digest') or '?')[:16]}; replay with "
+            f"`repro runs show {manifest.run_id} --alerts`)"
+        )
     stages = sorted(
         manifest.stage_seconds().items(), key=lambda kv: -kv[1]
     )
@@ -218,6 +279,15 @@ def _cmd_show(
             )
         else:
             print(rendered)
+    if alerts:
+        print()
+        if manifest.alerts_file:
+            _show_alerts(store.run_dir(manifest.run_id) / manifest.alerts_file)
+        else:
+            print(
+                "(no alert stream recorded for this run -- "
+                "re-run with --detect)"
+            )
     return 0
 
 
@@ -260,6 +330,7 @@ def run(args) -> int:
             return _cmd_show(
                 store, args.ref, args.max_episodes,
                 timeline=getattr(args, "timeline", False),
+                alerts=getattr(args, "alerts", False),
             )
         if args.runs_verb == "diff":
             return _cmd_diff(store, args.ref_a, args.ref_b)

@@ -251,9 +251,10 @@ def check_run(
     key = config_key(manifest.config)
     matching = [e for e in entries if config_key(e.get("config") or {}) == key]
     if not matching:
+        fault = f" fault={key[3]}" if key[3] else ""
         lines.append(
             f"no baseline entry for config hours={key[0]} "
-            f"per_hour={key[1]} seed={key[2]}"
+            f"per_hour={key[1]} seed={key[2]}{fault}"
         )
         if require_entry:
             lines.append("FAIL: baseline entry required (--require-entry)")
@@ -279,6 +280,32 @@ def check_run(
             lines.append(f"  run:      {run_digest}")
     else:
         lines.append("digest: not compared (missing on one side)")
+
+    base_alerts = baseline.get("alerts") or {}
+    run_alerts = dict(manifest.alerts_summary or {})
+    if base_alerts.get("digest") and run_alerts.get("digest"):
+        # The online alert stream is part of the determinism contract:
+        # same config, same revision series -> same alerts, bit for bit.
+        if base_alerts["digest"] == run_alerts["digest"]:
+            lines.append(
+                f"alerts: OK ({run_alerts.get('count', '?')} alerts, "
+                f"digest {run_alerts['digest'][:16]}...)"
+            )
+        else:
+            ok = False
+            lines.append("alerts: DRIFT")
+            lines.append(
+                f"  baseline: count={base_alerts.get('count')} "
+                f"digest={base_alerts['digest']}"
+            )
+            lines.append(
+                f"  run:      count={run_alerts.get('count')} "
+                f"digest={run_alerts['digest']}"
+            )
+            if base_alerts.get("count") != run_alerts.get("count"):
+                lines.append("  (alert count changed, not just contents)")
+    elif base_alerts.get("digest") or run_alerts.get("digest"):
+        lines.append("alerts: not compared (stream missing on one side)")
 
     base_seconds = baseline.get("simulate_seconds")
     run_seconds = manifest.simulate_seconds()

@@ -109,6 +109,12 @@ class RunManifest:
     #: Name of the live-telemetry event stream copied into the run
     #: directory (``repro runs show --timeline`` replays it), if any.
     events_file: Optional[str] = None
+    #: Name of the persisted online alert stream (``repro runs show
+    #: --alerts`` replays it), if any.
+    alerts_file: Optional[str] = None
+    #: Small summary of the alert stream for listings and the
+    #: ``runs check`` gate: count, per-rule counts, the stream digest.
+    alerts_summary: Dict[str, Any] = field(default_factory=dict)
     schema: str = SCHEMA
 
     # -- identity ------------------------------------------------------------
@@ -189,6 +195,8 @@ class RunManifest:
             "evidence_summary": dict(self.evidence_summary),
             "trace_file": self.trace_file,
             "events_file": self.events_file,
+            "alerts_file": self.alerts_file,
+            "alerts_summary": dict(self.alerts_summary),
         }
 
 
@@ -197,7 +205,8 @@ class RunManifest:
 _KNOWN_FIELDS = (
     "run_id", "command", "argv", "config", "engine", "git_rev",
     "created_unix", "timings", "metrics", "dataset", "evidence_digest",
-    "evidence_summary", "trace_file", "events_file", "schema",
+    "evidence_summary", "trace_file", "events_file", "alerts_file",
+    "alerts_summary", "schema",
 )
 
 
@@ -217,7 +226,12 @@ def manifest_from_dict(document: Dict[str, Any]) -> RunManifest:
 
 
 def config_key(config: Dict[str, Any]) -> Tuple:
-    """The comparable simulation identity of a config (baseline matching)."""
+    """The comparable simulation identity of a config (baseline matching).
+
+    ``fault`` is the planted-fault spec (``--fault``); absent and None
+    compare equal, so legacy entries keep matching un-faulted runs.
+    """
     return (
         config.get("hours"), config.get("per_hour"), config.get("seed"),
+        config.get("fault"),
     )

@@ -51,6 +51,7 @@ MANIFEST_FILE = "manifest.json"
 EVIDENCE_FILE = "evidence.json"
 TRACE_FILE = "trace.jsonl"
 EVENTS_FILE = "events.jsonl"
+ALERTS_FILE = "alerts.jsonl"
 
 
 class RunStoreError(RuntimeError):
@@ -72,6 +73,18 @@ def _write_json_atomic(path: Path, payload: Any) -> None:
     tmp = path.with_suffix(path.suffix + ".tmp")
     tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
     tmp.replace(path)
+
+
+def serialize_alerts(lines: List[Dict[str, Any]]) -> bytes:
+    """Canonical ``alerts.jsonl`` bytes: one canonical-JSON line each.
+
+    The same function serves writing and the ``repro detect``
+    digest-reproduction check, so "bit-identical alert stream" means
+    exactly these bytes.
+    """
+    return "".join(
+        canonical_json(line) + "\n" for line in lines
+    ).encode("utf-8")
 
 
 def _git_revision() -> Optional[str]:
@@ -105,6 +118,7 @@ class RunStore:
         evidence: Optional[EvidenceBundle] = None,
         trace_path: Optional[Union[str, Path]] = None,
         events_path: Optional[Union[str, Path]] = None,
+        alerts: Optional[Dict[str, Any]] = None,
     ) -> Path:
         """Persist a run; returns its directory.
 
@@ -112,6 +126,12 @@ class RunStore:
         run (run ids are content-addressed over the dataset digest, so
         the destination directory is only known now); a non-empty spool
         is copied in as ``events.jsonl`` for ``runs show --timeline``.
+
+        ``alerts`` is an :meth:`OnlineDetector.export` document
+        (``lines`` + ``summary``); the lines are serialized canonically
+        into ``alerts.jsonl`` and the stream's SHA-256 lands in
+        ``manifest.alerts_summary["digest"]`` -- the number ``runs
+        check`` and CI hold bit-identical across worker counts.
         """
         run_dir = self.run_dir(manifest.run_id)
         run_dir.mkdir(parents=True, exist_ok=True)
@@ -127,6 +147,14 @@ class RunStore:
             if source.is_file() and source.stat().st_size > 0:
                 shutil.copyfile(source, run_dir / EVENTS_FILE)
                 manifest.events_file = EVENTS_FILE
+        if alerts is not None:
+            body = serialize_alerts(alerts.get("lines") or [])
+            (run_dir / ALERTS_FILE).write_bytes(body)
+            manifest.alerts_file = ALERTS_FILE
+            manifest.alerts_summary = {
+                **(alerts.get("summary") or {}),
+                "digest": hashlib.sha256(body).hexdigest(),
+            }
         _write_json_atomic(run_dir / MANIFEST_FILE, manifest.to_dict())
         return run_dir
 
@@ -248,6 +276,7 @@ class RunRecorder:
         registry: MetricsRegistry,
         trace_path: Optional[Union[str, Path]] = None,
         events_path: Optional[Union[str, Path]] = None,
+        alerts: Optional[Dict[str, Any]] = None,
     ) -> RunManifest:
         """Build the manifest, write the run directory, return the manifest."""
         timings = {
@@ -277,6 +306,6 @@ class RunRecorder:
         ).seal()
         self.store.write(
             manifest, evidence=self.evidence, trace_path=trace_path,
-            events_path=events_path,
+            events_path=events_path, alerts=alerts,
         )
         return manifest

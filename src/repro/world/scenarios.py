@@ -105,6 +105,78 @@ def failover_proxies(truth: GroundTruth) -> GroundTruth:
     return fixed
 
 
+def plant_server_fault(
+    truth: GroundTruth,
+    world: World,
+    site: str,
+    start_hour: int,
+    end_hour: int,
+    intensity: float = 0.5,
+) -> GroundTruth:
+    """Inject a correlated server-side outage into the ground truth.
+
+    Raises ``site``'s site-wide failure probability to at least
+    ``intensity`` over hours ``[start_hour, end_hour)`` -- the
+    controlled fault the online-detection SLO experiments measure
+    onset-to-alert latency against (``repro simulate --fault
+    server:SITE:START-END:INTENSITY``).  Everything else about the
+    generated truth is untouched, so the fault's footprint in the
+    dataset is exactly the planted window.
+    """
+    if not 0 <= start_hour < end_hour <= world.hours:
+        raise ValueError(
+            f"fault window [{start_hour}, {end_hour}) outside the "
+            f"experiment (0..{world.hours})"
+        )
+    if not 0.0 < intensity <= 1.0:
+        raise ValueError(f"fault intensity out of (0, 1]: {intensity}")
+    try:
+        si = world.site_idx(site)
+    except KeyError:
+        raise ValueError(f"unknown site {site!r}") from None
+    planted = _clone_truth(truth)
+    planted.site_fail[si, start_hour:end_hour] = np.maximum(
+        planted.site_fail[si, start_hour:end_hour], intensity
+    )
+    return planted
+
+
+def parse_fault_spec(spec: str):
+    """Parse ``server:SITE:START-END:INTENSITY`` into a truth transform.
+
+    Returns a ``truth_transform(world, truth)`` callable for
+    :func:`repro.world.simulator.simulate_default_month`.  Only the
+    ``server`` fault kind exists today; the spec grammar leaves room
+    for client-side kinds later.
+    """
+    parts = spec.split(":")
+    if len(parts) != 4 or parts[0] != "server":
+        raise ValueError(
+            f"bad fault spec {spec!r}; expected "
+            "server:SITE:START-END:INTENSITY "
+            "(e.g. server:berkeley.edu:24-48:0.5)"
+        )
+    _, site, window, intensity_str = parts
+    start_str, sep, end_str = window.partition("-")
+    if not sep:
+        raise ValueError(f"bad fault window {window!r}; expected START-END")
+    try:
+        start_hour, end_hour = int(start_str), int(end_str)
+        intensity = float(intensity_str)
+    except ValueError:
+        raise ValueError(
+            f"bad fault spec {spec!r}: window bounds must be ints, "
+            "intensity a float"
+        ) from None
+
+    def transform(world: World, truth: GroundTruth) -> GroundTruth:
+        return plant_server_fault(
+            truth, world, site, start_hour, end_hour, intensity
+        )
+
+    return transform
+
+
 #: The named interventions, in the order the paper discusses them.
 INTERVENTIONS: Dict[str, Callable[[GroundTruth], GroundTruth]] = {
     "reliable_ldns": reliable_ldns,

@@ -117,7 +117,8 @@ class MonthSimulator:
         emitter = obs.emitter()
         if emitter.enabled:
             emitter.emit(
-                "run_start", hours=self.world.hours, workers=1, engine="fast"
+                "run_start", hours=self.world.hours, workers=1, engine="fast",
+                **_run_start_entities(self.world, emitter),
             )
             emitter.emit(
                 "shard_start", hour_start=0, hour_stop=self.world.hours
@@ -225,6 +226,12 @@ class MonthSimulator:
             if emitter.enabled:
                 emitter.emit("hour_done", hour=h, stream=stream,
                              **_hour_counts(dataset, h))
+                # Per-entity stats are a bigger payload (four vectors
+                # plus sparse TCP triples), so they are opt-in: only
+                # built when an online-analysis consumer subscribed.
+                if getattr(emitter, "entity_stats", False):
+                    emitter.emit("hour_stats", hour=h,
+                                 **_hour_entity_stats(dataset, h))
 
     def _attach_provenance(
         self, dataset: MeasurementDataset, workers: int
@@ -490,6 +497,53 @@ def _hour_counts(dataset: MeasurementDataset, h: int) -> Dict[str, int]:
     }
 
 
+def _run_start_entities(world, emitter) -> Dict[str, list]:
+    """Entity-name fields for ``run_start`` when stats were asked for.
+
+    The online detector resolves array indices back to names at alert
+    time; shipping the rosters once on ``run_start`` keeps every later
+    ``hour_stats`` event index-only and small.
+    """
+    if not getattr(emitter, "entity_stats", False):
+        return {}
+    return {
+        "clients": [c.name for c in world.clients],
+        "servers": [w.name for w in world.websites],
+    }
+
+
+def _hour_entity_stats(dataset: MeasurementDataset, h: int) -> Dict[str, list]:
+    """Per-entity counts of hour ``h`` for the online detection pipeline.
+
+    Everything :mod:`repro.obs.online` needs to mirror the batch
+    episode/blame analysis for one hour, in plain JSON-native lists:
+    per-client and per-server transaction/failure vectors plus the
+    sparse (client, server, count) TCP-failure triples blame buckets on.
+    Pure reads of the committed slices, like :func:`_hour_counts`.
+    """
+    trans = dataset.transactions[:, :, h].astype(np.int64)
+    failures = np.zeros_like(trans)
+    for name in (
+        "dns_ldns", "dns_nonldns", "dns_error",
+        "tcp_noconn", "tcp_noresp", "tcp_partial", "tcp_ambiguous",
+        "http_errors", "masked_failures",
+    ):
+        failures += getattr(dataset, name)[:, :, h]
+    tcp = np.zeros_like(trans)
+    for name in ("tcp_noconn", "tcp_noresp", "tcp_partial", "tcp_ambiguous"):
+        tcp += getattr(dataset, name)[:, :, h]
+    ci, si = np.nonzero(tcp)
+    return {
+        "ct": trans.sum(axis=1).tolist(),
+        "cf": failures.sum(axis=1).tolist(),
+        "st": trans.sum(axis=0).tolist(),
+        "sf": failures.sum(axis=0).tolist(),
+        "tcp": [
+            [int(c), int(s), int(tcp[c, s])] for c, s in zip(ci, si)
+        ],
+    }
+
+
 def _dataset_totals(dataset: MeasurementDataset) -> Dict[str, int]:
     """Month-wide per-failure-type totals for the ``run_done`` event."""
     return {
@@ -542,17 +596,29 @@ def simulate_default_month(
     seed: int = 20050101,
     faults: Optional[FaultConfig] = None,
     workers: Optional[int] = None,
+    truth_transform=None,
 ) -> SimulationResult:
     """Convenience one-call entry point: default world, default faults.
 
     ``workers`` > 1 runs the hour-sharded parallel engine; output is
     bit-identical to the sequential path for the same seed.
+
+    ``truth_transform(world, truth) -> truth`` edits the generated
+    ground truth before simulation -- the fault-injection hook behind
+    ``repro simulate --fault`` (see :mod:`repro.world.scenarios`).  Seed
+    derivation is stateless per stream, so generating the truth here and
+    handing it to the simulator draws exactly what the simulator would
+    have drawn itself: a ``None`` transform is bit-identical to omitting
+    the parameter.
     """
     from repro.world.defaults import build_default_world
 
     world = build_default_world(hours=hours)
     access = AccessConfig(per_hour=per_hour)
     rngs = RNGRegistry(seed)
-    return MonthSimulator(world, access=access, faults=faults, rngs=rngs).run(
+    truth = FaultGenerator(world, faults, rngs.fork("faults")).generate()
+    if truth_transform is not None:
+        truth = truth_transform(world, truth)
+    return MonthSimulator(world, access=access, rngs=rngs, truth=truth).run(
         workers=workers
     )

@@ -16,9 +16,7 @@ import pytest
 
 from repro import cli
 from repro.obs import runtime
-from repro.obs.live.aggregate import (
-    FALLBACK_THRESHOLD, LiveAggregator, knee_of_rates,
-)
+from repro.obs.live.aggregate import LiveAggregator, knee_of_rates
 from repro.obs.live.bus import QueueEmitter, TelemetryBus, inherited_emitter
 from repro.obs.live.dashboard import (
     LiveDashboard, ansi_capable, render, render_plain, sparkline,
@@ -123,6 +121,24 @@ class TestQueueEmitter:
     def test_inherited_emitter_null_without_queue(self):
         assert inherited_emitter(0) is runtime.NULL_EMITTER
 
+    def test_full_queue_drops_with_counter(self):
+        import queue as queue_module
+
+        q = queue_module.Queue(maxsize=2)
+        runtime.set_registry(MetricsRegistry())
+        try:
+            emitter = QueueEmitter(q.put_nowait, worker=0)
+            for hour in range(5):
+                emitter.emit("hour_done", hour=hour)  # never blocks
+            assert q.qsize() == 2
+            assert emitter.drops == 3
+            assert (
+                runtime.registry().snapshot()["live_events_dropped_total"]
+                == 3.0
+            )
+        finally:
+            runtime.set_registry(MetricsRegistry())
+
 
 class TestTelemetryBus:
     def test_events_reach_subscribers_and_sink(self, tmp_path):
@@ -163,12 +179,31 @@ class TestTelemetryBus:
         # The good subscriber saw everything despite the bad one.
         assert [e for e in seen if e["type"] == "hour_done"]
 
+    def test_stalled_consumer_cannot_block_workers(self, tmp_path):
+        # A bounded queue with nobody draining it (the worst stall):
+        # every emit beyond the capacity returns immediately and is
+        # counted as a drop, never blocking the simulating process.
+        bus = TelemetryBus(
+            events_path=str(tmp_path / "events.jsonl"), maxsize=4
+        )
+        emitter = bus.emitter()
+        for hour in range(20):
+            emitter.emit("hour_done", hour=hour)
+        assert emitter.drops == 16  # exactly capacity got through
+        # Unclog so the mp.Queue feeder thread can exit cleanly.
+        for _ in range(4):
+            bus.queue.get(timeout=5)
+
 
 class TestKnee:
-    def test_fallback_on_degenerate_input(self):
-        assert knee_of_rates([]) == FALLBACK_THRESHOLD
-        assert knee_of_rates([0.5, 0.9]) == FALLBACK_THRESHOLD  # outside window
-        assert knee_of_rates([0.02, 0.021]) == FALLBACK_THRESHOLD  # < 3 samples
+    def test_degenerate_input_yields_none_sentinel(self):
+        # No estimate is better than a misleading one: the live knee
+        # reports None (rendered as "knee: —") instead of the batch
+        # fallback when the window is empty or too thin.
+        assert knee_of_rates([]) is None
+        assert knee_of_rates([0.5, 0.9]) is None  # all outside the window
+        assert knee_of_rates([0.02, 0.021]) is None  # < 3 samples in window
+        assert knee_of_rates([0.02] * 100) is None  # one distinct value
 
     def test_knee_lands_at_the_bend(self):
         # Mass concentrated near 2%, a thin tail to 25%: the CDF bends
@@ -257,7 +292,10 @@ class TestDashboard:
         assert "-- workers --" in frame
         assert "w0" in frame and "w1" in frame
         assert "-- failure rates" in frame
-        assert "episode threshold estimate f~" in frame
+        # Every synthetic hour has the identical 23/1000 rate, so the
+        # knee is degenerate: the frame shows the sentinel, not f~.
+        assert "episode threshold estimate knee: —" in frame
+        assert "episode threshold estimate f~" not in frame
         assert "simulation finished" in frame
 
     def test_render_plain_is_one_line(self):
@@ -327,7 +365,9 @@ class TestMetricsServer:
             assert "repro_scrape_smoke_total 3" in body
             assert "repro_live_hours_done 6" in body
             assert 'repro_live_failures{type="dns"} 72' in body
-            assert "repro_live_episode_threshold_estimate" in body
+            # All-equal synthetic rates => no knee => the gauge is
+            # absent (absent-not-zero), never a fabricated 0.0.
+            assert "repro_live_episode_threshold_estimate" not in body
             with urllib.request.urlopen(
                 f"http://127.0.0.1:{port}/", timeout=10
             ) as resp:
