@@ -232,6 +232,96 @@ class MeasurementDataset:
             if max_count > np.iinfo(arr.dtype).max:
                 setattr(self, name, arr.astype(_widened_dtype(max_count, arr.dtype)))
 
+    @classmethod
+    def block_template(cls, world: World, n_hours: int) -> Dict[str, np.ndarray]:
+        """Fresh zeroed arrays for an ``n_hours``-wide block of this world.
+
+        The per-field shapes and starting dtypes mirror ``__init__``;
+        shard workers fill a template and ship (or share) it back.
+        """
+        c, s = len(world.clients), len(world.websites)
+        r = max(1, world.max_replicas())
+        out: Dict[str, np.ndarray] = {}
+        for name in cls._ARRAY_FIELDS:
+            if name in ("replica_connections", "replica_failed_connections"):
+                out[name] = np.zeros((s, r, n_hours), dtype=np.uint32)
+            elif name in ("connections", "failed_connections", "packet_losses"):
+                out[name] = np.zeros((c, s, n_hours), dtype=np.uint32)
+            else:
+                out[name] = np.zeros((c, s, n_hours), dtype=np.uint16)
+        return out
+
+    @classmethod
+    def planned_dtypes(cls, world: World, per_hour: int) -> Dict[str, np.dtype]:
+        """Per-field dtypes sized for this world's worst-case hourly counts.
+
+        Used to size fixed-dtype (shared-memory) shard buffers up front,
+        where mid-run promotion is impossible: the bound per cell is the
+        Poisson transaction tail times each field's worst-case
+        connections-per-transaction multiplier, with generous slack --
+        a planned dtype that is one rung too wide costs bytes, one rung
+        too narrow aborts the shard.
+        """
+        lam = float(max(1, per_hour))
+        # P(Poisson(lam) > lam + 12*sqrt(lam) + 32) is negligible at any
+        # scale; the +32 keeps small lam safe where sqrt slack is tiny.
+        n_bound = lam + 12.0 * lam ** 0.5 + 32.0
+        c = len(world.clients)
+        r = max(1, world.max_replicas())
+        # Connections per transaction: delivered + redirect + retries over
+        # the address list (permanent pairs: 3 tries x 3 addresses) plus
+        # dead-replica walk-downs bounded by the replica count.
+        conns_factor = 2.0 + 9.0 + r
+        # Packet losses per transaction: 16 segments at ambient loss
+        # (x1.4) plus 6 per partial failure, rounded up hard.
+        loss_factor = 48.0
+        bounds: Dict[str, float] = {}
+        for name in cls._ARRAY_FIELDS:
+            if name in ("replica_connections", "replica_failed_connections"):
+                bounds[name] = n_bound * conns_factor * c
+            elif name in ("connections", "failed_connections"):
+                bounds[name] = n_bound * conns_factor
+            elif name == "packet_losses":
+                bounds[name] = n_bound * loss_factor
+            else:
+                bounds[name] = n_bound
+        return {
+            name: _widened_dtype(int(bound), np.dtype(np.uint16))
+            for name, bound in bounds.items()
+        }
+
+    def merge_shards(
+        self,
+        shards: Iterable[
+            Tuple[Mapping[str, np.ndarray], Tuple[int, int]]
+        ],
+    ) -> None:
+        """Merge many hour-block shards, pre-sizing dtypes exactly once.
+
+        One pass over all shards finds each field's final peak count, the
+        arrays are promoted to their final dtype up front, and only then
+        are the shards accumulated -- a month merged from N shards used
+        to re-walk the uint16 -> uint32 -> int64 ladder (with a full
+        array copy per rung) once per shard; now it promotes at most once
+        per field for the whole merge.
+        """
+        shard_list = list(shards)
+        peaks: Dict[str, int] = {}
+        for arrays, _ in shard_list:
+            for name in self._ARRAY_FIELDS:
+                src = arrays.get(name)
+                if src is not None and src.size:
+                    peaks[name] = max(peaks.get(name, 0), int(src.max()))
+        for name, peak in peaks.items():
+            dst = getattr(self, name)
+            # Shards cover disjoint hour blocks, so the merged peak is
+            # bounded by existing peak + shard peak (equal when merging
+            # into a fresh dataset).
+            base = int(dst.max()) if dst.size else 0
+            self.ensure_count_capacity(base + peak, fields=(name,))
+        for arrays, (h0, h1) in shard_list:
+            self.merge(arrays, (h0, h1))
+
     def merge(
         self,
         shard: Union["MeasurementDataset", Mapping[str, np.ndarray]],

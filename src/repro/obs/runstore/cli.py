@@ -219,6 +219,15 @@ def _cmd_show(
         f"workers={config.get('workers')}"
     )
     print(f"engine:     {manifest.engine or '-'}")
+    fallback = (manifest.dataset.get("provenance") or {}).get(
+        "parallel_fallback"
+    )
+    if fallback:
+        print(
+            f"fallback:   parallel dispatch FAILED; "
+            f"{fallback.get('shards', '?')} shard(s) ran sequentially "
+            f"in-process ({fallback.get('reason', 'unknown reason')})"
+        )
     print(f"git rev:    {manifest.git_rev or '-'}")
     print(f"created:    {_format_when(manifest.created_unix)}")
     timings = manifest.timings

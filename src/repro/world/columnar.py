@@ -1,0 +1,747 @@
+"""The columnar hot path: Poisson-factorised month simulation.
+
+The original fast engine walked the month hour by hour, drawing a
+sequential conditional-binomial cascade per (client, site) cell -- a
+Poisson transaction count thinned through DNS -> TCP -> HTTP stage
+binomials, ~25 numpy RNG calls and a per-site Python replica loop *per
+hour*.  At paper scale that is ~160k per-element variate draws an hour;
+the interpreter and per-element binomial cost put a hard ceiling of a
+few million transactions per second on the whole engine, and made the
+parallel engine slower than sequential once shard pickling was paid.
+
+This module restructures the hot path around one exact identity --
+**Poisson splitting**: drawing ``N ~ Poisson(lam)`` accesses per cell
+and classifying each access independently through the DNS -> TCP ->
+HTTP cascade (the chain rule of a multinomial) is distributionally
+identical to drawing *independent Poisson counts per outcome category*
+with rates ``lam * q_cat``.  That independence is exploited twice,
+because the category masses are wildly skewed (~97% of accesses
+succeed):
+
+* The 12 **rare** categories (every failure flavour) are drawn as one
+  scalar ``Poisson(total)`` over the concatenated rare lattice and
+  scattered with a single sorted ``searchsorted`` -- cost proportional
+  to the handful of failure *events*, not the 12 x C x S cells.
+* The 3 **bulk** success categories are drawn as per-cell Poisson
+  planes (one ``Generator.poisson`` call each) -- no per-event
+  uniforms, no sort, cost proportional to *cells* and independent of
+  how many transactions land.  Raw throughput therefore *rises* with
+  event density instead of falling.
+
+The per-hour probability lattices the old engine rebuilt cell by cell
+(:meth:`OutcomeModel.hour`) are computed here as
+``(hours_chunk, category, client, site)`` blocks.  All hour-varying
+inputs are per-client or per-site vectors, so almost every category
+rate is a fused rank-1 outer product (``einsum('hc,hs,cs->hcs')``)
+over a static (client, site) mask -- a handful of full-lattice passes
+per chunk instead of hundreds.  All lattice math is elementwise per
+hour, so chunk and shard boundaries cannot perturb any hour's rates.
+
+Determinism contract (unchanged): every hour draws from its own derived
+stream ``fast-engine/hour/<h>`` in a fixed call order -- rare total,
+rare uniforms, three bulk planes, extra-attempt scatter, loss scatter,
+three replica multinomials -- so shards of any shape reproduce exactly
+the counts the sequential pass produces, and the merged dataset digest
+is bit-identical at any worker count.  (The *values* differ from the
+pre-columnar engine -- the factorisation is a different, equally valid
+realisation of the same distribution -- a one-time digest migration
+recorded in BENCH_trajectory.json.)
+
+Counts are staged per chunk in hour-major scratch blocks and flushed to
+the sink as one transposed block write per field, so the dataset's
+hour-last layout is touched once per chunk instead of once per hour.
+The writer abstraction (:class:`DatasetSink`, :class:`BlockSink`) lets
+the same engine commit into a live :class:`MeasurementDataset` (the
+sequential path, dtype promotion allowed), a standalone block of arrays
+(``run_shard``), or fixed-dtype shared-memory views sliced for one hour
+block (the parallel path, :mod:`repro.world.sharedmem`).
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro import obs
+from repro.core.dataset import MeasurementDataset
+
+# -- outcome categories -------------------------------------------------------
+#
+# Every access lands in exactly one category; per-cell rates are
+# lam * q_cat with sum_cat(q_cat) == 1 (direct and proxied rows carry
+# disjoint category sets).  Order is part of the determinism contract:
+# the 12 rare (failure) categories are contiguous and category-major in
+# the joint scatter, so reordering them would re-scatter every hour's
+# failure events.  The 3 bulk success categories sit at the end and are
+# drawn as per-cell Poisson planes in id order.
+
+CAT_DNS_LDNS = 0         # LDNS timeout                      -> dns_ldns
+CAT_DNS_NONLDNS = 1      # authoritative-path timeout        -> dns_nonldns
+CAT_DNS_ERROR = 2        # DNS error response                -> dns_error
+CAT_TCP_NOCONN = 3       # identifiable no-connection        -> tcp_noconn
+CAT_TCP_NOCONN_HID = 4   # BB no-conn, not identifiable      -> tcp_ambiguous
+CAT_TCP_NORESP = 5       # no response (traced clients)      -> tcp_noresp
+CAT_TCP_NORESP_AMB = 6   # no response on BB                 -> tcp_ambiguous
+CAT_TCP_PARTIAL = 7      # partial response (traced)         -> tcp_partial
+CAT_TCP_PARTIAL_AMB = 8  # partial response on BB            -> tcp_ambiguous
+CAT_HTTP_REDIR = 9       # HTTP error, redirected fetch      -> http_errors
+CAT_HTTP_PLAIN = 10      # HTTP error, direct fetch          -> http_errors
+CAT_MASKED = 11          # proxied opaque failure            -> masked_failures
+CAT_OK_REDIR = 12        # success, redirected fetch         (success)
+CAT_OK_PLAIN = 13        # success, direct fetch             (success)
+CAT_PROXIED_OK = 14      # proxied success                   (success)
+N_RARE = 12              # categories [0, N_RARE) scatter jointly
+N_CATEGORIES = 15
+
+#: Mean data segments per successful transfer (Section 3.5(b) loss model).
+_SEGMENTS_PER_TRANSFER = 16.0
+#: Loss-rate inflation for transfers sharing an hour with TCP trouble.
+_AMBIENT_LOSS_FACTOR = 1.4
+#: Retransmission-inferred losses per partial-response failure.
+_LOSSES_PER_PARTIAL = 6.0
+
+#: Upper bound on (hour x category x cell) entries per rate-lattice
+#: chunk: bounds peak scratch memory (~30 MiB of float64 lattice plus a
+#: comparable staging block) at any world scale while keeping chunks
+#: long enough to amortise the batched lattice build.
+_CHUNK_LATTICE_BUDGET = 4_000_000
+
+
+def expected_leading_failures(
+    replica_eff_fail: np.ndarray, n_replicas: np.ndarray
+) -> np.ndarray:
+    """Expected dead-replica attempts before a success, vectorised.
+
+    ``replica_eff_fail`` is ``(..., S, R)`` with nonexistent replicas
+    already zeroed; ``n_replicas`` is ``(S,)``.  Matches the scalar
+    derivation: with the address list rotated uniformly and replica r
+    down with probability q_r, the expected failed attempts before an up
+    replica, conditioned on one being up, is ~ sum(q) / (n - sum(q) + 1)
+    for multi-replica sites with at least one replica expected up.
+    """
+    down = replica_eff_fail.sum(axis=-1)
+    up = n_replicas.astype(np.float64) - down
+    return np.where(
+        (n_replicas > 1) & (up > 0.0),
+        down / np.where(up > 0.0, up + 1.0, 1.0),
+        0.0,
+    )
+
+
+class DatasetSink:
+    """Commit hour blocks into a live dataset, promoting dtypes on demand."""
+
+    def __init__(self, dataset: MeasurementDataset) -> None:
+        self.dataset = dataset
+
+    def commit_block(self, name: str, h0: int, h1: int,
+                     block: np.ndarray) -> None:
+        """Write hour-major ``(Hb, ...)`` counts for hours ``[h0, h1)``."""
+        arr = getattr(self.dataset, name)
+        peak = int(block.max()) if block.size else 0
+        if peak > np.iinfo(arr.dtype).max:
+            self.dataset.ensure_count_capacity(peak, fields=(name,))
+            arr = getattr(self.dataset, name)
+        arr[..., h0:h1] = np.moveaxis(block, 0, -1)
+
+
+class BlockSink:
+    """Commit hour blocks into standalone arrays covering ``[h0, h1)``.
+
+    ``fixed_dtype=True`` (the shared-memory path) forbids promotion: the
+    parent pre-sized every array's dtype from the access configuration
+    (:meth:`MeasurementDataset.planned_dtypes`), so an overflow means
+    the plan was wrong and must fail loudly, never wrap.
+    """
+
+    def __init__(
+        self,
+        arrays: Dict[str, np.ndarray],
+        hour_start: int,
+        fixed_dtype: bool = False,
+    ) -> None:
+        self.arrays = arrays
+        self.hour_start = hour_start
+        self.fixed_dtype = fixed_dtype
+
+    def commit_block(self, name: str, h0: int, h1: int,
+                     block: np.ndarray) -> None:
+        """Write the block for experiment hours ``[h0, h1)`` at its offset."""
+        arr = self.arrays[name]
+        peak = int(block.max()) if block.size else 0
+        if peak > np.iinfo(arr.dtype).max:
+            if self.fixed_dtype:
+                raise OverflowError(
+                    f"array {name}: count {peak} exceeds the pre-sized "
+                    f"{arr.dtype.name} shard buffer -- the planned count "
+                    "dtype underestimated this access configuration"
+                )
+            from repro.core.dataset import _widened_dtype
+
+            arr = arr.astype(_widened_dtype(peak, arr.dtype))
+            self.arrays[name] = arr
+        t0 = h0 - self.hour_start
+        arr[..., t0 : t0 + (h1 - h0)] = np.moveaxis(block, 0, -1)
+
+
+class _ChunkLattice:
+    """Rate lattices for one contiguous hour chunk.
+
+    ``rates`` is ``(Hc, K, C, S)`` float64 -- hour-major, categories
+    contiguous per hour, so the rare block ``rates[t, :N_RARE]`` is one
+    flat vector ready for ``cumsum`` and each bulk plane
+    ``rates[t, k]`` is contiguous for ``Generator.poisson``.
+    """
+
+    __slots__ = ("hour_start", "rates", "ambient", "exp_extra", "replica_w")
+
+    def __init__(self, hour_start, rates, ambient, exp_extra, replica_w):
+        self.hour_start = hour_start
+        self.rates = rates          # (Hc, K, C, S)
+        self.ambient = ambient      # (Hc, C, S) loss rate per delivered
+        self.exp_extra = exp_extra  # (Hc, S) dead-replica attempts factor
+        self.replica_w = replica_w  # (Hc, S, R) effective replica failure
+
+
+#: Dataset fields staged per (client, site) plane, in commit order.
+_CS_FIELDS = (
+    "transactions", "dns_ldns", "dns_nonldns", "dns_error",
+    "tcp_noconn", "tcp_noresp", "tcp_partial", "tcp_ambiguous",
+    "http_errors", "masked_failures",
+    "connections", "failed_connections", "packet_losses",
+)
+#: Dataset fields staged per (site, replica) plane.
+_SR_FIELDS = ("replica_connections", "replica_failed_connections")
+
+
+class ColumnarEngine:
+    """Shared-model month engine over the factorised category lattice."""
+
+    def __init__(self, model, truth, rngs, access) -> None:
+        self.model = model
+        self.truth = truth
+        self.rngs = rngs
+        self.access = access
+        self._build_static()
+
+    # -- static (hour-invariant) structure ----------------------------------
+
+    def _build_static(self) -> None:
+        from repro.world.outcome_model import (
+            CLIENT_SIDE_MIX,
+            PERMANENT_NOCONN_MIX,
+            PERMANENT_PARTIAL_MIX,
+        )
+
+        model, truth, access = self.model, self.truth, self.access
+        c = len(model.world.clients)
+        s = len(model.world.websites)
+        self.n_cells = c * s
+        self.shape = (c, s)
+
+        proxied = model.proxied
+        direct = ~proxied
+        ambiguous = model.bb & direct
+        self.direct = direct
+        # Row masks as float vectors over clients (float32: these only
+        # scale lattice rates, see the note in :meth:`_build_chunk`).
+        f_direct = direct.astype(np.float32)
+        self._f_direct = f_direct
+        self._f_prox = proxied.astype(np.float32)
+        # No-connection visibility split: traced rows are fully visible,
+        # ambiguous (BB) rows split between the identifiable and hidden
+        # no-connection categories (Figure 3's combined category).
+        vis = access.bb_noconn_visibility
+        f_amb = (ambiguous & direct).astype(np.float32)
+        self._f_amb = f_amb
+        self._f_nonamb = f_direct - f_amb
+        self._f_vis = (np.where(ambiguous, vis, 1.0) * f_direct).astype(
+            np.float32
+        )
+        self._f_hid = np.float32(1.0 - vis) * f_amb
+
+        self.n_replicas = model.n_replicas
+        r_width = max(
+            1, truth.replica_fail.shape[1] if truth.replica_fail.ndim == 3 else 1
+        )
+        r_idx = np.arange(r_width)[None, :]
+        self._replica_exists = r_idx < self.n_replicas[:, None]  # (S, R)
+        self.replica_active = np.nonzero(self.n_replicas > 0)[0]
+        active = self.replica_active
+        # Uniform split weights over existing replicas of active sites.
+        self._replica_uniform = (
+            self._replica_exists[active].astype(np.float64)
+            / self.n_replicas[active, None]
+        )
+
+        self.spread = model.spread_site.astype(np.float64)
+        tries = np.where(
+            truth.permanent_pair > 0, access.permanent_tries, access.tries
+        )
+        self._tries_addr = (tries * model.n_addresses[None, :]).astype(np.int64)
+        self._redirect_p = model.redirect_p.astype(np.float32)  # (S,)
+        self._bg_loss_rate = np.float32(
+            truth.config.background_packet_loss * _SEGMENTS_PER_TRANSFER
+        )
+        self._bg_tcp = model.background_tcp.astype(np.float32)  # (C,)
+        # Static per-client mix contributions from the background cause.
+        self._bg_mix_k = [
+            (self._bg_tcp * model.background_mix[:, k]).astype(np.float32)
+            for k in range(3)
+        ]
+        self._client_mix_k = np.asarray(CLIENT_SIDE_MIX, dtype=np.float32)
+        perm = truth.permanent_pair.astype(np.float32)
+        self._perm_comp = 1.0 - perm  # (C, S)
+        perm_noconn = (truth.permanent_pair_kind == 1) * perm
+        perm_partial = (truth.permanent_pair_kind == 2) * perm
+        # Static (C, S) mix contributions from permanent pair faults.
+        self._perm_mix_k = [
+            (
+                perm_noconn * PERMANENT_NOCONN_MIX[k]
+                + perm_partial * PERMANENT_PARTIAL_MIX[k]
+            ).astype(np.float32)
+            for k in range(3)
+        ]
+        base = model.base_accesses.astype(np.float32)
+        self._base_dir = base * f_direct[:, None]   # (C, S)
+        self._base_prox = base * self._f_prox[:, None]
+        hours_budget = _CHUNK_LATTICE_BUDGET // max(
+            1, self.n_cells * N_CATEGORIES
+        )
+        self.chunk_hours = min(96, max(1, hours_budget))
+
+    # -- rate lattices -------------------------------------------------------
+
+    def _build_chunk(self, h0: int, h1: int) -> _ChunkLattice:
+        """Category-rate lattices for hours ``[h0, h1)``.
+
+        Everything here is elementwise per hour (broadcast over the hour
+        axis), so the values for hour ``h`` are independent of the chunk
+        and shard boundaries around it -- the property the determinism
+        contract rests on.  Hour-varying inputs are (hour, client) and
+        (hour, site) vectors; the full-lattice passes are the fused
+        einsum outer products and the mix normalisation.
+        """
+        from repro.world.outcome_model import REPLICA_DOWN_MIX
+
+        model, truth = self.model, self.truth
+        c, s = self.shape
+        hc = h1 - h0
+        hs = slice(h0, h1)
+        ein = np.einsum
+
+        # The lattice is built in float32: every pass over the full
+        # (Hc, K, C, S) block moves half the bytes of float64, and a
+        # per-cell rate only steers sampling -- the 2e-7 relative
+        # rounding is orders of magnitude below the Poisson noise.
+        # Scatter *thresholds* (the cumsums) stay float64.
+        def ch(arr):  # (C, H) -> (Hc, C) float32
+            return np.ascontiguousarray(arr[:, hs].T, dtype=np.float32)
+
+        def sh(arr):  # (S, H) -> (Hc, S) float32
+            return np.ascontiguousarray(arr[:, hs].T, dtype=np.float32)
+
+        # ---- hour x client vectors ----
+        cu = ch(truth.client_up)
+        p_ldns = 1.0 - (1.0 - ch(truth.ldns_fail)) * (
+            1.0 - ch(truth.wan_dns_fail)
+        )
+        surv_ldns = 1.0 - p_ldns
+        p_client = ch(truth.total_client_tcp_fail())
+        # Client-side TCP survival (client cause x background cause).
+        a_client = (1.0 - p_client) * (1.0 - self._bg_tcp)[None, :]
+
+        # ---- hour x site vectors ----
+        p_nonldns = sh(truth.site_auth_timeout)
+        p_dnserr = sh(truth.site_dns_error)
+        dns_site_ok = (1.0 - p_nonldns) * (1.0 - p_dnserr)
+
+        r_eff = np.maximum(
+            truth.replica_fail[:, :, hs], truth.bgp_replica_fail[:, :, hs]
+        ).astype(np.float64)  # (S, R, Hc)
+        r_eff = np.ascontiguousarray(r_eff.transpose(2, 0, 1))  # (Hc, S, R)
+        exists = self._replica_exists[None, :, :]
+        r_eff = np.where(exists, r_eff, 0.0)
+        p_all_down = np.where(
+            self.n_replicas[None, :] > 0,
+            np.prod(np.where(exists, r_eff, 1.0), axis=2),
+            0.0,
+        ).astype(np.float32)  # (Hc, S)
+
+        site_bad = sh(truth.site_fail)
+        # Same-subnet sites: BGP trouble on the shared prefix is a
+        # site-wide correlated cause (raw BGP, not the per-replica max).
+        shared_bgp = np.where(
+            (~model.spread_site & (self.n_replicas > 0))[None, :],
+            sh(truth.bgp_replica_fail[:, 0, :]),
+            0.0,
+        )
+        site_corr = 1.0 - (1.0 - site_bad) * (1.0 - shared_bgp)
+        site_corr = 1.0 - (1.0 - site_corr) * (
+            1.0 - truth.direct_elevated.astype(np.float32)[None, :]
+        )
+        # Site-side TCP survival (site cause x replica-down cause).
+        b_site = (1.0 - site_corr) * (1.0 - p_all_down)
+        p_http = sh(truth.site_http_error)
+
+        # ---- full-lattice passes ----
+        # E = 1 - p_tcp: the product of all survival factors.
+        e = ein("hc,hs->hcs", a_client, b_site)
+        e *= self._perm_comp[None]
+        # G = lam * f_direct * dns_ok.
+        g = ein("hc,hs,cs->hcs", cu * surv_ldns, dns_site_ok, self._base_dir)
+        delivered_rate = g * e
+        tcp_rate = g - delivered_rate
+        # float32 rounding can leave subtraction residues at -1 ulp;
+        # Poisson rates must be non-negative.
+        np.maximum(tcp_rate, 0.0, out=tcp_rate)
+
+        # ---- TCP kind mix: blend by cause weight, grouped by shape ----
+        # Site-shaped weights (Hc, S), client-shaped (Hc, C), static (C, S).
+        site_mix = truth.site_mix
+        s_k = [
+            site_corr * site_mix[k]
+            + (p_all_down * REPLICA_DOWN_MIX[k] if REPLICA_DOWN_MIX[k] else 0.0)
+            for k in range(3)
+        ]
+        c_k = [
+            p_client * self._client_mix_k[k] + self._bg_mix_k[k][None, :]
+            for k in range(3)
+        ]
+        p_k = self._perm_mix_k
+        total_w = c_k[0] + c_k[1] + c_k[2]
+        total_w = total_w[:, :, None] + (s_k[0] + s_k[1] + s_k[2])[:, None, :]
+        total_w += (p_k[0] + p_k[1] + p_k[2])[None]
+        # tcp_rate / total_weight, zero where no cause carries weight.
+        scaled = np.divide(
+            tcp_rate, total_w, out=np.zeros_like(tcp_rate),
+            where=total_w > 0.0,
+        )
+        # Zero-weight cells fall back to the pure no-connection mix
+        # (mix == (1, 0, 0)): the whole rate routes to noconn below.
+        fallback = (total_w <= 0.0) & (tcp_rate > 0.0)
+        rates = np.empty((hc, N_CATEGORIES, c, s), dtype=np.float32)
+
+        def kind_rate(k):
+            m = c_k[k][:, :, None] + s_k[k][:, None, :]
+            m += p_k[k][None]
+            m *= scaled
+            return m
+
+        r_noconn = kind_rate(0)
+        if fallback.any():
+            r_noconn = np.where(fallback, tcp_rate, r_noconn)
+        r_noresp = kind_rate(1)
+        r_partial = kind_rate(2)
+        rates[:, CAT_TCP_NOCONN] = r_noconn * self._f_vis[None, :, None]
+        rates[:, CAT_TCP_NOCONN_HID] = r_noconn * self._f_hid[None, :, None]
+        rates[:, CAT_TCP_NORESP] = r_noresp * self._f_nonamb[None, :, None]
+        rates[:, CAT_TCP_NORESP_AMB] = r_noresp * self._f_amb[None, :, None]
+        rates[:, CAT_TCP_PARTIAL] = r_partial * self._f_nonamb[None, :, None]
+        rates[:, CAT_TCP_PARTIAL_AMB] = r_partial * self._f_amb[None, :, None]
+
+        # ---- DNS stage (fused rank-1 products) ----
+        rates[:, CAT_DNS_LDNS] = ein(
+            "hc,cs->hcs", cu * p_ldns, self._base_dir
+        )
+        rates[:, CAT_DNS_NONLDNS] = ein(
+            "hc,hs,cs->hcs", cu * surv_ldns, p_nonldns, self._base_dir
+        )
+        rates[:, CAT_DNS_ERROR] = ein(
+            "hc,hs,cs->hcs",
+            cu * surv_ldns, (1.0 - p_nonldns) * p_dnserr, self._base_dir,
+        )
+
+        # ---- HTTP stage / delivered splits ----
+        herr = delivered_rate * p_http[:, None, :]
+        d_ok = delivered_rate - herr
+        redir = self._redirect_p[None, None, :]
+        rates[:, CAT_HTTP_REDIR] = herr * redir
+        rates[:, CAT_HTTP_PLAIN] = herr - rates[:, CAT_HTTP_REDIR]
+        rates[:, CAT_OK_REDIR] = d_ok * redir
+        rates[:, CAT_OK_PLAIN] = d_ok - rates[:, CAT_OK_REDIR]
+        np.maximum(
+            rates[:, CAT_HTTP_PLAIN], 0.0, out=rates[:, CAT_HTTP_PLAIN]
+        )
+        np.maximum(rates[:, CAT_OK_PLAIN], 0.0, out=rates[:, CAT_OK_PLAIN])
+
+        # ---- Proxied rows: opaque pass/fail ----
+        mean_replica_fail = np.where(
+            self.n_replicas[None, :] > 0,
+            r_eff.sum(axis=2) / np.maximum(1, self.n_replicas)[None, :],
+            0.0,
+        ).astype(np.float32)
+        p_proxy_dns = p_nonldns + p_dnserr
+        p_site_up_fail = 1.0 - (
+            (1.0 - site_corr)
+            * (1.0 - mean_replica_fail)
+            * (1.0 - truth.proxy_hostile.astype(np.float32)[None, :])
+            * (1.0 - p_proxy_dns)
+        )
+        lam_prox = ein("hc,cs->hcs", cu, self._base_prox)
+        rates[:, CAT_PROXIED_OK] = ein(
+            "hc,hs,cs->hcs",
+            cu * a_client, 1.0 - p_site_up_fail, self._base_prox,
+        )
+        rates[:, CAT_MASKED] = lam_prox - rates[:, CAT_PROXIED_OK]
+        np.maximum(rates[:, CAT_MASKED], 0.0, out=rates[:, CAT_MASKED])
+
+        ambient = (
+            self._bg_loss_rate
+            + (1.0 - e) * (_SEGMENTS_PER_TRANSFER * _AMBIENT_LOSS_FACTOR)
+        ) * self._f_direct[None, :, None]
+        exp_extra = expected_leading_failures(r_eff, self.n_replicas)
+        return _ChunkLattice(h0, rates, ambient, exp_extra, r_eff)
+
+    # -- the hour kernel -----------------------------------------------------
+
+    def simulate_block(self, hour_start, hour_stop, sink, stage_seconds=None):
+        """Simulate hours ``[hour_start, hour_stop)`` into ``sink``.
+
+        Chunks the block for the rate lattices, runs every hour's draws
+        from its own ``fast-engine/hour/<h>`` stream in a fixed call
+        order into hour-major staging blocks, and flushes each chunk to
+        the sink as one block write per field.  Per-hour telemetry
+        (``hour_done``/``hour_stats``) streams off the staged planes
+        exactly as the loop engine's did, so ``--live`` and ``--detect``
+        consume an unchanged feed.
+        """
+        emitter = obs.emitter()
+        stages = stage_seconds if stage_seconds is not None else {}
+        for name in ("dns", "tcp", "http", "commit"):
+            stages.setdefault(name, 0.0)
+        c, s = self.shape
+        r_width = self._replica_exists.shape[1]
+        for c0 in range(hour_start, hour_stop, self.chunk_hours):
+            c1 = min(c0 + self.chunk_hours, hour_stop)
+            hc = c1 - c0
+            t0 = perf_counter()
+            lattice = self._build_chunk(c0, c1)
+            stages["dns"] += perf_counter() - t0
+            # int32 staging halves the flush traffic; every (C, S) plane
+            # is fully assigned each hour so np.empty is safe, while the
+            # replica planes only write active rows and need the zeros.
+            staging = {
+                name: np.empty((hc, c, s), dtype=np.int32)
+                for name in _CS_FIELDS
+            }
+            staging.update(
+                (name, np.zeros((hc, s, r_width), dtype=np.int32))
+                for name in _SR_FIELDS
+            )
+            for h in range(c0, c1):
+                stream = f"fast-engine/hour/{h}"
+                with obs.span("simulate.hour", hour=h):
+                    rng = self.rngs.np_fresh(stream)
+                    self._simulate_hour(h - c0, lattice, rng, staging, stages)
+                if emitter.enabled:
+                    emitter.emit(
+                        "hour_done", hour=h, stream=stream,
+                        **_hour_counts(staging, h - c0),
+                    )
+                    if getattr(emitter, "entity_stats", False):
+                        emitter.emit(
+                            "hour_stats", hour=h,
+                            **_hour_entity_stats(staging, h - c0),
+                        )
+            t2 = perf_counter()
+            for name, block in staging.items():
+                sink.commit_block(name, c0, c1, block)
+            stages["commit"] += perf_counter() - t2
+
+    def _simulate_hour(self, t, lattice, rng, staging, stages) -> None:
+        """One hour of draws, in the fixed stream order (see module doc)."""
+        t0 = perf_counter()
+        c, s = self.shape
+        n_cells = self.n_cells
+        rates = lattice.rates[t]
+
+        # ---- 1. Rare categories: one Poisson total + sorted scatter ----
+        # float64 accumulation: the thresholds must be strictly monotone
+        # for searchsorted even though the per-cell rates are float32.
+        rare_cum = np.cumsum(rates[:N_RARE].reshape(-1), dtype=np.float64)
+        idx = _scatter_sorted(rng, rare_cum)
+        # Category segment boundaries within the sorted flat indices.
+        bounds = np.searchsorted(
+            idx, np.arange(1, N_RARE + 1) * n_cells, side="left"
+        )
+        cell = idx % n_cells
+
+        def seg(k):
+            lo = bounds[k - 1] if k else 0
+            return cell[lo:bounds[k]]
+
+        def plane(*cats):
+            parts = [seg(k) for k in cats]
+            cells = parts[0] if len(parts) == 1 else np.concatenate(parts)
+            return np.bincount(cells, minlength=n_cells).reshape(c, s)
+
+        # ---- 2. Bulk success categories: per-cell Poisson planes ----
+        ok_redir = rng.poisson(rates[CAT_OK_REDIR])
+        ok_plain = rng.poisson(rates[CAT_OK_PLAIN])
+        proxied_ok = rng.poisson(rates[CAT_PROXIED_OK])
+        t1 = perf_counter()
+        stages["tcp"] += t1 - t0
+
+        # ---- Derived aggregates (pure arithmetic) ----
+        dns_ldns = plane(CAT_DNS_LDNS)
+        dns_nonldns = plane(CAT_DNS_NONLDNS)
+        dns_error = plane(CAT_DNS_ERROR)
+        tcp_noconn = plane(CAT_TCP_NOCONN)
+        tcp_noresp = plane(CAT_TCP_NORESP)
+        tcp_partial = plane(CAT_TCP_PARTIAL)
+        tcp_ambiguous = plane(
+            CAT_TCP_NOCONN_HID, CAT_TCP_NORESP_AMB, CAT_TCP_PARTIAL_AMB
+        )
+        http_redir = plane(CAT_HTTP_REDIR)
+        http_plain = plane(CAT_HTTP_PLAIN)
+        masked = plane(CAT_MASKED)
+        http_errors = http_redir + http_plain
+        partial_amb = plane(CAT_TCP_PARTIAL_AMB)
+
+        tcp_f = tcp_noconn + tcp_noresp + tcp_partial + tcp_ambiguous
+        delivered = http_errors + ok_redir + ok_plain
+        redirects = http_redir + ok_redir
+        partial = tcp_partial + partial_amb
+        transactions = (
+            dns_ldns + dns_nonldns + dns_error
+            + tcp_f + delivered + masked + proxied_ok
+        )
+
+        # ---- 3. Conditional draws, fixed order ----
+        # Extra failed attempts past dead replicas at spread sites: each
+        # delivered transaction contributes Poisson(exp_extra) failures.
+        lam_extra = delivered * (lattice.exp_extra[t] * self.spread)[None, :]
+        extra_failed = _place_poisson(rng, lam_extra)
+        # Retransmission-inferred packet losses (Section 3.5(b)).
+        lam_loss = (
+            delivered * lattice.ambient[t] + partial * _LOSSES_PER_PARTIAL
+        )
+        losses = _place_poisson(rng, lam_loss)
+        t2 = perf_counter()
+        stages["http"] += t2 - t1
+
+        failed_conns = tcp_f * self._tries_addr + extra_failed
+        total_conns = delivered + redirects + failed_conns
+
+        # ---- 4. Replica-level splits (batched multinomials) ----
+        active = self.replica_active
+        site_conns = total_conns.sum(axis=0)[active]
+        site_failed = failed_conns.sum(axis=0)[active]
+        site_extra = extra_failed.sum(axis=0)[active]
+        w = lattice.replica_w[t][active]
+        w_sum = w.sum(axis=1, keepdims=True)
+        weights = np.where(
+            w_sum > 0, w / np.where(w_sum > 0, w_sum, 1.0),
+            self._replica_uniform,
+        )
+        # Failed attempts concentrate on the dead replicas; the remainder
+        # and the connection totals spread uniformly.
+        extra_split = rng.multinomial(site_extra, weights)
+        base_split = rng.multinomial(
+            site_failed - site_extra, self._replica_uniform
+        )
+        conns_split = rng.multinomial(site_conns, self._replica_uniform)
+        failed_r = extra_split + base_split
+        conns_r = np.maximum(conns_split, failed_r)
+
+        # ---- Stage this hour's planes (hour-major scratch) ----
+        staging["transactions"][t] = transactions
+        staging["dns_ldns"][t] = dns_ldns
+        staging["dns_nonldns"][t] = dns_nonldns
+        staging["dns_error"][t] = dns_error
+        staging["tcp_noconn"][t] = tcp_noconn
+        staging["tcp_noresp"][t] = tcp_noresp
+        staging["tcp_partial"][t] = tcp_partial
+        staging["tcp_ambiguous"][t] = tcp_ambiguous
+        staging["http_errors"][t] = http_errors
+        staging["masked_failures"][t] = masked
+        staging["connections"][t] = total_conns
+        staging["failed_connections"][t] = failed_conns
+        staging["packet_losses"][t] = losses
+        staging["replica_connections"][t][active] = conns_r
+        staging["replica_failed_connections"][t][active] = failed_r
+        stages["commit"] += perf_counter() - t2
+
+
+def _scatter_sorted(rng: np.random.Generator, cum: np.ndarray) -> np.ndarray:
+    """Sorted flat cell indices of one ``Poisson(cum[-1])`` scatter.
+
+    Exact: a vector of independent Poisson counts is distributionally a
+    single ``Poisson(sum)`` total scattered multinomially with the rates
+    as weights.  The draw order (scalar total, then one uniform array)
+    is fixed, so any process simulating this hour consumes the stream
+    identically; the sort is pure post-processing of the uniforms and
+    keeps the binary searches cache-local.
+    """
+    total = float(cum[-1]) if cum.size else 0.0
+    n = int(rng.poisson(total))
+    u = rng.random(n) * total
+    u.sort()
+    idx = np.searchsorted(cum, u, side="right")
+    if n:
+        np.minimum(idx, cum.size - 1, out=idx)
+    return idx
+
+
+def _place_poisson(rng: np.random.Generator, lam: np.ndarray) -> np.ndarray:
+    """Independent per-cell Poisson draws via total + scatter (see above)."""
+    cum = np.cumsum(lam.reshape(-1), dtype=np.float64)
+    idx = _scatter_sorted(rng, cum)
+    return np.bincount(idx, minlength=lam.size).reshape(lam.shape)
+
+
+def _hour_counts(staging, t: int) -> Dict[str, int]:
+    """Per-failure-type transaction counts of staged hour ``t``.
+
+    Reads the staged planes back, so the emitter can never perturb the
+    dataset or the RNG -- the digest is identical with telemetry on or
+    off.
+    """
+
+    def total(*fields: str) -> int:
+        return int(
+            sum(staging[name][t].sum(dtype=np.int64) for name in fields)
+        )
+
+    return {
+        "transactions": total("transactions"),
+        "dns": total("dns_ldns", "dns_nonldns", "dns_error"),
+        "tcp": total("tcp_noconn", "tcp_noresp", "tcp_partial", "tcp_ambiguous"),
+        "http": total("http_errors"),
+        "masked": total("masked_failures"),
+    }
+
+
+def _hour_entity_stats(staging, t: int) -> Dict[str, list]:
+    """Per-entity counts of staged hour ``t`` for online detection.
+
+    Everything :mod:`repro.obs.online` needs to mirror the batch
+    episode/blame analysis for one hour, in plain JSON-native lists:
+    per-client and per-server transaction/failure vectors plus the
+    sparse (client, server, count) TCP-failure triples blame buckets on.
+    Pure reads of the staged planes, like :func:`_hour_counts`.
+    """
+    trans = staging["transactions"][t]
+    failures = np.zeros_like(trans)
+    for name in (
+        "dns_ldns", "dns_nonldns", "dns_error",
+        "tcp_noconn", "tcp_noresp", "tcp_partial", "tcp_ambiguous",
+        "http_errors", "masked_failures",
+    ):
+        failures += staging[name][t]
+    tcp = np.zeros_like(trans)
+    for name in ("tcp_noconn", "tcp_noresp", "tcp_partial", "tcp_ambiguous"):
+        tcp += staging[name][t]
+    ci, si = np.nonzero(tcp)
+    return {
+        "ct": trans.sum(axis=1).tolist(),
+        "cf": failures.sum(axis=1).tolist(),
+        "st": trans.sum(axis=0).tolist(),
+        "sf": failures.sum(axis=0).tolist(),
+        "tcp": [
+            [int(c), int(s), int(tcp[c, s])] for c, s in zip(ci, si)
+        ],
+    }

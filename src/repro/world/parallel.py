@@ -5,13 +5,24 @@ draws from its own derived RNG stream (``fast-engine/hour/<h>``): a worker
 process simulating hours ``[h0, h1)`` produces exactly the counts the
 sequential engine would for those hours, because seed derivation depends
 only on the master seed and the hour -- never on which process runs it or
-what ran before.  The month is therefore sharded into contiguous hour
-blocks, one per worker, and the shards' count arrays are summed back into
-one dataset with overflow-checked accumulation.
+what ran before.  The month is sharded into contiguous hour blocks, one
+per worker; workers write their counts directly into one
+``multiprocessing.shared_memory`` block (:mod:`repro.world.sharedmem`)
+the parent adopts after the join -- no pickled count arrays, no
+per-shard re-merge.
 
 Determinism contract: for a given master seed the merged dataset is
 bit-identical for *any* worker count -- ``--workers 1``, the in-process
 fallback, and any process-pool width all digest equal.
+
+Fallback: when the pool or the shared block cannot be used (sandboxed
+environments, unpicklable worlds, broken pools, undersized planned
+dtypes) every shard runs in this process sequentially and the results
+merge through :meth:`~repro.core.dataset.MeasurementDataset.merge_shards`.
+The switch is *observable*: the ``parallel_fallback_total`` counter
+increments and the dataset provenance (and therefore the run manifest)
+records the reason, so ``repro runs show`` reveals that a "parallel" run
+actually ran sequentially.
 
 Observability: each worker runs under its own fresh
 :class:`~repro.obs.metrics.MetricsRegistry` (instruments hold locks and
@@ -29,13 +40,14 @@ import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import TYPE_CHECKING, List, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.core.dataset import MeasurementDataset
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracing import Tracer
 from repro.world.rng import RNGRegistry
+from repro.world.sharedmem import SharedMonthBuffer, attach_shard_arrays
 
 if TYPE_CHECKING:  # circular at runtime: simulator dispatches to us
     from repro.world.simulator import MonthSimulator, ShardResult, SimulationResult
@@ -43,6 +55,14 @@ if TYPE_CHECKING:  # circular at runtime: simulator dispatches to us
 #: Floor on shard size: below this, process spin-up dominates the work and
 #: the auto worker count backs off toward sequential.
 MIN_HOURS_PER_SHARD = 24
+
+#: Exceptions that demote a parallel run to the in-process fallback.
+#: ``OverflowError`` is the fixed-dtype shared-buffer overflow -- the
+#: in-process path can promote dtypes mid-run, so it can still finish.
+_FALLBACK_ERRORS = (
+    OSError, ValueError, pickle.PicklingError, BrokenProcessPool,
+    OverflowError,
+)
 
 
 def available_cpus() -> int:
@@ -54,9 +74,22 @@ def available_cpus() -> int:
 
 
 def default_workers(hours: int) -> int:
-    """The ``--workers`` auto default: CPU-bound, but never shards
-    smaller than :data:`MIN_HOURS_PER_SHARD` hours of work."""
-    return max(1, min(available_cpus(), hours // MIN_HOURS_PER_SHARD))
+    """The ``--workers`` auto default.
+
+    ``$REPRO_WORKERS`` overrides the starting point, but the result is
+    always clamped to both the CPU affinity mask and the
+    :data:`MIN_HOURS_PER_SHARD` work floor -- an env override used to be
+    able to oversubscribe a small machine (the recorded 0.37x "speedup"
+    came from 4 workers timesharing one core).
+    """
+    requested = available_cpus()
+    env = os.environ.get("REPRO_WORKERS", "").strip()
+    if env:
+        try:
+            requested = int(env)
+        except ValueError:
+            obs.logger.warning("ignoring non-integer REPRO_WORKERS=%r", env)
+    return max(1, min(requested, available_cpus(), hours // MIN_HOURS_PER_SHARD))
 
 
 def plan_shards(hours: int, workers: int) -> List[Tuple[int, int]]:
@@ -94,55 +127,52 @@ def _simulate_shard(payload) -> "ShardResult":
     queue before forking the pool, the worker installs an emitter bound
     to it (labelled with its worker index) so per-hour progress streams
     to the parent while the shard runs.
+
+    With a shared-memory block name in the payload the shard's counts go
+    straight into the parent's block (sliced to this shard's hours,
+    fixed dtypes) and the returned result carries no arrays -- only the
+    tiny bookkeeping fields ride the pickle.
     """
     from repro.obs.live.bus import inherited_emitter
+    from repro.world.columnar import BlockSink
     from repro.world.simulator import MonthSimulator
 
-    world, truth, access, master_seed, hour_start, hour_stop, worker = payload
+    (world, truth, access, master_seed, hour_start, hour_stop, worker,
+     shm_name) = payload
     registry = MetricsRegistry()
     old_registry = obs.set_registry(registry)
     old_tracer = obs.set_tracer(Tracer())
     old_emitter = obs.set_emitter(inherited_emitter(worker))
+    shm = None
     try:
+        sink = None
+        if shm_name is not None:
+            shm, arrays = attach_shard_arrays(
+                shm_name, world, access.per_hour, hour_start, hour_stop
+            )
+            sink = BlockSink(arrays, hour_start, fixed_dtype=True)
         simulator = MonthSimulator(
             world, access=access, rngs=RNGRegistry(master_seed), truth=truth
         )
-        shard = simulator.run_shard(hour_start, hour_stop)
+        shard = simulator.run_shard(hour_start, hour_stop, sink=sink)
         shard.metrics = registry.dump_state()
         return shard
     finally:
+        if shm is not None:
+            shm.close()
         obs.set_registry(old_registry)
         obs.set_tracer(old_tracer)
         obs.set_emitter(old_emitter)
 
 
-def _dispatch(payloads: Sequence[tuple], in_process: bool) -> List["ShardResult"]:
-    """Run every shard payload, preferring a process pool.
-
-    Falls back to in-process execution when pools are unavailable
-    (sandboxed environments, unpicklable worlds, broken pools) -- the
-    result is bit-identical either way, only slower.
-    """
-    if not in_process and len(payloads) > 1:
-        try:
-            methods = multiprocessing.get_all_start_methods()
-            ctx = multiprocessing.get_context(
-                "fork" if "fork" in methods else None
-            )
-            with ProcessPoolExecutor(
-                max_workers=len(payloads), mp_context=ctx
-            ) as pool:
-                return list(pool.map(_simulate_shard, payloads))
-        except (OSError, ValueError, pickle.PicklingError, BrokenProcessPool) as exc:
-            obs.logger.warning(
-                "parallel dispatch unavailable (%s); running %d shards "
-                "in-process", exc, len(payloads),
-            )
-            obs.event(
-                "simulate.parallel_fallback", reason=repr(exc),
-                shards=len(payloads),
-            )
-    return [_simulate_shard(payload) for payload in payloads]
+def _pool_dispatch(payloads: Sequence[tuple]) -> List["ShardResult"]:
+    """Run every shard payload on a process pool (fork when available)."""
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+    with ProcessPoolExecutor(
+        max_workers=len(payloads), mp_context=ctx
+    ) as pool:
+        return list(pool.map(_simulate_shard, payloads))
 
 
 def run_parallel(
@@ -152,9 +182,10 @@ def run_parallel(
 ) -> "SimulationResult":
     """Shard ``simulator``'s month across ``workers`` and merge the results.
 
-    ``in_process=True`` forces the fallback path (every shard runs in
-    this process, sequentially) -- useful for tests and environments
-    without working process pools; output is identical.
+    ``in_process=True`` forces the sequential-shards path (every shard
+    runs in this process; no shared memory, no fallback accounting) --
+    useful for tests and environments without working process pools;
+    output is identical.
     """
     from repro.world.simulator import SimulationResult
 
@@ -165,10 +196,14 @@ def run_parallel(
     if len(shards) <= 1:
         return simulator.run(workers=1)
     master_seed = simulator.rngs.master_seed
-    payloads = [
-        (world, simulator.truth, simulator.access, master_seed, h0, h1, i)
-        for i, (h0, h1) in enumerate(shards)
-    ]
+    access = simulator.access
+
+    def payloads(shm_name: Optional[str]) -> List[tuple]:
+        return [
+            (world, simulator.truth, access, master_seed, h0, h1, i, shm_name)
+            for i, (h0, h1) in enumerate(shards)
+        ]
+
     emitter = obs.emitter()
     if emitter.enabled:
         from repro.world.simulator import _run_start_entities
@@ -179,10 +214,38 @@ def run_parallel(
             **_run_start_entities(world, emitter),
         )
     dataset = MeasurementDataset(world)
+    fallback_reason: Optional[str] = None
     with obs.stage(
         "simulate.month", hours=world.hours, workers=len(shards)
     ) as month_stage:
-        results = _dispatch(payloads, in_process)
+        results: Optional[List["ShardResult"]] = None
+        if not in_process and len(shards) > 1:
+            buffer = None
+            try:
+                buffer = SharedMonthBuffer(world, access.per_hour)
+                results = _pool_dispatch(payloads(buffer.name))
+                buffer.adopt_into(dataset)
+            except _FALLBACK_ERRORS as exc:
+                fallback_reason = repr(exc)
+                results = None
+                obs.logger.warning(
+                    "parallel dispatch unavailable (%s); running %d shards "
+                    "in-process", exc, len(shards),
+                )
+                obs.event(
+                    "simulate.parallel_fallback", reason=fallback_reason,
+                    shards=len(shards),
+                )
+                obs.registry().counter("parallel_fallback_total").inc()
+            finally:
+                if buffer is not None:
+                    buffer.destroy()
+        if results is None:
+            results = [_simulate_shard(p) for p in payloads(None)]
+            dataset.merge_shards(
+                (shard.arrays, (shard.hour_start, shard.hour_stop))
+                for shard in results
+            )
         registry = obs.registry()
         for i, shard in enumerate(results):
             with obs.span(
@@ -194,9 +257,6 @@ def run_parallel(
                 worker_cpu_seconds=round(shard.cpu_seconds, 6),
                 transactions=shard.transactions,
             ):
-                dataset.merge(
-                    shard.arrays, (shard.hour_start, shard.hour_stop)
-                )
                 if shard.metrics:
                     registry.merge_state(shard.metrics)
             # Per-shard wall/CPU accounting: run manifests report
@@ -210,6 +270,11 @@ def run_parallel(
         month_stage.add_items(int(dataset.transactions.sum()))
     simulator._commit_outcome_metrics(dataset)
     simulator._attach_provenance(dataset, workers=len(shards))
+    if fallback_reason is not None:
+        dataset.provenance["parallel_fallback"] = {
+            "reason": fallback_reason,
+            "shards": len(shards),
+        }
     if emitter.enabled:
         from repro.world.simulator import _dataset_totals
 

@@ -1,0 +1,148 @@
+"""Shared-memory transfer of shard counts between worker processes.
+
+The parallel engine used to pickle every worker's full count arrays back
+through the process pool: ~50 MB of serialized numpy per month shipped
+over a pipe, copied twice, then re-summed through the dtype-promotion
+ladder.  This module replaces the transfer with one
+``multiprocessing.shared_memory`` block sized for the whole month: the
+parent creates it, every worker attaches and writes its *disjoint*
+contiguous hour slice directly (no locks needed -- shards partition the
+hour axis), and the parent adopts the finished arrays with a single
+bulk copy per field.
+
+Layout is deterministic: field order follows
+``MeasurementDataset._ARRAY_FIELDS``, every field is aligned to its
+itemsize, and dtypes come from
+:meth:`~repro.core.dataset.MeasurementDataset.planned_dtypes` -- sized
+once, up front, from the access configuration, because a shared block
+cannot be promoted mid-run.  Workers recompute the same layout from the
+same ``(world, per_hour)`` inputs, so only the block *name* rides the
+task payload.
+
+Lifecycle: the parent owns the block and unlinks it in a ``finally`` --
+on success, on worker crash, and on KeyboardInterrupt.  Workers must
+detach their resource-tracker registration on attach (Python < 3.13
+registers attached segments too) or the tracker would unlink the
+parent's live block when the first worker exits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.dataset import MeasurementDataset
+from repro.world.entities import World
+
+_REPLICA_FIELDS = ("replica_connections", "replica_failed_connections")
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """One count array's placement inside the shared block."""
+
+    name: str
+    dtype: np.dtype
+    shape: Tuple[int, ...]
+    offset: int
+
+
+def plan_layout(world: World, per_hour: int) -> Tuple[List[FieldSpec], int]:
+    """Field placements plus total byte size for one month-wide block.
+
+    Pure function of ``(world, per_hour)``: parent and workers derive
+    identical layouts independently.
+    """
+    c, s = len(world.clients), len(world.websites)
+    r = max(1, world.max_replicas())
+    h = world.hours
+    dtypes = MeasurementDataset.planned_dtypes(world, per_hour)
+    fields: List[FieldSpec] = []
+    offset = 0
+    for name in MeasurementDataset._ARRAY_FIELDS:
+        shape = (s, r, h) if name in _REPLICA_FIELDS else (c, s, h)
+        dtype = np.dtype(dtypes[name])
+        # Align to the itemsize so every view is a native-aligned array.
+        offset = -(-offset // dtype.itemsize) * dtype.itemsize
+        fields.append(FieldSpec(name, dtype, shape, offset))
+        offset += int(np.prod(shape)) * dtype.itemsize
+    return fields, max(1, offset)
+
+
+def _views(shm: shared_memory.SharedMemory,
+           layout: List[FieldSpec]) -> Dict[str, np.ndarray]:
+    return {
+        spec.name: np.ndarray(
+            spec.shape, dtype=spec.dtype, buffer=shm.buf, offset=spec.offset
+        )
+        for spec in layout
+    }
+
+
+class SharedMonthBuffer:
+    """Parent-side owner of the month-wide shared count block."""
+
+    def __init__(self, world: World, per_hour: int) -> None:
+        self.layout, self.size = plan_layout(world, per_hour)
+        self._shm = shared_memory.SharedMemory(create=True, size=self.size)
+        #: POSIX shared memory is zero-filled on creation, so fields need
+        #: no explicit clear before workers write their hour slices.
+        self.name = self._shm.name
+        self.arrays = _views(self._shm, self.layout)
+
+    def adopt_into(self, dataset: MeasurementDataset) -> None:
+        """Copy every finished field into ``dataset`` (one pass each).
+
+        The dataset's arrays are promoted to fit each field's actual
+        peak first, so the copy itself can never wrap.
+        """
+        for spec in self.layout:
+            view = self.arrays[spec.name]
+            peak = int(view.max()) if view.size else 0
+            dataset.ensure_count_capacity(peak, fields=(spec.name,))
+            getattr(dataset, spec.name)[...] = view
+
+    def destroy(self) -> None:
+        """Detach and unlink; safe to call more than once."""
+        self.arrays = {}
+        try:
+            self._shm.close()
+            self._shm.unlink()
+        except FileNotFoundError:  # already unlinked
+            pass
+
+
+def attach_shard_arrays(
+    name: str, world: World, per_hour: int, hour_start: int, hour_stop: int
+) -> Tuple[shared_memory.SharedMemory, Dict[str, np.ndarray]]:
+    """Worker-side attach: views restricted to ``[hour_start, hour_stop)``.
+
+    The returned views cover only this shard's hour slice, so a sink
+    writing through them cannot touch another worker's hours, and
+    summing a view observes only this shard's counts.  Caller closes the
+    returned segment when the shard is done (the parent unlinks).
+    """
+    layout, _ = plan_layout(world, per_hour)
+    # Attaching registers the segment with the resource tracker (fixed
+    # only in Python 3.13's track=False).  Under *spawn* the worker owns
+    # a private tracker that would unlink the parent's live block when
+    # the worker exits, so the registration must be dropped.  Under
+    # *fork* the tracker process is shared with the parent -- there the
+    # re-registration is an idempotent set-add that must be left alone,
+    # or the parent's own unlink-time unregister would double-remove.
+    # A tracker already running before we attach means it was inherited.
+    tracker_inherited = (
+        resource_tracker._resource_tracker._fd is not None
+    )
+    shm = shared_memory.SharedMemory(name=name)
+    if not tracker_inherited:
+        resource_tracker.unregister(shm._name, "shared_memory")
+    views = _views(shm, layout)
+    sliced = {
+        field: view[..., hour_start:hour_stop]
+        for field, view in views.items()
+    }
+    return shm, sliced

@@ -1,15 +1,17 @@
 """The fast, vectorised month simulator.
 
 Runs the whole experiment (134 clients x 80 sites x 744 hours x ~4
-accesses/hour ~ 25M transactions) in seconds by drawing per-cell outcome
-*counts* from the :class:`~repro.world.outcome_model.OutcomeModel`'s
-probability matrices, hour by hour, directly into a
+accesses/hour ~ 25M transactions) in well under a second by drawing
+per-hour outcome counts over the columnar (category x client x site)
+rate lattice (:mod:`repro.world.columnar`) directly into a
 :class:`~repro.core.dataset.MeasurementDataset`.
 
 The statistical model is identical to the detailed message-level engine
 (:mod:`repro.world.detailed`); a validation test holds the two to
-agreement.  Counts are drawn with sequential conditional binomials, exactly
-matching the per-access stage ordering (DNS -> TCP -> HTTP).
+agreement.  Counts are drawn by Poisson factorisation -- the exact
+category decomposition of the per-access DNS -> TCP -> HTTP stage
+cascade -- with one scalar Poisson total and a multinomial scatter per
+hour instead of a per-cell binomial cascade.
 
 Determinism contract: every hour draws from its own derived RNG stream
 (``fast-engine/hour/<h>``), so the month can be simulated in any order --
@@ -28,6 +30,7 @@ import numpy as np
 
 from repro import obs
 from repro.core.dataset import MeasurementDataset
+from repro.world.columnar import BlockSink, ColumnarEngine, DatasetSink
 from repro.world.entities import ClientCategory, World
 from repro.world.faults import FaultConfig, FaultGenerator, GroundTruth
 from repro.world.outcome_model import AccessConfig, OutcomeModel
@@ -52,14 +55,15 @@ class ShardResult:
     """One worker's simulated contiguous hour block.
 
     ``arrays`` maps every dataset array field to its counts restricted to
-    ``[hour_start, hour_stop)`` -- the compact unit workers ship back to
-    the parent, which accumulates them with
-    :meth:`~repro.core.dataset.MeasurementDataset.merge`.
+    ``[hour_start, hour_stop)``.  On the shared-memory transfer path
+    (:mod:`repro.world.sharedmem`) the counts travel through the shared
+    block instead and ``arrays`` is ``None`` -- only the bookkeeping
+    fields ride the (tiny) pickled result.
     """
 
     hour_start: int
     hour_stop: int  # exclusive
-    arrays: Dict[str, np.ndarray]
+    arrays: Optional[Dict[str, np.ndarray]]
     transactions: int
     elapsed_seconds: float
     stage_seconds: Dict[str, float]
@@ -74,7 +78,7 @@ class ShardResult:
 
 
 class MonthSimulator:
-    """Vectorised engine: one binomial cascade per hour."""
+    """Vectorised engine: one Poisson-factorised scatter per hour."""
 
     def __init__(
         self,
@@ -91,6 +95,7 @@ class MonthSimulator:
             truth = FaultGenerator(world, faults, self.rngs.fork("faults")).generate()
         self.truth = truth
         self.model = OutcomeModel(world, truth, self.access)
+        self.engine = ColumnarEngine(self.model, truth, self.rngs, self.access)
         #: Per-stage wall-time accumulators, committed to the metrics
         #: registry at the end of each run().
         self._stage_seconds = {"dns": 0.0, "tcp": 0.0, "http": 0.0, "commit": 0.0}
@@ -128,7 +133,7 @@ class MonthSimulator:
         with obs.stage(
             "simulate.month", hours=self.world.hours
         ) as month_stage:
-            self._simulate_block(0, self.world.hours, dataset)
+            self._simulate_block(0, self.world.hours, DatasetSink(dataset))
             month_stage.add_items(int(dataset.transactions.sum()))
         self._commit_stage_metrics(self.world.hours)
         self._commit_outcome_metrics(dataset)
@@ -145,13 +150,20 @@ class MonthSimulator:
             emitter.emit("run_done", **_dataset_totals(dataset))
         return SimulationResult(dataset=dataset, truth=self.truth, model=self.model)
 
-    def run_shard(self, hour_start: int, hour_stop: int) -> ShardResult:
+    def run_shard(
+        self,
+        hour_start: int,
+        hour_stop: int,
+        sink: Optional[BlockSink] = None,
+    ) -> ShardResult:
         """Simulate one contiguous hour block and return its counts.
 
         The unit of work the parallel engine dispatches to worker
         processes.  Stage wall-times are committed to the active (per
-        worker) metrics registry; the hour-sliced arrays travel back to
-        the parent compactly.
+        worker) metrics registry.  By default the counts land in freshly
+        allocated block arrays shipped back on the result; when the
+        caller passes a ``sink`` (the shared-memory path, whose views
+        the parent already owns) the result carries no arrays.
         """
         if not 0 <= hour_start <= hour_stop <= self.world.hours:
             raise ValueError(
@@ -160,7 +172,14 @@ class MonthSimulator:
             )
         started = perf_counter()
         cpu_started = process_time()
-        dataset = MeasurementDataset(self.world)
+        owns_arrays = sink is None
+        if sink is None:
+            sink = BlockSink(
+                MeasurementDataset.block_template(
+                    self.world, hour_stop - hour_start
+                ),
+                hour_start,
+            )
         self._stage_seconds = {"dns": 0.0, "tcp": 0.0, "http": 0.0, "commit": 0.0}
         emitter = obs.emitter()
         if emitter.enabled:
@@ -170,19 +189,12 @@ class MonthSimulator:
         with obs.stage(
             "simulate.shard", hour_start=hour_start, hour_stop=hour_stop
         ) as shard_stage:
-            self._simulate_block(hour_start, hour_stop, dataset)
+            self._simulate_block(hour_start, hour_stop, sink)
             transactions = int(
-                dataset.transactions[..., hour_start:hour_stop]
-                .sum(dtype=np.int64)
+                sink.arrays["transactions"].sum(dtype=np.int64)
             )
             shard_stage.add_items(transactions)
         self._commit_stage_metrics(hour_stop - hour_start)
-        arrays = {
-            name: np.ascontiguousarray(
-                getattr(dataset, name)[..., hour_start:hour_stop]
-            )
-            for name in MeasurementDataset._ARRAY_FIELDS
-        }
         elapsed_seconds = perf_counter() - started
         cpu_seconds = process_time() - cpu_started
         if emitter.enabled:
@@ -197,41 +209,23 @@ class MonthSimulator:
         return ShardResult(
             hour_start=hour_start,
             hour_stop=hour_stop,
-            arrays=arrays,
+            arrays=sink.arrays if owns_arrays else None,
             transactions=transactions,
             elapsed_seconds=elapsed_seconds,
             stage_seconds=dict(self._stage_seconds),
             cpu_seconds=cpu_seconds,
         )
 
-    def _simulate_block(
-        self, hour_start: int, hour_stop: int, dataset: MeasurementDataset
-    ) -> None:
-        """Simulate ``[hour_start, hour_stop)`` into ``dataset``.
+    def _simulate_block(self, hour_start: int, hour_stop: int, sink) -> None:
+        """Simulate ``[hour_start, hour_stop)`` into ``sink``.
 
         Each hour draws from its own freshly derived stream, so blocks
-        are order- and process-independent.
+        are order- and process-independent (see
+        :meth:`~repro.world.columnar.ColumnarEngine.simulate_block`).
         """
-        proxied = self.model.proxied
-        emitter = obs.emitter()
-        for h in range(hour_start, hour_stop):
-            stream = f"fast-engine/hour/{h}"
-            with obs.span("simulate.hour", hour=h):
-                rng = self.rngs.np_fresh(stream)
-                self._simulate_hour(h, dataset, rng, proxied)
-            # Live telemetry: per-hour failure-type counts, read back off
-            # the committed slices (pure reads -- the emitter can never
-            # perturb the dataset or the RNG, so the digest is identical
-            # with telemetry on or off).
-            if emitter.enabled:
-                emitter.emit("hour_done", hour=h, stream=stream,
-                             **_hour_counts(dataset, h))
-                # Per-entity stats are a bigger payload (four vectors
-                # plus sparse TCP triples), so they are opt-in: only
-                # built when an online-analysis consumer subscribed.
-                if getattr(emitter, "entity_stats", False):
-                    emitter.emit("hour_stats", hour=h,
-                                 **_hour_entity_stats(dataset, h))
+        self.engine.simulate_block(
+            hour_start, hour_stop, sink, self._stage_seconds
+        )
 
     def _attach_provenance(
         self, dataset: MeasurementDataset, workers: int
@@ -281,221 +275,6 @@ class MonthSimulator:
         )
         registry.gauge("simulate_hours").set(self.world.hours)
 
-    # -- internals ---------------------------------------------------------------
-
-    def _simulate_hour(
-        self,
-        h: int,
-        dataset: MeasurementDataset,
-        rng: np.random.Generator,
-        proxied: np.ndarray,
-    ) -> None:
-        hour = self.model.hour(h)
-        n = rng.poisson(hour.n_expected).astype(np.int64)
-        # Scaled runs (large per_hour) would silently wrap the uint16
-        # count arrays; every transaction-level count is bounded by n, so
-        # one capacity check covers the whole commit below.
-        if n.size:
-            dataset.ensure_count_capacity(int(n.max()))
-        # Clients that are down make no accesses at all this hour; the
-        # Poisson above is per-cell thinning for DU duty cycles etc.
-        direct = ~proxied
-        stage_seconds = self._stage_seconds
-
-        # ---- DNS cascade (direct clients only; the proxy masks DNS) ----
-        t0 = perf_counter()
-        ldns_f = rng.binomial(n, hour.p_ldns)
-        rest = n - ldns_f
-        nonldns_f = rng.binomial(rest, hour.p_nonldns)
-        rest = rest - nonldns_f
-        dnserr_f = rng.binomial(rest, hour.p_dnserr)
-        dns_ok = rest - dnserr_f
-        t1 = perf_counter()
-        stage_seconds["dns"] += t1 - t0
-
-        # ---- TCP stage ----
-        tcp_f = rng.binomial(dns_ok, hour.p_tcp)
-        tcp_ok = dns_ok - tcp_f
-        # Split TCP failures into kinds with two conditional binomials.
-        noconn = rng.binomial(tcp_f, hour.tcp_mix_noconn)
-        remaining = tcp_f - noconn
-        denom = 1.0 - hour.tcp_mix_noconn
-        p_noresp_given_rest = np.divide(
-            hour.tcp_mix_noresp, denom, out=np.zeros_like(denom), where=denom > 1e-12
-        )
-        noresp = rng.binomial(remaining, np.clip(p_noresp_given_rest, 0.0, 1.0))
-        partial = remaining - noresp
-        t2 = perf_counter()
-        stage_seconds["tcp"] += t2 - t1
-
-        # ---- HTTP stage ----
-        http_f = rng.binomial(tcp_ok, hour.p_http)
-        success = tcp_ok - http_f
-
-        # ---- Proxied clients: opaque pass/fail ----
-        masked_f = rng.binomial(n, hour.p_fail_proxied)
-        t3 = perf_counter()
-        stage_seconds["http"] += t3 - t2
-
-        # ---- Commit transaction-level counts ----
-        dataset.transactions[:, :, h] = n
-        dataset.dns_ldns[:, :, h] = np.where(direct[:, None], ldns_f, 0)
-        dataset.dns_nonldns[:, :, h] = np.where(direct[:, None], nonldns_f, 0)
-        dataset.dns_error[:, :, h] = np.where(direct[:, None], dnserr_f, 0)
-        # BB clients lack packet traces: no-response and partial-response
-        # are indistinguishable, and a fraction of no-connection failures
-        # cannot be identified from wget exit information alone either
-        # (Figure 3's combined category).
-        bb = self.model.bb
-        ambiguous_rows = bb & direct
-        noconn_hidden = rng.binomial(
-            np.where(ambiguous_rows[:, None], noconn, 0),
-            1.0 - self.access.bb_noconn_visibility,
-        )
-        dataset.tcp_noconn[:, :, h] = np.where(
-            direct[:, None], noconn - noconn_hidden, 0
-        )
-        dataset.tcp_noresp[:, :, h] = np.where(
-            (direct & ~ambiguous_rows)[:, None], noresp, 0
-        )
-        dataset.tcp_partial[:, :, h] = np.where(
-            (direct & ~ambiguous_rows)[:, None], partial, 0
-        )
-        dataset.tcp_ambiguous[:, :, h] = np.where(
-            ambiguous_rows[:, None], noresp + partial + noconn_hidden, 0
-        )
-        dataset.http_errors[:, :, h] = np.where(direct[:, None], http_f, 0)
-        dataset.masked_failures[:, :, h] = np.where(proxied[:, None], masked_f, 0)
-
-        # ---- Connection-level counts (direct clients only) ----
-        self._commit_connections(
-            h, dataset, rng, direct, success, http_f, tcp_f, partial, hour
-        )
-        stage_seconds["commit"] += perf_counter() - t3
-
-    def _commit_connections(
-        self,
-        h: int,
-        dataset: MeasurementDataset,
-        rng: np.random.Generator,
-        direct: np.ndarray,
-        success: np.ndarray,
-        http_f: np.ndarray,
-        tcp_f: np.ndarray,
-        partial: np.ndarray,
-        hour,
-    ) -> None:
-        """Connection accounting: retries, failover, redirects, replicas.
-
-        Ordinary TCP failures make one pass over the address list (wget's
-        per-connection timeouts exhaust its patience); permanent-pair
-        failures fail fast (RST, checksum abort) and get retried
-        ``permanent_tries`` times -- the mechanism behind their outsized
-        share of connection failures (50.7% in the paper, Section 4.4.2).
-        """
-        n_addr = self.model.n_addresses[None, :]  # (1, S)
-        perm = self.truth.permanent_pair > 0  # (C, S)
-        tries = np.where(perm, self.access.permanent_tries, self.access.tries)
-
-        delivered = success + http_f  # transactions that got a response
-        redirect_p = np.broadcast_to(
-            self.model.redirect_p[None, :].astype(np.float64), delivered.shape
-        )
-        redirects = rng.binomial(delivered, redirect_p)
-
-        # Extra failed attempts before success at spread-replica sites: the
-        # wget walks the (rotated) address list past dead replicas.
-        spread = self.model.spread_site
-        extra_failed = np.zeros_like(delivered)
-        if spread.any():
-            exp_extra = _expected_leading_failures(
-                hour.replica_eff_fail, self.model.n_replicas
-            )  # (S,)
-            lam = delivered * exp_extra[None, :] * spread[None, :]
-            extra_failed = rng.poisson(lam)
-
-        failed_conns = tcp_f * (tries * n_addr) + extra_failed
-        total_conns = delivered + redirects + failed_conns
-        if total_conns.size:
-            dataset.ensure_count_capacity(
-                int(total_conns.max()),
-                fields=("connections", "failed_connections"),
-            )
-
-        direct_col = direct[:, None]
-        dataset.connections[:, :, h] = np.where(direct_col, total_conns, 0)
-        dataset.failed_connections[:, :, h] = np.where(direct_col, failed_conns, 0)
-
-        # Retransmission-inferred packet losses (Section 3.5(b)).  Only
-        # data-bearing retransmissions are countable: "failed connections
-        # that transfer no data ... are hard to account for" (Section
-        # 4.1.3), so no-connection failures contribute nothing -- which is
-        # exactly why the loss estimate correlates only weakly with the
-        # transaction failure rate.
-        bg_loss = self.truth.config.background_packet_loss
-        segments_per_transfer = 16.0
-        # Transfers that survive a bad period still ride a lossier channel,
-        # giving the mild positive coupling the paper measures (r ~ 0.19).
-        ambient = hour.p_tcp * segments_per_transfer * 1.4
-        lam = (
-            delivered * (bg_loss * segments_per_transfer + ambient)
-            + partial.astype(np.float64) * 6.0
-        )
-        losses = rng.poisson(lam)
-        dataset.packet_losses[:, :, h] = np.where(direct_col, losses, 0)
-
-        # ---- Replica-level aggregation (across direct clients) ----
-        site_conns = np.where(direct_col, total_conns, 0).sum(axis=0)
-        site_failed = np.where(direct_col, failed_conns, 0).sum(axis=0)
-        site_extra = np.where(direct_col, extra_failed, 0).sum(axis=0)
-        n_repl = self.model.n_replicas
-        max_r = dataset.replica_connections.shape[1]
-        for si in np.nonzero(n_repl > 0)[0]:
-            r = int(n_repl[si])
-            if spread[si]:
-                # Failed attempts concentrate on the dead replicas.
-                r_fail = hour.replica_eff_fail[si, :r]
-                weights = r_fail / r_fail.sum() if r_fail.sum() > 0 else None
-                per_replica_failed = _split(site_extra[si], r, rng, weights)
-                base_failed = _split(site_failed[si] - site_extra[si], r, rng)
-                per_replica_failed = per_replica_failed + base_failed
-            else:
-                per_replica_failed = _split(site_failed[si], r, rng)
-            per_replica_conns = _split(site_conns[si], r, rng)
-            # Connections can't be fewer than failures per replica.
-            per_replica_conns = np.maximum(per_replica_conns, per_replica_failed)
-            dataset.replica_connections[si, :r, h] += per_replica_conns.astype(
-                np.uint32
-            )
-            dataset.replica_failed_connections[si, :r, h] += per_replica_failed.astype(
-                np.uint32
-            )
-
-
-def _hour_counts(dataset: MeasurementDataset, h: int) -> Dict[str, int]:
-    """Per-failure-type transaction counts of hour ``h`` (pure reads).
-
-    Sums the component slices directly rather than going through the
-    ``dns_failures``/``tcp_failures`` properties, which would
-    materialize full month-sized arrays once per hour.
-    """
-
-    def total(*fields: str) -> int:
-        return int(
-            sum(
-                getattr(dataset, name)[:, :, h].sum(dtype=np.int64)
-                for name in fields
-            )
-        )
-
-    return {
-        "transactions": total("transactions"),
-        "dns": total("dns_ldns", "dns_nonldns", "dns_error"),
-        "tcp": total("tcp_noconn", "tcp_noresp", "tcp_partial", "tcp_ambiguous"),
-        "http": total("http_errors"),
-        "masked": total("masked_failures"),
-    }
-
 
 def _run_start_entities(world, emitter) -> Dict[str, list]:
     """Entity-name fields for ``run_start`` when stats were asked for.
@@ -512,38 +291,6 @@ def _run_start_entities(world, emitter) -> Dict[str, list]:
     }
 
 
-def _hour_entity_stats(dataset: MeasurementDataset, h: int) -> Dict[str, list]:
-    """Per-entity counts of hour ``h`` for the online detection pipeline.
-
-    Everything :mod:`repro.obs.online` needs to mirror the batch
-    episode/blame analysis for one hour, in plain JSON-native lists:
-    per-client and per-server transaction/failure vectors plus the
-    sparse (client, server, count) TCP-failure triples blame buckets on.
-    Pure reads of the committed slices, like :func:`_hour_counts`.
-    """
-    trans = dataset.transactions[:, :, h].astype(np.int64)
-    failures = np.zeros_like(trans)
-    for name in (
-        "dns_ldns", "dns_nonldns", "dns_error",
-        "tcp_noconn", "tcp_noresp", "tcp_partial", "tcp_ambiguous",
-        "http_errors", "masked_failures",
-    ):
-        failures += getattr(dataset, name)[:, :, h]
-    tcp = np.zeros_like(trans)
-    for name in ("tcp_noconn", "tcp_noresp", "tcp_partial", "tcp_ambiguous"):
-        tcp += getattr(dataset, name)[:, :, h]
-    ci, si = np.nonzero(tcp)
-    return {
-        "ct": trans.sum(axis=1).tolist(),
-        "cf": failures.sum(axis=1).tolist(),
-        "st": trans.sum(axis=0).tolist(),
-        "sf": failures.sum(axis=0).tolist(),
-        "tcp": [
-            [int(c), int(s), int(tcp[c, s])] for c, s in zip(ci, si)
-        ],
-    }
-
-
 def _dataset_totals(dataset: MeasurementDataset) -> Dict[str, int]:
     """Month-wide per-failure-type totals for the ``run_done`` event."""
     return {
@@ -556,7 +303,12 @@ def _dataset_totals(dataset: MeasurementDataset) -> Dict[str, int]:
 
 
 def _split(total: int, parts: int, rng: np.random.Generator, weights=None) -> np.ndarray:
-    """Multinomially split ``total`` across ``parts`` bins."""
+    """Multinomially split ``total`` across ``parts`` bins.
+
+    The scalar reference the columnar engine's batched
+    ``rng.multinomial`` replica splits generalise; kept for the detailed
+    engine and as the semantic anchor the tests pin.
+    """
     total = int(total)
     if parts == 1:
         return np.array([total], dtype=np.int64)
@@ -575,6 +327,10 @@ def _expected_leading_failures(
     probability q_r (persisting for the hour), the expected number of
     failed attempts before reaching an up replica, conditioned on at least
     one being up, is approximated by sum(q_r) / (n - sum(q_r) + 1).
+
+    Scalar reference implementation; the columnar engine evaluates the
+    same formula vectorised over hour chunks
+    (:func:`repro.world.columnar.expected_leading_failures`).
     """
     out = np.zeros(replica_eff_fail.shape[0], dtype=np.float64)
     for si in range(replica_eff_fail.shape[0]):

@@ -127,6 +127,28 @@ class TestRunsVerbs:
         assert ">= f=" in out  # a flagged episode with its threshold
         assert "blame at f=0.05" in out
 
+    def test_show_reveals_parallel_fallback(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        """A "parallel" run that fell back to in-process must say so."""
+        from repro.world import parallel
+
+        def broken(payloads):
+            raise OSError("pool refused")
+
+        monkeypatch.setattr(parallel, "_pool_dispatch", broken)
+        _simulate(tmp_path, seed=11, workers="2")
+        run_id = RunStore(tmp_path).list_manifests()[0].run_id
+        capsys.readouterr()
+        code = cli.main([
+            "runs", "--runs-dir", str(tmp_path), "show", run_id,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fallback:" in out
+        assert "ran sequentially in-process" in out
+        assert "pool refused" in out
+
     def test_show_unknown_ref(self, registry, capsys):
         code = cli.main([
             "runs", "--runs-dir", str(registry["root"]), "show", "zzzzzz",

@@ -5,6 +5,10 @@ dataset is bit-identical for any worker count -- sequential, process-pool
 parallel, and the in-process fallback all agree array-for-array.
 """
 
+import glob
+import multiprocessing
+import os
+
 import numpy as np
 import pytest
 
@@ -187,3 +191,143 @@ class TestObservability:
         )
         assert result.dataset.provenance["workers"] == 2
         assert result.dataset.provenance["master_seed"] == SEED
+
+
+class TestWorkerClamp:
+    """default_workers must never oversubscribe the affinity mask."""
+
+    def test_env_override_clamped_to_one_cpu(self, monkeypatch):
+        monkeypatch.setattr(parallel, "available_cpus", lambda: 1)
+        monkeypatch.setenv("REPRO_WORKERS", "8")
+        assert parallel.default_workers(744) == 1
+
+    def test_env_override_within_cpus(self, monkeypatch):
+        monkeypatch.setattr(parallel, "available_cpus", lambda: 8)
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        assert parallel.default_workers(744) == 2
+
+    def test_env_override_clamped_to_shard_floor(self, monkeypatch):
+        monkeypatch.setattr(parallel, "available_cpus", lambda: 16)
+        monkeypatch.setenv("REPRO_WORKERS", "16")
+        assert parallel.default_workers(48) == 2
+
+    def test_invalid_env_ignored(self, monkeypatch):
+        monkeypatch.setattr(parallel, "available_cpus", lambda: 2)
+        monkeypatch.setenv("REPRO_WORKERS", "lots")
+        assert parallel.default_workers(744) == 2
+
+    def test_never_exceeds_cpus_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        monkeypatch.setattr(parallel, "available_cpus", lambda: 1)
+        assert parallel.default_workers(744) == 1
+
+
+class TestShardPlanProperty:
+    def test_blocks_exactly_cover_hour_range(self):
+        """Property sweep: shards partition [0, hours) for any inputs."""
+        rng = np.random.default_rng(20050101)
+        cases = [(1, 1), (1, 50), (8760, 1), (8760, 64)]
+        cases += [
+            (int(rng.integers(1, 2000)), int(rng.integers(1, 64)))
+            for _ in range(200)
+        ]
+        for hours, workers in cases:
+            shards = parallel.plan_shards(hours, workers)
+            assert shards[0][0] == 0
+            assert shards[-1][1] == hours
+            covered = []
+            for h0, h1 in shards:
+                assert h0 < h1, "no empty blocks"
+                covered.extend(range(h0, h1))
+            assert covered == list(range(hours)), (hours, workers)
+
+
+def _shm_blocks():
+    return set(glob.glob("/dev/shm/psm_*"))
+
+
+_REAL_SIMULATE_SHARD = parallel._simulate_shard
+
+
+def _crash_in_child(payload):
+    """Pool task that dies hard in workers but works in the parent.
+
+    Module-level so fork workers can unpickle it by reference; the
+    parent (in-process fallback) must still produce correct results.
+    """
+    if multiprocessing.parent_process() is not None:
+        os._exit(13)
+    return _REAL_SIMULATE_SHARD(payload)
+
+
+requires_dev_shm = pytest.mark.skipif(
+    not os.path.isdir("/dev/shm"), reason="needs POSIX /dev/shm"
+)
+
+
+class TestSharedMemoryLifecycle:
+    @requires_dev_shm
+    def test_block_unlinked_on_success(self, small_world, small_truth):
+        before = _shm_blocks()
+        result = _simulator(small_world, small_truth).run(workers=2)
+        assert result.dataset.provenance.get("parallel_fallback") is None
+        assert _shm_blocks() <= before
+
+    @requires_dev_shm
+    def test_block_unlinked_on_worker_crash(
+        self, small_world, small_truth, sequential, monkeypatch
+    ):
+        monkeypatch.setattr(parallel, "_simulate_shard", _crash_in_child)
+        before = _shm_blocks()
+        registry = MetricsRegistry()
+        with obs.use(registry):
+            result = parallel.run_parallel(
+                _simulator(small_world, small_truth), 2
+            )
+        assert _shm_blocks() <= before
+        # The crash demoted the run to the in-process fallback, which
+        # must still produce the canonical dataset -- and say so.
+        assert result.dataset.digest() == sequential.dataset.digest()
+        assert registry.counter("parallel_fallback_total").value == 1
+        fallback = result.dataset.provenance["parallel_fallback"]
+        assert fallback["shards"] == 2
+        assert "reason" in fallback
+
+    @requires_dev_shm
+    def test_block_unlinked_on_keyboard_interrupt(
+        self, small_world, small_truth, monkeypatch
+    ):
+        def interrupted(payloads):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(parallel, "_pool_dispatch", interrupted)
+        before = _shm_blocks()
+        with pytest.raises(KeyboardInterrupt):
+            parallel.run_parallel(_simulator(small_world, small_truth), 2)
+        assert _shm_blocks() <= before
+
+
+class TestFallbackObservability:
+    def test_fallback_counted_and_stamped(
+        self, small_world, small_truth, sequential, monkeypatch
+    ):
+        def broken(payloads):
+            raise OSError("pool refused")
+
+        monkeypatch.setattr(parallel, "_pool_dispatch", broken)
+        registry = MetricsRegistry()
+        with obs.use(registry):
+            result = parallel.run_parallel(
+                _simulator(small_world, small_truth), 3
+            )
+        assert registry.counter("parallel_fallback_total").value == 1
+        fallback = result.dataset.provenance["parallel_fallback"]
+        assert "pool refused" in fallback["reason"]
+        assert fallback["shards"] == 3
+        assert result.dataset.digest() == sequential.dataset.digest()
+
+    def test_no_fallback_stamp_on_clean_run(self, small_world, small_truth):
+        result = parallel.run_parallel(
+            _simulator(small_world, small_truth), 2, in_process=True
+        )
+        assert "parallel_fallback" not in result.dataset.provenance
