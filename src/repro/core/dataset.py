@@ -132,6 +132,7 @@ class MeasurementDataset:
     def dns_failures(self) -> np.ndarray:
         """All DNS failures per cell."""
         return (
+            # repro: lint-ok[DTY002] widening cast: three uint16 terms cannot overflow uint32
             self.dns_ldns.astype(np.uint32)
             + self.dns_nonldns
             + self.dns_error
@@ -141,6 +142,7 @@ class MeasurementDataset:
     def tcp_failures(self) -> np.ndarray:
         """All TCP connection-level transaction failures per cell."""
         return (
+            # repro: lint-ok[DTY002] widening cast: four uint16 terms cannot overflow uint32
             self.tcp_noconn.astype(np.uint32)
             + self.tcp_noresp
             + self.tcp_partial

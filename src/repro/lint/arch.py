@@ -1,0 +1,214 @@
+"""Layering-contract rules: ARC001-ARC002.
+
+The package layering that keeps the reproduction honest has until now
+been a convention: the measurement engine (``net``/``dns``/``tcp``/
+``http``/``bgp``), the analysis core, the simulated world, and the
+observability layer stack in one direction, and the planted ground
+truth (``world/faults.py``, ``world/scenarios.py``) must be invisible
+to the classifier that is being scored against it.  PR 6 moved kneedle
+into ``core/knee.py`` precisely to break a ``core``<->``obs`` cycle;
+this module turns that episode into a checked invariant.
+
+* ARC001 -- a declarative allowed-import matrix over the project import
+  graph (deferred function-level imports included: a lazy import is
+  still a dependency).  Each layer lists the layers it may depend on;
+  the ``repro.obs`` facade is importable from anywhere (passive
+  instrumentation), while ``obs.live``/``obs.online``/``obs.runstore``
+  internals are reserved to the obs layer and the CLI.
+* ARC002 -- ground-truth unreachability: nothing transitively imported
+  by ``core.classify``/``core.blame`` may reach the fault planner, and
+  they must not import ground-truth symbols directly.  If the
+  classifier can see the answer key, its precision/recall scores are
+  fiction.
+
+The matrix is the contract; changing it is an architecture decision and
+belongs in the same commit as the import it legalizes (DESIGN.md §10).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, Tuple
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.graph import ROOT_PACKAGE, ImportEdge
+from repro.lint.project import ProjectContext, ProjectRule
+from repro.lint.rules import register
+
+#: layer -> layers it may import from (itself always included).
+LAYER_MATRIX: Dict[str, FrozenSet[str]] = {
+    "net": frozenset({"net"}),
+    "dns": frozenset({"dns", "net"}),
+    "tcp": frozenset({"tcp", "net"}),
+    "http": frozenset({"http", "tcp", "dns", "net"}),
+    "bgp": frozenset({"bgp", "net"}),
+    "core": frozenset({"core", "net", "bgp"}),
+    "world": frozenset(
+        {"world", "core", "net", "tcp", "dns", "http", "bgp"}
+    ),
+    "obs": frozenset({"obs", "core"}),
+    "lint": frozenset({"lint"}),
+}
+
+#: Module targets allowed from *any* layer: the passive observability
+#: facade.  Instrumentation may be sprinkled everywhere; orchestration
+#: (live dashboards, detectors, run stores) may not.
+FACADE_TARGETS = frozenset({"repro.obs"})
+
+#: Extra exact targets per layer, beyond the matrix.
+LAYER_EXTRA_TARGETS: Dict[str, FrozenSet[str]] = {
+    # Analysis needs the entity vocabulary (Client/Website/categories),
+    # not the machinery that simulates them.
+    "core": frozenset({"repro.world.entities"}),
+    # The parallel engine folds worker metrics/spans into the parent;
+    # metrics/tracing/runtime are passive leaves of obs.
+    "world": frozenset({
+        "repro.obs.metrics", "repro.obs.tracing", "repro.obs.runtime",
+    }),
+}
+
+#: Exact (source module, target module) exceptions.  Each one is a
+#: documented architecture decision, not an escape hatch.
+EXCEPTION_PAIRS: FrozenSet[Tuple[str, str]] = frozenset({
+    # pcap serialization of TCP traces: the trace type lives with the
+    # TCP model, the wire format with net.  One-way and value-only.
+    ("repro.net.pcap", "repro.tcp.trace"),
+})
+
+#: Sub-prefixes banned even when the target's layer is allowed.
+BANNED_PREFIXES: Dict[str, Tuple[str, ...]] = {
+    "core": ("repro.obs.live", "repro.obs.online", "repro.obs.runstore"),
+    "world": ("repro.obs.live", "repro.obs.online", "repro.obs.runstore"),
+}
+
+#: Modules whose transitive imports must never reach ground truth.
+PROTECTED_MODULES = ("repro.core.classify", "repro.core.blame")
+
+#: Where the answer key lives.
+TRUTH_MODULES = frozenset({
+    "repro.world.faults", "repro.world.scenarios",
+})
+
+#: Ground-truth symbols that must not be imported by protected modules.
+TRUTH_SYMBOLS = frozenset({
+    "GroundTruth", "truth_transform", "ground_truth_log",
+    "plant_server_fault", "FaultGenerator", "FaultConfig",
+})
+
+
+def layer_of(module: str) -> str:
+    """Top-level layer name of a project module ('' for the root and
+    for plain top-level modules like ``repro.cli``)."""
+    parts = module.split(".")
+    if len(parts) < 2 or parts[0] != ROOT_PACKAGE:
+        return ""
+    return parts[1] if parts[1] in LAYER_MATRIX else ""
+
+
+def _policy_target(edge: ImportEdge) -> str:
+    """The module an edge should be judged by.
+
+    ``from repro import obs`` resolves to ``repro.obs`` when the obs
+    package is part of the lint run; when it is not (single-file
+    fixtures), fall back to gluing the symbol on, so the facade is
+    recognized either way.
+    """
+    if edge.target == ROOT_PACKAGE and edge.symbol is not None:
+        return f"{ROOT_PACKAGE}.{edge.symbol}"
+    return edge.target
+
+
+def allowed(src_module: str, target: str) -> bool:
+    """Does the layering contract allow ``src_module`` -> ``target``?"""
+    layer = layer_of(src_module)
+    if not layer:
+        return True  # root package / CLI wire everything together
+    for prefix in BANNED_PREFIXES.get(layer, ()):
+        if target == prefix or target.startswith(prefix + "."):
+            return False
+    if target in FACADE_TARGETS:
+        return True
+    if target in LAYER_EXTRA_TARGETS.get(layer, frozenset()):
+        return True
+    if (src_module, target) in EXCEPTION_PAIRS:
+        return True
+    target_layer = layer_of(target)
+    if not target_layer:
+        return True  # root-package member import: facade territory
+    return target_layer in LAYER_MATRIX[layer]
+
+
+@register
+class LayerMatrixRule(ProjectRule):
+    """ARC001: import crosses a layer boundary the matrix forbids."""
+
+    id = "ARC001"
+    severity = Severity.ERROR
+    title = "import violates the layering matrix"
+    hint = (
+        "depend on the layer's facade instead, or -- if the dependency "
+        "is genuinely right -- change LAYER_MATRIX in repro/lint/"
+        "arch.py and document why in DESIGN.md §10, in the same commit"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for edge in project.graph.project_edges():
+            target = _policy_target(edge)
+            if allowed(edge.src, target):
+                continue
+            ctx = project.graph.modules.get(edge.src)
+            if ctx is None:  # pragma: no cover - edges come from modules
+                continue
+            layer = layer_of(edge.src)
+            suffix = " (deferred import counts)" if edge.deferred else ""
+            yield self.finding_at(
+                ctx.path, edge.line, edge.col,
+                f"{edge.src} imports {target}: layer '{layer}' may only "
+                f"depend on "
+                f"{{{', '.join(sorted(LAYER_MATRIX[layer]))}}}"
+                f"{suffix}",
+            )
+
+
+@register
+class GroundTruthReachabilityRule(ProjectRule):
+    """ARC002: ground truth reachable from the scored classifier.
+
+    The online detector's precision/recall and the blame agreement
+    scores are only meaningful while `classify`/`blame` cannot observe
+    the planted faults.  This walks the import graph (package
+    ``__init__`` expansion included) from each protected module and
+    fails on any path into the truth modules, plus any direct import of
+    a truth symbol.
+    """
+
+    id = "ARC002"
+    severity = Severity.ERROR
+    title = "ground truth reachable from classifier/blame"
+    hint = (
+        "break the import chain: the classifier must take measured "
+        "counts only -- move shared types out of the faults/scenarios "
+        "modules instead of importing them"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for start in PROTECTED_MODULES:
+            ctx = project.graph.modules.get(start)
+            if ctx is None:
+                continue  # partial run (fixtures); nothing to protect
+            parents = project.graph.reachable(start)
+            for truth in sorted(TRUTH_MODULES):
+                if truth not in parents:
+                    continue
+                chain = project.graph.chain(parents, truth)
+                yield self.finding_at(
+                    ctx.path, 1, 0,
+                    f"{start} transitively reaches ground-truth module "
+                    f"{truth} via {' -> '.join(chain)}",
+                )
+            for edge in project.graph.edges_from(start):
+                if edge.symbol in TRUTH_SYMBOLS:
+                    yield self.finding_at(
+                        ctx.path, edge.line, edge.col,
+                        f"{start} imports ground-truth symbol "
+                        f"`{edge.symbol}` from {edge.target}",
+                    )

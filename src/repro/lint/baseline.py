@@ -5,34 +5,48 @@ line)``.  ``repro lint --baseline FILE`` subtracts them from the report,
 so the gate can be turned on for a tree that is not yet clean and
 ratchet from there: new findings fail, old ones are burned down at
 leisure.  Regenerate with ``--write-baseline`` after intentional churn
-(line numbers shift).  The shipped tree keeps an *empty* baseline --
-the gate holds the codebase at zero.
+(line numbers shift), or drop dead entries with ``--prune-baseline`` --
+a stale entry is a hole in the gate, so CI treats staleness as a
+failure.  The shipped tree keeps an *empty* ``src/`` baseline -- the
+gate holds the codebase at zero.
+
+Format v2 (written by this version; v1 still read): entries carry the
+column as well, so two findings of the same rule on one line stay
+distinguishable in review diffs.  Matching identity is unchanged --
+``(path, rule, line)`` -- because columns shift under trivial edits
+that should not un-grandfather a finding.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Iterable, List, Set, Tuple
+from typing import Iterable, List, Sequence, Set, Tuple
 
 from repro.lint.findings import Finding
 
-BASELINE_VERSION = 1
+BASELINE_VERSION = 2
+_READABLE_VERSIONS = frozenset({1, 2})
 
 BaselineKey = Tuple[str, str, int]
+
+
+def _check_format(path: str, data: object) -> None:
+    if not isinstance(data, dict) or "findings" not in data:
+        raise ValueError(f"{path}: not a lint baseline file")
+    version = data.get("version")
+    if version not in _READABLE_VERSIONS:
+        readable = ", ".join(str(v) for v in sorted(_READABLE_VERSIONS))
+        raise ValueError(
+            f"{path}: unsupported baseline version {version!r} "
+            f"(expected one of {readable})"
+        )
 
 
 def load_baseline(path: str) -> Set[BaselineKey]:
     """Load a baseline file into a set of finding identities."""
     with open(path, "r", encoding="utf-8") as fh:
         data = json.load(fh)
-    if not isinstance(data, dict) or "findings" not in data:
-        raise ValueError(f"{path}: not a lint baseline file")
-    version = data.get("version")
-    if version != BASELINE_VERSION:
-        raise ValueError(
-            f"{path}: unsupported baseline version {version!r} "
-            f"(expected {BASELINE_VERSION})"
-        )
+    _check_format(path, data)
     keys: Set[BaselineKey] = set()
     for entry in data["findings"]:
         keys.add((entry["path"], entry["rule"], int(entry["line"])))
@@ -40,23 +54,52 @@ def load_baseline(path: str) -> Set[BaselineKey]:
 
 
 def write_baseline(path: str, findings: Iterable[Finding]) -> int:
-    """Write ``findings`` as a baseline file; returns the entry count.
+    """Write ``findings`` as a v2 baseline file; returns the entry count.
 
     Entries are sorted so regeneration produces minimal diffs.
     """
     entries = sorted(
-        {f.baseline_key for f in findings},
+        {(f.path, f.rule, f.line, f.col) for f in findings},
     )
     payload = {
         "version": BASELINE_VERSION,
         "findings": [
-            {"path": p, "rule": r, "line": line} for (p, r, line) in entries
+            {"path": p, "rule": r, "line": line, "col": col}
+            for (p, r, line, col) in entries
         ],
     }
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")
     return len(entries)
+
+
+def prune_baseline(path: str, stale: Sequence[BaselineKey]) -> int:
+    """Rewrite ``path`` without the ``stale`` entries; returns the
+    number dropped.  The file is upgraded to format v2 in passing (v1
+    entries gain ``col: 0``)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    _check_format(path, data)
+    stale_set = set(stale)
+    kept = [
+        {
+            "path": entry["path"],
+            "rule": entry["rule"],
+            "line": int(entry["line"]),
+            "col": int(entry.get("col", 0)),
+        }
+        for entry in data["findings"]
+        if (entry["path"], entry["rule"], int(entry["line"]))
+        not in stale_set
+    ]
+    dropped = len(data["findings"]) - len(kept)
+    kept.sort(key=lambda e: (e["path"], e["rule"], e["line"], e["col"]))
+    payload = {"version": BASELINE_VERSION, "findings": kept}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return dropped
 
 
 def apply_baseline(

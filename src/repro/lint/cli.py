@@ -4,10 +4,12 @@ Usage::
 
     repro lint [paths ...] [--strict] [--format text|json]
                [--baseline FILE] [--write-baseline FILE]
+               [--prune-baseline] [--jobs N]
                [--select DET001,DET004]
 
 Exit codes: 0 clean, 1 findings (errors always; any finding under
-``--strict``), 2 usage or I/O errors.
+``--strict``; a stale baseline under ``--prune-baseline``), 2 usage or
+I/O errors.
 """
 
 from __future__ import annotations
@@ -47,6 +49,17 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         "exit 0",
     )
     parser.add_argument(
+        "--prune-baseline", action="store_true",
+        help="drop --baseline entries whose findings no longer exist, "
+        "rewriting the file; exit 1 if any were stale (CI staleness "
+        "gate)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="thread-pool width for the per-file pass (output order is "
+        "identical at any width)",
+    )
+    parser.add_argument(
         "--select", metavar="RULES",
         help="comma-separated rule ids to run (default: all)",
     )
@@ -82,8 +95,19 @@ def run(args: argparse.Namespace) -> int:
     except KeyError as exc:
         print(f"repro lint: {exc.args[0]}", file=sys.stderr)
         return 2
+    if args.prune_baseline and not args.baseline:
+        print(
+            "repro lint: --prune-baseline requires --baseline FILE",
+            file=sys.stderr,
+        )
+        return 2
     try:
-        result = lint_paths(paths, rules=rules, baseline_path=args.baseline)
+        result = lint_paths(
+            paths,
+            rules=rules,
+            baseline_path=args.baseline,
+            jobs=args.jobs,
+        )
     except FileNotFoundError as exc:
         print(f"repro lint: {exc}", file=sys.stderr)
         return 2
@@ -100,6 +124,19 @@ def run(args: argparse.Namespace) -> int:
             f"{args.write_baseline}"
         )
         return 0
+
+    if args.prune_baseline:
+        from repro.lint.baseline import prune_baseline
+
+        dropped = prune_baseline(args.baseline, result.stale_baseline)
+        if dropped:
+            print(
+                f"pruned {dropped} stale baseline "
+                f"entr{'y' if dropped == 1 else 'ies'} from "
+                f"{args.baseline}"
+            )
+            return 1
+        print(f"baseline {args.baseline} is up to date")
 
     if args.format == "json":
         print(render_json(result))

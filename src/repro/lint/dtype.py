@@ -1,0 +1,361 @@
+"""Dtype-narrowing rules: DTY001-DTY002.
+
+PR 2's worst bug was silent: hourly counts accumulated into a ``uint16``
+array wrapped past 65535 and the dataset digest happily certified the
+corrupted result.  The repo's answer is the capacity-guard idiom --
+``ensure_count_capacity`` promotion, ``np.iinfo`` peak checks, or an
+explicit ``raise OverflowError`` refusing to wrap.  These rules make
+the idiom mandatory wherever a fixed narrow integer dtype is written
+from values the type system cannot bound:
+
+* DTY001 (error) -- a store into a narrow-int array (``int8/16/32``,
+  ``uint8/16/32``) created in the same function, with no capacity guard
+  in sight.  This includes the *delegation* form that actually bit us:
+  the function allocates the narrow staging arrays, then hands them to
+  a helper that does the unguarded writes -- neither function alone
+  looks wrong, so the rule resolves the callee through the project
+  symbol table and requires a guard in at least one of the two.
+* DTY002 (warning) -- an explicit ``.astype()`` down to a narrow int in
+  an unguarded function: a deliberate narrowing that silently wraps
+  out-of-range values.
+
+A function containing any guard is trusted for all its stores: the
+idiom is one check per staging block, not one check per assignment, and
+the rule follows that grain.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding, Severity
+from repro.lint.project import ProjectContext, ProjectRule
+from repro.lint.rules import register
+from repro.lint.symbols import ClassSymbol, FunctionSymbol
+
+#: Integer dtypes a count can silently wrap in.
+NARROW_INT_DTYPES = frozenset({
+    "numpy.int8", "numpy.int16", "numpy.int32",
+    "numpy.uint8", "numpy.uint16", "numpy.uint32",
+})
+_NARROW_STRINGS = frozenset({
+    "int8", "int16", "int32", "uint8", "uint16", "uint32",
+})
+
+#: Array constructors that fix the dtype at allocation time.
+ARRAY_CONSTRUCTORS = frozenset({
+    "numpy.empty", "numpy.zeros", "numpy.ones", "numpy.full",
+    "numpy.ndarray", "numpy.arange",
+})
+
+#: Spellings that count as a capacity guard inside a function.
+GUARD_CALL_NAMES = frozenset({"ensure_count_capacity"})
+GUARD_RESOLVED = frozenset({"numpy.iinfo"})
+
+
+def _is_narrow_dtype(ctx: FileContext, node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value in _NARROW_STRINGS
+    dotted = ctx.imports.resolve(node)
+    if dotted in NARROW_INT_DTYPES:
+        return True
+    # numpy.dtype("int32") / numpy.dtype(numpy.int32)
+    if isinstance(node, ast.Call):
+        inner = ctx.imports.resolve(node.func)
+        if inner == "numpy.dtype" and node.args:
+            return _is_narrow_dtype(ctx, node.args[0])
+    return False
+
+
+def _narrow_constructor(ctx: FileContext, node: ast.AST) -> bool:
+    """True when ``node`` is an array constructor fixing a narrow dtype."""
+    if not isinstance(node, ast.Call):
+        return False
+    if ctx.imports.resolve(node.func) not in ARRAY_CONSTRUCTORS:
+        return False
+    for kw in node.keywords:
+        if kw.arg == "dtype":
+            return _is_narrow_dtype(ctx, kw.value)
+    return any(_is_narrow_dtype(ctx, arg) for arg in node.args)
+
+
+def _contains_narrow_constructor(ctx: FileContext, node: ast.AST) -> bool:
+    return any(
+        _narrow_constructor(ctx, child) for child in ast.walk(node)
+    )
+
+
+def _has_guard(ctx: FileContext, body: List[ast.stmt]) -> bool:
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in GUARD_CALL_NAMES
+                ):
+                    return True
+                if isinstance(func, ast.Name) and func.id in GUARD_CALL_NAMES:
+                    return True
+                if ctx.imports.resolve(func) in GUARD_RESOLVED:
+                    return True
+            elif isinstance(node, ast.Raise) and node.exc is not None:
+                exc = node.exc
+                if isinstance(exc, ast.Call):
+                    exc = exc.func
+                if isinstance(exc, ast.Name) and exc.id == "OverflowError":
+                    return True
+    return False
+
+
+def _subscript_root(node: ast.expr) -> Optional[str]:
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _narrow_names(ctx: FileContext, body: List[ast.stmt]) -> Set[str]:
+    """Local names bound to narrow arrays (or dicts of narrow arrays)."""
+    names: Set[str] = set()
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Assign):
+                if _contains_narrow_constructor(ctx, node.value):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            names.add(target.id)
+            elif isinstance(node, ast.Call):
+                # staging.update((name, np.zeros(..., np.int32)) ...)
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "update"
+                    and isinstance(func.value, ast.Name)
+                    and any(
+                        _contains_narrow_constructor(ctx, arg)
+                        for arg in node.args
+                    )
+                ):
+                    names.add(func.value.id)
+    return names
+
+
+def _param_names(node) -> Set[str]:
+    args = node.args
+    names = {a.arg for a in args.posonlyargs + args.args + args.kwonlyargs}
+    if args.vararg:
+        names.add(args.vararg.arg)
+    if args.kwarg:
+        names.add(args.kwarg.arg)
+    return names
+
+
+def _stores_into_params(symbol: FunctionSymbol) -> bool:
+    params = _param_names(symbol.node)
+    for stmt in symbol.node.body:
+        for node in ast.walk(stmt):
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = list(node.targets)
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                if isinstance(target, ast.Subscript):
+                    root = _subscript_root(target)
+                    if root in params:
+                        return True
+    return False
+
+
+def _function_bodies(ctx: FileContext):
+    """(node-or-None, body, enclosing class name) for every function and
+    the module body."""
+    yield None, [
+        stmt for stmt in getattr(ctx.tree, "body", [])
+        if not isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        )
+    ], None
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ClassDef):
+            for member in node.body:
+                if isinstance(
+                    member, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    yield member, list(member.body), node.name
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, list(node.body), None
+
+
+def _seen_filter(items):
+    seen: Set[int] = set()
+    for node, body, owner in items:
+        if node is not None:
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+        yield node, body, owner
+
+
+@register
+class NarrowStoreRule(ProjectRule):
+    """DTY001: unguarded store into a fixed narrow-int array."""
+
+    id = "DTY001"
+    severity = Severity.ERROR
+    title = "unguarded store into narrow-dtype array"
+    hint = (
+        "bound the values first: ensure_count_capacity / np.iinfo peak "
+        "check / raise OverflowError -- a narrow store that can wrap "
+        "corrupts counts silently"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for ctx in project.contexts:
+            yield from self._check_file(project, ctx)
+
+    def _check_file(
+        self, project: ProjectContext, ctx: FileContext
+    ) -> Iterator[Finding]:
+        for fn, body, class_name in _seen_filter(_function_bodies(ctx)):
+            narrow = _narrow_names(ctx, body)
+            if not narrow:
+                continue
+            if _has_guard(ctx, body):
+                continue
+            for stmt in body:
+                for node in ast.walk(stmt):
+                    yield from self._check_store(ctx, node, narrow)
+                    yield from self._check_delegation(
+                        project, ctx, node, narrow, class_name
+                    )
+
+    def _check_store(
+        self, ctx: FileContext, node: ast.AST, narrow: Set[str]
+    ) -> Iterator[Finding]:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = list(node.targets), node.value
+            # `arr[i] = 0` is initialization, not accumulation.
+            if isinstance(value, ast.Constant):
+                return
+        elif isinstance(node, ast.AugAssign):
+            # `arr[i] += 1` accumulates: wraps regardless of how small
+            # the literal increment is, so Constants stay flagged here.
+            targets, value = [node.target], node.value
+        if value is None:
+            return
+        for target in targets:
+            if not isinstance(target, ast.Subscript):
+                continue
+            root = _subscript_root(target)
+            if root in narrow:
+                yield self.finding(
+                    ctx, target,
+                    f"store into narrow-dtype array `{root}` with no "
+                    "capacity guard in the function (values that "
+                    "exceed the dtype wrap silently)",
+                )
+
+    def _check_delegation(
+        self,
+        project: ProjectContext,
+        ctx: FileContext,
+        node: ast.AST,
+        narrow: Set[str],
+        class_name: Optional[str],
+    ) -> Iterator[Finding]:
+        if not isinstance(node, ast.Call):
+            return
+        passed = [
+            arg.id
+            for arg in list(node.args) + [k.value for k in node.keywords]
+            if isinstance(arg, ast.Name) and arg.id in narrow
+        ]
+        if not passed:
+            return
+        callee = self._resolve_callee(project, ctx, node, class_name)
+        if callee is None:
+            return  # unknown callee: stay quiet rather than guess
+        callee_ctx = callee.ctx
+        if _has_guard(callee_ctx, list(callee.node.body)):
+            return
+        if not _stores_into_params(callee):
+            return
+        yield self.finding(
+            ctx, node,
+            f"narrow-dtype array `{passed[0]}` passed to "
+            f"{callee.dotted}(), which stores into its parameters "
+            "without a capacity guard (and none here either)",
+        )
+
+    def _resolve_callee(
+        self,
+        project: ProjectContext,
+        ctx: FileContext,
+        node: ast.Call,
+        class_name: Optional[str],
+    ) -> Optional[FunctionSymbol]:
+        func = node.func
+        if (
+            class_name is not None
+            and isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "self"
+        ):
+            from repro.lint.graph import module_name_for
+
+            module = module_name_for(ctx)
+            if module is not None:
+                owner = project.symbols.resolve(f"{module}.{class_name}")
+                if isinstance(owner, ClassSymbol):
+                    return owner.methods.get(func.attr)
+            return None
+        resolved = project.symbols.resolve_in_file(ctx, func)
+        if isinstance(resolved, FunctionSymbol):
+            return resolved
+        return None
+
+
+@register
+class NarrowAstypeRule(ProjectRule):
+    """DTY002: explicit narrowing ``.astype()`` in an unguarded function.
+
+    Narrowing is sometimes right (the planned-dtype path pre-sizes from
+    a Poisson tail bound) -- but then the function also carries the
+    guard.  A bare narrowing cast wraps out-of-range values with no
+    error, which is exactly how the PR 2 corruption stayed invisible.
+    """
+
+    id = "DTY002"
+    severity = Severity.WARNING
+    title = "narrowing astype without a capacity guard"
+    hint = (
+        "check the peak against np.iinfo before narrowing, or promote "
+        "with ensure_count_capacity instead"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for ctx in project.contexts:
+            for fn, body, _ in _seen_filter(_function_bodies(ctx)):
+                guarded = _has_guard(ctx, body)
+                if guarded:
+                    continue
+                for stmt in body:
+                    for node in ast.walk(stmt):
+                        if (
+                            isinstance(node, ast.Call)
+                            and isinstance(node.func, ast.Attribute)
+                            and node.func.attr == "astype"
+                            and node.args
+                            and _is_narrow_dtype(ctx, node.args[0])
+                        ):
+                            yield self.finding(
+                                ctx, node,
+                                "narrowing astype to a fixed small int "
+                                "dtype with no capacity guard in the "
+                                "function",
+                            )

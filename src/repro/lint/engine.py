@@ -1,25 +1,41 @@
 """The lint engine: file discovery, parsing, rule dispatch.
 
-One pass per file: parse, build the :class:`FileContext`, run every
-rule, drop findings covered by a justified suppression, add LNT000/
-LNT001 meta-findings, then (optionally) subtract the baseline.
+Two passes per run.  The per-file pass parses each file, builds its
+:class:`FileContext`, and runs the per-file rules -- independently per
+file, so it parallelizes across a thread pool (``jobs``) with output
+order fixed by sorting afterwards.  The project pass then runs every
+:class:`~repro.lint.project.ProjectRule` once against a
+:class:`~repro.lint.project.ProjectContext` holding *all* parsed files:
+import graph, symbol table, and taint analysis are shared across the
+project rules and built lazily on first use.
+
+Suppressions are per file but apply to both passes: a project finding
+anchors at its sink file/line, and the ``# repro: lint-ok[...]``
+comment must sit there -- next to the statement where the contract is
+at stake -- even when the taint source is in another file.
 """
 
 from __future__ import annotations
 
 import ast
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro.lint.baseline import apply_baseline, load_baseline
+from repro.lint.baseline import BaselineKey, apply_baseline, load_baseline
 from repro.lint.context import FileContext
 from repro.lint.findings import Finding, Severity
+from repro.lint.project import ProjectContext, split_rules
 from repro.lint.rules import Rule, all_rules
 from repro.lint.suppress import SuppressionIndex
 
 #: Meta-finding id for files the parser rejects.
 SYNTAX_ERROR_RULE = "LNT001"
+
+#: Thread-pool width when the caller does not choose one.  Linting is
+#: parse-bound; beyond a handful of threads the GIL flattens the curve.
+DEFAULT_JOBS = 4
 
 
 @dataclass
@@ -39,6 +55,8 @@ class LintResult:
     files_scanned: int = 0
     suppressed: int = 0
     baselined: int = 0
+    #: Baseline entries that matched no current finding (stale).
+    stale_baseline: List[BaselineKey] = field(default_factory=list)
 
     @property
     def errors(self) -> int:
@@ -85,50 +103,117 @@ def display_path(path: str) -> str:
         return resolved.as_posix()
 
 
-def lint_file(
-    path: str, rules: Optional[Sequence[Rule]] = None
-) -> FileReport:
-    """Lint one file (meta-findings LNT000/LNT001 included)."""
+@dataclass
+class ParsedFile:
+    """One file after the parse step (context is None on errors)."""
+
+    shown: str
+    ctx: Optional[FileContext] = None
+    suppressions: Optional[SuppressionIndex] = None
+    error_findings: List[Finding] = field(default_factory=list)
+
+
+def _parse_file(path: str) -> ParsedFile:
     shown = display_path(path)
-    report = FileReport(path=shown)
     try:
         with open(path, "r", encoding="utf-8") as fh:
             source = fh.read()
     except (OSError, UnicodeDecodeError) as exc:
-        report.findings.append(
-            Finding(
-                rule=SYNTAX_ERROR_RULE,
-                severity=Severity.ERROR,
-                message=f"cannot read file: {exc}",
-                path=shown,
-                line=1,
-            )
+        return ParsedFile(
+            shown,
+            error_findings=[
+                Finding(
+                    rule=SYNTAX_ERROR_RULE,
+                    severity=Severity.ERROR,
+                    message=f"cannot read file: {exc}",
+                    path=shown,
+                    line=1,
+                )
+            ],
         )
-        return report
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
-        report.findings.append(
-            Finding(
-                rule=SYNTAX_ERROR_RULE,
-                severity=Severity.ERROR,
-                message=f"syntax error: {exc.msg}",
-                path=shown,
-                line=exc.lineno or 1,
-                col=(exc.offset or 1) - 1,
-            )
+        return ParsedFile(
+            shown,
+            error_findings=[
+                Finding(
+                    rule=SYNTAX_ERROR_RULE,
+                    severity=Severity.ERROR,
+                    message=f"syntax error: {exc.msg}",
+                    path=shown,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1,
+                )
+            ],
         )
-        return report
+    return ParsedFile(
+        shown,
+        ctx=FileContext.build(shown, source, tree),
+        suppressions=SuppressionIndex.scan(source),
+    )
 
-    ctx = FileContext.build(shown, source, tree)
-    suppressions = SuppressionIndex.scan(source)
-    for rule in rules if rules is not None else all_rules():
-        for finding in rule.check(ctx):
-            if suppressions.matches(finding):
+
+def _run_per_file(
+    parsed: ParsedFile, rules: Sequence[Rule]
+) -> FileReport:
+    report = FileReport(path=parsed.shown)
+    report.findings.extend(parsed.error_findings)
+    if parsed.ctx is None or parsed.suppressions is None:
+        return report
+    for rule in rules:
+        for finding in rule.check(parsed.ctx):
+            if parsed.suppressions.matches(finding):
                 report.suppressed += 1
             else:
                 report.findings.append(finding)
-    report.findings.extend(suppressions.inert_findings(shown))
+    report.findings.extend(parsed.suppressions.inert_findings(parsed.shown))
+    report.findings.sort(key=lambda f: f.sort_key)
+    return report
+
+
+def _run_project(
+    parsed_files: Sequence[ParsedFile], rules: Sequence[Rule]
+) -> Tuple[List[Finding], int]:
+    """Project-pass findings (suppressions applied at the sink)."""
+    if not rules:
+        return [], 0
+    contexts = [p.ctx for p in parsed_files if p.ctx is not None]
+    by_path: Dict[str, SuppressionIndex] = {
+        p.shown: p.suppressions
+        for p in parsed_files
+        if p.suppressions is not None
+    }
+    project = ProjectContext(contexts)
+    findings: List[Finding] = []
+    suppressed = 0
+    for rule in rules:
+        for finding in rule.check_project(project):
+            index = by_path.get(finding.path)
+            if index is not None and index.matches(finding):
+                suppressed += 1
+            else:
+                findings.append(finding)
+    return findings, suppressed
+
+
+def lint_file(
+    path: str, rules: Optional[Sequence[Rule]] = None
+) -> FileReport:
+    """Lint one file (meta-findings LNT000/LNT001 included).
+
+    Project rules run too, against a one-file project -- fixtures and
+    single-file invocations exercise DIG/SHM/DTY/ARC without spelling
+    the two-pass machinery out.
+    """
+    parsed = _parse_file(path)
+    per_file, project = split_rules(
+        rules if rules is not None else all_rules()
+    )
+    report = _run_per_file(parsed, per_file)
+    findings, suppressed = _run_project([parsed], project)
+    report.findings.extend(findings)
+    report.suppressed += suppressed
     report.findings.sort(key=lambda f: f.sort_key)
     return report
 
@@ -137,17 +222,40 @@ def lint_paths(
     paths: Sequence[str],
     rules: Optional[Sequence[Rule]] = None,
     baseline_path: Optional[str] = None,
+    jobs: Optional[int] = None,
 ) -> LintResult:
-    """Lint every python file under ``paths``."""
+    """Lint every python file under ``paths``.
+
+    ``jobs`` widens the per-file pass across a thread pool; the report
+    is sorted afterwards, so output is identical at any width.
+    """
+    per_file, project = split_rules(
+        rules if rules is not None else all_rules()
+    )
     result = LintResult()
-    for path in iter_python_files(paths):
-        report = lint_file(path, rules)
+    files = list(iter_python_files(paths))
+    workers = jobs if jobs and jobs > 0 else DEFAULT_JOBS
+    if workers > 1 and len(files) > 1:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            parsed_files = list(pool.map(_parse_file, files))
+            reports = list(
+                pool.map(lambda p: _run_per_file(p, per_file), parsed_files)
+            )
+    else:
+        parsed_files = [_parse_file(path) for path in files]
+        reports = [_run_per_file(p, per_file) for p in parsed_files]
+    for report in reports:
         result.findings.extend(report.findings)
         result.suppressed += report.suppressed
         result.files_scanned += 1
+    project_findings, suppressed = _run_project(parsed_files, project)
+    result.findings.extend(project_findings)
+    result.suppressed += suppressed
     result.findings.sort(key=lambda f: f.sort_key)
     if baseline_path:
         baseline = load_baseline(baseline_path)
+        current = {f.baseline_key for f in result.findings}
+        result.stale_baseline = sorted(baseline - current)
         result.findings, result.baselined = apply_baseline(
             result.findings, baseline
         )

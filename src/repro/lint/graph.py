@@ -1,0 +1,239 @@
+"""Project-wide import graph.
+
+The per-file rules see one :class:`~repro.lint.context.FileContext` at a
+time; the flow rules (ARC layering, DIG digest-taint) need to know how
+the *modules* relate.  This module turns the set of parsed files into a
+graph: one node per project module (``repro.world.parallel``), one
+:class:`ImportEdge` per ``import``/``from ... import`` statement, with
+function-level (deferred) imports kept but tagged -- a lazy import is
+still an architectural dependency.
+
+Reachability honours Python's package semantics: importing
+``repro.world.entities`` executes ``repro/world/__init__.py`` first, so
+every intermediate package ``__init__`` is an implicit edge target.  The
+root ``repro/__init__.py`` is deliberately *excluded* from that
+expansion: it is the public API surface and re-exports the whole world;
+counting it would make every module reach every other and drown the
+layering signal.  (Its own explicit edges still exist when it is the
+BFS start.)
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.lint.context import FileContext
+
+#: The package the graph is scoped to.
+ROOT_PACKAGE = "repro"
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """One import statement, resolved to a project module when possible.
+
+    ``target`` is the canonical dotted module imported; ``symbol`` is the
+    member name for ``from M import name`` where ``name`` is not itself a
+    module.  ``deferred`` marks imports nested inside a function body.
+    """
+
+    src: str
+    target: str
+    symbol: Optional[str]
+    line: int
+    col: int
+    deferred: bool
+
+
+def module_name_for(ctx: FileContext) -> Optional[str]:
+    """Dotted module name for a file inside the ``repro`` package tree.
+
+    ``("world", "parallel.py")`` -> ``repro.world.parallel``;
+    ``("world", "__init__.py")`` -> ``repro.world``; files outside any
+    ``repro`` package (tests, loose fixtures) have no module name.
+    """
+    parts = ctx.package_parts
+    if not parts or not parts[-1].endswith(".py"):
+        return None
+    stem = parts[-1][:-3]
+    dotted = [ROOT_PACKAGE] + list(parts[:-1])
+    if stem != "__init__":
+        dotted.append(stem)
+    return ".".join(dotted)
+
+
+class _ImportCollector(ast.NodeVisitor):
+    """Collects import statements, tagging those inside function bodies."""
+
+    def __init__(self) -> None:
+        self.raw: List[tuple] = []  # (node, deferred)
+        self._depth = 0
+
+    def _visit_scope(self, node) -> None:
+        self._depth += 1
+        self.generic_visit(node)
+        self._depth -= 1
+
+    visit_FunctionDef = _visit_scope
+    visit_AsyncFunctionDef = _visit_scope
+
+    def visit_Import(self, node: ast.Import) -> None:
+        self.raw.append((node, self._depth > 0))
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        self.raw.append((node, self._depth > 0))
+
+
+class ImportGraph:
+    """Module nodes plus import edges for one lint run's file set."""
+
+    def __init__(self) -> None:
+        #: module name -> FileContext of the defining file.
+        self.modules: Dict[str, FileContext] = {}
+        self.edges: List[ImportEdge] = []
+        self._edges_by_src: Dict[str, List[ImportEdge]] = {}
+
+    @classmethod
+    def build(cls, contexts: Iterable[FileContext]) -> "ImportGraph":
+        graph = cls()
+        ordered = sorted(
+            (ctx for ctx in contexts), key=lambda c: c.path
+        )
+        for ctx in ordered:
+            name = module_name_for(ctx)
+            if name is not None:
+                graph.modules[name] = ctx
+        for ctx in ordered:
+            name = module_name_for(ctx)
+            if name is None:
+                continue
+            graph._collect_edges(name, ctx)
+        graph.edges.sort(key=lambda e: (e.src, e.line, e.col, e.target))
+        for edge in graph.edges:
+            graph._edges_by_src.setdefault(edge.src, []).append(edge)
+        return graph
+
+    # -- construction -----------------------------------------------------
+
+    def _collect_edges(self, src: str, ctx: FileContext) -> None:
+        collector = _ImportCollector()
+        collector.visit(ctx.tree)
+        for node, deferred in collector.raw:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self._add_edge(src, node, alias.name, None, deferred)
+            else:
+                base = self._from_base(src, ctx, node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        self._add_edge(src, node, base, None, deferred)
+                        continue
+                    candidate = f"{base}.{alias.name}"
+                    if candidate in self.modules:
+                        # `from repro.core import knee` imports a module.
+                        self._add_edge(src, node, candidate, None, deferred)
+                    else:
+                        self._add_edge(
+                            src, node, base, alias.name, deferred
+                        )
+
+    def _from_base(
+        self, src: str, ctx: FileContext, node: ast.ImportFrom
+    ) -> Optional[str]:
+        """The module a ``from ... import`` pulls names out of."""
+        if not node.level:
+            return node.module
+        # Relative import: resolve against this module's package.
+        package = src.rsplit(".", 1)[0] if "." in src else src
+        if module_name_for(ctx) in self.modules and ctx.package_parts[
+            -1
+        ] == "__init__.py":
+            package = src  # a package's own module is its package
+        parts = package.split(".")
+        hops = node.level - 1
+        if hops >= len(parts):
+            return None
+        base_parts = parts[: len(parts) - hops]
+        if node.module:
+            base_parts.append(node.module)
+        return ".".join(base_parts)
+
+    def _add_edge(
+        self,
+        src: str,
+        node: ast.AST,
+        target: str,
+        symbol: Optional[str],
+        deferred: bool,
+    ) -> None:
+        self.edges.append(
+            ImportEdge(
+                src=src,
+                target=target,
+                symbol=symbol,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                deferred=deferred,
+            )
+        )
+
+    # -- queries ----------------------------------------------------------
+
+    def edges_from(self, module: str) -> Sequence[ImportEdge]:
+        return self._edges_by_src.get(module, ())
+
+    def project_edges(self) -> Iterable[ImportEdge]:
+        """Edges whose target lies inside the ``repro`` package."""
+        prefix = ROOT_PACKAGE + "."
+        for edge in self.edges:
+            if edge.target == ROOT_PACKAGE or edge.target.startswith(prefix):
+                yield edge
+
+    def _neighbors(self, module: str) -> Iterable[str]:
+        """Modules executed when ``module``'s imports run.
+
+        Each edge contributes its target plus every intermediate package
+        ``__init__`` below the root (see module docstring).
+        """
+        for edge in self.edges_from(module):
+            target = edge.target
+            if target in self.modules and target != ROOT_PACKAGE:
+                yield target
+            parts = target.split(".")
+            for i in range(2, len(parts)):
+                package = ".".join(parts[:i])
+                if package in self.modules:
+                    yield package
+
+    def reachable(self, start: str) -> Dict[str, str]:
+        """Every project module reachable from ``start``, with parents.
+
+        Returns ``{module: parent}`` for chain reconstruction; ``start``
+        itself maps to ``""``.  Deferred imports count -- a lazy import
+        is still a dependency the layering contract must see.
+        """
+        parents: Dict[str, str] = {start: ""}
+        frontier = [start]
+        while frontier:
+            module = frontier.pop()
+            for neighbor in self._neighbors(module):
+                if neighbor not in parents:
+                    parents[neighbor] = module
+                    frontier.append(neighbor)
+        return parents
+
+    def chain(self, parents: Dict[str, str], module: str) -> List[str]:
+        """The import chain from the BFS start down to ``module``."""
+        path: List[str] = []
+        cursor: Optional[str] = module
+        seen: Set[str] = set()
+        while cursor and cursor not in seen:
+            seen.add(cursor)
+            path.append(cursor)
+            cursor = parents.get(cursor, "")
+        path.reverse()
+        return path

@@ -95,4 +95,11 @@ def select_rules(ids: Iterable[str]) -> List[Rule]:
 
 def _ensure_loaded() -> None:
     """Import the rule modules so their ``@register`` decorators run."""
-    from repro.lint import determinism, safety  # noqa: F401
+    from repro.lint import (  # noqa: F401
+        arch,
+        determinism,
+        digflow,
+        dtype,
+        safety,
+        shm,
+    )

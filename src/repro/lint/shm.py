@@ -1,0 +1,377 @@
+"""Shared-memory lifecycle rules: SHM001-SHM003.
+
+A ``multiprocessing.shared_memory`` segment is an OS object, not a
+Python object: dropping the last reference leaks the mapping (and, for
+the creator, the named segment itself) until reboot.  The parallel
+engine's contract (DESIGN.md §9) is explicit -- workers attach, write
+their disjoint hour slice through ``BlockSink`` views, and close in a
+``finally``; the parent creates, adopts, and unlinks in a ``finally``.
+These rules check the contract structurally:
+
+* SHM001 -- every attach must be closed on *all* paths.  A ``close()``
+  on the straight-line path only is the classic bug: the worker raises
+  mid-shard and the mapping outlives the process pool.
+* SHM002 -- every ``create=True`` segment must also be unlinked; for a
+  segment stored on ``self``, some method of the class must both close
+  and unlink it (the owner object pattern -- ``SharedMonthBuffer.
+  destroy``).
+* SHM003 -- raw ``.buf`` access belongs to ``world/sharedmem.py``
+  alone.  Everywhere else, writes go through the disjoint slice views
+  it hands out; raw buffer offset math is how two workers end up
+  writing the same bytes.
+
+Ownership transfer is respected: a segment that escapes the function
+(returned, yielded, stored on an object, passed onward) is someone
+else's to close, and these rules stay quiet about it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding, Severity
+from repro.lint.graph import module_name_for
+from repro.lint.rules import Rule, register
+
+#: Constructor for both attach (name=...) and create (create=True).
+SHM_CONSTRUCTOR = "multiprocessing.shared_memory.SharedMemory"
+
+#: Project helpers that return an attached segment the caller must
+#: close: name -> index of the segment in the returned tuple (None for
+#: a bare return).
+ATTACH_HELPERS: Dict[str, Optional[int]] = {
+    "repro.world.sharedmem.attach_shard_arrays": 0,
+}
+
+#: The one module allowed to touch raw shared-memory buffers.
+BUF_BLESSED_MODULE = "repro.world.sharedmem"
+
+
+def _is_create(node: ast.Call) -> bool:
+    for kw in node.keywords:
+        if kw.arg == "create":
+            return isinstance(kw.value, ast.Constant) and bool(kw.value.value)
+    return False
+
+
+def _functions(tree: ast.AST):
+    """(function node, enclosing ClassDef or None) for every function,
+    plus the module body itself as a pseudo-function (None, None)."""
+    out: List[Tuple[Optional[ast.AST], Optional[ast.ClassDef]]] = [
+        (None, None)
+    ]
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            for member in node.body:
+                if isinstance(
+                    member, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    out.append((member, node))
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            out.append((node, None))
+    # Functions directly inside classes would be double-collected by the
+    # walk; keep the first (class-tagged) occurrence.
+    seen: Set[int] = set()
+    unique = []
+    for fn, owner in out:
+        if fn is not None and id(fn) in seen:
+            continue
+        if fn is not None:
+            seen.add(id(fn))
+        unique.append((fn, owner))
+    return unique
+
+
+class _Acquisition:
+    """One segment acquired in a function: how, and bound to what."""
+
+    def __init__(
+        self,
+        node: ast.Call,
+        name: Optional[str],
+        self_attr: Optional[str],
+        created: bool,
+    ) -> None:
+        self.node = node
+        self.name = name  # local variable, when bound to one
+        self.self_attr = self_attr  # "X" for ``self.X = SharedMemory()``
+        self.created = created
+
+
+def _body_of(ctx: FileContext, fn: Optional[ast.AST]) -> List[ast.stmt]:
+    if fn is None:
+        return [
+            stmt for stmt in getattr(ctx.tree, "body", [])
+            if not isinstance(
+                stmt,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+            )
+        ]
+    return list(fn.body)  # type: ignore[attr-defined]
+
+
+def _acquisitions(
+    ctx: FileContext, body: List[ast.stmt]
+) -> List[_Acquisition]:
+    """Every SharedMemory acquisition bound in this body."""
+    out: List[_Acquisition] = []
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if not isinstance(node, ast.Assign) or not isinstance(
+                node.value, (ast.Call,)
+            ):
+                continue
+            call = node.value
+            dotted = ctx.imports.resolve(call.func)
+            target = node.targets[0]
+            if dotted == SHM_CONSTRUCTOR:
+                name = target.id if isinstance(target, ast.Name) else None
+                self_attr = None
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    self_attr = target.attr
+                out.append(
+                    _Acquisition(call, name, self_attr, _is_create(call))
+                )
+            elif dotted in ATTACH_HELPERS:
+                index = ATTACH_HELPERS[dotted]
+                name = None
+                if index is None and isinstance(target, ast.Name):
+                    name = target.id
+                elif (
+                    index is not None
+                    and isinstance(target, (ast.Tuple, ast.List))
+                    and index < len(target.elts)
+                    and isinstance(target.elts[index], ast.Name)
+                ):
+                    name = target.elts[index].id
+                out.append(_Acquisition(call, name, None, created=False))
+    return out
+
+
+def _escapes(body: List[ast.stmt], name: str, acq: ast.Call) -> bool:
+    """True when the named segment's ownership leaves the function."""
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+                value = node.value
+                if value is not None and _mentions(value, name):
+                    return True
+            elif isinstance(node, ast.Assign):
+                if node.value is acq:
+                    continue  # the acquisition itself
+                if _mentions(node.value, name):
+                    return True  # aliased / stored somewhere
+            elif isinstance(node, ast.Call):
+                func = node.func
+                # Method calls *on* the segment manage it, not move it.
+                on_self = (
+                    isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == name
+                )
+                if on_self:
+                    continue
+                for arg in list(node.args) + [k.value for k in node.keywords]:
+                    # `f(shm)` hands the object over; `f(shm.buf)` /
+                    # `f(shm.name)` passes data out of it.
+                    if isinstance(arg, ast.Name) and arg.id == name:
+                        return True
+                    if isinstance(arg, ast.Starred) and _mentions(
+                        arg.value, name
+                    ):
+                        return True
+    return False
+
+
+def _mentions(node: ast.AST, name: str) -> bool:
+    return any(
+        isinstance(child, ast.Name) and child.id == name
+        for child in ast.walk(node)
+    )
+
+
+def _method_calls(
+    body: List[ast.stmt], name: str, method: str
+) -> Tuple[int, int]:
+    """(total calls of ``name.method()``, calls inside a finally block)."""
+    total = 0
+    in_finally = 0
+    finally_bodies: List[ast.stmt] = []
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Try):
+                finally_bodies.extend(node.finalbody)
+    finally_nodes: Set[int] = set()
+    for stmt in finally_bodies:
+        for node in ast.walk(stmt):
+            finally_nodes.add(id(node))
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == method
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == name
+            ):
+                total += 1
+                if id(node) in finally_nodes:
+                    in_finally += 1
+    return total, in_finally
+
+
+def _class_manages(
+    owner: ast.ClassDef, attr: str, method: str
+) -> bool:
+    """True when some method of ``owner`` calls ``self.<attr>.<method>()``."""
+    for node in ast.walk(owner):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == method
+            and isinstance(node.func.value, ast.Attribute)
+            and node.func.value.attr == attr
+            and isinstance(node.func.value.value, ast.Name)
+            and node.func.value.value.id == "self"
+        ):
+            return True
+    return False
+
+
+@register
+class ShmCloseRule(Rule):
+    """SHM001: attached segment not closed on every path.
+
+    ``close()`` only on the happy path means any exception between the
+    attach and the close leaks the mapping for the life of the process
+    -- multiplied by the worker count, every crashed run.
+    """
+
+    id = "SHM001"
+    severity = Severity.ERROR
+    title = "shared-memory segment not closed on all paths"
+    hint = (
+        "close the segment in a `finally` (attach; try: ... finally: "
+        "shm.close()), or hand ownership to an object with a teardown "
+        "method"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for fn, owner in _functions(ctx.tree):
+            body = _body_of(ctx, fn)
+            for acq in _acquisitions(ctx, body):
+                if acq.self_attr is not None:
+                    if owner is not None and not _class_manages(
+                        owner, acq.self_attr, "close"
+                    ):
+                        yield self.finding(
+                            ctx, acq.node,
+                            f"segment stored on self.{acq.self_attr} but "
+                            "no method of the class ever closes it",
+                        )
+                    continue
+                if acq.name is None:
+                    yield self.finding(
+                        ctx, acq.node,
+                        "shared-memory segment is not bound to a name, "
+                        "so nothing can close it",
+                    )
+                    continue
+                if _escapes(body, acq.name, acq.node):
+                    continue  # ownership transferred
+                total, in_finally = _method_calls(body, acq.name, "close")
+                if total == 0:
+                    yield self.finding(
+                        ctx, acq.node,
+                        f"segment `{acq.name}` is never closed",
+                    )
+                elif in_finally == 0:
+                    yield self.finding(
+                        ctx, acq.node,
+                        f"segment `{acq.name}` is closed only on the "
+                        "straight-line path; an exception before the "
+                        "close leaks the mapping (use try/finally)",
+                    )
+
+
+@register
+class ShmUnlinkRule(Rule):
+    """SHM002: created segment never unlinked.
+
+    The creator owns the *named* OS object: close() alone detaches this
+    process but leaves the segment allocated until reboot.  Exactly one
+    owner must unlink, exactly once, on success and on crash.
+    """
+
+    id = "SHM002"
+    severity = Severity.ERROR
+    title = "created shared-memory segment never unlinked"
+    hint = (
+        "the creating side must call unlink() (close() only detaches); "
+        "pair them in a `finally` or a teardown method like "
+        "SharedMonthBuffer.destroy"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for fn, owner in _functions(ctx.tree):
+            body = _body_of(ctx, fn)
+            for acq in _acquisitions(ctx, body):
+                if not acq.created:
+                    continue
+                if acq.self_attr is not None:
+                    if owner is not None and not _class_manages(
+                        owner, acq.self_attr, "unlink"
+                    ):
+                        yield self.finding(
+                            ctx, acq.node,
+                            f"created segment on self.{acq.self_attr} "
+                            "but no method of the class ever unlinks it",
+                        )
+                    continue
+                if acq.name is None:
+                    continue  # SHM001 already flags the unbound case
+                if _escapes(body, acq.name, acq.node):
+                    continue
+                total, _ = _method_calls(body, acq.name, "unlink")
+                if total == 0:
+                    yield self.finding(
+                        ctx, acq.node,
+                        f"created segment `{acq.name}` is never "
+                        "unlinked; the named OS object outlives the "
+                        "process",
+                    )
+
+
+@register
+class RawBufferRule(Rule):
+    """SHM003: raw ``.buf`` access outside ``world/sharedmem.py``.
+
+    The disjoint-slice write protocol lives in one module; raw buffer
+    offset arithmetic anywhere else bypasses the hour partition that
+    makes lock-free parallel writes safe.
+    """
+
+    id = "SHM003"
+    severity = Severity.ERROR
+    title = "raw shared-memory buffer access outside world/sharedmem.py"
+    hint = (
+        "index through the hour-sliced views from attach_shard_arrays "
+        "/ SharedMonthBuffer.arrays instead of raw .buf offsets"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if module_name_for(ctx) == BUF_BLESSED_MODULE:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute) and node.attr == "buf":
+                yield self.finding(
+                    ctx, node,
+                    "raw .buf access: shared-memory writes must go "
+                    "through the disjoint BlockSink slice views",
+                )

@@ -41,6 +41,7 @@ from repro.obs.runtime import (
     event,
     gauge,
     histogram,
+    inherited_emitter,
     logger,
     progress,
     registry,
@@ -75,6 +76,7 @@ __all__ = [
     "NULL_EMITTER",
     "emitter",
     "set_emitter",
+    "inherited_emitter",
     "progress",
     "use",
     "counter",

@@ -149,3 +149,18 @@ def progress(kind: str, /, **fields) -> None:
     ``obs.emitter().enabled`` instead of calling this unconditionally.
     """
     _emitter.emit(kind, **fields)
+
+
+def inherited_emitter(worker: int):
+    """An emitter bound to the telemetry queue inherited over fork.
+
+    Facade for :func:`repro.obs.live.bus.inherited_emitter` so engine
+    code (the parallel worker bootstrap) never imports ``obs.live``
+    internals -- the layering contract reserves those for the obs layer
+    itself.  Returns :data:`NULL_EMITTER` when no queue was parked
+    before the fork, exactly like the underlying implementation; the
+    live machinery only loads when a queue exists to bind.
+    """
+    from repro.obs.live.bus import inherited_emitter as _impl
+
+    return _impl(worker)

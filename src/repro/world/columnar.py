@@ -520,6 +520,25 @@ class ColumnarEngine:
             t0 = perf_counter()
             lattice = self._build_chunk(c0, c1)
             stages["dns"] += perf_counter() - t0
+            # The staging planes are fixed int32, and a draw past their
+            # range would wrap *before* the sink's peak check could see
+            # it -- the wrapped value looks small and honest.  Bound the
+            # worst cell a priori from the rate lattice with the same
+            # Poisson tail logic planned_dtypes uses (x8 headroom for
+            # loss/connection multiplicity) and refuse to simulate past
+            # it rather than corrupt counts silently.
+            peak_cell = (
+                8.0 * float(lattice.rates.sum(axis=1).max())
+                if lattice.rates.size else 0.0
+            )
+            if peak_cell + 12.0 * peak_cell ** 0.5 + 64.0 > float(
+                np.iinfo(np.int32).max
+            ):
+                raise OverflowError(
+                    f"per-cell hourly rate {peak_cell / 8.0:.4g} exceeds "
+                    "the int32 staging capacity; reduce per_hour or "
+                    "widen the staging dtype"
+                )
             # int32 staging halves the flush traffic; every (C, S) plane
             # is fully assigned each hour so np.empty is safe, while the
             # replica planes only write active rows and need the zeros.

@@ -576,6 +576,7 @@ class FaultGenerator:
             prob[ci, si] = (
                 cfg.permanent_intensity_high if high else cfg.permanent_intensity_low
             )
+            # repro: lint-ok[DTY001] int8 holds a categorical pair-kind code (0/1/2), not a count that can accumulate past the dtype
             kind[ci, si] = pair_kind
 
         cursor = 0

@@ -133,7 +133,6 @@ def _simulate_shard(payload) -> "ShardResult":
     fixed dtypes) and the returned result carries no arrays -- only the
     tiny bookkeeping fields ride the pickle.
     """
-    from repro.obs.live.bus import inherited_emitter
     from repro.world.columnar import BlockSink
     from repro.world.simulator import MonthSimulator
 
@@ -142,7 +141,7 @@ def _simulate_shard(payload) -> "ShardResult":
     registry = MetricsRegistry()
     old_registry = obs.set_registry(registry)
     old_tracer = obs.set_tracer(Tracer())
-    old_emitter = obs.set_emitter(inherited_emitter(worker))
+    old_emitter = obs.set_emitter(obs.inherited_emitter(worker))
     shm = None
     try:
         sink = None

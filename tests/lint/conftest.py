@@ -4,7 +4,33 @@ import textwrap
 
 import pytest
 
-from repro.lint.engine import lint_file
+from repro.lint.engine import lint_file, lint_paths
+
+
+@pytest.fixture
+def lint_tree(tmp_path):
+    """Write files under a fake ``src/repro`` tree and lint them together.
+
+    ``files`` maps package-relative paths (``"world/a.py"``) to source;
+    one ``lint_paths`` call over the whole tree gives the project rules
+    a real import graph, so cross-file taint and layering can be
+    exercised without touching the shipped sources.
+    """
+
+    def run(files, rules=None, jobs=None, baseline_path=None):
+        root = tmp_path / "src" / "repro"
+        for relpath, source in files.items():
+            target = root / relpath
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(textwrap.dedent(source))
+        return lint_paths(
+            [str(root)],
+            rules=rules,
+            jobs=jobs,
+            baseline_path=baseline_path,
+        )
+
+    return run
 
 
 @pytest.fixture

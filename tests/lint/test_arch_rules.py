@@ -1,0 +1,126 @@
+"""ARC0xx layering-contract rules.
+
+ARC001 enforces the declarative layer matrix over the project import
+graph (deferred imports count); ARC002 walks reachability from the
+classifier/blame modules to the ground-truth modules.  The mutation
+fixture injects a ``core`` -> ``repro.obs.live`` import and must
+produce exactly one ARC001 finding.
+"""
+
+
+def only(findings, rule):
+    return [f for f in findings if f.rule == rule]
+
+
+class TestARC001LayerMatrix:
+    def test_core_may_import_net(self, lint_tree):
+        result = lint_tree(
+            {"core/classify2.py": "import repro.net.errors\n"}
+        )
+        assert only(result.findings, "ARC001") == []
+
+    def test_net_importing_http_fires(self, lint_tree):
+        result = lint_tree(
+            {"net/wget2.py": "import repro.http.client\n"}
+        )
+        (f,) = only(result.findings, "ARC001")
+        assert f.path.endswith("net/wget2.py")
+        assert "repro.http" in f.message
+
+    def test_injected_core_to_obs_live_import(self, lint_tree):
+        # The mutation fixture: a core module reaching into the live
+        # telemetry stack.  Exactly one finding.
+        result = lint_tree(
+            {
+                "core/blame2.py": """\
+                    import repro.obs.live.bus
+
+                    def blame(episodes):
+                        return repro.obs.live.bus
+                    """,
+            }
+        )
+        arc = only(result.findings, "ARC001")
+        assert len(arc) == 1
+        assert arc[0].line == 1
+
+    def test_deferred_import_still_counts(self, lint_tree):
+        result = lint_tree(
+            {
+                "dns/resolver2.py": """\
+                    def lookup(name):
+                        from repro.http import client
+                        return client
+                    """,
+            }
+        )
+        (f,) = only(result.findings, "ARC001")
+        assert "deferred" in f.message
+
+    def test_obs_facade_is_importable_anywhere(self, lint_tree):
+        result = lint_tree(
+            {
+                "tcp/conn2.py": """\
+                    from repro import obs
+
+                    def connect():
+                        with obs.span("tcp.connect"):
+                            return True
+                    """,
+            }
+        )
+        assert only(result.findings, "ARC001") == []
+
+    def test_world_may_not_import_obs_live(self, lint_tree):
+        result = lint_tree(
+            {"world/sim2.py": "from repro.obs.live import bus\n"}
+        )
+        assert len(only(result.findings, "ARC001")) == 1
+
+
+class TestARC002GroundTruthFirewall:
+    def test_classifier_reaching_faults_fires(self, lint_tree):
+        result = lint_tree(
+            {
+                "core/classify.py": "import repro.core.helper2\n",
+                "core/helper2.py": "import repro.world.faults\n",
+                "world/faults.py": "class FaultGenerator: ...\n",
+            }
+        )
+        arc = only(result.findings, "ARC002")
+        assert len(arc) >= 1
+        assert any("repro.world.faults" in f.message for f in arc)
+        # The finding lands on the protected module, naming the chain.
+        assert any(f.path.endswith("core/classify.py") for f in arc)
+
+    def test_truth_symbol_direct_import_fires(self, lint_tree):
+        result = lint_tree(
+            {
+                "core/blame.py": (
+                    "from repro.world.faults import FaultGenerator\n"
+                ),
+                "world/faults.py": "class FaultGenerator: ...\n",
+            }
+        )
+        arc = only(result.findings, "ARC002")
+        assert any("FaultGenerator" in f.message for f in arc)
+
+    def test_unrelated_core_module_is_quiet(self, lint_tree):
+        # Only the protected classifier/blame modules are firewalled;
+        # e.g. dataset-building code may see world freely.
+        result = lint_tree(
+            {
+                "core/dataset2.py": "import repro.world.faults\n",
+                "world/faults.py": "class FaultGenerator: ...\n",
+            }
+        )
+        assert only(result.findings, "ARC002") == []
+
+    def test_classifier_without_truth_path_is_quiet(self, lint_tree):
+        result = lint_tree(
+            {
+                "core/classify.py": "import repro.net.errors\n",
+                "net/errors.py": "class NetError(Exception): ...\n",
+            }
+        )
+        assert only(result.findings, "ARC002") == []

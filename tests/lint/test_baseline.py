@@ -7,6 +7,7 @@ import pytest
 from repro.lint.baseline import (
     apply_baseline,
     load_baseline,
+    prune_baseline,
     write_baseline,
 )
 from repro.lint.engine import lint_paths
@@ -69,9 +70,10 @@ class TestBaselineRoundTrip:
         result = lint_paths([str(violating_tree)])
         write_baseline(str(baseline_file), result.findings)
         data = json.loads(baseline_file.read_text())
-        assert data["version"] == 1
+        assert data["version"] == 2
         entries = [
-            (e["path"], e["rule"], e["line"]) for e in data["findings"]
+            (e["path"], e["rule"], e["line"], e["col"])
+            for e in data["findings"]
         ]
         assert entries == sorted(entries)
 
@@ -84,3 +86,59 @@ class TestBaselineRoundTrip:
         notdict.write_text("[]")
         with pytest.raises(ValueError):
             load_baseline(str(notdict))
+
+
+class TestBaselineV2:
+    def test_v1_format_still_loads(self, tmp_path):
+        v1 = tmp_path / "v1.json"
+        v1.write_text(json.dumps({
+            "version": 1,
+            "findings": [
+                {"path": "src/repro/world/mod.py", "rule": "DET001",
+                 "line": 4},
+            ],
+        }))
+        keys = load_baseline(str(v1))
+        assert keys == {("src/repro/world/mod.py", "DET001", 4)}
+
+    def test_prune_drops_stale_and_upgrades_to_v2(self, tmp_path):
+        v1 = tmp_path / "v1.json"
+        v1.write_text(json.dumps({
+            "version": 1,
+            "findings": [
+                {"path": "a.py", "rule": "DET001", "line": 4},
+                {"path": "b.py", "rule": "SAF001", "line": 9},
+            ],
+        }))
+        dropped = prune_baseline(str(v1), [("a.py", "DET001", 4)])
+        assert dropped == 1
+        data = json.loads(v1.read_text())
+        assert data["version"] == 2
+        assert data["findings"] == [
+            {"path": "b.py", "rule": "SAF001", "line": 9, "col": 0},
+        ]
+
+    def test_engine_reports_stale_entries(self, violating_tree, tmp_path):
+        baseline_file = tmp_path / "baseline.json"
+        first = lint_paths([str(violating_tree)])
+        write_baseline(str(baseline_file), first.findings)
+        # Fix the violation: the baseline entry goes stale.
+        (violating_tree / "world" / "mod.py").write_text("VALUE = 1\n")
+        result = lint_paths(
+            [str(violating_tree)], baseline_path=str(baseline_file)
+        )
+        assert len(result.stale_baseline) == 1
+        (path, rule, _line) = result.stale_baseline[0]
+        assert rule == "DET001"
+        assert path.endswith("mod.py")
+
+    def test_matching_baseline_has_no_stale_entries(
+        self, violating_tree, tmp_path
+    ):
+        baseline_file = tmp_path / "baseline.json"
+        first = lint_paths([str(violating_tree)])
+        write_baseline(str(baseline_file), first.findings)
+        result = lint_paths(
+            [str(violating_tree)], baseline_path=str(baseline_file)
+        )
+        assert result.stale_baseline == []

@@ -96,3 +96,58 @@ class TestSelfClean:
         """The acceptance gate: `repro lint src/repro --strict` exits 0
         on the shipped tree, with no baseline."""
         assert main(["lint", str(SRC_REPRO), "--strict"]) == 0
+
+class TestPruneBaseline:
+    def test_requires_baseline_flag(self, violating_file, capsys):
+        assert main(["lint", str(violating_file), "--prune-baseline"]) == 2
+        assert "requires --baseline" in capsys.readouterr().err
+
+    def test_up_to_date_baseline_passes(self, violating_file, tmp_path,
+                                        capsys):
+        baseline = tmp_path / "baseline.json"
+        main(["lint", str(violating_file), "--write-baseline", str(baseline)])
+        capsys.readouterr()
+        code = main(
+            ["lint", str(violating_file), "--baseline", str(baseline),
+             "--prune-baseline", "--strict"]
+        )
+        assert code == 0
+        assert "up to date" in capsys.readouterr().out
+
+    def test_stale_entry_pruned_and_exit_one(self, violating_file, tmp_path,
+                                             capsys):
+        baseline = tmp_path / "baseline.json"
+        main(["lint", str(violating_file), "--write-baseline", str(baseline)])
+        violating_file.write_text("VALUE = 1\n")  # violation fixed
+        capsys.readouterr()
+        code = main(
+            ["lint", str(violating_file), "--baseline", str(baseline),
+             "--prune-baseline"]
+        )
+        assert code == 1  # CI gate: the stale entry must be committed away
+        assert "pruned 1 stale baseline entry" in capsys.readouterr().out
+        data = json.loads(baseline.read_text())
+        assert data["findings"] == []
+        # A second run is clean: the pruned file is now up to date.
+        capsys.readouterr()
+        assert (
+            main(
+                ["lint", str(violating_file), "--baseline", str(baseline),
+                 "--prune-baseline", "--strict"]
+            )
+            == 0
+        )
+
+
+class TestJobsFlag:
+    def test_jobs_does_not_change_output(self, tmp_path, capsys):
+        root = tmp_path / "src" / "repro" / "world"
+        root.mkdir(parents=True)
+        for i in range(6):
+            (root / f"mod{i}.py").write_text(SNIPPET)
+        outputs = []
+        for jobs in ("1", "4"):
+            main(["lint", str(root), "--jobs", jobs])
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+        assert outputs[0].count("DET001") == 6

@@ -1,0 +1,181 @@
+"""DTY0xx dtype-narrowing rules.
+
+DTY001 flags unguarded stores into narrow-int arrays (direct subscript
+stores and delegation into a callee that stores into its parameters);
+DTY002 flags unguarded narrowing ``.astype`` casts.  The mutation
+fixture mirrors the real ``columnar.py`` shape -- a staging dict of
+int32 arrays handed to a helper that accumulates into them -- with the
+capacity guard deleted.
+"""
+
+
+def only(findings, rule):
+    return [f for f in findings if f.rule == rule]
+
+
+class TestDTY001NarrowStore:
+    def test_unguarded_subscript_store_fires(self, findings_of):
+        findings = findings_of(
+            """\
+            import numpy as np
+
+            def tally(events):
+                counts = np.zeros(24, dtype=np.int32)
+                for hour in events:
+                    counts[hour] += 1
+                return counts
+            """
+        )
+        (f,) = only(findings, "DTY001")
+        assert f.line == 6
+
+    def test_capacity_guard_call_silences(self, findings_of):
+        findings = findings_of(
+            """\
+            import numpy as np
+
+            from repro.core.dataset import ensure_count_capacity
+
+            def tally(events):
+                counts = np.zeros(24, dtype=np.int32)
+                ensure_count_capacity(counts, len(events))
+                for hour in events:
+                    counts[hour] += 1
+                return counts
+            """
+        )
+        assert only(findings, "DTY001") == []
+
+    def test_iinfo_guard_silences(self, findings_of):
+        findings = findings_of(
+            """\
+            import numpy as np
+
+            def tally(events):
+                counts = np.zeros(24, dtype=np.int32)
+                if len(events) > np.iinfo(np.int32).max:
+                    raise ValueError("too many events")
+                for hour in events:
+                    counts[hour] += 1
+                return counts
+            """
+        )
+        assert only(findings, "DTY001") == []
+
+    def test_raise_overflow_guard_silences(self, findings_of):
+        findings = findings_of(
+            """\
+            import numpy as np
+
+            def tally(events, cap):
+                counts = np.zeros(24, dtype=np.int32)
+                if len(events) > cap:
+                    raise OverflowError("staging overflow")
+                for hour in events:
+                    counts[hour] += 1
+                return counts
+            """
+        )
+        assert only(findings, "DTY001") == []
+
+    def test_wide_dtype_needs_no_guard(self, findings_of):
+        findings = findings_of(
+            """\
+            import numpy as np
+
+            def tally(events):
+                counts = np.zeros(24, dtype=np.int64)
+                for hour in events:
+                    counts[hour] += 1
+                return counts
+            """
+        )
+        assert only(findings, "DTY001") == []
+
+    def test_dropped_guard_delegation_mutation(self, lint_tree):
+        # Mutation of the real columnar shape: caller builds int32
+        # staging arrays and delegates accumulation, with the chunk
+        # capacity guard deleted.  Exactly one finding, at the caller.
+        result = lint_tree(
+            {
+                "world/stage.py": """\
+                    import numpy as np
+
+                    def accumulate(staging, hour, n):
+                        staging["dns"][hour] += n
+
+                    def simulate(hours):
+                        staging = {
+                            "dns": np.zeros(hours, dtype=np.int32)
+                        }
+                        for hour in range(hours):
+                            accumulate(staging, hour, 1)
+                        return staging
+                    """,
+            }
+        )
+        dty = only(result.findings, "DTY001")
+        assert len(dty) == 1
+        assert dty[0].path.endswith("world/stage.py")
+
+    def test_guarded_delegation_is_quiet(self, lint_tree):
+        # Same shape with the guard restored in the caller: quiet.
+        result = lint_tree(
+            {
+                "world/stage.py": """\
+                    import numpy as np
+
+                    def accumulate(staging, hour, n):
+                        staging["dns"][hour] += n
+
+                    def simulate(hours, peak):
+                        staging = {
+                            "dns": np.zeros(hours, dtype=np.int32)
+                        }
+                        if peak > np.iinfo(np.int32).max:
+                            raise OverflowError("staging overflow")
+                        for hour in range(hours):
+                            accumulate(staging, hour, 1)
+                        return staging
+                    """,
+            }
+        )
+        assert only(result.findings, "DTY001") == []
+
+
+class TestDTY002NarrowAstype:
+    def test_unguarded_astype_warns(self, findings_of):
+        findings = findings_of(
+            """\
+            import numpy as np
+
+            def shrink(totals):
+                return totals.astype(np.uint16)
+            """
+        )
+        (f,) = only(findings, "DTY002")
+        assert f.severity.value == "warning"
+
+    def test_guarded_astype_is_quiet(self, findings_of):
+        findings = findings_of(
+            """\
+            import numpy as np
+
+            def shrink(totals):
+                if totals.max() > np.iinfo(np.uint16).max:
+                    raise ValueError("totals exceed uint16")
+                return totals.astype(np.uint16)
+            """
+        )
+        assert only(findings, "DTY002") == []
+
+    def test_widening_astype_is_quiet(self, findings_of):
+        findings = findings_of(
+            """\
+            import numpy as np
+
+            def widen(totals):
+                return totals.astype(np.int64)
+            """
+        )
+        assert only(findings, "DTY002") == []

@@ -1,0 +1,245 @@
+"""Resolution-layer tests: import graph, symbol table, taint engine.
+
+These exercise the machinery the flow rules stand on, directly --
+module naming, edge collection, reachability chains, cross-module
+symbol resolution, and function taint summaries -- so a rule-level
+regression can be told apart from a resolution-layer one.
+"""
+
+import ast
+import textwrap
+
+import pytest
+
+from repro.lint.context import FileContext
+from repro.lint.flow import FlowAnalysis, Taint
+from repro.lint.graph import ImportGraph, module_name_for
+from repro.lint.symbols import ClassSymbol, FunctionSymbol, SymbolTable
+
+
+def make_ctx(tmp_path, relpath, source):
+    target = tmp_path / "src" / "repro" / relpath
+    target.parent.mkdir(parents=True, exist_ok=True)
+    src = textwrap.dedent(source)
+    target.write_text(src)
+    return FileContext.build(str(target), src, ast.parse(src))
+
+
+@pytest.fixture
+def ctx_of(tmp_path):
+    return lambda relpath, source: make_ctx(tmp_path, relpath, source)
+
+
+class TestModuleNaming:
+    def test_plain_module(self, ctx_of):
+        ctx = ctx_of("world/parallel.py", "x = 1\n")
+        assert module_name_for(ctx) == "repro.world.parallel"
+
+    def test_package_init(self, ctx_of):
+        ctx = ctx_of("world/__init__.py", "x = 1\n")
+        assert module_name_for(ctx) == "repro.world"
+
+    def test_outside_package_tree(self, tmp_path):
+        target = tmp_path / "loose.py"
+        target.write_text("x = 1\n")
+        ctx = FileContext.build(str(target), "x = 1\n", ast.parse("x = 1\n"))
+        assert module_name_for(ctx) is None
+
+
+class TestImportGraph:
+    def test_collects_project_edges(self, ctx_of):
+        a = ctx_of(
+            "world/a.py",
+            """\
+            import repro.core.dataset
+            from repro.obs import metrics
+            import json
+            """,
+        )
+        graph = ImportGraph.build([a])
+        targets = {e.target for e in graph.edges_from("repro.world.a")}
+        assert "repro.core.dataset" in targets
+        # `from repro.obs import metrics` binds the submodule.
+        assert any(t.startswith("repro.obs") for t in targets)
+        # project_edges filters to in-project targets: no stdlib noise.
+        project = {e.target for e in graph.project_edges()}
+        assert all(t.startswith("repro.") for t in project)
+
+    def test_function_level_import_is_deferred(self, ctx_of):
+        a = ctx_of(
+            "world/a.py",
+            """\
+            import repro.core.dataset
+
+            def late():
+                from repro.obs import metrics
+                return metrics
+            """,
+        )
+        graph = ImportGraph.build([a])
+        deferred = {
+            e.target: e.deferred for e in graph.edges_from("repro.world.a")
+        }
+        assert deferred["repro.core.dataset"] is False
+        assert any(
+            d for t, d in deferred.items() if t.startswith("repro.obs")
+        )
+
+    def test_reachability_and_chain(self, ctx_of):
+        a = ctx_of("world/a.py", "import repro.world.b\n")
+        b = ctx_of("world/b.py", "import repro.world.c\n")
+        c = ctx_of("world/c.py", "x = 1\n")
+        graph = ImportGraph.build([a, b, c])
+        parents = graph.reachable("repro.world.a")
+        assert "repro.world.c" in parents
+        chain = graph.chain(parents, "repro.world.c")
+        assert chain == ["repro.world.a", "repro.world.b", "repro.world.c"]
+
+    def test_unreachable_module_absent(self, ctx_of):
+        a = ctx_of("world/a.py", "x = 1\n")
+        b = ctx_of("world/b.py", "import repro.world.a\n")
+        graph = ImportGraph.build([a, b])
+        assert "repro.world.b" not in graph.reachable("repro.world.a")
+
+
+class TestSymbolTable:
+    def _table(self, *contexts):
+        return SymbolTable.build(ImportGraph.build(list(contexts)))
+
+    def test_resolves_function_and_method(self, ctx_of):
+        a = ctx_of(
+            "world/a.py",
+            """\
+            def free(): ...
+
+            class Holder:
+                def close(self): ...
+            """,
+        )
+        table = self._table(a)
+        fn = table.resolve("repro.world.a.free")
+        assert isinstance(fn, FunctionSymbol)
+        assert fn.dotted == "repro.world.a.free"
+        cls = table.resolve("repro.world.a.Holder")
+        assert isinstance(cls, ClassSymbol)
+        method = table.resolve("repro.world.a.Holder.close")
+        assert isinstance(method, FunctionSymbol)
+        assert method.qualname == "Holder.close"
+
+    def test_follows_reexport_alias(self, ctx_of):
+        impl = ctx_of("world/impl.py", "def real(): ...\n")
+        facade = ctx_of(
+            "world/facade.py", "from repro.world.impl import real as hook\n"
+        )
+        table = self._table(impl, facade)
+        symbol = table.resolve("repro.world.facade.hook")
+        assert isinstance(symbol, FunctionSymbol)
+        assert symbol.dotted == "repro.world.impl.real"
+
+    def test_resolve_in_file_through_import_map(self, ctx_of):
+        impl = ctx_of("world/impl.py", "def real(): ...\n")
+        user = ctx_of(
+            "world/user.py",
+            """\
+            from repro.world.impl import real
+
+            real()
+            """,
+        )
+        table = self._table(impl, user)
+        call = user.tree.body[-1].value
+        symbol = table.resolve_in_file(user, call.func)
+        assert isinstance(symbol, FunctionSymbol)
+        assert symbol.dotted == "repro.world.impl.real"
+
+    def test_unknown_path_is_none(self, ctx_of):
+        a = ctx_of("world/a.py", "def free(): ...\n")
+        table = self._table(a)
+        assert table.resolve("repro.world.a.missing") is None
+        assert table.resolve("os.path.join") is None
+
+
+class TestFlowSummaries:
+    def _flow(self, *contexts):
+        graph = ImportGraph.build(list(contexts))
+        symbols = SymbolTable.build(graph)
+        analysis = FlowAnalysis.run(symbols, list(contexts))
+        return analysis, symbols
+
+    def test_param_to_sink_summary(self, ctx_of):
+        a = ctx_of(
+            "world/a.py",
+            """\
+            import hashlib
+
+            def digest(payload):
+                h = hashlib.sha256()
+                h.update(payload)
+                return h.hexdigest()
+            """,
+        )
+        analysis, symbols = self._flow(a)
+        symbol = symbols.resolve("repro.world.a.digest")
+        summary, offset = analysis.summary_for(symbol)
+        assert offset == 0
+        assert 0 in summary.param_to_sink
+        sinks = summary.param_to_sink[0]
+        assert any(s.kind == "digest" for s in sinks)
+
+    def test_param_to_return_and_sanitizer(self, ctx_of):
+        a = ctx_of(
+            "world/a.py",
+            """\
+            def passthrough(x):
+                return x
+
+            def ordered(xs):
+                return sorted(xs)
+            """,
+        )
+        analysis, symbols = self._flow(a)
+        through, _ = analysis.summary_for(
+            symbols.resolve("repro.world.a.passthrough")
+        )
+        assert 0 in through.param_to_return
+        ordered, _ = analysis.summary_for(
+            symbols.resolve("repro.world.a.ordered")
+        )
+        # sorted() clears the ORDER bit on the way through.
+        assert not ordered.returns.flags & Taint.ORDER
+
+    def test_entropy_source_returns_tainted(self, ctx_of):
+        a = ctx_of(
+            "world/a.py",
+            """\
+            import os
+
+            def token():
+                return os.urandom(8)
+            """,
+        )
+        analysis, symbols = self._flow(a)
+        summary, _ = analysis.summary_for(
+            symbols.resolve("repro.world.a.token")
+        )
+        assert summary.returns.flags & Taint.ENTROPY
+
+    def test_method_summary_offsets_self(self, ctx_of):
+        a = ctx_of(
+            "world/a.py",
+            """\
+            import hashlib
+
+            class Hasher:
+                def feed(self, payload):
+                    h = hashlib.sha256()
+                    h.update(payload)
+            """,
+        )
+        analysis, symbols = self._flow(a)
+        symbol = symbols.resolve("repro.world.a.Hasher.feed")
+        summary, offset = analysis.summary_for(symbol)
+        assert offset == 1
+        # `payload` is param index 1 in the def; callers apply the
+        # offset to map their arg 0 onto it.
+        assert 1 in summary.param_to_sink

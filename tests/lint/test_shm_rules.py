@@ -1,0 +1,175 @@
+"""SHM0xx shared-memory lifecycle rules.
+
+The mutation fixtures mirror the real ``sharedmem.py`` shapes: an
+owning class whose ``destroy`` both closes and unlinks, a worker
+function that attaches and closes in ``finally``.  Each rule gets the
+conforming shape and one mutation (dropped ``unlink``, dropped
+``finally``, raw ``.buf`` access) that must produce exactly one
+finding.
+"""
+
+
+def only(findings, rule):
+    return [f for f in findings if f.rule == rule]
+
+
+OWNING_CLASS_OK = """\
+    from multiprocessing import shared_memory
+
+    class MonthBuffer:
+        def __init__(self, nbytes):
+            self._shm = shared_memory.SharedMemory(
+                create=True, size=nbytes
+            )
+
+        def destroy(self):
+            self._shm.close()
+            self._shm.unlink()
+    """
+
+
+ATTACH_WORKER_OK = """\
+    from repro.world.sharedmem import attach_shard_arrays
+
+    def work(name, world, per_hour, h0, h1):
+        shm, arrays = attach_shard_arrays(name, world, per_hour, h0, h1)
+        try:
+            return arrays[0].sum()
+        finally:
+            shm.close()
+    """
+
+
+class TestSHM001Close:
+    def test_owning_class_with_destroy_is_quiet(self, findings_of):
+        assert only(findings_of(OWNING_CLASS_OK), "SHM001") == []
+
+    def test_attach_close_in_finally_is_quiet(self, findings_of):
+        assert only(findings_of(ATTACH_WORKER_OK), "SHM001") == []
+
+    def test_class_without_close_method_fires(self, findings_of):
+        findings = findings_of(
+            """\
+            from multiprocessing import shared_memory
+
+            class Leaky:
+                def __init__(self, nbytes):
+                    self._shm = shared_memory.SharedMemory(
+                        create=True, size=nbytes
+                    )
+
+                def unlink(self):
+                    self._shm.unlink()
+            """
+        )
+        assert len(only(findings, "SHM001")) == 1
+
+    def test_close_outside_finally_fires(self, findings_of):
+        findings = findings_of(
+            """\
+            from repro.world.sharedmem import attach_shard_arrays
+
+            def work(name, world, per_hour, h0, h1):
+                shm, arrays = attach_shard_arrays(
+                    name, world, per_hour, h0, h1
+                )
+                total = arrays[0].sum()
+                shm.close()
+                return total
+            """
+        )
+        (f,) = only(findings, "SHM001")
+        assert "finally" in f.message
+
+    def test_returned_segment_is_ownership_transfer(self, findings_of):
+        findings = findings_of(
+            """\
+            from multiprocessing import shared_memory
+
+            def open_segment(name):
+                shm = shared_memory.SharedMemory(name=name)
+                return shm
+            """
+        )
+        assert only(findings, "SHM001") == []
+
+
+class TestSHM002Unlink:
+    def test_created_class_segment_without_unlink_fires(self, findings_of):
+        # The mutation fixture: delete `unlink` from the owning class.
+        findings = findings_of(
+            """\
+            from multiprocessing import shared_memory
+
+            class MonthBuffer:
+                def __init__(self, nbytes):
+                    self._shm = shared_memory.SharedMemory(
+                        create=True, size=nbytes
+                    )
+
+                def destroy(self):
+                    self._shm.close()
+            """
+        )
+        shm002 = only(findings, "SHM002")
+        assert len(shm002) == 1
+
+    def test_attached_segment_needs_no_unlink(self, findings_of):
+        # create=False attachments don't own the name.
+        assert only(findings_of(ATTACH_WORKER_OK), "SHM002") == []
+
+    def test_created_local_without_unlink_fires(self, findings_of):
+        findings = findings_of(
+            """\
+            from multiprocessing import shared_memory
+
+            def scratch(nbytes):
+                shm = shared_memory.SharedMemory(create=True, size=nbytes)
+                try:
+                    shm.buf[0] = 1
+                finally:
+                    shm.close()
+            """,
+            relpath="src/repro/world/sharedmem.py",
+        )
+        assert len(only(findings, "SHM002")) == 1
+
+    def test_created_local_with_unlink_is_quiet(self, findings_of):
+        findings = findings_of(
+            """\
+            from multiprocessing import shared_memory
+
+            def scratch(nbytes):
+                shm = shared_memory.SharedMemory(create=True, size=nbytes)
+                try:
+                    shm.buf[0] = 1
+                finally:
+                    shm.close()
+                    shm.unlink()
+            """,
+            relpath="src/repro/world/sharedmem.py",
+        )
+        assert only(findings, "SHM002") == []
+
+
+class TestSHM003RawBuf:
+    def test_buf_outside_blessed_module_fires(self, findings_of):
+        findings = findings_of(
+            """\
+            def peek(shm):
+                return shm.buf[0]
+            """,
+            relpath="src/repro/world/columnar.py",
+        )
+        (f,) = only(findings, "SHM003")
+        assert f.line == 2
+
+    def test_buf_inside_sharedmem_module_is_allowed(self, findings_of):
+        findings = findings_of(
+            """\
+            def peek(shm):
+                return shm.buf[0]
+            """,
+            relpath="src/repro/world/sharedmem.py",
+        )
+        assert only(findings, "SHM003") == []

@@ -85,3 +85,115 @@ class TestSuppression:
             """
         )
         assert "DET001" in ids(report.findings)
+
+class TestFlowRuleSuppression:
+    """Suppression semantics for the project-wide (flow) rule families:
+    findings anchor at the sink, so that is where the pragma lives."""
+
+    def test_multi_rule_comment_covers_flow_families(self, lint_snippet):
+        report = lint_snippet(
+            """\
+            import hashlib
+            import os
+            import time
+
+            def fingerprint():
+                salt = os.urandom(8) + str(time.time()).encode()
+                h = hashlib.sha256()
+                # repro: lint-ok[DIG001,DIG002] salt intentionally unique per run
+                h.update(salt)
+                return h.hexdigest()
+            """,
+            # obs is exempt from the per-file wall-clock rule (DET003),
+            # so only the flow findings are in play
+            relpath="src/repro/obs/snippet.py",
+        )
+        assert ids(report.findings) == []
+        assert report.suppressed == 2  # both families, one comment
+
+    def test_cross_file_flow_finding_suppressed_at_sink(self, lint_tree):
+        result = lint_tree(
+            {
+                "world/token.py": """\
+                    import os
+
+                    def fresh_token():
+                        return os.urandom(16)
+                    """,
+                "world/digest.py": """\
+                    import hashlib
+
+                    from repro.world.token import fresh_token
+
+                    def fingerprint():
+                        h = hashlib.sha256()
+                        # repro: lint-ok[DIG001] run id is meant to be unique
+                        h.update(fresh_token())
+                        return h.hexdigest()
+                    """,
+            }
+        )
+        assert ids(result.findings) == []
+        assert result.suppressed == 1
+
+    def test_pragma_at_source_does_not_cover_sink(self, lint_tree):
+        # The finding anchors at the sink; a pragma on the entropy
+        # source line is in the wrong place and must not silence it.
+        result = lint_tree(
+            {
+                "world/token.py": """\
+                    import os
+
+                    def fresh_token():
+                        # repro: lint-ok[DIG001] tokens are random by design
+                        return os.urandom(16)
+                    """,
+                "world/digest.py": """\
+                    import hashlib
+
+                    from repro.world.token import fresh_token
+
+                    def fingerprint():
+                        h = hashlib.sha256()
+                        h.update(fresh_token())
+                        return h.hexdigest()
+                    """,
+            }
+        )
+        assert "DIG001" in ids(result.findings)
+
+    def test_reasonless_suppression_rejected_for_flow_rules(
+        self, lint_snippet
+    ):
+        report = lint_snippet(
+            """\
+            import hashlib
+            import os
+
+            def fingerprint():
+                h = hashlib.sha256()
+                h.update(os.urandom(8))  # repro: lint-ok[DIG001]
+                return h.hexdigest()
+            """
+        )
+        assert "DIG001" in ids(report.findings)  # survives
+        assert "LNT000" in ids(report.findings)  # pragma called out
+        assert report.suppressed == 0
+
+    def test_shm_suppression_at_acquisition(self, lint_snippet):
+        report = lint_snippet(
+            """\
+            from multiprocessing import shared_memory
+
+            def scratch(nbytes):
+                # repro: lint-ok[SHM002] segment adopted by the test harness
+                shm = shared_memory.SharedMemory(create=True, size=nbytes)
+                try:
+                    shm.buf[0] = 1
+                finally:
+                    shm.close()
+            """,
+            relpath="src/repro/world/sharedmem.py",
+        )
+        assert "SHM002" not in ids(report.findings)
+        assert report.suppressed == 1
