@@ -225,6 +225,18 @@ def _build_parser() -> argparse.ArgumentParser:
         "analysis (precision/recall, blame agreement, detection latency)",
     )
     configure_detect_parser(detect_cmd)
+
+    from repro.serve.cli import configure_parser as configure_serve_parser
+
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="run the continuous simulation daemon: sim-time chunks with "
+        "incremental dataset commits, online detection, and the live "
+        "HTTP API (/healthz /status /metrics /alerts /episodes /blame "
+        "/runs); SIGTERM stops it gracefully, --resume continues",
+        parents=[common],
+    )
+    configure_serve_parser(serve_cmd)
     return parser
 
 
@@ -603,6 +615,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.obs.online.cli import run as run_detect_cli
 
         return run_detect_cli(args)
+    if args.command == "serve":
+        from repro.serve.cli import run as run_serve
+
+        return run_serve(args, argv)
     handlers = {
         "simulate": cmd_simulate,
         "report": cmd_report,
@@ -613,13 +629,31 @@ def main(argv: Optional[List[str]] = None) -> int:
     _configure_observability(args)
     args._run_recorder = _make_recorder(args, argv)
     args._live_session = _configure_live(args)
+    coordinator = None
+    if args._live_session is not None:
+        # Graceful shutdown for --live/--serve-metrics/--detect runs: a
+        # SIGTERM (systemd stop, CI cleanup) becomes a KeyboardInterrupt
+        # so the finally-teardown below runs exactly as it does for ^C
+        # -- the live session stops, the trace closes, metrics export.
+        from repro.obs.live.server import ShutdownCoordinator
+
+        coordinator = ShutdownCoordinator(raise_interrupt=True)
+        coordinator.install()
     tracer = obs.tracer()
     try:
         with obs.span(
             f"cli.{args.command}", hours=args.hours, per_hour=args.per_hour
         ):
             code = handlers[args.command](args)
+    except KeyboardInterrupt:
+        print(
+            f"repro: {args.command} interrupted; run record not finalized",
+            file=sys.stderr,
+        )
+        code = 130
     finally:
+        if coordinator is not None:
+            coordinator.restore()
         # Stop the live session before exporting/finalizing so the event
         # spool is fully drained when the recorder copies it.
         if args._live_session is not None:

@@ -324,6 +324,48 @@ class MeasurementDataset:
         for arrays, (h0, h1) in shard_list:
             self.merge(arrays, (h0, h1))
 
+    def extract_block(self, hour_start: int, hour_stop: int) -> Dict[str, np.ndarray]:
+        """Copies of every count array restricted to ``[hour_start, hour_stop)``.
+
+        The inverse of :meth:`merge` with an hour block: the returned
+        mapping can be persisted as a chunk checkpoint and later merged
+        back into a fresh dataset to reproduce this one hour-slice for
+        hour-slice (the service daemon's incremental-commit unit, see
+        :mod:`repro.obs.runstore.chunks`).
+        """
+        if not 0 <= hour_start <= hour_stop <= self.world.hours:
+            raise ValueError(
+                f"hour block [{hour_start}, {hour_stop}) outside experiment "
+                f"(0..{self.world.hours})"
+            )
+        return {
+            name: np.ascontiguousarray(
+                getattr(self, name)[..., hour_start:hour_stop]
+            )
+            for name in self._ARRAY_FIELDS
+        }
+
+    @classmethod
+    def block_digest(cls, arrays: Mapping[str, np.ndarray]) -> str:
+        """SHA-256 over one hour-block's arrays, dtype-normalised.
+
+        The same normalisation as :meth:`digest` (field name, shape,
+        ``int64`` bytes) applied to a block mapping, so a chunk's digest
+        is invariant under capacity promotion and array dtype -- the
+        quantity the chunk store chains across commits.  Missing fields
+        are an error: a chunk that silently dropped an array would chain
+        clean and corrupt the resumed dataset.
+        """
+        h = hashlib.sha256()
+        for name in cls._ARRAY_FIELDS:
+            arr = arrays.get(name)
+            if arr is None:
+                raise ValueError(f"block is missing array {name!r}")
+            h.update(name.encode("utf-8"))
+            h.update(str(arr.shape).encode("utf-8"))
+            h.update(np.ascontiguousarray(arr, dtype=np.int64).tobytes())
+        return h.hexdigest()
+
     def merge(
         self,
         shard: Union["MeasurementDataset", Mapping[str, np.ndarray]],

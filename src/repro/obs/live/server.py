@@ -1,30 +1,49 @@
-"""A scrapeable ``/metrics`` endpoint for in-flight simulations.
+"""The live HTTP read API for in-flight and daemonized simulations.
 
-``repro simulate --serve-metrics PORT`` starts a
-:class:`MetricsServer`: a daemon-threaded stdlib HTTP server whose
-``/metrics`` route renders, in the Prometheus text exposition format,
+``repro simulate --serve-metrics PORT`` and the ``repro serve`` daemon
+both mount a :class:`MetricsServer`: a daemon-threaded stdlib HTTP
+server exposing a small, versioned, read-only API over the process's
+observability state:
 
-* the process's active :class:`~repro.obs.metrics.MetricsRegistry`
-  (stage counters, outcome totals -- sparse until workers merge), and
-* the live aggregator's gauges (progress, ETA, per-failure-type running
-  counts, the episode-threshold estimate), prefixed ``repro_live_*``,
+* ``/metrics`` -- Prometheus text exposition: the active
+  :class:`~repro.obs.metrics.MetricsRegistry` plus the live
+  aggregator's and online detector's gauges (``repro_live_*`` /
+  ``repro_alert_*``), so a month-long run can sit on an existing
+  Prometheus/Grafana stack while it is still in flight;
+* ``/healthz`` -- liveness probe (JSON, always 200 while serving);
+* ``/status`` -- the run's progress document: sim-clock, chunk cursor,
+  ETA, worker lanes (the daemon's status provider, else the live
+  aggregator's snapshot);
+* ``/alerts`` -- the online detector's alert snapshot;
+* ``/episodes`` -- the full episode log (open + closed, with latency);
+* ``/blame`` -- running blame attribution and the current verdict --
+  queryable sim-hours after fault onset, not at month-end;
+* ``/runs`` -- the run registry listing (the same serializer as
+  ``repro runs list --json``);
+* ``/`` -- a JSON index of the above.  Unknown paths get a 404 with a
+  JSON error body listing the valid endpoints.
 
-so a month-long run can sit on an existing Prometheus/Grafana stack
-while it is still in flight.  Port ``0`` binds an ephemeral port
-(tests); the bound port is exposed as :attr:`MetricsServer.port`.
+Every JSON document is stamped ``"api": "repro.live-api/1"``; fields
+are only ever added within a major (the manifest compatibility rule).
 
 The server only ever *reads* observability state -- it can neither slow
 the determinism-critical path nor perturb it, and a scrape mid-run
 leaves the dataset digest bit-identical to an unscraped run (asserted
 in CI).
+
+:class:`ShutdownCoordinator` is the graceful-shutdown half: it installs
+SIGTERM/SIGINT handlers so both the batch ``--serve-metrics`` path and
+the daemon can flush in-flight work, finalize the run record, and stop
+the server cleanly instead of dying mid-write.
 """
 
 from __future__ import annotations
 
 import json
+import signal
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Callable, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.obs import runtime
 from repro.obs.exporters import to_prometheus_text
@@ -32,9 +51,95 @@ from repro.obs.live.aggregate import LiveAggregator
 
 DEFAULT_HOST = "127.0.0.1"
 
+#: API schema stamped on every JSON response; additive within a major.
+API_VERSION = "repro.live-api/1"
+
+#: The route catalog: path -> one-line description (the ``/`` index and
+#: every 404 body list exactly these).
+ENDPOINTS = {
+    "/": "this index",
+    "/healthz": "liveness probe",
+    "/status": "run progress: sim-clock, chunk cursor, ETA, worker lanes",
+    "/metrics": "Prometheus text exposition",
+    "/alerts": "online detector alert snapshot",
+    "/episodes": "episode log (open + closed) with detection latency",
+    "/blame": "running blame attribution and verdict",
+    "/runs": "recorded run registry listing",
+}
+
+
+class ShutdownCoordinator:
+    """SIGTERM/SIGINT -> one graceful-shutdown request, two flavors.
+
+    ``raise_interrupt=False`` (the daemon): the first signal sets a flag
+    the serve loop polls at chunk boundaries, so the in-flight chunk is
+    finished and committed before the run record is finalized and the
+    server stopped.  ``raise_interrupt=True`` (batch
+    ``--serve-metrics``): the signal is converted to
+    :class:`KeyboardInterrupt` so the CLI's existing ``finally``
+    teardown (live session stop, trace close, metrics export) runs
+    exactly as it does for a ^C.
+
+    Handlers are only installable from the main thread (a stdlib
+    restriction); elsewhere :meth:`install` is a no-op and returns
+    ``False`` -- the flag can still be set programmatically via
+    :meth:`request_stop`.  :meth:`restore` puts the previous handlers
+    back (tests install/restore around ``os.kill``).
+    """
+
+    SIGNALS = (signal.SIGTERM, signal.SIGINT)
+
+    def __init__(self, raise_interrupt: bool = False) -> None:
+        self.raise_interrupt = raise_interrupt
+        self._stop = threading.Event()
+        self._previous: Dict[int, Any] = {}
+        #: Signal numbers received, in order (observability/tests).
+        self.signals_seen: List[int] = []
+
+    def _handle(self, signum, frame) -> None:
+        self.signals_seen.append(int(signum))
+        self._stop.set()
+        runtime.logger.info(
+            "received signal %d; finishing in-flight work", signum
+        )
+        if self.raise_interrupt:
+            raise KeyboardInterrupt
+
+    def install(self) -> bool:
+        """Install the handlers; False when not on the main thread."""
+        try:
+            for sig in self.SIGNALS:
+                self._previous[sig] = signal.signal(sig, self._handle)
+        except ValueError:
+            # signal.signal outside the main thread; callers fall back
+            # to programmatic request_stop().
+            self.restore()
+            return False
+        return True
+
+    def restore(self) -> None:
+        """Reinstall whatever handlers were active before install()."""
+        while self._previous:
+            sig, previous = self._previous.popitem()
+            try:
+                signal.signal(sig, previous)
+            except (ValueError, TypeError):
+                pass
+
+    def request_stop(self) -> None:
+        """Programmatic stop request (same flag the signals set)."""
+        self._stop.set()
+
+    def stop_requested(self) -> bool:
+        return self._stop.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until a stop is requested (or the timeout elapses)."""
+        return self._stop.wait(timeout)
+
 
 class MetricsServer:
-    """Serve ``/metrics``, ``/alerts``, and a tiny index, on a daemon thread."""
+    """The versioned read API on a daemon thread (see module docstring)."""
 
     def __init__(
         self,
@@ -43,13 +148,21 @@ class MetricsServer:
         registry_provider: Optional[Callable[[], object]] = None,
         host: str = DEFAULT_HOST,
         detector=None,
+        status_provider: Optional[Callable[[], Dict[str, Any]]] = None,
+        runs_provider: Optional[Callable[[], Dict[str, Any]]] = None,
     ) -> None:
         self.aggregator = aggregator
         #: An :class:`~repro.obs.online.detector.OnlineDetector` (or
-        #: anything with ``snapshot()``/``to_registry()``); adds the
-        #: ``/alerts`` route and the ``repro_alert_*`` /
-        #: ``repro_detection_latency_hours`` gauges when present.
+        #: anything with ``snapshot()``/``episodes_document()``/
+        #: ``blame_document()``/``to_registry()``); backs ``/alerts``,
+        #: ``/episodes``, ``/blame`` and the ``repro_alert_*`` gauges.
         self.detector = detector
+        #: The daemon's ``/status`` document factory; when absent the
+        #: live aggregator's snapshot serves instead.
+        self.status_provider = status_provider
+        #: The ``/runs`` document factory (see
+        #: :func:`repro.obs.runstore.store.runs_index`).
+        self.runs_provider = runs_provider
         self._registry_provider = registry_provider or runtime.registry
         self._requested = (host, port)
         self._httpd: Optional[ThreadingHTTPServer] = None
@@ -73,11 +186,52 @@ class MetricsServer:
 
     def render_alerts(self) -> str:
         """The ``/alerts`` JSON document (the detector's snapshot)."""
+        _, document = self._alerts_document()
+        return _encode_json(document).decode("utf-8")
+
+    # -- JSON documents -------------------------------------------------------
+
+    def _index_document(self) -> Tuple[int, Dict[str, Any]]:
+        return 200, {
+            "service": "repro live metrics endpoint; scrape /metrics",
+            "endpoints": dict(ENDPOINTS),
+        }
+
+    def _healthz_document(self) -> Tuple[int, Dict[str, Any]]:
+        return 200, {"ok": True, "scrapes": self.scrapes}
+
+    def _status_document(self) -> Tuple[int, Dict[str, Any]]:
+        if self.status_provider is not None:
+            return 200, dict(self.status_provider())
+        if self.aggregator is not None:
+            return 200, self.aggregator.snapshot()
+        return 404, {"error": "no status source wired for this run"}
+
+    def _alerts_document(self) -> Tuple[int, Dict[str, Any]]:
         if self.detector is None:
-            document = {"error": "online detection not enabled for this run"}
-        else:
-            document = self.detector.snapshot()
-        return json.dumps(document, indent=2, sort_keys=True) + "\n"
+            return 404, {"error": "online detection not enabled for this run"}
+        return 200, self.detector.snapshot()
+
+    def _episodes_document(self) -> Tuple[int, Dict[str, Any]]:
+        if self.detector is None:
+            return 404, {"error": "online detection not enabled for this run"}
+        return 200, self.detector.episodes_document()
+
+    def _blame_document(self) -> Tuple[int, Dict[str, Any]]:
+        if self.detector is None:
+            return 404, {"error": "online detection not enabled for this run"}
+        return 200, self.detector.blame_document()
+
+    def _runs_document(self) -> Tuple[int, Dict[str, Any]]:
+        if self.runs_provider is None:
+            return 404, {"error": "no run registry wired for this server"}
+        return 200, dict(self.runs_provider())
+
+    def _not_found_document(self, route: str) -> Tuple[int, Dict[str, Any]]:
+        return 404, {
+            "error": f"no such endpoint: {route}",
+            "endpoints": dict(ENDPOINTS),
+        }
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -91,6 +245,15 @@ class MetricsServer:
     def start(self) -> "MetricsServer":
         """Bind and start serving on a daemon thread."""
         server = self
+        json_routes: Dict[str, Callable[[], Tuple[int, Dict[str, Any]]]] = {
+            "/": server._index_document,
+            "/healthz": server._healthz_document,
+            "/status": server._status_document,
+            "/alerts": server._alerts_document,
+            "/episodes": server._episodes_document,
+            "/blame": server._blame_document,
+            "/runs": server._runs_document,
+        }
 
         class Handler(BaseHTTPRequestHandler):
             def do_GET(self) -> None:  # noqa: N802 - http.server API
@@ -98,25 +261,26 @@ class MetricsServer:
                 if route == "/metrics":
                     body = server.render_metrics().encode("utf-8")
                     server.scrapes += 1
-                    self.send_response(200)
-                    self.send_header(
-                        "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+                    self._reply(
+                        200, body,
+                        "text/plain; version=0.0.4; charset=utf-8",
                     )
-                elif route == "/alerts":
-                    body = server.render_alerts().encode("utf-8")
-                    self.send_response(
-                        200 if server.detector is not None else 404
-                    )
-                    self.send_header(
-                        "Content-Type", "application/json; charset=utf-8"
-                    )
+                    return
+                handler = json_routes.get(route)
+                if handler is None:
+                    status, document = server._not_found_document(route)
                 else:
-                    body = (
-                        "repro live metrics endpoint; "
-                        "scrape /metrics, alerts at /alerts\n"
-                    ).encode("utf-8")
-                    self.send_response(200)
-                    self.send_header("Content-Type", "text/plain; charset=utf-8")
+                    status, document = handler()
+                self._reply(
+                    status, _encode_json(document),
+                    "application/json; charset=utf-8",
+                )
+
+            def _reply(
+                self, status: int, body: bytes, content_type: str
+            ) -> None:
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
                 self.send_header("Content-Length", str(len(body)))
                 self.end_headers()
                 self.wfile.write(body)
@@ -148,3 +312,11 @@ class MetricsServer:
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
+
+
+def _encode_json(document: Dict[str, Any]) -> bytes:
+    """Serialize a response document, stamped with the API version."""
+    stamped = {"api": API_VERSION, **document}
+    return (json.dumps(stamped, indent=2, sort_keys=True) + "\n").encode(
+        "utf-8"
+    )

@@ -410,6 +410,75 @@ class OnlineDetector:
                 "detection_latency_hours": _latency_stats(self.latencies),
             }
 
+    def episodes_document(self) -> Dict[str, Any]:
+        """The full episode log for the ``/episodes`` endpoint.
+
+        Every episode ever opened (closed ones keep their close hour),
+        per side, in open order -- the live counterpart of the batch
+        episode matrix, with names resolved and detection latency
+        attached per episode.
+        """
+        with self._lock:
+            episodes = []
+            for side in _SIDES:
+                state = self._sides[side]
+                for info in state.episodes:
+                    episodes.append({
+                        "side": side,
+                        "entity": state.name_of(info["entity_index"]),
+                        "entity_index": info["entity_index"],
+                        "onset_hour": info["onset_hour"],
+                        "open_hour": info["open_hour"],
+                        "latency_hours": (
+                            info["open_hour"] - info["onset_hour"]
+                        ),
+                        "last_hour": info["last_hour"],
+                        "close_hour": info["close_hour"],
+                        "open": info["close_hour"] is None,
+                        "peak_rate": info["peak"],
+                    })
+            episodes.sort(key=lambda e: (e["open_hour"], e["side"], e["entity_index"]))
+            return {
+                "schema": ALERTS_SCHEMA,
+                "hours_folded": self.hours_folded,
+                "last_folded_hour": self._last_folded,
+                "thresholds": {
+                    side: self._sides[side].knee() for side in _SIDES
+                },
+                "episode_count": len(episodes),
+                "open_count": sum(1 for e in episodes if e["open"]),
+                "episodes": episodes,
+            }
+
+    def blame_document(self) -> Dict[str, Any]:
+        """Running blame attribution + verdict for the ``/blame`` endpoint.
+
+        The verdict is the dominant bucket of the TCP failures
+        attributed so far under the paper's fixed f = 5% -- queryable
+        sim-hours after fault onset, not at month-end.  ``None`` until
+        any TCP failure has been attributed.
+        """
+        with self._lock:
+            total = sum(self.blame.values())
+            counts = dict(sorted(self.blame.items()))
+            fractions = {
+                side: (count / total if total else 0.0)
+                for side, count in counts.items()
+            }
+            verdict = None
+            if total > 0:
+                verdict = max(counts, key=lambda side: (counts[side], side))
+            return {
+                "schema": ALERTS_SCHEMA,
+                "hours_folded": self.hours_folded,
+                "last_folded_hour": self._last_folded,
+                "threshold": BLAME_THRESHOLD,
+                "total": total,
+                "counts": counts,
+                "fractions": fractions,
+                "verdict": verdict,
+            }
+
     def to_registry(self) -> MetricsRegistry:
         """Alerting state as gauges (merged into ``/metrics``)."""
         snap = self.snapshot()

@@ -1,0 +1,263 @@
+"""Chunk-granular dataset commits: the service daemon's durability unit.
+
+``repro serve`` simulates sim-time in chunks of N hours and must be
+killable at any moment without losing committed work or (worse)
+resuming into a subtly different dataset.  :class:`ChunkStore` provides
+that guarantee under ``runs/<run-id>/chunks/``::
+
+    runs/<run-id>/chunks/
+      chunks.json               # ChunkStore manifest (schema below)
+      chunk-0000-0006.npz       # count arrays for hours [0, 6)
+      chunk-0006-0012.npz       # ...
+
+The manifest is the source of truth.  Each commit first writes the
+chunk ``.npz`` via a sibling temp file + rename, then appends a chunk
+entry to the manifest (also atomically) -- a crash between the two
+leaves an orphan ``.npz`` the next resume simply overwrites, never a
+manifest entry pointing at missing or torn data.
+
+Integrity is a **digest chain**: every entry carries the chunk's
+content digest (:meth:`MeasurementDataset.block_digest` -- field
+names, shapes, ``int64``-normalised bytes) and a chain value
+``sha256(previous_chain + digest)`` seeded from the manifest header,
+so replacing, reordering, or truncating any committed chunk breaks
+every later link.  :meth:`replay` re-verifies both per chunk while a
+resume rebuilds the dataset, and the final chain value is itself a
+compact fingerprint of everything committed so far (served on the
+daemon's ``/status``).
+
+Determinism: chunk files are compressed ``.npz`` archives whose *bytes*
+are not stable across runs (zip member timestamps); the chain digests
+array *contents*, which are -- a resumed run therefore reproduces the
+uninterrupted run's chain and final dataset digest bit for bit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.dataset import MeasurementDataset
+from repro.obs.runstore.manifest import canonical_json, check_schema
+from repro.obs.runstore.store import RunStoreError
+
+#: Chunk-manifest schema; additive within the major (see manifest.py).
+CHUNKS_SCHEMA = "repro.serve-chunks/1"
+
+#: Directory (under the run directory) holding chunk checkpoints.
+CHUNKS_DIR = "chunks"
+
+#: The chunk manifest file name.
+CHUNKS_MANIFEST = "chunks.json"
+
+
+class ChunkStoreError(RunStoreError):
+    """A chunk commit, load, or verification failed."""
+
+
+def _chain(previous: str, digest: str) -> str:
+    """One link of the digest chain."""
+    return hashlib.sha256((previous + digest).encode("ascii")).hexdigest()
+
+
+def _chunk_filename(hour_start: int, hour_stop: int) -> str:
+    return f"chunk-{hour_start:04d}-{hour_stop:04d}.npz"
+
+
+class ChunkStore:
+    """Read/write access to one run's incremental chunk commits."""
+
+    def __init__(self, run_dir: Union[str, Path]) -> None:
+        self.run_dir = Path(run_dir)
+        self.chunks_dir = self.run_dir / CHUNKS_DIR
+        self.manifest_path = self.chunks_dir / CHUNKS_MANIFEST
+        self._document: Optional[Dict[str, Any]] = None
+
+    # -- manifest -------------------------------------------------------------
+
+    def exists(self) -> bool:
+        """Has this run ever committed (or initialized) chunks?"""
+        return self.manifest_path.is_file()
+
+    def initialize(
+        self, config: Dict[str, Any], fingerprint_sha256: str,
+        run_id: str = "",
+    ) -> Dict[str, Any]:
+        """Create a fresh, empty chunk manifest for this run.
+
+        ``config`` is the full simulation configuration a resume needs
+        to rebuild the world/truth/simulator identically (hours,
+        per_hour, seed, fault, chunk_hours); ``fingerprint_sha256``
+        pins the world roster so a resume against drifted world-building
+        code fails loudly instead of merging counts into wrong axes.
+        The chain is seeded from the canonical JSON of both, so two
+        runs with different configs can never share a chain prefix.
+        """
+        seed = hashlib.sha256(
+            canonical_json(
+                {"schema": CHUNKS_SCHEMA, "config": config,
+                 "fingerprint_sha256": fingerprint_sha256}
+            ).encode("utf-8")
+        ).hexdigest()
+        document = {
+            "schema": CHUNKS_SCHEMA,
+            "run_id": run_id,
+            "config": dict(config),
+            "fingerprint_sha256": fingerprint_sha256,
+            "chain_seed": seed,
+            "chunks": [],
+        }
+        self.chunks_dir.mkdir(parents=True, exist_ok=True)
+        self._write_manifest(document)
+        self._document = document
+        return document
+
+    def load(self) -> Dict[str, Any]:
+        """Read (and cache) the chunk manifest; validates the schema."""
+        if self._document is not None:
+            return self._document
+        try:
+            document = json.loads(self.manifest_path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ChunkStoreError(
+                f"cannot read chunk manifest {self.manifest_path}: {exc}"
+            )
+        schema = document.get("schema")
+        if not isinstance(schema, str):
+            raise ChunkStoreError(
+                f"{self.manifest_path}: missing schema field"
+            )
+        check_schema(schema, CHUNKS_SCHEMA)
+        self._document = document
+        return document
+
+    def _write_manifest(self, document: Dict[str, Any]) -> None:
+        tmp = self.manifest_path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+        tmp.replace(self.manifest_path)
+
+    # -- properties of the committed prefix -----------------------------------
+
+    def entries(self) -> List[Dict[str, Any]]:
+        """The committed chunk entries, in commit (== hour) order."""
+        return list(self.load().get("chunks") or [])
+
+    def config(self) -> Dict[str, Any]:
+        """The simulation configuration the chunks were committed under."""
+        return dict(self.load().get("config") or {})
+
+    def committed_hours(self) -> int:
+        """Hours committed so far (chunks are contiguous from hour 0)."""
+        entries = self.entries()
+        return int(entries[-1]["hour_stop"]) if entries else 0
+
+    def chain_digest(self) -> str:
+        """The chain value after the last committed chunk."""
+        entries = self.entries()
+        if entries:
+            return str(entries[-1]["chain"])
+        return str(self.load()["chain_seed"])
+
+    # -- committing -----------------------------------------------------------
+
+    def commit(
+        self,
+        hour_start: int,
+        hour_stop: int,
+        arrays: Dict[str, np.ndarray],
+    ) -> Dict[str, Any]:
+        """Durably commit one chunk's count arrays; returns its entry.
+
+        Chunks must be committed contiguously: ``hour_start`` has to be
+        exactly the committed-hours cursor.  The ``.npz`` lands first
+        (temp + rename), the manifest entry second, so a kill between
+        the two is invisible to the next resume.
+        """
+        document = self.load()
+        cursor = self.committed_hours()
+        if hour_start != cursor:
+            raise ChunkStoreError(
+                f"non-contiguous chunk commit: [{hour_start}, {hour_stop}) "
+                f"but {cursor} hour(s) committed so far"
+            )
+        if hour_stop <= hour_start:
+            raise ChunkStoreError(
+                f"empty chunk commit [{hour_start}, {hour_stop})"
+            )
+        digest = MeasurementDataset.block_digest(arrays)
+        filename = _chunk_filename(hour_start, hour_stop)
+        path = self.chunks_dir / filename
+        tmp = path.with_suffix(".npz.tmp")
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+        os.replace(tmp, path)
+        entry = {
+            "hour_start": int(hour_start),
+            "hour_stop": int(hour_stop),
+            "file": filename,
+            "digest": digest,
+            "chain": _chain(self.chain_digest(), digest),
+        }
+        document.setdefault("chunks", []).append(entry)
+        self._write_manifest(document)
+        return entry
+
+    # -- replaying ------------------------------------------------------------
+
+    def replay(self) -> Iterator[Tuple[Dict[str, Any], Dict[str, np.ndarray]]]:
+        """Yield ``(entry, arrays)`` per committed chunk, verifying as it goes.
+
+        Each chunk's content digest and chain link are recomputed and
+        compared against the manifest; any mismatch (bit rot, a chunk
+        file swapped between runs, a truncated manifest edit) raises
+        :class:`ChunkStoreError` naming the offending chunk, before any
+        corrupt counts can reach a dataset.
+        """
+        chain = str(self.load()["chain_seed"])
+        cursor = 0
+        for entry in self.entries():
+            h0, h1 = int(entry["hour_start"]), int(entry["hour_stop"])
+            if h0 != cursor or h1 <= h0:
+                raise ChunkStoreError(
+                    f"chunk manifest is not contiguous at [{h0}, {h1}) "
+                    f"(expected hour_start {cursor})"
+                )
+            path = self.chunks_dir / str(entry["file"])
+            try:
+                with np.load(path) as data:
+                    arrays = {name: data[name] for name in data.files}
+            except (OSError, ValueError) as exc:
+                raise ChunkStoreError(f"cannot load chunk {path}: {exc}")
+            digest = MeasurementDataset.block_digest(arrays)
+            if digest != entry.get("digest"):
+                raise ChunkStoreError(
+                    f"chunk {path} content digest mismatch: "
+                    f"manifest {entry.get('digest')}, file {digest}"
+                )
+            chain = _chain(chain, digest)
+            if chain != entry.get("chain"):
+                raise ChunkStoreError(
+                    f"chunk {path} breaks the digest chain: "
+                    f"manifest {entry.get('chain')}, recomputed {chain}"
+                )
+            cursor = h1
+            yield entry, arrays
+
+    def restore_into(self, dataset: MeasurementDataset) -> int:
+        """Merge every committed chunk into ``dataset``; returns the cursor.
+
+        The dataset must belong to the same world the chunks were
+        simulated in (shape mismatches surface as merge errors; roster
+        drift is caught earlier by the fingerprint check in the serve
+        daemon's resume path).
+        """
+        cursor = 0
+        for entry, arrays in self.replay():
+            dataset.merge(arrays, (entry["hour_start"], entry["hour_stop"]))
+            cursor = int(entry["hour_stop"])
+        return cursor

@@ -41,7 +41,12 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
     )
     verbs = parser.add_subparsers(dest="runs_verb", required=True)
 
-    verbs.add_parser("list", help="one line per recorded run")
+    list_verb = verbs.add_parser("list", help="one line per recorded run")
+    list_verb.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="machine-readable output (same document as the serve "
+        "daemon's /runs endpoint)",
+    )
 
     show = verbs.add_parser(
         "show", help="manifest + attribution evidence for one run"
@@ -96,7 +101,14 @@ def _format_when(unix: float) -> str:
     return time.strftime("%Y-%m-%d %H:%M:%S", time.gmtime(unix)) + "Z"
 
 
-def _cmd_list(store: RunStore) -> int:
+def _cmd_list(store: RunStore, as_json: bool = False) -> int:
+    if as_json:
+        import json
+
+        from repro.obs.runstore.store import runs_index
+
+        print(json.dumps(runs_index(store), indent=2, sort_keys=True))
+        return 0
     manifests = store.list_manifests()
     if not manifests:
         print(f"no runs recorded under {store.root}")
@@ -334,7 +346,7 @@ def run(args) -> int:
     store = RunStore(resolve_runs_dir(getattr(args, "runs_dir", None)))
     try:
         if args.runs_verb == "list":
-            return _cmd_list(store)
+            return _cmd_list(store, as_json=getattr(args, "as_json", False))
         if args.runs_verb == "show":
             return _cmd_show(
                 store, args.ref, args.max_episodes,

@@ -222,6 +222,48 @@ class RunStore:
         return manifests
 
 
+def run_summary(manifest: RunManifest) -> Dict[str, Any]:
+    """One run's machine-readable listing record.
+
+    The single serializer behind both ``repro runs list --json`` and the
+    daemon's ``/runs`` endpoint, so the two surfaces can never drift.
+    Summarizes rather than dumps: the full manifest stays one
+    ``runs show`` away.
+    """
+    config = manifest.config
+    return {
+        "run_id": manifest.run_id,
+        "schema": manifest.schema,
+        "command": manifest.command,
+        "engine": manifest.engine,
+        "config": {
+            "hours": config.get("hours"),
+            "per_hour": config.get("per_hour"),
+            "seed": config.get("seed"),
+            "workers": config.get("workers"),
+            "fault": config.get("fault"),
+        },
+        "git_rev": manifest.git_rev,
+        "created_unix": manifest.created_unix,
+        "dataset_digest": manifest.dataset.get("digest"),
+        "alerts": {
+            "count": manifest.alerts_summary.get("count"),
+            "digest": manifest.alerts_summary.get("digest"),
+        } if manifest.alerts_summary else None,
+        "wall_seconds": manifest.timings.get("wall_seconds"),
+    }
+
+
+def runs_index(store: "RunStore") -> Dict[str, Any]:
+    """The registry as one JSON document (oldest run first)."""
+    runs = [run_summary(m) for m in store.list_manifests()]
+    return {
+        "runs_dir": str(store.root),
+        "count": len(runs),
+        "runs": runs,
+    }
+
+
 class RunRecorder:
     """Accumulates one invocation's facts and writes them on finalize.
 

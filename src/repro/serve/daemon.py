@@ -1,0 +1,478 @@
+"""The ``repro serve`` daemon: simulate, commit, detect, serve -- repeat.
+
+:class:`ServeDaemon` drives the existing columnar/parallel engine in
+sim-time chunks of ``chunk_hours`` toward a fixed horizon.  After each
+chunk it:
+
+1. **commits** the chunk's count arrays durably through
+   :class:`~repro.obs.runstore.chunks.ChunkStore` (npz + digest-chained
+   manifest under ``runs/<id>/chunks/``), *then*
+2. **merges** them into the in-memory dataset, and
+3. **feeds** the streaming :class:`~repro.obs.online.OnlineDetector`
+   one synthetic ``hour_stats`` event per simulated hour -- the same
+   per-entity vectors the columnar engine emits on the telemetry bus,
+   recomputed from the committed arrays (pure reads; the digest cannot
+   be perturbed).
+
+Because every hour draws from its own derived RNG stream, any committed
+prefix is bit-identical to the same hours of a batch run -- so a daemon
+killed at an arbitrary point and resumed (``--resume RUN``) replays the
+committed chunks into a fresh dataset + detector and continues from the
+cursor, finishing with the same final digest *and* the same alert
+stream as an uninterrupted run.
+
+**Identity.** The run id is content-addressed over the *plan* (hours,
+per_hour, seed, fault) rather than the result -- the daemon must be
+discoverable and resumable before the result exists.  The manifest is
+written at start and refreshed per chunk (progress under
+``dataset.provenance.serve``), then finalized with the dataset digest
+and the alert stream at shutdown.
+
+The HTTP surface (:class:`~repro.obs.live.server.MetricsServer`) serves
+``/healthz``, ``/status`` (sim-clock, chunk cursor, ETA, worker lanes),
+``/metrics``, ``/alerts``, ``/episodes``, ``/blame`` and ``/runs``
+throughout.  SIGTERM/SIGINT set the
+:class:`~repro.obs.live.server.ShutdownCoordinator` flag; the loop
+notices at the next chunk boundary, commits what is in flight, and
+shuts down gracefully.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import shutil
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro import obs
+from repro.core.dataset import MeasurementDataset
+from repro.obs.live.server import DEFAULT_HOST, MetricsServer, ShutdownCoordinator
+from repro.obs.online.detector import OnlineDetector
+from repro.obs.runstore.chunks import ChunkStore
+from repro.obs.runstore.manifest import RunManifest, canonical_json, compute_run_id
+from repro.obs.runstore.store import (
+    RunStore,
+    _git_revision,
+    resolve_runs_dir,
+    runs_index,
+)
+from repro.world.faults import FaultGenerator
+from repro.world.outcome_model import AccessConfig
+from repro.world.parallel import plan_shards, run_block
+from repro.world.rng import RNGRegistry
+from repro.world.simulator import MonthSimulator
+
+#: Identity schema for serve run ids (the *plan*, not the result).
+SERVE_SCHEMA = "repro.serve/1"
+
+#: Default sim-hours simulated (and committed) per chunk.
+DEFAULT_CHUNK_HOURS = 6
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything that defines one serve run (and its identity)."""
+
+    hours: int = 744
+    per_hour: int = 4
+    seed: int = 20050101
+    fault: Optional[str] = None
+    chunk_hours: int = DEFAULT_CHUNK_HOURS
+    workers: int = 1
+    port: int = 0
+    host: str = DEFAULT_HOST
+    throttle_seconds: float = 0.0
+    runs_dir: Optional[str] = None
+
+    def identity_config(self) -> Dict[str, Any]:
+        """The fields that affect *results* (digest-relevant only).
+
+        ``chunk_hours``, worker count, and the serving knobs are pure
+        execution detail -- any split of the same plan produces the
+        same dataset, so they must not change the run id.
+        """
+        return {
+            "hours": self.hours,
+            "per_hour": self.per_hour,
+            "seed": self.seed,
+            "fault": self.fault,
+        }
+
+    def stored_config(self) -> Dict[str, Any]:
+        """What the chunk manifest pins for resume compatibility."""
+        return {**self.identity_config(), "chunk_hours": self.chunk_hours}
+
+
+def serve_run_id(config: ServeConfig) -> str:
+    """Content-address a serve plan into its run id."""
+    return compute_run_id({
+        "schema": SERVE_SCHEMA,
+        "command": "serve",
+        "config": config.identity_config(),
+    })
+
+
+def hour_entity_stats_from_block(
+    arrays: Dict[str, np.ndarray], t: int
+) -> Dict[str, list]:
+    """One hour's per-entity stats from committed block arrays.
+
+    Mirrors :func:`repro.world.columnar._hour_entity_stats` exactly --
+    same failure-field sum, same sparse TCP triples in the same
+    row-major order -- but reads hour ``t`` of ``(client, site, hour)``
+    block arrays instead of staged hour planes, so the daemon can feed
+    the detector from what it just committed (and a resume can feed it
+    from what it replays, producing the identical alert stream).
+    """
+    trans = arrays["transactions"][:, :, t]
+    failures = np.zeros(trans.shape, dtype=np.int64)
+    for name in (
+        "dns_ldns", "dns_nonldns", "dns_error",
+        "tcp_noconn", "tcp_noresp", "tcp_partial", "tcp_ambiguous",
+        "http_errors", "masked_failures",
+    ):
+        failures += arrays[name][:, :, t]
+    tcp = np.zeros(trans.shape, dtype=np.int64)
+    for name in ("tcp_noconn", "tcp_noresp", "tcp_partial", "tcp_ambiguous"):
+        tcp += arrays[name][:, :, t]
+    ci, si = np.nonzero(tcp)
+    return {
+        "ct": [int(v) for v in trans.sum(axis=1, dtype=np.int64)],
+        "cf": [int(v) for v in failures.sum(axis=1)],
+        "st": [int(v) for v in trans.sum(axis=0, dtype=np.int64)],
+        "sf": [int(v) for v in failures.sum(axis=0)],
+        "tcp": [[int(c), int(s), int(tcp[c, s])] for c, s in zip(ci, si)],
+    }
+
+
+class ServeError(RuntimeError):
+    """The daemon cannot start (conflicting state, bad resume target)."""
+
+
+class ServeDaemon:
+    """One serve run: build world, loop chunks, serve the read API."""
+
+    def __init__(
+        self,
+        config: ServeConfig,
+        clock: Callable[[], float] = time.time,
+        monotonic: Callable[[], float] = time.perf_counter,
+        chunk_callback: Optional[Callable[..., None]] = None,
+        argv: Optional[List[str]] = None,
+    ) -> None:
+        self.config = config
+        self.run_id = serve_run_id(config)
+        self.store = RunStore(resolve_runs_dir(config.runs_dir))
+        self.chunks = ChunkStore(self.store.run_dir(self.run_id))
+        self.detector = OnlineDetector()
+        self.coordinator = ShutdownCoordinator()
+        #: Called after every committed chunk with (daemon, entry) --
+        #: the test hook that requests a stop at a chosen boundary.
+        self.chunk_callback = chunk_callback
+        self.argv = list(argv or [])
+        self._clock = clock
+        self._monotonic = monotonic
+        self._state_lock = threading.Lock()
+        self._state = "initialized"
+        self._lanes: List[List[int]] = []
+        self._sim_seconds = 0.0
+        self._sim_hours_done = 0
+        self.cursor = 0
+        self.resumed_hours = 0
+        self.chunks_committed = 0
+        self._created_unix = clock()
+        self._started_monotonic = monotonic()
+
+        self.world = None
+        self.truth = None
+        self.simulator: Optional[MonthSimulator] = None
+        self.dataset: Optional[MeasurementDataset] = None
+        self.server = MetricsServer(
+            config.port,
+            host=config.host,
+            detector=self.detector,
+            status_provider=self.status_document,
+            runs_provider=lambda: runs_index(self.store),
+        )
+
+    # -- construction -----------------------------------------------------------
+
+    def _build_world(self) -> None:
+        """Mirror ``simulate_default_month`` exactly (digest equality)."""
+        from repro.world.defaults import build_default_world
+
+        config = self.config
+        self.world = build_default_world(hours=config.hours)
+        access = AccessConfig(per_hour=config.per_hour)
+        rngs = RNGRegistry(config.seed)
+        truth = FaultGenerator(self.world, None, rngs.fork("faults")).generate()
+        if config.fault:
+            from repro.world.scenarios import parse_fault_spec
+
+            truth = parse_fault_spec(config.fault)(self.world, truth)
+        self.truth = truth
+        self.simulator = MonthSimulator(
+            self.world, access=access, rngs=rngs, truth=truth
+        )
+        self.dataset = MeasurementDataset(self.world)
+
+    def _fingerprint_sha256(self) -> str:
+        return hashlib.sha256(
+            canonical_json(self.dataset.fingerprint()).encode("utf-8")
+        ).hexdigest()
+
+    def prepare(self, resume: bool = False, fresh: bool = False) -> None:
+        """Build the world and reconcile with any committed chunks.
+
+        ``fresh`` discards previously committed chunks; ``resume``
+        replays them into the dataset *and* the detector (identical
+        ``hour_stats`` sequence => identical alert stream) and moves the
+        cursor.  Committed chunks present with neither flag is an error:
+        silently overwriting durable work would be worse than asking.
+        """
+        self._build_world()
+        if fresh and self.chunks.exists():
+            shutil.rmtree(self.chunks.chunks_dir, ignore_errors=True)
+            self.chunks = ChunkStore(self.store.run_dir(self.run_id))
+        self.detector.update({
+            "type": "run_start",
+            "hours": self.config.hours,
+            "clients": [c.name for c in self.world.clients],
+            "servers": [w.name for w in self.world.websites],
+        })
+        fingerprint = self._fingerprint_sha256()
+        if self.chunks.exists():
+            stored = self.chunks.config()
+            if stored != self.config.stored_config():
+                raise ServeError(
+                    f"run {self.run_id} has committed chunks under a "
+                    f"different configuration ({stored}); use --fresh to "
+                    "discard them"
+                )
+            manifest = self.chunks.load()
+            if manifest.get("fingerprint_sha256") != fingerprint:
+                raise ServeError(
+                    f"run {self.run_id}: world fingerprint changed since "
+                    "chunks were committed (code drift?); use --fresh"
+                )
+            committed = self.chunks.committed_hours()
+            if committed and not resume:
+                raise ServeError(
+                    f"run {self.run_id} already has {committed} committed "
+                    f"hour(s); continue with --resume {self.run_id} or "
+                    "discard with --fresh"
+                )
+            for entry, arrays in self.chunks.replay():
+                h0, h1 = int(entry["hour_start"]), int(entry["hour_stop"])
+                self.dataset.merge(arrays, (h0, h1))
+                self._feed_detector(arrays, h0, h1)
+                self.cursor = h1
+            self.resumed_hours = self.cursor
+            if self.resumed_hours:
+                obs.logger.info(
+                    "resumed %d committed hour(s) of run %s",
+                    self.resumed_hours, self.run_id,
+                )
+        else:
+            self.chunks.initialize(
+                self.config.stored_config(), fingerprint, run_id=self.run_id
+            )
+        self._state = "prepared"
+
+    # -- the chunk loop ---------------------------------------------------------
+
+    def _feed_detector(
+        self, arrays: Dict[str, np.ndarray], hour_start: int, hour_stop: int
+    ) -> None:
+        for t in range(hour_stop - hour_start):
+            self.detector.update({
+                "type": "hour_stats",
+                "hour": hour_start + t,
+                **hour_entity_stats_from_block(arrays, t),
+            })
+
+    def request_stop(self) -> None:
+        """Programmatic graceful stop (same path as SIGTERM)."""
+        self.coordinator.request_stop()
+
+    def run(
+        self, announce: Optional[Callable[[int], None]] = None
+    ) -> Dict[str, Any]:
+        """Serve until the horizon or a stop request; returns a summary.
+
+        ``announce(port)`` is called once the HTTP server is bound (the
+        CLI prints the endpoints).  Returns ``{"run_id", "completed",
+        "committed_hours", "hours", "digest", "chain"}`` -- ``digest``
+        only when the horizon was reached (computing it mid-run would
+        describe a dataset no batch run produces).
+        """
+        if self._state != "prepared":
+            raise ServeError("run() before prepare()")
+        config = self.config
+        signals_installed = self.coordinator.install()
+        if not signals_installed:
+            obs.logger.info(
+                "not on the main thread; graceful shutdown via "
+                "request_stop() only"
+            )
+        self.server.start()
+        if announce is not None:
+            announce(self.server.port)
+        self._state = "running"
+        self._write_manifest(final=False)
+        try:
+            while (
+                self.cursor < config.hours
+                and not self.coordinator.stop_requested()
+            ):
+                h0 = self.cursor
+                h1 = min(h0 + config.chunk_hours, config.hours)
+                with self._state_lock:
+                    self._lanes = [
+                        [a, b] for a, b in (
+                            (h0 + s0, h0 + s1)
+                            for s0, s1 in plan_shards(
+                                h1 - h0, max(1, config.workers)
+                            )
+                        )
+                    ]
+                chunk_started = self._monotonic()
+                with obs.span("serve.chunk", hour_start=h0, hour_stop=h1):
+                    arrays = run_block(
+                        self.simulator, h0, h1, workers=config.workers
+                    )
+                    entry = self.chunks.commit(h0, h1, arrays)
+                    self.dataset.merge(arrays, (h0, h1))
+                    self._feed_detector(arrays, h0, h1)
+                with self._state_lock:
+                    self.cursor = h1
+                    self.chunks_committed += 1
+                    self._sim_seconds += self._monotonic() - chunk_started
+                    self._sim_hours_done += h1 - h0
+                    self._lanes = []
+                obs.logger.info(
+                    "chunk [%d, %d) committed (chain %s)",
+                    h0, h1, entry["chain"][:16],
+                )
+                self._write_manifest(final=False)
+                if self.chunk_callback is not None:
+                    self.chunk_callback(self, entry)
+                if (
+                    config.throttle_seconds > 0
+                    and self.cursor < config.hours
+                ):
+                    # An interruptible sleep: a stop request (signal or
+                    # programmatic) wakes it immediately.
+                    self.coordinator.wait(config.throttle_seconds)
+        finally:
+            completed = self.cursor >= config.hours
+            with self._state_lock:
+                self._state = "finished" if completed else "stopped"
+            digest = self.dataset.digest() if completed else None
+            self._write_manifest(final=True, digest=digest)
+            self.server.stop()
+            if signals_installed:
+                self.coordinator.restore()
+        return {
+            "run_id": self.run_id,
+            "completed": completed,
+            "committed_hours": self.cursor,
+            "hours": config.hours,
+            "digest": digest,
+            "chain": self.chunks.chain_digest(),
+        }
+
+    # -- the run record ---------------------------------------------------------
+
+    def _write_manifest(
+        self, final: bool, digest: Optional[str] = None
+    ) -> None:
+        """Write/refresh the run manifest (alert stream only on final).
+
+        The run id is the *plan* address computed up front, so
+        ``seal()`` is deliberately not called -- interrupted and
+        completed invocations of the same plan share one run directory,
+        which is exactly what makes ``--resume RUN`` resolvable.
+        """
+        config = self.config
+        provenance = {
+            "engine": "fast",
+            "master_seed": config.seed,
+            "per_hour": config.per_hour,
+            "workers": config.workers,
+            "serve": {
+                "chunk_hours": config.chunk_hours,
+                "committed_hours": self.cursor,
+                "resumed_hours": self.resumed_hours,
+                "completed": final and self.cursor >= config.hours,
+                "chain": self.chunks.chain_digest(),
+            },
+        }
+        dataset_info: Dict[str, Any] = {
+            "fingerprint_sha256": self._fingerprint_sha256(),
+            "provenance": provenance,
+        }
+        if digest is not None:
+            dataset_info["digest"] = digest
+        manifest = RunManifest(
+            run_id=self.run_id,
+            command="serve",
+            argv=self.argv,
+            config={
+                **config.identity_config(),
+                "workers": config.workers,
+                "chunk_hours": config.chunk_hours,
+            },
+            engine="fast",
+            git_rev=_git_revision(),
+            created_unix=self._created_unix,
+            timings={
+                "wall_seconds": self._monotonic() - self._started_monotonic,
+            },
+            metrics=obs.registry().dump_state(),
+            dataset=dataset_info,
+        )
+        try:
+            self.store.write(
+                manifest,
+                alerts=self.detector.export() if final else None,
+            )
+        except OSError as exc:
+            obs.logger.warning("run record not written: %s", exc)
+
+    # -- the /status document ---------------------------------------------------
+
+    def status_document(self) -> Dict[str, Any]:
+        """The daemon's ``/status`` body: sim-clock, cursor, ETA, lanes."""
+        with self._state_lock:
+            state = self._state
+            cursor = self.cursor
+            chunks_committed = self.chunks_committed
+            lanes = [list(lane) for lane in self._lanes]
+            sim_seconds = self._sim_seconds
+            sim_hours = self._sim_hours_done
+        config = self.config
+        rate = (sim_hours / sim_seconds) if sim_seconds > 0 else None
+        remaining = max(0, config.hours - cursor)
+        return {
+            "run_id": self.run_id,
+            "state": state,
+            "engine": "fast",
+            "hours_total": config.hours,
+            "committed_hours": cursor,
+            "sim_clock_hour": cursor,
+            "resumed_hours": self.resumed_hours,
+            "chunk_hours": config.chunk_hours,
+            "chunks_committed": chunks_committed,
+            "chain": self.chunks.chain_digest(),
+            "workers": config.workers,
+            "lanes": lanes,
+            "sim_hours_per_second": rate,
+            "eta_seconds": (remaining / rate) if rate else None,
+            "throttle_seconds": config.throttle_seconds,
+            "stop_requested": self.coordinator.stop_requested(),
+        }

@@ -42,6 +42,8 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro import obs
 from repro.core.dataset import MeasurementDataset
 from repro.obs.metrics import MetricsRegistry
@@ -172,6 +174,74 @@ def _pool_dispatch(payloads: Sequence[tuple]) -> List["ShardResult"]:
         max_workers=len(payloads), mp_context=ctx
     ) as pool:
         return list(pool.map(_simulate_shard, payloads))
+
+
+def run_block(
+    simulator: "MonthSimulator",
+    hour_start: int,
+    hour_stop: int,
+    workers: int = 1,
+    in_process: bool = False,
+) -> dict:
+    """Simulate one contiguous hour block; returns its count arrays.
+
+    The chunk-sized unit the service daemon (:mod:`repro.serve`) drives:
+    where :func:`run_parallel` owns a whole month and a dataset, this
+    simulates just ``[hour_start, hour_stop)`` and hands back block
+    arrays (shape ``(clients, sites, hours)``) for the caller to commit.
+    Per-hour RNG streams make the output bit-identical to the same hours
+    of a batch run, for any ``workers`` split.
+
+    ``workers`` > 1 sub-shards the block across a process pool on the
+    pickled-arrays path (chunks are small; shared memory isn't worth its
+    setup here).  Pool failures fall back to in-process shards with the
+    same ``parallel_fallback_total`` accounting as the month driver.
+    """
+    world = simulator.world
+    if not 0 <= hour_start <= hour_stop <= world.hours:
+        raise ValueError(
+            f"hour block [{hour_start}, {hour_stop}) outside experiment "
+            f"(0..{world.hours})"
+        )
+    n_hours = hour_stop - hour_start
+    shards = [
+        (hour_start + h0, hour_start + h1)
+        for h0, h1 in plan_shards(n_hours, max(1, workers))
+    ]
+    if len(shards) <= 1:
+        shard = simulator.run_shard(hour_start, hour_stop)
+        return shard.arrays if shard.arrays is not None else {}
+    payloads = [
+        (world, simulator.truth, simulator.access,
+         simulator.rngs.master_seed, h0, h1, i, None)
+        for i, (h0, h1) in enumerate(shards)
+    ]
+    results: Optional[List["ShardResult"]] = None
+    if not in_process:
+        try:
+            results = _pool_dispatch(payloads)
+        except _FALLBACK_ERRORS as exc:
+            obs.logger.warning(
+                "parallel dispatch unavailable (%s); running %d block "
+                "shards in-process", exc, len(shards),
+            )
+            obs.event(
+                "simulate.parallel_fallback", reason=repr(exc),
+                shards=len(shards),
+            )
+            obs.registry().counter("parallel_fallback_total").inc()
+    if results is None:
+        results = [_simulate_shard(p) for p in payloads]
+    arrays = MeasurementDataset.block_template(world, n_hours)
+    registry = obs.registry()
+    for shard in results:
+        lo = shard.hour_start - hour_start
+        hi = shard.hour_stop - hour_start
+        for name, block in (shard.arrays or {}).items():
+            np.copyto(arrays[name][..., lo:hi], block, casting="safe")
+        if shard.metrics:
+            registry.merge_state(shard.metrics)
+    return arrays
 
 
 def run_parallel(

@@ -1,0 +1,588 @@
+"""Service mode: chunk commits, the serve daemon, and the live read API.
+
+The acceptance criteria live in :class:`TestKillAndResume` and
+:class:`TestPlantedFaultSLO`: a daemon interrupted at an arbitrary
+chunk boundary and resumed produces a final dataset digest (and alert
+stream) bit-identical to the uninterrupted run, and a planted fault's
+blame verdict is served on ``/blame`` within three sim-hours of onset
+while the daemon is still running.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro import cli, obs
+from repro.core.dataset import MeasurementDataset
+from repro.obs.runstore.chunks import ChunkStore, ChunkStoreError
+from repro.obs.runstore.store import RunStore, resolve_runs_dir, runs_index
+from repro.serve.daemon import (
+    ServeConfig,
+    ServeDaemon,
+    ServeError,
+    hour_entity_stats_from_block,
+    serve_run_id,
+)
+from repro.world.simulator import simulate_default_month
+
+SERVE_HOURS = 24
+PER_HOUR = 2
+SEED = 20050101
+
+#: The controlled fault the detection-latency SLO is scored against
+#: (same spec as the CI online-detection job).
+FAULT_HOURS = 48
+FAULT_ONSET, FAULT_END = 12, 36
+FAULT = f"server:berkeley.edu:{FAULT_ONSET}-{FAULT_END}:0.8"
+
+
+def _get(port, path, timeout=10):
+    """GET a JSON endpoint; returns (status, document)."""
+    try:
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}{path}", timeout=timeout
+        ) as resp:
+            return resp.status, json.load(resp)
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.load(exc)
+
+
+def _fresh_registry():
+    obs.set_registry(obs.MetricsRegistry())
+
+
+def _block(world, hour_start, hour_stop, fill=0):
+    """A block-template arrays dict with deterministic contents."""
+    arrays = MeasurementDataset.block_template(
+        world, hour_stop - hour_start
+    )
+    for i, name in enumerate(sorted(arrays)):
+        arrays[name][...] = (fill + i) % 7
+    return arrays
+
+
+class TestChunkStore:
+    def test_commit_replay_round_trip(self, world, tmp_path):
+        store = ChunkStore(tmp_path / "run")
+        store.initialize({"hours": 6, "seed": 1}, "fp", run_id="abc")
+        a = _block(world, 0, 4, fill=1)
+        b = _block(world, 4, 6, fill=2)
+        e1 = store.commit(0, 4, a)
+        e2 = store.commit(4, 6, b)
+        assert store.committed_hours() == 6
+        assert e2["chain"] != e1["chain"]
+        assert store.chain_digest() == e2["chain"]
+        # A fresh reader replays the identical arrays, verified.
+        reader = ChunkStore(tmp_path / "run")
+        replayed = list(reader.replay())
+        assert [e["hour_stop"] for e, _ in replayed] == [4, 6]
+        for (_, arrays), original in zip(replayed, (a, b)):
+            for name, arr in original.items():
+                np.testing.assert_array_equal(arrays[name], arr)
+
+    def test_chain_seed_binds_config(self, world, tmp_path):
+        one = ChunkStore(tmp_path / "one")
+        two = ChunkStore(tmp_path / "two")
+        one.initialize({"seed": 1}, "fp")
+        two.initialize({"seed": 2}, "fp")
+        block = _block(world, 0, 2)
+        # Same content, different plan => different chain from link one.
+        assert (
+            one.commit(0, 2, block)["chain"] != two.commit(0, 2, block)["chain"]
+        )
+
+    def test_non_contiguous_and_empty_commits_refused(self, world, tmp_path):
+        store = ChunkStore(tmp_path / "run")
+        store.initialize({}, "fp")
+        store.commit(0, 2, _block(world, 0, 2))
+        with pytest.raises(ChunkStoreError, match="non-contiguous"):
+            store.commit(3, 5, _block(world, 3, 5))
+        with pytest.raises(ChunkStoreError, match="empty chunk"):
+            store.commit(2, 2, _block(world, 2, 2))
+
+    def test_orphan_npz_from_a_crash_is_overwritten(self, world, tmp_path):
+        # Crash window: the npz landed but the manifest entry did not.
+        store = ChunkStore(tmp_path / "run")
+        store.initialize({}, "fp")
+        orphan = store.chunks_dir / "chunk-0000-0002.npz"
+        orphan.write_bytes(b"torn garbage from a killed process")
+        assert store.committed_hours() == 0  # manifest is truth
+        store.commit(0, 2, _block(world, 0, 2, fill=3))
+        entry, arrays = next(iter(store.replay()))
+        assert entry["hour_stop"] == 2
+        assert int(arrays["transactions"][0, 0, 0]) >= 0  # loads clean
+
+    def test_tampered_chunk_fails_replay(self, world, tmp_path):
+        store = ChunkStore(tmp_path / "run")
+        store.initialize({}, "fp")
+        store.commit(0, 2, _block(world, 0, 2))
+        tampered = _block(world, 0, 2, fill=5)
+        with open(store.chunks_dir / "chunk-0000-0002.npz", "wb") as fh:
+            np.savez_compressed(fh, **tampered)
+        fresh = ChunkStore(tmp_path / "run")
+        with pytest.raises(ChunkStoreError, match="digest mismatch"):
+            list(fresh.replay())
+
+    def test_truncated_manifest_breaks_the_chain(self, world, tmp_path):
+        store = ChunkStore(tmp_path / "run")
+        store.initialize({}, "fp")
+        store.commit(0, 2, _block(world, 0, 2, fill=1))
+        store.commit(2, 4, _block(world, 2, 4, fill=2))
+        document = json.loads(store.manifest_path.read_text())
+        del document["chunks"][0]  # drop the first committed chunk
+        store.manifest_path.write_text(json.dumps(document))
+        fresh = ChunkStore(tmp_path / "run")
+        with pytest.raises(ChunkStoreError, match="not contiguous"):
+            list(fresh.replay())
+
+
+class TestHourStatsFromBlock:
+    def test_matches_the_emitter_semantics(self, world):
+        arrays = MeasurementDataset.block_template(world, 2)
+        arrays["transactions"][:, :, 0] = 40
+        arrays["tcp_noconn"][1, 2, 0] = 3
+        arrays["http_errors"][0, 0, 0] = 2
+        stats = hour_entity_stats_from_block(arrays, 0)
+        sites = len(world.websites)
+        assert stats["ct"][0] == 40 * sites
+        assert stats["cf"][0] == 2  # http error on client 0
+        assert stats["cf"][1] == 3  # tcp failures on client 1
+        assert stats["sf"][2] == 3
+        assert stats["tcp"] == [[1, 2, 3]]
+        empty = hour_entity_stats_from_block(arrays, 1)
+        assert empty["tcp"] == [] and sum(empty["ct"]) == 0
+
+
+def _serve(config, **kwargs):
+    _fresh_registry()
+    daemon = ServeDaemon(config, **kwargs)
+    return daemon
+
+
+class TestServeDaemon:
+    @pytest.fixture(scope="class")
+    def batch_digest(self):
+        result = simulate_default_month(
+            hours=SERVE_HOURS, per_hour=PER_HOUR, seed=SEED, workers=1
+        )
+        return result.dataset.digest()
+
+    def test_run_id_is_plan_addressed(self):
+        base = ServeConfig(hours=24, per_hour=2, seed=1)
+        assert serve_run_id(base) == serve_run_id(
+            ServeConfig(hours=24, per_hour=2, seed=1, chunk_hours=3,
+                        workers=4, port=9000, throttle_seconds=1.0)
+        )
+        assert serve_run_id(base) != serve_run_id(
+            ServeConfig(hours=24, per_hour=2, seed=2)
+        )
+
+    def test_daemon_digest_matches_batch(self, batch_digest, tmp_path):
+        daemon = _serve(ServeConfig(
+            hours=SERVE_HOURS, per_hour=PER_HOUR, seed=SEED,
+            chunk_hours=7,  # uneven split: last chunk is short
+            runs_dir=str(tmp_path / "runs"),
+        ))
+        daemon.prepare()
+        result = daemon.run()
+        assert result["completed"]
+        assert result["digest"] == batch_digest
+        # The run record was finalized with the digest and alerts.
+        manifest = daemon.store.load(daemon.run_id)
+        assert manifest.dataset["digest"] == batch_digest
+        assert manifest.dataset["provenance"]["serve"]["completed"]
+        assert manifest.alerts_file == "alerts.jsonl"
+
+    def test_rerun_without_resume_is_refused(self, tmp_path):
+        config = ServeConfig(
+            hours=6, per_hour=1, seed=SEED, chunk_hours=3,
+            runs_dir=str(tmp_path / "runs"),
+        )
+        daemon = _serve(config, chunk_callback=lambda d, e: d.request_stop())
+        daemon.prepare()
+        daemon.run()
+        again = _serve(config)
+        with pytest.raises(ServeError, match="--resume"):
+            again.prepare()
+        # --fresh discards and starts over.
+        fresh = _serve(config)
+        fresh.prepare(fresh=True)
+        assert fresh.cursor == 0
+
+
+class TestKillAndResume:
+    """Acceptance: SIGTERM at an arbitrary boundary, resume, same digest."""
+
+    @pytest.mark.parametrize("stop_after_hours", [5, 20])
+    def test_resume_digest_and_alerts_bit_identical(
+        self, tmp_path, stop_after_hours
+    ):
+        config = ServeConfig(
+            hours=SERVE_HOURS, per_hour=PER_HOUR, seed=SEED, chunk_hours=5,
+            runs_dir=str(tmp_path / "runs"),
+        )
+
+        def stop_at(daemon, entry):
+            if entry["hour_stop"] >= stop_after_hours:
+                daemon.request_stop()
+
+        first = _serve(config, chunk_callback=stop_at)
+        first.prepare()
+        interrupted = first.run()
+        assert not interrupted["completed"]
+        assert interrupted["committed_hours"] == stop_after_hours
+        # An interrupted run is still a discoverable, resumable record.
+        store = RunStore(resolve_runs_dir(config.runs_dir))
+        assert store.resolve(first.run_id) == first.run_id
+        manifest = store.load(first.run_id)
+        serve_info = manifest.dataset["provenance"]["serve"]
+        assert serve_info["committed_hours"] == stop_after_hours
+        assert not serve_info["completed"]
+
+        resumed = _serve(config)
+        resumed.prepare(resume=True)
+        assert resumed.cursor == stop_after_hours
+        done = resumed.run()
+        assert done["completed"]
+
+        reference_dir = tmp_path / "reference"
+        reference = _serve(ServeConfig(
+            hours=SERVE_HOURS, per_hour=PER_HOUR, seed=SEED, chunk_hours=5,
+            runs_dir=str(reference_dir),
+        ))
+        reference.prepare()
+        uninterrupted = reference.run()
+        assert done["digest"] == uninterrupted["digest"]
+        assert done["chain"] == uninterrupted["chain"]
+        # The replayed detector saw the identical hour_stats sequence,
+        # so the alert stream is bit-identical too.
+        assert (
+            resumed.detector.export()["lines"]
+            == reference.detector.export()["lines"]
+        )
+
+    def test_sigterm_sets_the_flag_and_stops_at_boundary(self, tmp_path):
+        boundaries = []
+
+        def kill_once(daemon, entry):
+            boundaries.append(entry["hour_stop"])
+            if len(boundaries) == 1:
+                os.kill(os.getpid(), signal.SIGTERM)
+
+        daemon = _serve(
+            ServeConfig(
+                hours=SERVE_HOURS, per_hour=1, seed=SEED, chunk_hours=4,
+                runs_dir=str(tmp_path / "runs"),
+            ),
+            chunk_callback=kill_once,
+        )
+        daemon.prepare()
+        before = {
+            sig: signal.getsignal(sig)
+            for sig in (signal.SIGTERM, signal.SIGINT)
+        }
+        result = daemon.run()
+        # Stopped at the first boundary after the signal; committed
+        # work is durable; original handlers are back.
+        assert not result["completed"]
+        assert result["committed_hours"] == 4
+        assert daemon.coordinator.signals_seen == [signal.SIGTERM]
+        assert ChunkStore(
+            daemon.store.run_dir(daemon.run_id)
+        ).committed_hours() == 4
+        for sig, handler in before.items():
+            assert signal.getsignal(sig) == handler
+
+    def test_fingerprint_drift_is_refused(self, tmp_path):
+        config = ServeConfig(
+            hours=6, per_hour=1, seed=SEED, chunk_hours=3,
+            runs_dir=str(tmp_path / "runs"),
+        )
+        daemon = _serve(config, chunk_callback=lambda d, e: d.request_stop())
+        daemon.prepare()
+        daemon.run()
+        chunks = ChunkStore(daemon.store.run_dir(daemon.run_id))
+        document = json.loads(chunks.manifest_path.read_text())
+        document["fingerprint_sha256"] = "0" * 64
+        chunks.manifest_path.write_text(json.dumps(document))
+        stale = _serve(config)
+        with pytest.raises(ServeError, match="fingerprint"):
+            stale.prepare(resume=True)
+
+
+class TestPlantedFaultSLO:
+    """Acceptance: the blame verdict is on /blame within 3 sim-hours."""
+
+    def test_blame_verdict_served_within_three_hours_of_onset(
+        self, tmp_path
+    ):
+        observed = []
+
+        def scrape(daemon, entry):
+            status, blame = _get(daemon.server.port, "/blame")
+            assert status == 200
+            observed.append((entry["hour_stop"], blame["verdict"]))
+            status, episodes = _get(daemon.server.port, "/episodes")
+            assert status == 200
+            if blame["verdict"] == "server" and entry["hour_stop"] >= 16:
+                # Verdict confirmed mid-run; no need to simulate the
+                # remaining fault window.
+                daemon.request_stop()
+
+        daemon = _serve(
+            ServeConfig(
+                hours=FAULT_HOURS, per_hour=PER_HOUR, seed=SEED,
+                fault=FAULT, chunk_hours=1,
+                runs_dir=str(tmp_path / "runs"),
+            ),
+            chunk_callback=scrape,
+        )
+        daemon.prepare()
+        daemon.run()
+        verdict_hour = next(
+            hour for hour, verdict in observed if verdict == "server"
+        )
+        assert verdict_hour <= FAULT_ONSET + 3, (
+            f"blame verdict first served at sim-hour {verdict_hour}, "
+            f"more than 3h after onset at {FAULT_ONSET}: {observed}"
+        )
+        # The berkeley.edu episode itself is on /episodes with its
+        # onset inside the planted window.
+        episodes = daemon.detector.episodes_document()["episodes"]
+        planted = [
+            e for e in episodes
+            if e["side"] == "server" and e["entity"] == "berkeley.edu"
+        ]
+        assert planted
+        assert any(
+            FAULT_ONSET <= e["onset_hour"] <= FAULT_ONSET + 3
+            for e in planted
+        )
+
+
+class TestHTTPSurface:
+    @pytest.fixture()
+    def running_daemon(self, tmp_path):
+        """A daemon paused at its first chunk boundary, server up."""
+        gate = threading.Event()
+        release = threading.Event()
+
+        def pause(daemon, entry):
+            if entry["hour_stop"] == 4:
+                gate.set()
+                release.wait(timeout=30)
+                daemon.request_stop()
+
+        daemon = _serve(
+            ServeConfig(
+                hours=SERVE_HOURS, per_hour=1, seed=SEED, chunk_hours=4,
+                runs_dir=str(tmp_path / "runs"),
+            ),
+            chunk_callback=pause,
+        )
+        daemon.prepare()
+        thread = threading.Thread(target=daemon.run, daemon=True)
+        thread.start()
+        assert gate.wait(timeout=60)
+        yield daemon
+        release.set()
+        thread.join(timeout=60)
+        assert not thread.is_alive()
+
+    def test_status_healthz_and_404(self, running_daemon):
+        port = running_daemon.server.port
+        status, health = _get(port, "/healthz")
+        assert status == 200 and health["ok"]
+        assert health["api"] == "repro.live-api/1"
+        status, doc = _get(port, "/status")
+        assert status == 200
+        assert doc["run_id"] == running_daemon.run_id
+        assert doc["state"] == "running"
+        assert doc["committed_hours"] == 4
+        assert doc["sim_clock_hour"] == 4
+        assert doc["chunk_hours"] == 4
+        assert doc["chunks_committed"] == 1
+        assert doc["chain"] == running_daemon.chunks.chain_digest()
+        assert doc["sim_hours_per_second"] is None or (
+            doc["sim_hours_per_second"] > 0
+        )
+        status, index = _get(port, "/")
+        assert status == 200
+        assert "/episodes" in index["endpoints"]
+        status, missing = _get(port, "/definitely-not-a-route")
+        assert status == 404
+        assert "no such endpoint" in missing["error"]
+        assert sorted(missing["endpoints"]) == sorted(index["endpoints"])
+
+    def test_runs_endpoint_shares_the_cli_serializer(self, running_daemon):
+        port = running_daemon.server.port
+        status, doc = _get(port, "/runs")
+        assert status == 200
+        expected = runs_index(running_daemon.store)
+        assert doc["count"] == expected["count"] == 1
+        assert doc["runs"] == json.loads(json.dumps(expected["runs"]))
+        record = doc["runs"][0]
+        assert record["run_id"] == running_daemon.run_id
+        assert record["command"] == "serve"
+
+    def test_concurrent_scrapes_do_not_tear_or_perturb(self, tmp_path):
+        # Hammer /metrics + /episodes + /status from several threads for
+        # the whole run; the digest must equal an unscraped run's.
+        errors = []
+
+        def hammer(port, stop):
+            while not stop.is_set():
+                for path in ("/metrics", "/episodes", "/status", "/blame"):
+                    try:
+                        with urllib.request.urlopen(
+                            f"http://127.0.0.1:{port}{path}", timeout=10
+                        ) as resp:
+                            body = resp.read()
+                            if path != "/metrics":
+                                json.loads(body)  # parseable, never torn
+                    except Exception as exc:  # noqa: BLE001 - collected
+                        errors.append(f"{path}: {exc!r}")
+                        return
+
+        stop = threading.Event()
+        threads = []
+
+        def start_hammers(daemon, entry):
+            if not threads:
+                for _ in range(3):
+                    t = threading.Thread(
+                        target=hammer, args=(daemon.server.port, stop),
+                        daemon=True,
+                    )
+                    t.start()
+                    threads.append(t)
+            if entry["hour_stop"] >= daemon.config.hours:
+                # Final chunk: drain the hammers before the daemon tears
+                # the server down, so shutdown races don't read as errors.
+                stop.set()
+                for t in threads:
+                    t.join(timeout=30)
+
+        scraped = _serve(
+            ServeConfig(
+                hours=12, per_hour=PER_HOUR, seed=SEED, chunk_hours=2,
+                runs_dir=str(tmp_path / "scraped"),
+            ),
+            chunk_callback=start_hammers,
+        )
+        scraped.prepare()
+        result = scraped.run()
+        stop.set()
+        for t in threads:
+            t.join(timeout=30)
+        assert not errors, errors
+        assert scraped.server.scrapes > 0
+
+        quiet = _serve(ServeConfig(
+            hours=12, per_hour=PER_HOUR, seed=SEED, chunk_hours=2,
+            runs_dir=str(tmp_path / "quiet"),
+        ))
+        quiet.prepare()
+        assert quiet.run()["digest"] == result["digest"]
+
+
+class TestServeCli:
+    def test_end_to_end_and_resume_of_a_finished_run(
+        self, tmp_path, capsys
+    ):
+        runs = str(tmp_path / "runs")
+        code = cli.main([
+            "serve", "--runs-dir", runs, "--hours", "10", "--per-hour", "1",
+            "--seed", str(SEED), "--chunk-hours", "4", "--port", "0",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "serve run: " in captured.out
+        run_id = next(
+            line.split()[-1] for line in captured.out.splitlines()
+            if line.startswith("serve run:")
+        )
+        digest_line = next(
+            line for line in captured.out.splitlines()
+            if line.startswith("dataset digest:")
+        )
+        assert "serving the live API on http://127.0.0.1:" in captured.err
+        # Rerunning the identical plan without --resume is refused ...
+        assert cli.main([
+            "serve", "--runs-dir", runs, "--hours", "10", "--per-hour", "1",
+            "--seed", str(SEED), "--chunk-hours", "4",
+        ]) == 2
+        assert "--resume" in capsys.readouterr().err
+        # ... and --resume of the finished run reprints the same digest
+        # (nothing to simulate, config restored from the run itself).
+        assert cli.main([
+            "serve", "--runs-dir", runs, "--resume", run_id[:6],
+        ]) == 0
+        resumed_out = capsys.readouterr().out
+        assert digest_line in resumed_out
+
+    def test_runs_list_json_matches_runs_endpoint_shape(
+        self, tmp_path, capsys
+    ):
+        runs = str(tmp_path / "runs")
+        assert cli.main([
+            "serve", "--runs-dir", runs, "--hours", "4", "--per-hour", "1",
+            "--seed", str(SEED), "--chunk-hours", "4",
+        ]) == 0
+        capsys.readouterr()
+        assert cli.main(["runs", "--runs-dir", runs, "list", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["count"] == 1
+        record = doc["runs"][0]
+        assert record["command"] == "serve"
+        assert record["config"]["hours"] == 4
+        assert record["dataset_digest"]
+        assert record["alerts"]["count"] is not None
+        # Bit-for-bit the shared serializer's output.
+        store = RunStore(runs)
+        assert doc == json.loads(json.dumps(runs_index(store)))
+
+    def test_unknown_resume_ref_is_a_usage_error(self, tmp_path, capsys):
+        assert cli.main([
+            "serve", "--runs-dir", str(tmp_path / "none"),
+            "--resume", "deadbeef",
+        ]) == 2
+        assert "repro serve:" in capsys.readouterr().err
+
+
+class TestBatchServeMetricsShutdown:
+    def test_sigterm_mid_simulate_rides_the_keyboard_interrupt_path(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        # --serve-metrics installs the raise_interrupt coordinator; a
+        # SIGTERM mid-run must tear down cleanly (exit 130, live
+        # session stopped, no manifest written) instead of dying.
+        import repro.cli as cli_mod
+
+        def fake_simulate(args):
+            os.kill(os.getpid(), signal.SIGTERM)
+            time.sleep(5)  # the converted KeyboardInterrupt lands here
+            raise AssertionError("signal should interrupt before this")
+
+        monkeypatch.setattr(cli_mod, "cmd_simulate", fake_simulate)
+        before = signal.getsignal(signal.SIGTERM)
+        code = cli.main([
+            "--runs-dir", str(tmp_path / "runs"),
+            "simulate", "--hours", "8", "--per-hour", "1",
+            "--serve-metrics", "0",
+        ])
+        assert code == 130
+        captured = capsys.readouterr()
+        assert "interrupted" in captured.err
+        assert "run recorded" not in captured.out
+        # Handlers restored for the rest of the test session.
+        assert signal.getsignal(signal.SIGTERM) == before
