@@ -226,6 +226,15 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     configure_detect_parser(detect_cmd)
 
+    from repro.obs.horizon.cli import configure_parser as configure_slo_parser
+
+    slo_cmd = sub.add_parser(
+        "slo",
+        help="availability / error-budget / burn-rate table for a "
+        "recorded serve run (rebuilt from its durable chunk store)",
+    )
+    configure_slo_parser(slo_cmd)
+
     from repro.serve.cli import configure_parser as configure_serve_parser
 
     serve_cmd = sub.add_parser(
@@ -615,6 +624,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.obs.online.cli import run as run_detect_cli
 
         return run_detect_cli(args)
+    if args.command == "slo":
+        from repro.obs.horizon.cli import run as run_slo
+
+        return run_slo(args)
     if args.command == "serve":
         from repro.serve.cli import run as run_serve
 

@@ -426,11 +426,22 @@ class MeasurementDataset:
         shaped arrays but different rosters (or orderings) would misattribute
         every per-client analysis if confused for each other.
         """
+        return self.world_fingerprint(self.world)
+
+    @classmethod
+    def world_fingerprint(cls, world: World) -> Dict[str, Any]:
+        """:meth:`fingerprint` computed from the world alone.
+
+        The serve daemon's retention mode never materializes a dataset
+        (memory must stay bounded over an indefinite horizon) but still
+        needs the identical fingerprint to seed the chunk chain and the
+        rolling digest -- this is the single definition both paths use.
+        """
         return {
-            "clients": [c.name for c in self.world.clients],
-            "sites": [w.name for w in self.world.websites],
-            "hours": self.world.hours,
-            "max_replicas": self.max_replicas,
+            "clients": [c.name for c in world.clients],
+            "sites": [w.name for w in world.websites],
+            "hours": world.hours,
+            "max_replicas": max(1, world.max_replicas()),
         }
 
     def digest(self) -> str:

@@ -75,9 +75,19 @@ EXCEPTION_PAIRS: FrozenSet[Tuple[str, str]] = frozenset({
 })
 
 #: Sub-prefixes banned even when the target's layer is allowed.
+#: ``repro.obs.horizon`` (long-horizon history/SLO) sits with the other
+#: obs orchestration packages: the serve daemon and ``obs.live`` may
+#: import it, the engines (``world``/``core``) may not -- retention is
+#: an observability concern and must be invisible to what is measured.
 BANNED_PREFIXES: Dict[str, Tuple[str, ...]] = {
-    "core": ("repro.obs.live", "repro.obs.online", "repro.obs.runstore"),
-    "world": ("repro.obs.live", "repro.obs.online", "repro.obs.runstore"),
+    "core": (
+        "repro.obs.live", "repro.obs.online", "repro.obs.runstore",
+        "repro.obs.horizon",
+    ),
+    "world": (
+        "repro.obs.live", "repro.obs.online", "repro.obs.runstore",
+        "repro.obs.horizon",
+    ),
 }
 
 #: Modules whose transitive imports must never reach ground truth.

@@ -1,0 +1,360 @@
+"""Multi-resolution, fixed-size history of per-hour entity stats.
+
+:class:`HistoryStore` is the bounded memory behind ``/history``: every
+folded simulated hour lands in one *cell* per resolution, and each
+resolution keeps at most a fixed number of cells in a ring buffer --
+so an indefinite ``repro serve --hours 0`` run holds a two-week
+raw-hour window, a quarter at 6h, a year at day, and a decade at week
+resolution, in constant space, forever.
+
+Rollup invariants (the property tests in ``tests/obs/test_horizon.py``
+hold these exactly, not approximately):
+
+* every cell at every resolution is folded **directly from the raw
+  hours it spans** -- there is no cascade of partial rollups, so a
+  downsampled cell's sums/counts/maxes are *equal* (not close) to a
+  recomputation from the raw hour stream;
+* **sums add** (``transactions``, ``failures``, per-entity ``t``/``f``,
+  per-entity ``valid`` hour counts), **counts add** (``hours``), and
+  **maxes max** (``max_rate``, per-entity ``max_rate``) -- the only
+  three merge operators, chosen because they are associative and exact
+  over the integers and ratio-of-small-int floats involved;
+* a cell is **immutable once complete** (``hours == span``): its
+  canonical-JSON digest never changes afterwards, and ring-buffer
+  eviction of older cells can never perturb a surviving cell's digest.
+
+Entity-hour validity is the dataset's ``MIN_SAMPLES_PER_HOUR`` rule;
+an entity's ``max_rate`` only considers its valid hours (0.0 while it
+has none -- disambiguated by ``valid == 0``).
+
+Folding must happen strictly in ascending hour order (the online
+detector's cursor guarantees this), which makes every document a pure
+function of the folded hour sequence -- bit-identical at any worker
+count and across kill/resume (state export/restore round-trips the
+exact cells).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.dataset import MIN_SAMPLES_PER_HOUR
+from repro.obs.runstore.manifest import canonical_json
+
+#: Schema stamped on ``/history`` documents and exported state.
+HISTORY_SCHEMA = "repro.history/1"
+
+#: (name, span in raw hours, ring capacity in cells).  Capacities are
+#: chosen so coarser resolutions cover strictly longer horizons: 2
+#: weeks of raw hours, ~12 weeks of 6h, a year of days, 10 years of
+#: weeks -- ~1.5k cells total, constant forever.
+RESOLUTIONS = (
+    ("hour", 1, 336),
+    ("6h", 6, 336),
+    ("day", 24, 365),
+    ("week", 168, 520),
+)
+
+_SIDES = ("client", "server")
+
+
+def cell_digest(cell: Dict[str, Any]) -> str:
+    """Canonical-JSON digest of one cell (stable once the cell is full)."""
+    return hashlib.sha256(canonical_json(cell).encode("utf-8")).hexdigest()
+
+
+def _new_cell(index: int, span: int, entities: Dict[str, int]) -> Dict[str, Any]:
+    cell: Dict[str, Any] = {
+        "index": index,
+        "hour_start": index * span,
+        "hour_stop": (index + 1) * span,
+        "hours": 0,
+        "transactions": 0,
+        "failures": 0,
+        "max_rate": 0.0,
+    }
+    for side in _SIDES:
+        n = entities[side]
+        cell[side] = {
+            "t": [0] * n,
+            "f": [0] * n,
+            "valid": [0] * n,
+            "max_rate": [0.0] * n,
+        }
+    return cell
+
+
+class HistoryStore:
+    """Fixed-size cascading-resolution rollups of the hour-stats stream."""
+
+    def __init__(
+        self, resolutions: Sequence[tuple] = RESOLUTIONS
+    ) -> None:
+        self.resolutions = tuple(
+            (str(name), int(span), int(capacity))
+            for name, span, capacity in resolutions
+        )
+        self._lock = threading.Lock()
+        self._names: Dict[str, List[str]] = {side: [] for side in _SIDES}
+        self._regions: List[str] = []
+        #: resolution name -> ring of cells, oldest first.
+        self._rings: Dict[str, List[Dict[str, Any]]] = {
+            name: [] for name, _, _ in self.resolutions
+        }
+        self._evicted: Dict[str, int] = {
+            name: 0 for name, _, _ in self.resolutions
+        }
+        self._last_folded: Optional[int] = None
+        self.hours_folded = 0
+
+    # -- detector-observer protocol ---------------------------------------------
+
+    def on_run_start(self, event: Dict[str, Any]) -> None:
+        """Capture the entity rosters (and client regions, if shipped)."""
+        with self._lock:
+            clients = event.get("clients")
+            servers = event.get("servers")
+            regions = event.get("client_regions")
+            if isinstance(clients, list):
+                self._names["client"] = [str(n) for n in clients]
+            if isinstance(servers, list):
+                self._names["server"] = [str(n) for n in servers]
+            if isinstance(regions, list):
+                self._regions = [str(r) for r in regions]
+
+    def on_hour(
+        self,
+        hour: int,
+        ct: Sequence[int],
+        cf: Sequence[int],
+        st: Sequence[int],
+        sf: Sequence[int],
+    ) -> None:
+        """Fold one completed hour into every resolution's current cell."""
+        with self._lock:
+            if self._last_folded is not None and hour <= self._last_folded:
+                raise ValueError(
+                    f"history folded out of order: hour {hour} after "
+                    f"{self._last_folded}"
+                )
+            self._last_folded = hour
+            self.hours_folded += 1
+            transactions = sum(ct)
+            failures = sum(cf)
+            rate = (failures / transactions) if transactions > 0 else 0.0
+            entities = {"client": len(ct), "server": len(st)}
+            per_side = {"client": (ct, cf), "server": (st, sf)}
+            for name, span, capacity in self.resolutions:
+                ring = self._rings[name]
+                index = hour // span
+                cell = ring[-1] if ring else None
+                if cell is None or cell["index"] != index:
+                    cell = _new_cell(index, span, entities)
+                    ring.append(cell)
+                    excess = len(ring) - capacity
+                    if excess > 0:
+                        del ring[:excess]
+                        self._evicted[name] += excess
+                cell["hours"] += 1
+                cell["transactions"] += transactions
+                cell["failures"] += failures
+                if rate > cell["max_rate"]:
+                    cell["max_rate"] = rate
+                for side, (trans, fails) in per_side.items():
+                    bucket = cell[side]
+                    t_list, f_list = bucket["t"], bucket["f"]
+                    valid, max_rate = bucket["valid"], bucket["max_rate"]
+                    for i in range(len(trans)):
+                        t = int(trans[i])
+                        f = int(fails[i])
+                        t_list[i] += t
+                        f_list[i] += f
+                        if t >= MIN_SAMPLES_PER_HOUR:
+                            valid[i] += 1
+                            r = f / t
+                            if r > max_rate[i]:
+                                max_rate[i] = r
+
+    # -- documents ---------------------------------------------------------------
+
+    def document(self, params: Optional[Dict[str, str]] = None) -> Dict[str, Any]:
+        """The ``/history`` response for one query.
+
+        Parameters (all optional): ``series`` = ``overall`` (default) |
+        ``client`` | ``server`` | ``region``; ``res`` = resolution name
+        (default ``hour``); ``entity`` = an entity name (restricts a
+        ``client``/``server`` series to one roster member); ``from`` /
+        ``to`` = inclusive/exclusive raw-hour bounds on cell starts.
+        """
+        params = params or {}
+        series = params.get("series") or "overall"
+        res = params.get("res") or self.resolutions[0][0]
+        entity = params.get("entity")
+        known = {name for name, _, _ in self.resolutions}
+        if res not in known:
+            raise KeyError(
+                f"unknown resolution {res!r} "
+                f"(expected one of {', '.join(sorted(known))})"
+            )
+        if series not in ("overall", "client", "server", "region"):
+            raise KeyError(
+                f"unknown series {series!r} "
+                "(expected overall, client, server, or region)"
+            )
+        try:
+            hour_from = int(params["from"]) if "from" in params else None
+            hour_to = int(params["to"]) if "to" in params else None
+        except ValueError:
+            raise KeyError("from/to must be integers (raw sim-hours)")
+        with self._lock:
+            if entity is not None and series in _SIDES:
+                # Validate eagerly: an empty ring must still 400 on an
+                # unknown entity, not silently return zero points.
+                if entity not in self._names[series]:
+                    raise KeyError(f"unknown {series} entity {entity!r}")
+            span = next(s for n, s, _ in self.resolutions if n == res)
+            cells = [
+                cell for cell in self._rings[res]
+                if (hour_from is None or cell["hour_start"] >= hour_from)
+                and (hour_to is None or cell["hour_start"] < hour_to)
+            ]
+            points = [
+                self._render_cell(cell, series, entity) for cell in cells
+            ]
+            return {
+                "schema": HISTORY_SCHEMA,
+                "series": series,
+                "resolution": res,
+                "span_hours": span,
+                "entity": entity,
+                "hours_folded": self.hours_folded,
+                "last_folded_hour": self._last_folded,
+                "evicted_cells": self._evicted[res],
+                "point_count": len(points),
+                "points": points,
+            }
+
+    def _render_cell(
+        self, cell: Dict[str, Any], series: str, entity: Optional[str]
+    ) -> Dict[str, Any]:
+        point = {
+            "hour_start": cell["hour_start"],
+            "hour_stop": cell["hour_stop"],
+            "hours": cell["hours"],
+        }
+        if series == "overall":
+            t, f = cell["transactions"], cell["failures"]
+            point.update({
+                "transactions": t,
+                "failures": f,
+                "rate": (f / t) if t > 0 else None,
+                "max_rate": cell["max_rate"],
+            })
+        elif series in _SIDES:
+            bucket = cell[series]
+            if entity is not None:
+                names = self._names[series]
+                if entity not in names:
+                    raise KeyError(
+                        f"unknown {series} entity {entity!r}"
+                    )
+                i = names.index(entity)
+                t, f = bucket["t"][i], bucket["f"][i]
+                point.update({
+                    "transactions": t,
+                    "failures": f,
+                    "rate": (f / t) if t > 0 else None,
+                    "valid_hours": bucket["valid"][i],
+                    "max_rate": bucket["max_rate"][i],
+                })
+            else:
+                t, f = sum(bucket["t"]), sum(bucket["f"])
+                point.update({
+                    "transactions": t,
+                    "failures": f,
+                    "rate": (f / t) if t > 0 else None,
+                    "entities": len(bucket["t"]),
+                    "entities_valid": sum(
+                        1 for v in bucket["valid"] if v > 0
+                    ),
+                })
+        else:  # region
+            bucket = cell["client"]
+            regions: Dict[str, Dict[str, int]] = {}
+            for i, region in enumerate(self._regions):
+                agg = regions.setdefault(
+                    region, {"transactions": 0, "failures": 0}
+                )
+                agg["transactions"] += bucket["t"][i]
+                agg["failures"] += bucket["f"][i]
+            point["regions"] = {
+                region: {
+                    **agg,
+                    "rate": (
+                        agg["failures"] / agg["transactions"]
+                        if agg["transactions"] > 0 else None
+                    ),
+                }
+                for region, agg in sorted(regions.items())
+            }
+        return point
+
+    def cell_digests(self, res: str) -> List[str]:
+        """Digests of the resolution's cells, oldest first (tests)."""
+        with self._lock:
+            return [cell_digest(cell) for cell in self._rings[res]]
+
+    def cell_counts(self) -> Dict[str, int]:
+        """Cells currently held per resolution (bounded by capacity)."""
+        with self._lock:
+            return {name: len(ring) for name, ring in self._rings.items()}
+
+    # -- checkpoint state --------------------------------------------------------
+
+    def export_state(self) -> Dict[str, Any]:
+        """The full JSON-able state (checkpointed at pruning boundaries)."""
+        with self._lock:
+            return {
+                "schema": HISTORY_SCHEMA,
+                "resolutions": [list(r) for r in self.resolutions],
+                "names": {s: list(self._names[s]) for s in _SIDES},
+                "regions": list(self._regions),
+                "rings": {
+                    name: [dict(cell) for cell in ring]
+                    for name, ring in self._rings.items()
+                },
+                "evicted": dict(self._evicted),
+                "last_folded": self._last_folded,
+                "hours_folded": self.hours_folded,
+            }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Restore an :meth:`export_state` snapshot (exact round-trip)."""
+        with self._lock:
+            stored = tuple(
+                (str(n), int(s), int(c)) for n, s, c in state["resolutions"]
+            )
+            if stored != self.resolutions:
+                raise ValueError(
+                    "history checkpoint was taken under different "
+                    f"resolutions ({stored} vs {self.resolutions})"
+                )
+            self._names = {
+                s: [str(n) for n in state["names"][s]] for s in _SIDES
+            }
+            self._regions = [str(r) for r in state.get("regions") or []]
+            self._rings = {
+                name: [dict(cell) for cell in state["rings"][name]]
+                for name, _, _ in self.resolutions
+            }
+            self._evicted = {
+                name: int(state["evicted"][name])
+                for name, _, _ in self.resolutions
+            }
+            self._last_folded = (
+                int(state["last_folded"])
+                if state["last_folded"] is not None else None
+            )
+            self.hours_folded = int(state["hours_folded"])

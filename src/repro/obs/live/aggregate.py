@@ -12,7 +12,12 @@ into everything the dashboard and the ``/metrics`` endpoint render:
   overall failure rates, via the shared "kneedle" construction in
   :mod:`repro.core.knee` (the same module
   :func:`repro.core.episodes.detect_knee` and the online detector use;
-  it is stdlib-only, so no dependency cycle).
+  it is stdlib-only, so no dependency cycle);
+* when detection is on, a compact SLO summary (per-side availability,
+  error-budget consumption, burn rates) pulled from the horizon
+  :class:`~repro.obs.horizon.slo.SLOEngine` through an injected
+  provider, so ``/status`` answers the error-budget question without a
+  second scrape of ``/slo``.
 
 Thread-safety: ``update`` runs on the bus's drain thread while
 ``snapshot``/``to_registry`` run on the dashboard timer and HTTP server
@@ -105,9 +110,15 @@ class LiveAggregator:
         self,
         window_hours: int = 48,
         clock: Callable[[], float] = time.time,
+        slo_provider: Optional[Callable[[], Dict[str, Any]]] = None,
     ) -> None:
         self.window_hours = window_hours
         self._clock = clock
+        #: Optional :meth:`repro.obs.horizon.slo.SLOEngine.document`
+        #: hook; when wired (detection on), :meth:`snapshot` carries a
+        #: compact error-budget summary so ``/status`` and the dashboard
+        #: surface burn without a second scrape.
+        self._slo_provider = slo_provider
         self._lock = threading.Lock()
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
@@ -217,7 +228,7 @@ class LiveAggregator:
                     for c in window
                 ]
             rates = list(self._hour_rates)
-            return {
+            snap = {
                 "engine": self.engine,
                 "hours_total": self.hours_total,
                 "hours_done": self.hours_done,
@@ -235,6 +246,29 @@ class LiveAggregator:
                 "episode_threshold": knee_of_rates(rates),
                 "events_seen": self.events_seen,
             }
+        # Outside the lock: the SLO engine locks itself, and nothing
+        # here still touches aggregator state.
+        snap["slo"] = self._slo_summary()
+        return snap
+
+    def _slo_summary(self) -> Optional[Dict[str, Any]]:
+        """Compact error-budget block for the snapshot (None when off)."""
+        if self._slo_provider is None:
+            return None
+        document = self._slo_provider()
+        sides = document["sides"]
+        return {
+            "objective": document["objective"],
+            "hours_folded": document["hours_folded"],
+            "availability": {
+                side: doc["availability"] for side, doc in sides.items()
+            },
+            "error_budget_consumed": {
+                side: doc["error_budget_consumed"]
+                for side, doc in sides.items()
+            },
+            "burn_rates": document["burn_rates"],
+        }
 
     def to_registry(self) -> MetricsRegistry:
         """The live state as gauges, for the ``/metrics`` endpoint.

@@ -20,6 +20,13 @@ observability state:
   queryable sim-hours after fault onset, not at month-end;
 * ``/runs`` -- the run registry listing (the same serializer as
   ``repro runs list --json``);
+* ``/history`` -- the long-horizon downsampled history rings
+  (:class:`~repro.obs.horizon.HistoryStore`; ``?series=``, ``?res=``,
+  ``?entity=``, ``?from=``, ``?to=`` select a slice; bad parameters are
+  a 400 with the offending name);
+* ``/slo`` -- per-side availability, error-budget consumption,
+  multi-window burn rates, MTBF/MTTR
+  (:class:`~repro.obs.horizon.SLOEngine`);
 * ``/`` -- a JSON index of the above.  Unknown paths get a 404 with a
   JSON error body listing the valid endpoints.
 
@@ -43,7 +50,8 @@ import json
 import signal
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from urllib.parse import parse_qsl
 
 from repro.obs import runtime
 from repro.obs.exporters import to_prometheus_text
@@ -65,6 +73,11 @@ ENDPOINTS = {
     "/episodes": "episode log (open + closed) with detection latency",
     "/blame": "running blame attribution and verdict",
     "/runs": "recorded run registry listing",
+    "/history": (
+        "downsampled long-horizon history "
+        "(?series=&res=&entity=&from=&to=)"
+    ),
+    "/slo": "availability, error budget, burn rates, MTBF/MTTR",
 }
 
 
@@ -150,6 +163,11 @@ class MetricsServer:
         detector=None,
         status_provider: Optional[Callable[[], Dict[str, Any]]] = None,
         runs_provider: Optional[Callable[[], Dict[str, Any]]] = None,
+        history_provider: Optional[
+            Callable[[Dict[str, str]], Dict[str, Any]]
+        ] = None,
+        slo_provider: Optional[Callable[[], Dict[str, Any]]] = None,
+        gauges_provider: Optional[Callable[[], Sequence[Any]]] = None,
     ) -> None:
         self.aggregator = aggregator
         #: An :class:`~repro.obs.online.detector.OnlineDetector` (or
@@ -163,6 +181,15 @@ class MetricsServer:
         #: The ``/runs`` document factory (see
         #: :func:`repro.obs.runstore.store.runs_index`).
         self.runs_provider = runs_provider
+        #: ``/history``: ``params -> document`` (the daemon passes
+        #: ``HistoryStore.document``); a ``KeyError`` from the provider
+        #: names a bad query parameter and becomes a 400.
+        self.history_provider = history_provider
+        #: ``/slo``: the SLO engine's document factory.
+        self.slo_provider = slo_provider
+        #: Extra gauge registries merged into ``/metrics`` with the
+        #: ``repro_`` prefix (the daemon's serve/SLO gauges).
+        self.gauges_provider = gauges_provider
         self._registry_provider = registry_provider or runtime.registry
         self._requested = (host, port)
         self._httpd: Optional[ThreadingHTTPServer] = None
@@ -182,6 +209,9 @@ class MetricsServer:
             body += to_prometheus_text(
                 self.detector.to_registry(), prefix="repro_"
             )
+        if self.gauges_provider is not None:
+            for registry in self.gauges_provider():
+                body += to_prometheus_text(registry, prefix="repro_")
         return body
 
     def render_alerts(self) -> str:
@@ -227,6 +257,24 @@ class MetricsServer:
             return 404, {"error": "no run registry wired for this server"}
         return 200, dict(self.runs_provider())
 
+    def _history_document(
+        self, query: str
+    ) -> Tuple[int, Dict[str, Any]]:
+        if self.history_provider is None:
+            return 404, {
+                "error": "long-horizon history not enabled for this run"
+            }
+        params = dict(parse_qsl(query, keep_blank_values=True))
+        try:
+            return 200, dict(self.history_provider(params))
+        except KeyError as exc:
+            return 400, {"error": str(exc.args[0]) if exc.args else "bad query"}
+
+    def _slo_document(self) -> Tuple[int, Dict[str, Any]]:
+        if self.slo_provider is None:
+            return 404, {"error": "SLO tracking not enabled for this run"}
+        return 200, dict(self.slo_provider())
+
     def _not_found_document(self, route: str) -> Tuple[int, Dict[str, Any]]:
         return 404, {
             "error": f"no such endpoint: {route}",
@@ -253,11 +301,19 @@ class MetricsServer:
             "/episodes": server._episodes_document,
             "/blame": server._blame_document,
             "/runs": server._runs_document,
+            "/slo": server._slo_document,
         }
 
         class Handler(BaseHTTPRequestHandler):
             def do_GET(self) -> None:  # noqa: N802 - http.server API
-                route = self.path.split("?", 1)[0]
+                route, _, query = self.path.partition("?")
+                if route == "/history":
+                    status, document = server._history_document(query)
+                    self._reply(
+                        status, _encode_json(document),
+                        "application/json; charset=utf-8",
+                    )
+                    return
                 if route == "/metrics":
                     body = server.render_metrics().encode("utf-8")
                     server.scrapes += 1

@@ -9,7 +9,11 @@ optionally a :class:`~repro.obs.live.dashboard.LiveDashboard` (when
 ``--serve-metrics``), and an
 :class:`~repro.obs.online.detector.OnlineDetector` (when ``--detect``,
 or implied by the other two) folding per-hour entity stats into
-episodes, blame, and alerts.  ``stop()`` tears everything down in
+episodes, blame, and alerts.  Detection also wires the long-horizon
+observers (:class:`~repro.obs.horizon.history.HistoryStore`,
+:class:`~repro.obs.horizon.slo.SLOEngine`) onto the detector's ordered
+hour stream, so batch runs serve the same ``/history`` and ``/slo``
+documents -- and ``repro_slo_*`` gauges -- as the serve daemon.  ``stop()`` tears everything down in
 reverse order; the spool file survives until :meth:`cleanup` so the run
 recorder can copy it into ``runs/<run-id>/events.jsonl`` after the
 content-addressed run id becomes known, and the detector's exported
@@ -46,14 +50,28 @@ class LiveSession:
         )
         os.close(fd)
         self.detector = None
+        self.history = None
+        self.slo = None
         if detect or rules_path is not None:
             # Imported lazily: plain --live/--serve-metrics sessions
             # never pay for the online pipeline.
+            from repro.obs.horizon import HistoryStore, SLOEngine
             from repro.obs.online import OnlineDetector, load_rules
 
             rules = load_rules(rules_path) if rules_path else None
-            self.detector = OnlineDetector(rules=rules)
-        self.aggregator = LiveAggregator()
+            # The horizon observers ride the detector's hour cursor, so
+            # batch runs get the same /history and /slo surfaces (and
+            # worker-count invariance) the serve daemon has.
+            self.history = HistoryStore()
+            self.slo = SLOEngine()
+            self.detector = OnlineDetector(
+                rules=rules, observers=[self.history, self.slo]
+            )
+        self.aggregator = LiveAggregator(
+            slo_provider=(
+                self.slo.document if self.slo is not None else None
+            ),
+        )
         self.bus = TelemetryBus(
             events_path=self.events_path,
             entity_stats=self.detector is not None,
@@ -77,6 +95,17 @@ class LiveSession:
             self.server = MetricsServer(
                 serve_port, aggregator=self.aggregator,
                 detector=self.detector,
+                history_provider=(
+                    self.history.document
+                    if self.history is not None else None
+                ),
+                slo_provider=(
+                    self.slo.document if self.slo is not None else None
+                ),
+                gauges_provider=(
+                    (lambda: [self.slo.to_registry()])
+                    if self.slo is not None else None
+                ),
             )
         self._started = False
 
@@ -136,4 +165,8 @@ def log_endpoints(session: LiveSession) -> None:
         if session.detector is not None:
             runtime.logger.info(
                 "live alerts: http://127.0.0.1:%d/alerts", session.port
+            )
+            runtime.logger.info(
+                "live SLO: http://127.0.0.1:%d/slo  history: /history",
+                session.port,
             )

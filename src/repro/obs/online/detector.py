@@ -42,8 +42,9 @@ this at workers 1 and 4).
 from __future__ import annotations
 
 import threading
-from bisect import insort
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+from bisect import bisect_left, insort
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core import knee as knee_mod
 from repro.core.dataset import MIN_SAMPLES_PER_HOUR
@@ -53,11 +54,16 @@ from repro.obs.online.rules import (
     DEFAULT_RULES,
     EPISODE_OPENED,
     FAILURE_RATE_BURN,
+    SLO_BURN,
     AlertRule,
 )
 
 #: Schema identifier stamped on the ``alerts.jsonl`` header line.
 ALERTS_SCHEMA = "repro.alerts/1"
+
+#: Schema identifier stamped on exported detector state (the retention
+#: checkpoint record embeds one of these).
+DETECTOR_STATE_SCHEMA = "repro.detector-state/1"
 
 #: Consecutive *valid* below-threshold hours before an open episode
 #: closes (hysteresis against single-hour dips).
@@ -75,7 +81,8 @@ class _SideState:
     """Running per-side detection state (one for clients, one for servers)."""
 
     __slots__ = (
-        "side", "names", "sorted_rates", "hour_rates", "open", "episodes",
+        "side", "names", "sorted_rates", "hour_rates", "by_hour",
+        "open", "episodes",
     )
 
     def __init__(self, side: str) -> None:
@@ -86,6 +93,9 @@ class _SideState:
         #: entity index -> {hour: rate} for valid hours (onset walk-back
         #: and the end-of-run batch-equivalence flags).
         self.hour_rates: Dict[int, Dict[int, float]] = {}
+        #: hour -> [(entity index, rate)] -- the reverse index retention
+        #: trimming walks to evict a whole hour in one pass.
+        self.by_hour: Dict[int, List[Tuple[int, float]]] = {}
         #: entity index -> mutable open-episode state.
         self.open: Dict[int, Dict[str, Any]] = {}
         #: Closed-or-open episode log, in open order.
@@ -109,10 +119,32 @@ class _SideState:
 class OnlineDetector:
     """Fold ``hour_stats`` telemetry into episodes, blame, and alerts."""
 
-    def __init__(self, rules: Optional[Sequence[AlertRule]] = None) -> None:
+    def __init__(
+        self,
+        rules: Optional[Sequence[AlertRule]] = None,
+        observers: Optional[Sequence[Any]] = None,
+        retention_hours: Optional[int] = None,
+    ) -> None:
         self.rules: Tuple[AlertRule, ...] = tuple(
             DEFAULT_RULES if rules is None else rules
         )
+        #: Downstream hour-stream consumers (``on_run_start(event)`` /
+        #: ``on_hour(hour, ct, cf, st, sf)``), e.g. the horizon
+        #: HistoryStore and SLOEngine.  Notified strictly in hour order
+        #: behind the same cursor, so their documents inherit the
+        #: detector's worker-count invariance for free.
+        self.observers: List[Any] = list(observers or [])
+        if retention_hours is not None and retention_hours < 1:
+            raise ValueError(
+                f"retention_hours must be >= 1, got {retention_hours}"
+            )
+        #: With retention on, per-entity-hour rates older than this many
+        #: folded hours are evicted -- the knee then estimates over the
+        #: retained window (a deliberate rolling-window estimator; see
+        #: the serve daemon's retention docs), onset walk-back and
+        #: ``final_flags`` are window-limited, and detector state stays
+        #: O(window) so the retention checkpoint stays small.
+        self.retention_hours = retention_hours
         self._lock = threading.Lock()
         self._sides = {side: _SideState(side) for side in _SIDES}
         #: Out-of-order arrivals parked until the cursor reaches them.
@@ -129,6 +161,12 @@ class OnlineDetector:
         self._burn_streak: Dict[str, int] = {
             r.name: 0 for r in self.rules if r.kind == FAILURE_RATE_BURN
         }
+        #: Trailing (hour, transactions, failures) window for slo-burn
+        #: rules; bounded by the widest slo-burn window in play.
+        slo_windows = [r.hours for r in self.rules if r.kind == SLO_BURN]
+        self._slo_window: Deque[Tuple[int, int, int]] = deque(
+            maxlen=max(slo_windows) if slo_windows else 1
+        )
         self.alerts: List[Dict[str, Any]] = []
         #: Detection latencies (open hour minus onset hour), per episode.
         self.latencies: List[int] = []
@@ -149,6 +187,8 @@ class OnlineDetector:
                     self._sides["client"].names = [str(n) for n in clients]
                 if isinstance(servers, list):
                     self._sides["server"].names = [str(n) for n in servers]
+                for observer in self.observers:
+                    observer.on_run_start(event)
             elif kind == "hour_stats":
                 hour = int(event.get("hour") or 0)
                 # Shards arrive interleaved; fold strictly in hour order
@@ -200,6 +240,7 @@ class OnlineDetector:
                     rate = fails[i] / trans[i]
                     hour_rates[i] = rate
                     state.hour_rates.setdefault(i, {})[hour] = rate
+                    state.by_hour.setdefault(hour, []).append((i, rate))
                     insort(state.sorted_rates, rate)
             threshold = state.threshold()
             for i in sorted(hour_rates):
@@ -239,6 +280,34 @@ class OnlineDetector:
 
         self._fold_blame(event, blame_flags)
         self._evaluate_rules(hour, opened, ct, cf)
+        for observer in self.observers:
+            observer.on_hour(hour, ct, cf, st, sf)
+        self._trim_retention(hour)
+
+    def _trim_retention(self, hour: int) -> None:
+        """Evict per-entity-hour rates older than the retention window.
+
+        A pure function of the folded hour number and
+        ``retention_hours`` -- never of chunk or pruning boundaries --
+        so trimming is invariant to ``--chunk-hours``, worker count,
+        and kill/resume points.
+        """
+        if self.retention_hours is None:
+            return
+        floor = hour - self.retention_hours + 1
+        for state in self._sides.values():
+            while state.by_hour:
+                oldest = min(state.by_hour)
+                if oldest >= floor:
+                    break
+                for i, rate in state.by_hour.pop(oldest):
+                    index = bisect_left(state.sorted_rates, rate)
+                    del state.sorted_rates[index]
+                    rates = state.hour_rates.get(i)
+                    if rates is not None:
+                        rates.pop(oldest, None)
+                        if not rates:
+                            del state.hour_rates[i]
 
     def _walk_back_onset(self, state: _SideState, i: int, hour: int) -> int:
         """Earliest hour of the contiguous flagged run ending at ``hour``.
@@ -285,6 +354,7 @@ class OnlineDetector:
         transactions = sum(ct)
         overall = (sum(cf) / transactions) if transactions > 0 else 0.0
         blame_total = sum(self.blame.values())
+        self._slo_window.append((hour, transactions, sum(cf)))
         for rule in self.rules:
             if rule.kind == EPISODE_OPENED:
                 for side, i, data in opened:
@@ -339,6 +409,30 @@ class OnlineDetector:
                             "rate": overall,
                             "streak_hours": self._burn_streak[rule.name],
                             "rate_floor": rule.rate,
+                        },
+                    )
+            elif rule.kind == SLO_BURN:
+                if rule.name in self._latched:
+                    continue
+                window_t = window_f = 0
+                for entry_hour, entry_t, entry_f in self._slo_window:
+                    if entry_hour > hour - rule.hours:
+                        window_t += entry_t
+                        window_f += entry_f
+                if window_t <= 0:
+                    continue
+                budget = 1.0 - rule.objective
+                burn = (window_f / window_t) / budget
+                if burn >= rule.burn:
+                    self._latched.add(rule.name)
+                    self._fire(
+                        rule, hour, side=None, entity=None,
+                        detail={
+                            "burn_rate": burn,
+                            "burn_floor": rule.burn,
+                            "window_hours": rule.hours,
+                            "window_failure_rate": window_f / window_t,
+                            "objective": rule.objective,
                         },
                     )
 
@@ -560,6 +654,117 @@ class OnlineDetector:
             lines.extend(self.alerts)
             lines.append({"type": "summary", **summary})
             return {"lines": lines, "summary": summary}
+
+    # -- checkpoint state --------------------------------------------------------
+
+    def export_state(self) -> Dict[str, Any]:
+        """The full fold state, JSON-able (the retention checkpoint).
+
+        Must be taken at a fold boundary (no parked out-of-order
+        hours); ``sorted_rates`` and the per-hour reverse index are
+        derived from ``hour_rates`` and rebuilt on restore, keeping the
+        record minimal.  Restoring this state and folding hours N.. is
+        bit-identical to having folded 0..N.. in one process -- the
+        property the retention-resume tests hold.
+        """
+        with self._lock:
+            if self._pending:
+                raise ValueError(
+                    "detector state export with out-of-order hours "
+                    f"still parked: {sorted(self._pending)}"
+                )
+            sides: Dict[str, Any] = {}
+            for side, state in self._sides.items():
+                episode_index = {
+                    id(info): n for n, info in enumerate(state.episodes)
+                }
+                sides[side] = {
+                    "names": state.names,
+                    "hour_rates": {
+                        str(i): {str(h): rate for h, rate in rates.items()}
+                        for i, rates in state.hour_rates.items()
+                    },
+                    "episodes": [dict(info) for info in state.episodes],
+                    "open": {
+                        str(i): episode_index[id(info)]
+                        for i, info in state.open.items()
+                    },
+                }
+            return {
+                "schema": DETECTOR_STATE_SCHEMA,
+                "next_hour": self._next_hour,
+                "last_folded": self._last_folded,
+                "hours_total": self.hours_total,
+                "hours_folded": self.hours_folded,
+                "blame": dict(sorted(self.blame.items())),
+                "latched": sorted(self._latched),
+                "burn_streak": dict(sorted(self._burn_streak.items())),
+                "slo_window": [list(e) for e in self._slo_window],
+                "alerts": [dict(a) for a in self.alerts],
+                "latencies": list(self.latencies),
+                "events_seen": self.events_seen,
+                "sides": sides,
+            }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        """Restore an :meth:`export_state` snapshot (exact round-trip).
+
+        The active rule set is not part of the state -- the caller
+        constructs the detector with the same rules the original run
+        used (the serve daemon's resume path does); unknown streak
+        names are dropped and missing ones start at zero.
+        """
+        with self._lock:
+            self._pending = {}
+            self._next_hour = int(state["next_hour"])
+            self._last_folded = (
+                int(state["last_folded"])
+                if state["last_folded"] is not None else None
+            )
+            self.hours_total = (
+                int(state["hours_total"])
+                if state["hours_total"] is not None else None
+            )
+            self.hours_folded = int(state["hours_folded"])
+            self.blame = {
+                key: int(value) for key, value in state["blame"].items()
+            }
+            self._latched = set(state["latched"])
+            for name in self._burn_streak:
+                self._burn_streak[name] = int(
+                    state["burn_streak"].get(name, 0)
+                )
+            self._slo_window.clear()
+            for entry in state.get("slo_window") or []:
+                self._slo_window.append(
+                    (int(entry[0]), int(entry[1]), int(entry[2]))
+                )
+            self.alerts = [dict(a) for a in state["alerts"]]
+            self.latencies = [int(v) for v in state["latencies"]]
+            self.events_seen = int(state["events_seen"])
+            for side, stored in state["sides"].items():
+                sstate = self._sides[side]
+                names = stored.get("names")
+                if names is not None:
+                    sstate.names = [str(n) for n in names]
+                sstate.hour_rates = {
+                    int(i): {int(h): float(r) for h, r in rates.items()}
+                    for i, rates in stored["hour_rates"].items()
+                }
+                sstate.by_hour = {}
+                for i in sorted(sstate.hour_rates):
+                    for h, rate in sstate.hour_rates[i].items():
+                        sstate.by_hour.setdefault(h, []).append((i, rate))
+                sstate.sorted_rates = sorted(
+                    rate
+                    for rates in sstate.hour_rates.values()
+                    for rate in rates.values()
+                )
+                sstate.episodes = [dict(info) for info in stored["episodes"]]
+                sstate.open = {
+                    int(i): sstate.episodes[int(n)]
+                    for i, n in stored["open"].items()
+                }
 
 
 def _latency_stats(latencies: List[int]) -> Dict[str, Any]:

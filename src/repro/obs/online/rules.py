@@ -20,6 +20,12 @@ paper's measurement infrastructure would page on:
     The overall hourly failure rate was at least ``rate`` for ``hours``
     consecutive simulated hours.  Latching.
 
+``slo-burn``
+    The failure rate over the trailing ``hours`` window consumed the
+    error budget (``1 - objective``) at at least ``burn`` times the
+    sustainable pace -- the multi-window burn-rate alert the SLO engine
+    (:mod:`repro.obs.horizon.slo`) reports on ``/slo``.  Latching.
+
 TOML::
 
     [[rules]]
@@ -47,8 +53,9 @@ except ImportError:  # Python 3.10: JSON rule files only.
 EPISODE_OPENED = "episode-opened"
 BLAME_VERDICT = "blame-verdict"
 FAILURE_RATE_BURN = "failure-rate-burn"
+SLO_BURN = "slo-burn"
 
-RULE_KINDS = (EPISODE_OPENED, BLAME_VERDICT, FAILURE_RATE_BURN)
+RULE_KINDS = (EPISODE_OPENED, BLAME_VERDICT, FAILURE_RATE_BURN, SLO_BURN)
 
 _SIDES = ("client", "server")
 
@@ -77,7 +84,14 @@ class AlertRule:
     #: ``failure-rate-burn``: the overall-rate floor ...
     rate: float = 0.05
     #: ... and how many consecutive hours it must hold.
+    #: ``slo-burn``: the trailing window length, in hours.
     hours: int = 3
+    #: ``slo-burn``: the availability objective the budget derives from.
+    objective: float = 0.99
+    #: ``slo-burn``: fire when the windowed failure rate consumes the
+    #: error budget at at least this multiple of the sustainable pace
+    #: (burn = window rate / (1 - objective)).
+    burn: float = 10.0
     #: Free-form severity label carried onto every alert the rule fires.
     severity: str = "warning"
 
@@ -102,10 +116,19 @@ class AlertRule:
             raise RuleError(
                 f"rule {self.name!r}: min_fraction out of [0, 1]"
             )
-        if self.kind == FAILURE_RATE_BURN and self.hours < 1:
+        if self.kind in (FAILURE_RATE_BURN, SLO_BURN) and self.hours < 1:
             raise RuleError(
                 f"rule {self.name!r}: burn needs hours >= 1"
             )
+        if self.kind == SLO_BURN:
+            if not 0.0 < self.objective < 1.0:
+                raise RuleError(
+                    f"rule {self.name!r}: objective out of (0, 1)"
+                )
+            if self.burn <= 0.0:
+                raise RuleError(
+                    f"rule {self.name!r}: burn multiple must be > 0"
+                )
 
     def to_dict(self) -> Dict[str, Any]:
         """Flat JSON-ready form (the ``alerts.jsonl`` header records it)."""
@@ -137,6 +160,21 @@ DEFAULT_RULES = (
     ),
     AlertRule(
         name="overall-burn", kind=FAILURE_RATE_BURN, rate=0.05, hours=3,
+    ),
+)
+
+#: Multi-window error-budget burn rules (the standard fast/slow pairing:
+#: a 1h window at a page-worthy burn multiple, a 6h window at a slower
+#: one).  The serve daemon appends these to :data:`DEFAULT_RULES`; batch
+#: ``--detect`` runs opt in via an ``--alert-rules`` file.
+SLO_BURN_RULES = (
+    AlertRule(
+        name="slo-fast-burn", kind=SLO_BURN, objective=0.99, burn=14.4,
+        hours=1, severity="page",
+    ),
+    AlertRule(
+        name="slo-slow-burn", kind=SLO_BURN, objective=0.99, burn=6.0,
+        hours=6, severity="ticket",
     ),
 )
 

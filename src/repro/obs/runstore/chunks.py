@@ -30,6 +30,20 @@ Determinism: chunk files are compressed ``.npz`` archives whose *bytes*
 are not stable across runs (zip member timestamps); the chain digests
 array *contents*, which are -- a resumed run therefore reproduces the
 uninterrupted run's chain and final dataset digest bit for bit.
+
+**Retention** (``repro serve --retain-hours N``): :meth:`prune_payloads`
+deletes old chunk ``.npz`` payloads while keeping their manifest
+entries -- marked ``"pruned": true`` -- so the digest chain stays
+fully verifiable from the stored digests even though the bytes are
+gone.  A resume can no longer replay pruned hours, so the daemon
+writes a **checkpoint record** (:meth:`write_checkpoint`) after every
+committed chunk in retention mode: the fold state (detector, history,
+SLO ledger, rolling dataset digest) as of a chunk boundary, pinned to
+that boundary's chain value.  :meth:`load_checkpoint` refuses a record
+whose ``(hour, chain)`` pin does not match the manifest, and
+``replay(start_hour=...)`` chain-verifies *every* entry (pruned ones
+from their stored digests) while yielding only the still-payloaded
+chunks past the checkpoint.
 """
 
 from __future__ import annotations
@@ -54,6 +68,12 @@ CHUNKS_DIR = "chunks"
 
 #: The chunk manifest file name.
 CHUNKS_MANIFEST = "chunks.json"
+
+#: The retention checkpoint record (sibling of the chunk manifest).
+CHECKPOINT_FILE = "checkpoint.json"
+
+#: Checkpoint-record schema; additive within the major.
+CHECKPOINT_SCHEMA = "repro.serve-checkpoint/1"
 
 
 class ChunkStoreError(RunStoreError):
@@ -209,7 +229,9 @@ class ChunkStore:
 
     # -- replaying ------------------------------------------------------------
 
-    def replay(self) -> Iterator[Tuple[Dict[str, Any], Dict[str, np.ndarray]]]:
+    def replay(
+        self, start_hour: int = 0
+    ) -> Iterator[Tuple[Dict[str, Any], Dict[str, np.ndarray]]]:
         """Yield ``(entry, arrays)`` per committed chunk, verifying as it goes.
 
         Each chunk's content digest and chain link are recomputed and
@@ -217,6 +239,14 @@ class ChunkStore:
         file swapped between runs, a truncated manifest edit) raises
         :class:`ChunkStoreError` naming the offending chunk, before any
         corrupt counts can reach a dataset.
+
+        ``start_hour`` is the retention-resume cursor: chunks wholly
+        before it are chain-verified from their *stored* digests (their
+        payloads may have been pruned) but not loaded or yielded;
+        chunks past it must still have payloads -- a pruned chunk there
+        means the checkpoint is older than the pruning horizon, which
+        :meth:`prune_payloads` never allows the daemon to produce, so
+        it is reported as corruption rather than skipped.
         """
         chain = str(self.load()["chain_seed"])
         cursor = 0
@@ -227,7 +257,25 @@ class ChunkStore:
                     f"chunk manifest is not contiguous at [{h0}, {h1}) "
                     f"(expected hour_start {cursor})"
                 )
+            cursor = h1
             path = self.chunks_dir / str(entry["file"])
+            if h1 <= start_hour:
+                # Behind the checkpoint: link the chain from the stored
+                # digest (payload possibly pruned), skip the load.
+                chain = _chain(chain, str(entry.get("digest")))
+                if chain != entry.get("chain"):
+                    raise ChunkStoreError(
+                        f"chunk {path} breaks the digest chain: "
+                        f"manifest {entry.get('chain')}, recomputed {chain}"
+                    )
+                continue
+            if entry.get("pruned"):
+                raise ChunkStoreError(
+                    f"chunk {path} covering [{h0}, {h1}) was "
+                    "retention-pruned but is needed to rebuild state from "
+                    f"hour {start_hour}; resume from the retention "
+                    "checkpoint (or the payload was pruned incorrectly)"
+                )
             try:
                 with np.load(path) as data:
                     arrays = {name: data[name] for name in data.files}
@@ -245,8 +293,144 @@ class ChunkStore:
                     f"chunk {path} breaks the digest chain: "
                     f"manifest {entry.get('chain')}, recomputed {chain}"
                 )
-            cursor = h1
             yield entry, arrays
+
+    # -- retention --------------------------------------------------------------
+
+    def prune_payloads(self, before_hour: int) -> int:
+        """Delete payloads of chunks wholly before ``before_hour``.
+
+        Manifest entries stay (marked ``"pruned": true``) so the digest
+        chain remains verifiable end to end; only the ``.npz`` bytes
+        go.  Returns the number of chunks newly pruned.  Idempotent --
+        already-pruned entries are skipped -- and atomic in the same
+        sense as :meth:`commit`: payloads are unlinked first, the
+        manifest rewritten once at the end, so a crash mid-prune leaves
+        at worst an entry whose missing payload the next prune (same
+        ``before_hour`` policy) marks.
+        """
+        document = self.load()
+        pruned = 0
+        for entry in document.get("chunks") or []:
+            if entry.get("pruned") or int(entry["hour_stop"]) > before_hour:
+                continue
+            path = self.chunks_dir / str(entry["file"])
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass
+            except OSError as exc:
+                raise ChunkStoreError(f"cannot prune chunk {path}: {exc}")
+            entry["pruned"] = True
+            pruned += 1
+        if pruned:
+            self._write_manifest(document)
+        return pruned
+
+    def pruned_hours(self) -> int:
+        """Hours whose payloads have been pruned (prefix of the chain)."""
+        last = 0
+        for entry in self.entries():
+            if entry.get("pruned"):
+                last = int(entry["hour_stop"])
+        return last
+
+    def payload_files(self) -> List[str]:
+        """Chunk payload files currently on disk (bounded-disk asserts)."""
+        return sorted(
+            p.name for p in self.chunks_dir.glob("chunk-*.npz")
+        )
+
+    def record_retention(self, retain_hours: int) -> None:
+        """Persist the retention policy on the manifest (resume default)."""
+        document = self.load()
+        if document.get("retention", {}).get("retain_hours") == retain_hours:
+            return
+        document["retention"] = {"retain_hours": int(retain_hours)}
+        self._write_manifest(document)
+
+    def retention(self) -> Optional[Dict[str, Any]]:
+        """The recorded retention policy, if any."""
+        record = self.load().get("retention")
+        return dict(record) if isinstance(record, dict) else None
+
+    # -- the retention checkpoint ------------------------------------------------
+
+    @property
+    def checkpoint_path(self) -> Path:
+        return self.chunks_dir / CHECKPOINT_FILE
+
+    def write_checkpoint(self, document: Dict[str, Any]) -> Dict[str, Any]:
+        """Atomically persist a fold-state checkpoint at a chunk boundary.
+
+        ``document`` carries the caller's state payloads (rolling
+        digest, detector/history/SLO state) plus the boundary ``hour``;
+        the chain value at that boundary is pinned here from the
+        manifest so a checkpoint can never be paired with a different
+        chunk history.
+        """
+        hour = int(document["hour"])
+        chain = self._chain_at(hour)
+        record = {
+            "schema": CHECKPOINT_SCHEMA,
+            **document,
+            "hour": hour,
+            "chain": chain,
+        }
+        tmp = self.checkpoint_path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+        tmp.replace(self.checkpoint_path)
+        return record
+
+    def load_checkpoint(self) -> Optional[Dict[str, Any]]:
+        """Read and chain-verify the checkpoint record (None if absent).
+
+        The pinned ``(hour, chain)`` pair must match the manifest's
+        chain value at that boundary -- a checkpoint pasted in from a
+        different run (or a manifest edited underneath one) fails here,
+        before any state is restored from it.
+        """
+        try:
+            raw = self.checkpoint_path.read_text()
+        except FileNotFoundError:
+            return None
+        except OSError as exc:
+            raise ChunkStoreError(
+                f"cannot read checkpoint {self.checkpoint_path}: {exc}"
+            )
+        try:
+            record = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ChunkStoreError(
+                f"checkpoint {self.checkpoint_path} is not valid JSON: {exc}"
+            )
+        schema = record.get("schema")
+        if not isinstance(schema, str):
+            raise ChunkStoreError(
+                f"{self.checkpoint_path}: missing schema field"
+            )
+        check_schema(schema, CHECKPOINT_SCHEMA)
+        hour = int(record.get("hour") or 0)
+        expected = self._chain_at(hour)
+        if record.get("chain") != expected:
+            raise ChunkStoreError(
+                f"checkpoint {self.checkpoint_path} chain mismatch at hour "
+                f"{hour}: checkpoint {record.get('chain')}, manifest "
+                f"{expected}"
+            )
+        return record
+
+    def _chain_at(self, hour: int) -> str:
+        """The manifest chain value at the chunk boundary ``hour``."""
+        if hour == 0:
+            return str(self.load()["chain_seed"])
+        for entry in self.entries():
+            if int(entry["hour_stop"]) == hour:
+                return str(entry["chain"])
+        raise ChunkStoreError(
+            f"hour {hour} is not a committed chunk boundary of "
+            f"{self.manifest_path}"
+        )
 
     def restore_into(self, dataset: MeasurementDataset) -> int:
         """Merge every committed chunk into ``dataset``; returns the cursor.

@@ -95,6 +95,20 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _pruned_hours(store: RunStore, run_id: str) -> int:
+    """Sim-hours of chunk payloads retention-pruned for a run (0 when
+    the run has no chunk store or nothing was pruned)."""
+    from repro.obs.runstore.chunks import ChunkStore, ChunkStoreError
+
+    chunks = ChunkStore(store.run_dir(run_id))
+    if not chunks.exists():
+        return 0
+    try:
+        return chunks.pruned_hours()
+    except ChunkStoreError:
+        return 0
+
+
 def _format_when(unix: float) -> str:
     if not unix:
         return "-"
@@ -246,7 +260,9 @@ def _cmd_show(
     wall = timings.get("wall_seconds")
     cpu = timings.get("cpu_seconds")
     if wall is not None:
-        line = f"timings:    wall={wall:.3f}s cpu={cpu:.3f}s"
+        line = f"timings:    wall={wall:.3f}s"
+        if cpu is not None:
+            line += f" cpu={cpu:.3f}s"
         worker_cpu = timings.get("worker_cpu_seconds")
         if worker_cpu is not None:
             line += f" worker_cpu={worker_cpu:.3f}s"
@@ -254,6 +270,29 @@ def _cmd_show(
     digest = manifest.dataset.get("digest")
     if digest:
         print(f"digest:     {digest}")
+    serve = manifest.serve_provenance()
+    if serve:
+        committed = serve.get("committed_hours", 0)
+        horizon = "∞" if serve.get("indefinite") else "finite"
+        state = "completed" if serve.get("completed") else "resumable"
+        line = (
+            f"serve:      {committed}h committed ({horizon} horizon, "
+            f"{state}"
+        )
+        resumed = serve.get("resumed_hours") or 0
+        if resumed:
+            line += f", resumed at {resumed}h"
+        line += ")"
+        print(line)
+        retain = serve.get("retain_hours")
+        if retain is not None:
+            print(
+                f"retention:  keep last {retain}h of chunk payloads "
+                f"({serve.get('pruned_hours', 0)}h pruned)"
+            )
+        rolling = serve.get("rolling_digest")
+        if rolling:
+            print(f"rolling:    {rolling}")
     if manifest.trace_file:
         print(f"trace:      {store.run_dir(manifest.run_id) / manifest.trace_file}")
     if manifest.events_file:
@@ -294,10 +333,23 @@ def _cmd_show(
         )
         print()
         if rendered is None:
-            print(
-                "(no live-telemetry events recorded for this run -- "
-                "re-run with --live or --serve-metrics)"
-            )
+            pruned = _pruned_hours(store, manifest.run_id)
+            if pruned:
+                # A long-horizon serve run under --retain-hours: the
+                # raw material a timeline replays was pruned by design,
+                # not lost.  Exit 0 -- this is a policy, not an error.
+                print(
+                    f"(no replayable timeline: this serve run's rolling "
+                    f"retention pruned the first {pruned} sim-hour(s) of "
+                    "chunk payloads; the digest-chained manifest and "
+                    "downsampled /history survive -- see `repro slo "
+                    f"{manifest.run_id}`)"
+                )
+            else:
+                print(
+                    "(no live-telemetry events recorded for this run -- "
+                    "re-run with --live or --serve-metrics)"
+                )
         else:
             print(rendered)
     if alerts:

@@ -154,6 +154,20 @@ class RunManifest:
                 return float(value) if value is not None else None
         return None
 
+    def serve_provenance(self) -> Dict[str, Any]:
+        """The serve-daemon block under ``dataset.provenance.serve``.
+
+        Serve runs record their chunk progress there (committed /
+        resumed hours, ``completed``, ``indefinite``, retention policy,
+        pruned hours, rolling digest).  Empty dict for batch runs, so
+        callers can render conditionally without schema sniffing.
+        """
+        provenance = self.dataset.get("provenance")
+        if not isinstance(provenance, dict):
+            return {}
+        serve = provenance.get("serve")
+        return dict(serve) if isinstance(serve, dict) else {}
+
     def stage_seconds(self) -> Dict[str, float]:
         """``{stage: seconds}`` from the ``stage_seconds_total`` counters."""
         out: Dict[str, float] = {}

@@ -17,6 +17,13 @@ the simulation flags do not need to be repeated and cannot drift.  On
 reaching the horizon the daemon prints ``dataset digest: ...`` in the
 same format as ``repro simulate``, so the kill-and-resume determinism
 check is a plain line comparison.
+
+Long-horizon runs add ``--retain-hours N`` (rolling retention: old
+chunk payloads are pruned, the manifest chain and a rolling dataset
+digest are kept forever) and ``--hours 0`` (indefinite horizon over a
+periodic 744-hour epoch; requires retention)::
+
+    repro serve --hours 0 --retain-hours 168 --port 9470
 """
 
 from __future__ import annotations
@@ -57,6 +64,15 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         help="sleep between chunks (default 0) -- paces the daemon so "
         "mid-run scrapes and kill tests have a window; interruptible",
     )
+    parser.add_argument(
+        "--retain-hours", type=int, default=argparse.SUPPRESS,
+        metavar="N",
+        help="rolling retention: keep only the last N sim-hours of "
+        "chunk payloads on disk (the digest-chained manifest and the "
+        "rolling dataset digest are kept forever); required for "
+        "--hours 0 (indefinite); execution detail only -- does not "
+        "change the run id or any digest",
+    )
 
 
 def _resume_config(args, ref: str):
@@ -72,6 +88,13 @@ def _resume_config(args, ref: str):
             f"run {run_id} has no committed chunks (not a serve run?)"
         )
     stored = chunks.config()
+    retain = getattr(args, "retain_hours", None)
+    if retain is None:
+        # No flag on the resume line: the run's own recorded retention
+        # policy carries over (an indefinite run must stay prunable).
+        record = chunks.retention()
+        if record is not None:
+            retain = record.get("retain_hours")
     return run_id, ServeConfig(
         hours=int(stored["hours"]),
         per_hour=int(stored["per_hour"]),
@@ -82,6 +105,7 @@ def _resume_config(args, ref: str):
         port=int(getattr(args, "port", 0) or 0),
         throttle_seconds=float(getattr(args, "throttle", 0.0) or 0.0),
         runs_dir=getattr(args, "runs_dir", None),
+        retain_hours=int(retain) if retain is not None else None,
     )
 
 
@@ -109,6 +133,7 @@ def _fresh_config(args):
         port=int(getattr(args, "port", 0) or 0),
         throttle_seconds=float(getattr(args, "throttle", 0.0) or 0.0),
         runs_dir=getattr(args, "runs_dir", None),
+        retain_hours=getattr(args, "retain_hours", None),
     )
 
 
@@ -117,7 +142,8 @@ def _announce(port: Optional[int]) -> None:
     # parseable) even without -v, like --serve-metrics does.
     print(
         f"serving the live API on http://127.0.0.1:{port} "
-        "(/healthz /status /metrics /alerts /episodes /blame /runs)",
+        "(/healthz /status /metrics /alerts /episodes /blame /runs "
+        "/history /slo)",
         file=sys.stderr,
     )
 
@@ -163,9 +189,14 @@ def run(args, argv=None) -> int:
         print(f"\ndataset digest: {result['digest']}")
         print(f"chunk chain: {result['chain']}")
         return 0
+    horizon = "∞" if daemon.indefinite else str(result["hours"])
     print(
         f"\nstopped at sim-hour {result['committed_hours']} of "
-        f"{result['hours']} (all committed chunks durable); continue "
+        f"{horizon} (all committed chunks durable); continue "
         f"with: repro serve --resume {result['run_id']}"
     )
+    if result.get("rolling"):
+        # The mid-run determinism anchor: a resumed (or oracle) run
+        # reaching the same hour must print the same rolling digest.
+        print(f"rolling digest: {result['rolling']}")
     return 0

@@ -50,8 +50,11 @@ import numpy as np
 
 from repro import obs
 from repro.core.dataset import MeasurementDataset
+from repro.obs.horizon import HistoryStore, SLOEngine, fold_block, rolling_seed
 from repro.obs.live.server import DEFAULT_HOST, MetricsServer, ShutdownCoordinator
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.online.detector import OnlineDetector
+from repro.obs.online.rules import DEFAULT_RULES, SLO_BURN_RULES
 from repro.obs.runstore.chunks import ChunkStore
 from repro.obs.runstore.manifest import RunManifest, canonical_json, compute_run_id
 from repro.obs.runstore.store import (
@@ -60,6 +63,7 @@ from repro.obs.runstore.store import (
     resolve_runs_dir,
     runs_index,
 )
+from repro.world.defaults import DEFAULT_HOURS
 from repro.world.faults import FaultGenerator
 from repro.world.outcome_model import AccessConfig
 from repro.world.parallel import plan_shards, run_block
@@ -72,10 +76,28 @@ SERVE_SCHEMA = "repro.serve/1"
 #: Default sim-hours simulated (and committed) per chunk.
 DEFAULT_CHUNK_HOURS = 6
 
+#: The daemon's default rule set: the batch defaults plus the
+#: multi-window SLO burn rules (a long-running service pages on budget
+#: burn, not only on per-entity episodes).
+SERVE_RULES = DEFAULT_RULES + SLO_BURN_RULES
+
 
 @dataclass(frozen=True)
 class ServeConfig:
-    """Everything that defines one serve run (and its identity)."""
+    """Everything that defines one serve run (and its identity).
+
+    ``hours=0`` means an *indefinite* horizon: the daemon simulates a
+    periodic world (epoch = the paper's 744-hour month; sim-hour ``h``
+    draws epoch hour ``h % 744``'s RNG streams) until stopped, and is
+    only legal with ``retain_hours`` set -- unbounded history with no
+    retention would grow without limit, which is exactly the failure
+    mode retention exists to prevent.
+
+    ``retain_hours`` is an execution knob, not identity: it bounds
+    which chunk *payloads* stay on disk and which detector/history
+    window is kept, never which counts are simulated -- the committed
+    chain and rolling dataset digest are unaffected by it.
+    """
 
     hours: int = 744
     per_hour: int = 4
@@ -87,13 +109,14 @@ class ServeConfig:
     host: str = DEFAULT_HOST
     throttle_seconds: float = 0.0
     runs_dir: Optional[str] = None
+    retain_hours: Optional[int] = None
 
     def identity_config(self) -> Dict[str, Any]:
         """The fields that affect *results* (digest-relevant only).
 
-        ``chunk_hours``, worker count, and the serving knobs are pure
-        execution detail -- any split of the same plan produces the
-        same dataset, so they must not change the run id.
+        ``chunk_hours``, worker count, retention, and the serving knobs
+        are pure execution detail -- any split of the same plan
+        produces the same dataset, so they must not change the run id.
         """
         return {
             "hours": self.hours,
@@ -149,6 +172,26 @@ def hour_entity_stats_from_block(
     }
 
 
+def plan_entities(config: Dict[str, Any]) -> Dict[str, Any]:
+    """Entity names/regions for a stored serve plan (topology only).
+
+    Builds the world a chunk manifest's config describes without
+    simulating anything -- what ``repro slo`` needs to seed an SLO
+    ledger for a run that has no retention checkpoint.  Lives here (not
+    in ``obs.horizon``) because only the serve layer may import
+    ``repro.world``.
+    """
+    from repro.world.defaults import build_default_world
+
+    hours = int(config["hours"])
+    world = build_default_world(hours=hours if hours else DEFAULT_HOURS)
+    return {
+        "clients": [c.name for c in world.clients],
+        "servers": [w.name for w in world.websites],
+        "client_regions": [c.region.value for c in world.clients],
+    }
+
+
 class ServeError(RuntimeError):
     """The daemon cannot start (conflicting state, bad resume target)."""
 
@@ -164,11 +207,33 @@ class ServeDaemon:
         chunk_callback: Optional[Callable[..., None]] = None,
         argv: Optional[List[str]] = None,
     ) -> None:
+        if config.hours < 0:
+            raise ServeError(f"--hours must be >= 0, got {config.hours}")
+        if config.retain_hours is not None and config.retain_hours < 1:
+            raise ServeError(
+                f"--retain-hours must be >= 1, got {config.retain_hours}"
+            )
+        if config.hours == 0 and config.retain_hours is None:
+            raise ServeError(
+                "an indefinite horizon (--hours 0) requires a retention "
+                "policy; set --retain-hours N"
+            )
         self.config = config
+        #: Indefinite mode: no horizon, world cycles per 744h epoch.
+        self.indefinite = config.hours == 0
+        #: The world horizon actually built (and the RNG epoch length).
+        self.epoch_hours = config.hours if config.hours else DEFAULT_HOURS
+        self.retention = config.retain_hours
         self.run_id = serve_run_id(config)
         self.store = RunStore(resolve_runs_dir(config.runs_dir))
         self.chunks = ChunkStore(self.store.run_dir(self.run_id))
-        self.detector = OnlineDetector()
+        self.history = HistoryStore()
+        self.slo = SLOEngine()
+        self.detector = OnlineDetector(
+            rules=SERVE_RULES,
+            observers=[self.history, self.slo],
+            retention_hours=self.retention,
+        )
         self.coordinator = ShutdownCoordinator()
         #: Called after every committed chunk with (daemon, entry) --
         #: the test hook that requests a stop at a chosen boundary.
@@ -186,6 +251,10 @@ class ServeDaemon:
         self.chunks_committed = 0
         self._created_unix = clock()
         self._started_monotonic = monotonic()
+        self._last_chunk_seconds = 0.0
+        self._pruned_chunks = 0
+        #: The hour-chained rolling dataset digest (seeded in prepare).
+        self.rolling: Optional[str] = None
 
         self.world = None
         self.truth = None
@@ -197,16 +266,30 @@ class ServeDaemon:
             detector=self.detector,
             status_provider=self.status_document,
             runs_provider=lambda: runs_index(self.store),
+            history_provider=self.history.document,
+            slo_provider=self.slo.document,
+            gauges_provider=self._gauge_registries,
         )
 
     # -- construction -----------------------------------------------------------
 
     def _build_world(self) -> None:
-        """Mirror ``simulate_default_month`` exactly (digest equality)."""
+        """Mirror ``simulate_default_month`` exactly (digest equality).
+
+        The world is built over :attr:`epoch_hours` -- the configured
+        horizon, or one 744-hour month when indefinite.  In indefinite
+        mode the fault process and RNG streams repeat each epoch
+        (a planted ``--fault`` recurs every 744 sim-hours), keeping
+        world/truth memory constant over an unbounded run.
+
+        Retention mode never allocates the full dataset: the rolling
+        digest (:mod:`repro.obs.horizon.rolling`) replaces
+        ``dataset.digest()`` and everything else folds incrementally.
+        """
         from repro.world.defaults import build_default_world
 
         config = self.config
-        self.world = build_default_world(hours=config.hours)
+        self.world = build_default_world(hours=self.epoch_hours)
         access = AccessConfig(per_hour=config.per_hour)
         rngs = RNGRegistry(config.seed)
         truth = FaultGenerator(self.world, None, rngs.fork("faults")).generate()
@@ -218,11 +301,16 @@ class ServeDaemon:
         self.simulator = MonthSimulator(
             self.world, access=access, rngs=rngs, truth=truth
         )
-        self.dataset = MeasurementDataset(self.world)
+        self.dataset = (
+            None if self.retention is not None
+            else MeasurementDataset(self.world)
+        )
 
     def _fingerprint_sha256(self) -> str:
         return hashlib.sha256(
-            canonical_json(self.dataset.fingerprint()).encode("utf-8")
+            canonical_json(
+                MeasurementDataset.world_fingerprint(self.world)
+            ).encode("utf-8")
         ).hexdigest()
 
     def prepare(self, resume: bool = False, fresh: bool = False) -> None:
@@ -243,8 +331,12 @@ class ServeDaemon:
             "hours": self.config.hours,
             "clients": [c.name for c in self.world.clients],
             "servers": [w.name for w in self.world.websites],
+            "client_regions": [
+                c.region.value for c in self.world.clients
+            ],
         })
         fingerprint = self._fingerprint_sha256()
+        self.rolling = rolling_seed(fingerprint)
         if self.chunks.exists():
             stored = self.chunks.config()
             if stored != self.config.stored_config():
@@ -266,9 +358,18 @@ class ServeDaemon:
                     f"hour(s); continue with --resume {self.run_id} or "
                     "discard with --fresh"
                 )
-            for entry, arrays in self.chunks.replay():
+            self._pruned_chunks = sum(
+                1 for e in self.chunks.entries() if e.get("pruned")
+            )
+            if resume and self.retention is not None:
+                checkpoint = self.chunks.load_checkpoint()
+                if checkpoint is not None:
+                    self._restore_checkpoint(checkpoint)
+            for entry, arrays in self.chunks.replay(start_hour=self.cursor):
                 h0, h1 = int(entry["hour_start"]), int(entry["hour_stop"])
-                self.dataset.merge(arrays, (h0, h1))
+                if self.dataset is not None:
+                    self.dataset.merge(arrays, (h0, h1))
+                self.rolling = fold_block(self.rolling, arrays)
                 self._feed_detector(arrays, h0, h1)
                 self.cursor = h1
             self.resumed_hours = self.cursor
@@ -281,7 +382,28 @@ class ServeDaemon:
             self.chunks.initialize(
                 self.config.stored_config(), fingerprint, run_id=self.run_id
             )
+        if self.retention is not None:
+            self.chunks.record_retention(self.retention)
         self._state = "prepared"
+
+    def _restore_checkpoint(self, checkpoint: Dict[str, Any]) -> None:
+        """Restore fold state from a chain-verified retention checkpoint.
+
+        Sets the replay cursor to the checkpoint's chunk boundary:
+        pruned chunks behind it are chain-verified from stored digests
+        only, retained chunks past it (committed after the checkpoint
+        was last written) are replayed on top of the restored state --
+        together bit-identical to an uninterrupted run's fold.
+        """
+        self.detector.restore_state(checkpoint["detector"])
+        self.history.restore_state(checkpoint["history"])
+        self.slo.restore_state(checkpoint["slo"])
+        self.rolling = str(checkpoint["rolling_digest"])
+        self.cursor = int(checkpoint["hour"])
+        obs.logger.info(
+            "restored retention checkpoint at sim-hour %d (chain %s)",
+            self.cursor, str(checkpoint["chain"])[:16],
+        )
 
     # -- the chunk loop ---------------------------------------------------------
 
@@ -326,11 +448,18 @@ class ServeDaemon:
         self._write_manifest(final=False)
         try:
             while (
-                self.cursor < config.hours
+                (self.indefinite or self.cursor < config.hours)
                 and not self.coordinator.stop_requested()
             ):
                 h0 = self.cursor
-                h1 = min(h0 + config.chunk_hours, config.hours)
+                h1 = h0 + config.chunk_hours
+                if not self.indefinite:
+                    h1 = min(h1, config.hours)
+                # Chunks never straddle an epoch boundary: sim-hour h
+                # draws epoch hour h % epoch_hours's RNG stream, and
+                # run_block shards within one world horizon.
+                e0 = h0 % self.epoch_hours
+                h1 = min(h1, h0 + (self.epoch_hours - e0))
                 with self._state_lock:
                     self._lanes = [
                         [a, b] for a, b in (
@@ -343,15 +472,22 @@ class ServeDaemon:
                 chunk_started = self._monotonic()
                 with obs.span("serve.chunk", hour_start=h0, hour_stop=h1):
                     arrays = run_block(
-                        self.simulator, h0, h1, workers=config.workers
+                        self.simulator, e0, e0 + (h1 - h0),
+                        workers=config.workers,
                     )
                     entry = self.chunks.commit(h0, h1, arrays)
-                    self.dataset.merge(arrays, (h0, h1))
+                    if self.dataset is not None:
+                        self.dataset.merge(arrays, (h0, h1))
+                    self.rolling = fold_block(self.rolling, arrays)
                     self._feed_detector(arrays, h0, h1)
+                    if self.retention is not None:
+                        self._checkpoint_and_prune()
                 with self._state_lock:
                     self.cursor = h1
                     self.chunks_committed += 1
-                    self._sim_seconds += self._monotonic() - chunk_started
+                    chunk_seconds = self._monotonic() - chunk_started
+                    self._last_chunk_seconds = chunk_seconds
+                    self._sim_seconds += chunk_seconds
                     self._sim_hours_done += h1 - h0
                     self._lanes = []
                 obs.logger.info(
@@ -363,16 +499,23 @@ class ServeDaemon:
                     self.chunk_callback(self, entry)
                 if (
                     config.throttle_seconds > 0
-                    and self.cursor < config.hours
+                    and (self.indefinite or self.cursor < config.hours)
                 ):
                     # An interruptible sleep: a stop request (signal or
                     # programmatic) wakes it immediately.
                     self.coordinator.wait(config.throttle_seconds)
         finally:
-            completed = self.cursor >= config.hours
+            completed = (
+                not self.indefinite and self.cursor >= config.hours
+            )
             with self._state_lock:
                 self._state = "finished" if completed else "stopped"
-            digest = self.dataset.digest() if completed else None
+            digest = None
+            if completed:
+                digest = (
+                    self.dataset.digest() if self.dataset is not None
+                    else self.rolling
+                )
             self._write_manifest(final=True, digest=digest)
             self.server.stop()
             if signals_installed:
@@ -383,8 +526,68 @@ class ServeDaemon:
             "committed_hours": self.cursor,
             "hours": config.hours,
             "digest": digest,
+            "rolling": self.rolling,
             "chain": self.chunks.chain_digest(),
         }
+
+    def _checkpoint_and_prune(self) -> None:
+        """Checkpoint fold state at the new boundary, then prune payloads.
+
+        Runs inside the commit span, *before* the public cursor moves:
+        a kill at any point leaves either the previous checkpoint (the
+        new chunk is replayable -- its payload cannot have been pruned,
+        the floor trails the cursor by ``retain_hours``) or the new one.
+        Checkpoint first, prune second, so no reachable state ever
+        depends on a payload the prune is about to delete.
+        """
+        boundary = self.chunks.committed_hours()
+        self.chunks.write_checkpoint({
+            "hour": boundary,
+            "run_id": self.run_id,
+            "retain_hours": self.retention,
+            "rolling_digest": self.rolling,
+            "detector": self.detector.export_state(),
+            "history": self.history.export_state(),
+            "slo": self.slo.export_state(),
+        })
+        floor = max(0, boundary - self.retention)
+        pruned = self.chunks.prune_payloads(floor)
+        if pruned:
+            self._pruned_chunks += pruned
+            obs.logger.info(
+                "pruned %d chunk payload(s) below sim-hour %d "
+                "(manifest chain intact)", pruned, floor,
+            )
+
+    # -- gauges for /metrics ----------------------------------------------------
+
+    def _gauge_registries(self) -> List[MetricsRegistry]:
+        """Fresh per-scrape registries for the serve and SLO gauges.
+
+        Built on demand so every ``/metrics`` scrape reflects the
+        current cursor without the daemon mutating long-lived
+        instruments from the chunk loop.
+        """
+        with self._state_lock:
+            cursor = self.cursor
+            last_chunk = self._last_chunk_seconds
+            pruned = self._pruned_chunks
+        serve = MetricsRegistry()
+        serve.gauge("serve_committed_hours").set(float(cursor))
+        serve.gauge("serve_chain_length").set(
+            float(len(self.chunks.entries()))
+        )
+        serve.gauge("serve_last_chunk_seconds").set(last_chunk)
+        serve.gauge("serve_resumed").set(
+            1.0 if self.resumed_hours else 0.0
+        )
+        serve.gauge("serve_retain_hours").set(
+            float(self.retention) if self.retention is not None else 0.0
+        )
+        serve.gauge("serve_pruned_chunks").set(float(pruned))
+        for res, count in self.history.cell_counts().items():
+            serve.gauge("history_cells", res=res).set(float(count))
+        return [serve, self.slo.to_registry()]
 
     # -- the run record ---------------------------------------------------------
 
@@ -408,8 +611,15 @@ class ServeDaemon:
                 "chunk_hours": config.chunk_hours,
                 "committed_hours": self.cursor,
                 "resumed_hours": self.resumed_hours,
-                "completed": final and self.cursor >= config.hours,
+                "completed": (
+                    final and not self.indefinite
+                    and self.cursor >= config.hours
+                ),
                 "chain": self.chunks.chain_digest(),
+                "indefinite": self.indefinite,
+                "retain_hours": self.retention,
+                "pruned_hours": self.chunks.pruned_hours(),
+                "rolling_digest": self.rolling,
             },
         }
         dataset_info: Dict[str, Any] = {
@@ -457,22 +667,33 @@ class ServeDaemon:
             sim_hours = self._sim_hours_done
         config = self.config
         rate = (sim_hours / sim_seconds) if sim_seconds > 0 else None
-        remaining = max(0, config.hours - cursor)
+        if self.indefinite:
+            eta = None
+        else:
+            remaining = max(0, config.hours - cursor)
+            eta = (remaining / rate) if rate else None
         return {
             "run_id": self.run_id,
             "state": state,
             "engine": "fast",
-            "hours_total": config.hours,
+            "hours_total": None if self.indefinite else config.hours,
+            "epoch_hours": self.epoch_hours,
             "committed_hours": cursor,
             "sim_clock_hour": cursor,
             "resumed_hours": self.resumed_hours,
             "chunk_hours": config.chunk_hours,
             "chunks_committed": chunks_committed,
             "chain": self.chunks.chain_digest(),
+            "rolling_digest": self.rolling,
             "workers": config.workers,
             "lanes": lanes,
             "sim_hours_per_second": rate,
-            "eta_seconds": (remaining / rate) if rate else None,
+            "eta_seconds": eta,
             "throttle_seconds": config.throttle_seconds,
             "stop_requested": self.coordinator.stop_requested(),
+            "retention": {
+                "retain_hours": self.retention,
+                "pruned_chunks": self._pruned_chunks,
+                "pruned_hours": self.chunks.pruned_hours(),
+            } if self.retention is not None else None,
         }

@@ -281,13 +281,16 @@ def _run_start_entities(world, emitter) -> Dict[str, list]:
 
     The online detector resolves array indices back to names at alert
     time; shipping the rosters once on ``run_start`` keeps every later
-    ``hour_stats`` event index-only and small.
+    ``hour_stats`` event index-only and small.  ``client_regions`` rides
+    along so the horizon SLO/history observers can aggregate per region
+    (absent rosters just leave their region tables empty).
     """
     if not getattr(emitter, "entity_stats", False):
         return {}
     return {
         "clients": [c.name for c in world.clients],
         "servers": [w.name for w in world.websites],
+        "client_regions": [c.region.value for c in world.clients],
     }
 
 

@@ -1,0 +1,329 @@
+"""Long-horizon observability: history rollups, SLO ledger, rolling digest.
+
+The property tests pin the two invariants the ``HistoryStore`` module
+docstring promises *exactly*: every downsampled cell equals a
+recomputation from the raw hour stream (sums add, counts add, maxes
+max), and ring-buffer eviction never changes a surviving cell's digest.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dataset import MIN_SAMPLES_PER_HOUR, MeasurementDataset
+from repro.obs.horizon.history import RESOLUTIONS, HistoryStore, cell_digest
+from repro.obs.horizon.rolling import (
+    dataset_rolling_digest,
+    fold_block,
+    rolling_seed,
+)
+from repro.obs.horizon.slo import DOWN_THRESHOLD, SLOEngine, render_slo_table
+from repro.obs.online.detector import OnlineDetector
+from repro.obs.online.rules import SLO_BURN_RULES
+
+#: A tiny resolution set so hypothesis streams cross cell and eviction
+#: boundaries in a few dozen hours instead of weeks.
+SMALL_RESOLUTIONS = (("hour", 1, 6), ("3h", 3, 4), ("6h", 6, 3))
+
+
+def _start(store: HistoryStore, n_clients: int, n_servers: int) -> None:
+    store.on_run_start({
+        "clients": [f"c{i}" for i in range(n_clients)],
+        "servers": [f"s{i}" for i in range(n_servers)],
+        "client_regions": ["us", "europe"] * (n_clients // 2)
+        + ["asia"] * (n_clients % 2),
+    })
+
+
+hour_stats = st.tuples(
+    st.lists(st.integers(0, 40), min_size=2, max_size=2),
+    st.lists(st.integers(0, 12), min_size=2, max_size=2),
+    st.lists(st.integers(0, 40), min_size=3, max_size=3),
+    st.lists(st.integers(0, 12), min_size=3, max_size=3),
+)
+
+
+class TestHistoryRollupProperties:
+    @given(st.lists(hour_stats, min_size=1, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_downsampled_cells_equal_raw_recomputation(self, stream):
+        """6h/day/week analog cells == exact recomputation from raw hours."""
+        store = HistoryStore(resolutions=SMALL_RESOLUTIONS)
+        _start(store, 2, 3)
+        raw = []
+        for hour, (ct, cf, st_, sf) in enumerate(stream):
+            cf = [min(f, t) for f, t in zip(cf, ct)]
+            sf = [min(f, t) for f, t in zip(sf, st_)]
+            store.on_hour(hour, ct, cf, st_, sf)
+            raw.append((hour, ct, cf, st_, sf))
+        for name, span, capacity in SMALL_RESOLUTIONS:
+            doc = store.document({"series": "overall", "res": name})
+            for point in doc["points"]:
+                hours = [
+                    r for r in raw
+                    if point["hour_start"] <= r[0] < point["hour_stop"]
+                ]
+                t = sum(sum(r[1]) for r in hours)
+                f = sum(sum(r[2]) for r in hours)
+                rates = [
+                    sum(r[2]) / sum(r[1]) for r in hours if sum(r[1]) > 0
+                ]
+                assert point["hours"] == len(hours)
+                assert point["transactions"] == t
+                assert point["failures"] == f
+                assert point["max_rate"] == (max(rates) if rates else 0.0)
+            # Per-entity sums/valid-counts/maxes, via the client series.
+            cdoc = store.document(
+                {"series": "client", "res": name, "entity": "c0"}
+            )
+            for point in cdoc["points"]:
+                hours = [
+                    r for r in raw
+                    if point["hour_start"] <= r[0] < point["hour_stop"]
+                ]
+                assert point["transactions"] == sum(r[1][0] for r in hours)
+                assert point["failures"] == sum(r[2][0] for r in hours)
+                valid = [
+                    r for r in hours if r[1][0] >= MIN_SAMPLES_PER_HOUR
+                ]
+                assert point["valid_hours"] == len(valid)
+                assert point["max_rate"] == (
+                    max((r[2][0] / r[1][0] for r in valid), default=0.0)
+                )
+
+    @given(st.lists(hour_stats, min_size=10, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_eviction_never_perturbs_surviving_cell_digests(self, stream):
+        store = HistoryStore(resolutions=SMALL_RESOLUTIONS)
+        _start(store, 2, 3)
+        seen: dict = {}
+        for hour, (ct, cf, st_, sf) in enumerate(stream):
+            cf = [min(f, t) for f, t in zip(cf, ct)]
+            sf = [min(f, t) for f, t in zip(sf, st_)]
+            store.on_hour(hour, ct, cf, st_, sf)
+            for name, span, capacity in SMALL_RESOLUTIONS:
+                ring = store._rings[name]
+                assert len(ring) <= capacity
+                digests = store.cell_digests(name)
+                for cell, digest in zip(ring, digests):
+                    if cell["hours"] == span:  # complete => immutable
+                        key = (name, cell["index"])
+                        assert seen.setdefault(key, digest) == digest
+
+    def test_out_of_order_fold_is_refused(self):
+        store = HistoryStore(resolutions=SMALL_RESOLUTIONS)
+        _start(store, 2, 3)
+        store.on_hour(3, [1, 1], [0, 0], [1, 1, 1], [0, 0, 0])
+        with pytest.raises(ValueError, match="out of order"):
+            store.on_hour(3, [1, 1], [0, 0], [1, 1, 1], [0, 0, 0])
+
+    def test_bad_query_params_raise_keyerror(self):
+        store = HistoryStore()
+        _start(store, 2, 3)
+        with pytest.raises(KeyError, match="resolution"):
+            store.document({"res": "fortnight"})
+        with pytest.raises(KeyError, match="series"):
+            store.document({"series": "nope"})
+        with pytest.raises(KeyError, match="integers"):
+            store.document({"from": "abc"})
+        with pytest.raises(KeyError, match="entity"):
+            store.document({"series": "client", "entity": "nobody"})
+
+    def test_state_round_trip_then_fold_is_continuous(self):
+        a = HistoryStore(resolutions=SMALL_RESOLUTIONS)
+        b = HistoryStore(resolutions=SMALL_RESOLUTIONS)
+        _start(a, 2, 3)
+        stream = [
+            ([20, 5], [2, 0], [10, 10, 5], [1, 1, 0]) for _ in range(17)
+        ]
+        for hour, (ct, cf, st_, sf) in enumerate(stream[:9]):
+            a.on_hour(hour, ct, cf, st_, sf)
+        b.restore_state(json.loads(json.dumps(a.export_state())))
+        for hour, (ct, cf, st_, sf) in enumerate(stream[9:], start=9):
+            a.on_hour(hour, ct, cf, st_, sf)
+            b.on_hour(hour, ct, cf, st_, sf)
+        assert a.export_state() == b.export_state()
+        c = HistoryStore()  # default resolutions differ from SMALL
+        with pytest.raises(ValueError, match="resolutions"):
+            c.restore_state(a.export_state())
+
+
+class TestSLOEngine:
+    def _engine(self):
+        engine = SLOEngine()
+        engine.on_run_start({
+            "clients": ["c0", "c1"],
+            "servers": ["s0", "s1"],
+            "client_regions": ["us", "asia"],
+        })
+        return engine
+
+    def test_availability_budget_and_episodes(self):
+        engine = self._engine()
+        # c0: 3 valid up hours then 2 down hours (rate 50% >= f) then up.
+        for hour in range(6):
+            down = hour in (3, 4)
+            c0 = (40, 20 if down else 0)
+            engine.on_hour(
+                hour, [c0[0], 40], [c0[1], 0], [40, 40], [0, 0]
+            )
+        doc = engine.document()
+        client = doc["sides"]["client"]
+        assert client["valid_entity_hours"] == 12
+        assert client["down_entity_hours"] == 2
+        assert client["availability"] == 10 / 12
+        assert client["down_episodes"] == 1
+        assert client["mtbf_hours"] == 10.0  # up-hours / episodes
+        assert client["mttr_hours"] == 2.0
+        assert doc["sides"]["server"]["availability"] == 1.0
+        # budget consumption: (1 - availability) / (1 - objective)
+        assert client["error_budget_consumed"] == pytest.approx(
+            (2 / 12) / (1 - doc["objective"])
+        )
+        regions = doc["regions"]
+        assert set(regions) == {"us", "asia"}
+        assert regions["us"]["availability"] == 4 / 6  # c0 alone
+        assert regions["asia"]["availability"] == 1.0  # c1 alone
+        worst = doc["worst_entities"]
+        assert worst and worst[0]["entity"] == "c0"
+
+    def test_invalid_hours_keep_last_state(self):
+        engine = self._engine()
+        # Hour 0 down, hour 1 invalid (too few samples): still down.
+        engine.on_hour(0, [40, 40], [20, 0], [40, 40], [0, 0])
+        engine.on_hour(1, [2, 2], [2, 0], [2, 2], [0, 0])
+        doc = engine.document()
+        client = doc["sides"]["client"]
+        assert client["valid_entity_hours"] == 2  # only hour 0
+        assert client["down_episodes"] == 1
+
+    def test_burn_rates_windowed(self):
+        engine = self._engine()
+        for hour in range(8):
+            f = 8 if hour >= 6 else 0  # 5% overall in the last 2 hours
+            engine.on_hour(hour, [80, 80], [f, f], [80, 80], [0, 0])
+        doc = engine.document()
+        budget = 1 - doc["objective"]
+        assert doc["burn_rates"]["1h"] == pytest.approx(0.1 / budget)
+        assert doc["burn_rates"]["6h"] == pytest.approx(
+            (32 / 960) / budget
+        )
+        registry = engine.to_registry()
+        snap = registry.snapshot()
+        assert snap['slo_burn_rate{window="1h"}'] == pytest.approx(
+            0.1 / budget
+        )
+        assert 'slo_availability{side="client"}' in snap
+
+    def test_state_round_trip_then_fold_is_continuous(self):
+        a, b = self._engine(), SLOEngine()
+        for hour in range(9):
+            a.on_hour(hour, [40, 40], [hour, 0], [40, 40], [0, 0])
+        b.restore_state(json.loads(json.dumps(a.export_state())))
+        for hour in range(9, 20):
+            for e in (a, b):
+                e.on_hour(hour, [40, 40], [3, 0], [40, 40], [0, 0])
+        assert a.export_state() == b.export_state()
+        assert json.dumps(a.document(), sort_keys=True) == json.dumps(
+            b.document(), sort_keys=True
+        )
+
+    def test_table_renders_down_threshold_and_worst(self):
+        engine = self._engine()
+        for hour in range(4):
+            engine.on_hour(hour, [40, 40], [20, 0], [40, 40], [0, 0])
+        table = render_slo_table(engine.document())
+        assert f"f={DOWN_THRESHOLD:g}" in table
+        assert "c0" in table and "burn rates" in table
+
+
+class TestRollingDigest:
+    def test_chunk_split_invariant_and_matches_batch(self, world, dataset):
+        import hashlib
+
+        from repro.obs.runstore.manifest import canonical_json
+
+        fp = hashlib.sha256(
+            canonical_json(dataset.fingerprint()).encode("utf-8")
+        ).hexdigest()
+        oracle = dataset_rolling_digest(dataset, fp)
+        for split in (5, 24, world.hours):
+            rolling = rolling_seed(fp)
+            h = 0
+            while h < world.hours:
+                stop = min(h + split, world.hours)
+                rolling = fold_block(
+                    rolling, dataset.extract_block(h, stop)
+                )
+                h = stop
+            assert rolling == oracle
+        # Sensitive to content: one count flipped changes the digest.
+        arrays = dataset.extract_block(0, world.hours)
+        arrays["transactions"][0, 0, 3] += 1
+        perturbed = rolling_seed(fp)
+        assert fold_block(perturbed, arrays) != oracle
+
+
+class TestDetectorRetention:
+    def _stream(self, detector, hours, n=3):
+        detector.update({
+            "type": "run_start",
+            "hours": hours,
+            "clients": [f"c{i}" for i in range(n)],
+            "servers": [f"s{i}" for i in range(n)],
+        })
+        for hour in range(hours):
+            rate_up = 12 if (hour % 11) in (3, 4) else 0
+            detector.update({
+                "type": "hour_stats", "hour": hour,
+                "ct": [60] * n, "cf": [rate_up, 0, 0],
+                "st": [60] * n, "sf": [0, 0, rate_up],
+                "tcp": [],
+            })
+
+    def test_trimmed_state_is_bounded_and_checkpoint_continuous(self):
+        retained = OnlineDetector(retention_hours=12)
+        self._stream(retained, 80)
+        state = retained.export_state()
+        for side in ("client", "server"):
+            rates = state["sides"][side]["hour_rates"]
+            assert all(len(rates[i]) <= 12 for i in sorted(rates))
+        # Restore mid-stream == continuous fold (trimming included).
+        a = OnlineDetector(retention_hours=12)
+        self._stream(a, 50)
+        b = OnlineDetector(retention_hours=12)
+        b.restore_state(json.loads(json.dumps(a.export_state())))
+        for d in (a, b):
+            for hour in range(50, 80):
+                d.update({
+                    "type": "hour_stats", "hour": hour,
+                    "ct": [60] * 3, "cf": [0, 0, 0],
+                    "st": [60] * 3, "sf": [0, 0, 0], "tcp": [],
+                })
+        assert a.export_state() == b.export_state()
+
+    def test_slo_burn_rules_latch_on_sustained_burn(self):
+        detector = OnlineDetector(rules=SLO_BURN_RULES)
+        detector.update({
+            "type": "run_start", "hours": 10,
+            "clients": ["c0"], "servers": ["s0"],
+        })
+        for hour in range(4):
+            detector.update({
+                "type": "hour_stats", "hour": hour,
+                "ct": [100], "cf": [40], "st": [100], "sf": [40],
+                "tcp": [],
+            })
+        fired = [a["rule"] for a in detector.snapshot()["alerts"]]
+        assert fired.count("slo-fast-burn") == 1  # latching
+        assert "slo-slow-burn" in fired
+        detail = next(
+            a["detail"] for a in detector.snapshot()["alerts"]
+            if a["rule"] == "slo-fast-burn"
+        )
+        assert detail["burn_rate"] >= detail["burn_floor"]

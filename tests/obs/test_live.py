@@ -427,6 +427,60 @@ class TestLiveSession:
             session.stop()
             session.cleanup()
 
+    def test_detect_wires_horizon_surfaces(self):
+        """Batch detection serves /slo + /history like the daemon does.
+
+        The horizon engines ride the detector's ordered hour stream, so
+        a plain ``--detect --serve-metrics`` batch run answers the same
+        long-horizon questions an indefinite serve run does.
+        """
+        import json
+        import time
+        import urllib.request
+
+        from repro.world.simulator import simulate_default_month
+
+        with LiveSession(serve_port=0, detect=True) as session:
+            simulate_default_month(hours=12, per_hour=2, seed=11)
+            deadline = time.time() + 30
+            while (
+                session.detector.hours_folded < 12
+                and time.time() < deadline
+            ):
+                time.sleep(0.05)
+            session.detector.drain_pending()
+            base = f"http://127.0.0.1:{session.port}"
+            slo = json.load(urllib.request.urlopen(base + "/slo"))
+            assert slo["hours_folded"] == 12
+            assert set(slo["sides"]) == {"client", "server"}
+            assert slo["regions"]  # regions rode run_start
+            hist = json.load(urllib.request.urlopen(
+                base + "/history?series=overall&res=hour"
+            ))
+            assert hist["point_count"] == 12
+            status = json.load(urllib.request.urlopen(base + "/status"))
+            assert status["slo"]["availability"]["client"] is not None
+            assert set(status["slo"]["burn_rates"]) == {"1h", "6h", "3d"}
+            metrics = urllib.request.urlopen(
+                base + "/metrics"
+            ).read().decode()
+            assert 'repro_slo_availability{side="client"}' in metrics
+
+    def test_no_detect_horizon_endpoints_404(self):
+        import urllib.error
+        import urllib.request
+
+        with LiveSession(serve_port=0, detect=False) as session:
+            for route in ("/slo", "/history?series=overall&res=hour"):
+                try:
+                    urllib.request.urlopen(
+                        f"http://127.0.0.1:{session.port}{route}"
+                    )
+                except urllib.error.HTTPError as err:
+                    assert err.code == 404
+                else:
+                    raise AssertionError(f"{route} should 404 without --detect")
+
 
 HOURS = "8"
 PER_HOUR = "2"

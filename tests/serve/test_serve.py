@@ -586,3 +586,283 @@ class TestBatchServeMetricsShutdown:
         assert "run recorded" not in captured.out
         # Handlers restored for the rest of the test session.
         assert signal.getsignal(signal.SIGTERM) == before
+
+
+class TestRetentionAndHorizon:
+    """Acceptance: bounded disk under --retain-hours, checkpointed
+    resume across a pruning boundary, /history + /slo bit-identical at
+    any worker count, and the rolling digest == a batch oracle."""
+
+    RETAIN = 8
+
+    def _config(self, tmp_path, **kw):
+        base = dict(
+            hours=SERVE_HOURS, per_hour=PER_HOUR, seed=SEED, chunk_hours=4,
+            retain_hours=self.RETAIN, runs_dir=str(tmp_path / "runs"),
+        )
+        base.update(kw)
+        return ServeConfig(**base)
+
+    def test_payloads_pruned_chain_intact_digest_matches_batch(
+        self, tmp_path
+    ):
+        daemon = _serve(self._config(tmp_path))
+        daemon.prepare()
+        result = daemon.run()
+        assert result["completed"]
+        # Retention never touches what is simulated: the rolling digest
+        # equals the batch dataset's hour-chained digest.
+        assert result["digest"] == result["rolling"]
+        from repro.obs.horizon import dataset_rolling_digest
+
+        oracle = simulate_default_month(
+            hours=SERVE_HOURS, per_hour=PER_HOUR, seed=SEED, workers=1
+        ).dataset
+        fp = daemon._fingerprint_sha256()
+        assert result["rolling"] == dataset_rolling_digest(oracle, fp)
+        # Disk is bounded: only the last RETAIN hours of payloads
+        # survive, but every chain entry does.
+        chunks = ChunkStore(daemon.store.run_dir(daemon.run_id))
+        assert chunks.pruned_hours() == SERVE_HOURS - self.RETAIN
+        kept = chunks.payload_files()
+        assert kept == [
+            f"chunk-{h:04d}-{h + 4:04d}.npz"
+            for h in range(SERVE_HOURS - self.RETAIN, SERVE_HOURS, 4)
+        ]
+        assert len(chunks.entries()) == SERVE_HOURS // 4
+        assert chunks.load_checkpoint() is not None
+        serve_info = daemon.store.load(
+            daemon.run_id
+        ).dataset["provenance"]["serve"]
+        assert serve_info["retain_hours"] == self.RETAIN
+        assert serve_info["pruned_hours"] == SERVE_HOURS - self.RETAIN
+        assert serve_info["rolling_digest"] == result["rolling"]
+
+    @pytest.mark.parametrize("resume_workers", [1, 4])
+    def test_resume_across_pruning_boundary_bit_identical(
+        self, tmp_path, resume_workers
+    ):
+        # Stop at hour 16 with retain 8: hours [0, 8) are already
+        # pruned, so the resume MUST come from the checkpoint.
+        def stop_at(daemon, entry):
+            if entry["hour_stop"] >= 16:
+                daemon.request_stop()
+
+        first = _serve(self._config(tmp_path), chunk_callback=stop_at)
+        first.prepare()
+        interrupted = first.run()
+        assert interrupted["committed_hours"] == 16
+        chunks = ChunkStore(first.store.run_dir(first.run_id))
+        assert chunks.pruned_hours() == 8
+        # The pruned prefix is unreplayable without the checkpoint.
+        with pytest.raises(ChunkStoreError, match="retention checkpoint"):
+            list(chunks.replay())
+
+        resumed = _serve(self._config(tmp_path, workers=resume_workers))
+        resumed.prepare(resume=True)
+        assert resumed.cursor == 16
+        done = resumed.run()
+        assert done["completed"]
+
+        reference = _serve(self._config(tmp_path, runs_dir=str(
+            tmp_path / "reference"
+        )))
+        reference.prepare()
+        oracle = reference.run()
+        assert done["digest"] == oracle["digest"]
+        assert done["chain"] == oracle["chain"]
+        assert (
+            resumed.detector.export()["lines"]
+            == reference.detector.export()["lines"]
+        )
+        for params in (
+            {"series": "overall", "res": "hour"},
+            {"series": "client", "res": "6h"},
+            {"series": "region", "res": "day"},
+        ):
+            assert json.dumps(
+                resumed.history.document(params), sort_keys=True
+            ) == json.dumps(
+                reference.history.document(params), sort_keys=True
+            )
+        assert json.dumps(
+            resumed.slo.document(), sort_keys=True
+        ) == json.dumps(reference.slo.document(), sort_keys=True)
+
+    def test_indefinite_requires_retention_and_cycles_epochs(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.serve.daemon as daemon_mod
+
+        with pytest.raises(ServeError, match="retention"):
+            ServeDaemon(ServeConfig(
+                hours=0, runs_dir=str(tmp_path / "runs")
+            ))
+        # A 10-hour epoch makes the boundary crossings cheap to test.
+        monkeypatch.setattr(daemon_mod, "DEFAULT_HOURS", 10)
+
+        def stop_at(daemon, entry):
+            if entry["hour_stop"] >= 24:
+                daemon.request_stop()
+
+        daemon = _serve(
+            self._config(tmp_path, hours=0, per_hour=1, chunk_hours=4),
+            chunk_callback=stop_at,
+        )
+        daemon.prepare()
+        result = daemon.run()
+        assert not result["completed"]
+        assert result["committed_hours"] >= 24
+        assert daemon.epoch_hours == 10
+        # Chunks never straddle an epoch boundary ...
+        chunks = ChunkStore(daemon.store.run_dir(daemon.run_id))
+        for entry in chunks.entries():
+            h0, h1 = int(entry["hour_start"]), int(entry["hour_stop"])
+            assert h0 // 10 == (h1 - 1) // 10
+        # ... and a retained sim-hour h is bit-identical to epoch hour
+        # h % 10 (the fault and RNG streams recur each epoch).
+        from repro.world.parallel import run_block
+
+        epoch = run_block(daemon.simulator, 0, 10, workers=1)
+        for entry, arrays in chunks.replay(start_hour=chunks.pruned_hours()):
+            h0 = int(entry["hour_start"])
+            for t in range(int(entry["hour_stop"]) - h0):
+                e = (h0 + t) % 10
+                assert np.array_equal(
+                    arrays["transactions"][..., t],
+                    epoch["transactions"][..., e],
+                )
+        status = daemon.status_document()
+        assert status["hours_total"] is None
+        assert status["eta_seconds"] is None
+        assert status["epoch_hours"] == 10
+        assert status["retention"]["retain_hours"] == self.RETAIN
+
+    def test_live_history_slo_and_serve_gauges(self, tmp_path):
+        gate = threading.Event()
+        release = threading.Event()
+
+        def pause(daemon, entry):
+            if entry["hour_stop"] == 12:
+                gate.set()
+                release.wait(timeout=30)
+                daemon.request_stop()
+
+        daemon = _serve(
+            self._config(tmp_path, per_hour=1), chunk_callback=pause
+        )
+        daemon.prepare()
+        thread = threading.Thread(target=daemon.run, daemon=True)
+        thread.start()
+        try:
+            assert gate.wait(timeout=60)
+            port = daemon.server.port
+            status, slo = _get(port, "/slo")
+            assert status == 200
+            assert slo["api"] == "repro.live-api/1"
+            assert slo["schema"] == "repro.slo/1"
+            assert slo["hours_folded"] == 12
+            assert slo["sides"]["client"]["availability"] is not None
+            status, history = _get(port, "/history?series=overall&res=6h")
+            assert status == 200
+            assert history["schema"] == "repro.history/1"
+            assert history["point_count"] == 2
+            assert sum(p["hours"] for p in history["points"]) == 12
+            status, sliced = _get(
+                port, "/history?series=overall&res=hour&from=4&to=8"
+            )
+            assert [p["hour_start"] for p in sliced["points"]] == [4, 5, 6, 7]
+            status, bad = _get(port, "/history?res=fortnight")
+            assert status == 400
+            assert "fortnight" in bad["error"]
+            status, index = _get(port, "/")
+            assert "/history" in index["endpoints"]
+            assert "/slo" in index["endpoints"]
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/metrics", timeout=10
+            ) as resp:
+                exposition = resp.read().decode("utf-8")
+            for needle in (
+                "repro_serve_committed_hours 12",
+                "repro_serve_chain_length 3",
+                "repro_serve_resumed 0",
+                "repro_serve_last_chunk_seconds",
+                "repro_serve_pruned_chunks 1",
+                f"repro_serve_retain_hours {self.RETAIN}",
+                'repro_history_cells{res="hour"} 12',
+                'repro_slo_availability{side="client"}',
+                'repro_slo_burn_rate{window="6h"}',
+            ):
+                assert needle in exposition, needle
+        finally:
+            release.set()
+            thread.join(timeout=60)
+        assert not thread.is_alive()
+
+    def test_slo_cli_matches_live_engine(self, tmp_path, capsys):
+        runs = str(tmp_path / "runs")
+        daemon = _serve(self._config(tmp_path))
+        daemon.prepare()
+        daemon.run()
+        live = daemon.slo.document()
+        assert cli.main(["slo", "--runs-dir", runs, "latest", "--json"]) == 0
+        rebuilt = json.loads(capsys.readouterr().out)
+        assert rebuilt == json.loads(json.dumps(live))
+        # The human table renders and names the worst entities.
+        assert cli.main(["slo", "--runs-dir", runs, daemon.run_id]) == 0
+        table = capsys.readouterr().out
+        assert "SLO objective" in table and "burn rates" in table
+
+    def test_slo_cli_on_a_batch_run_is_a_clear_error(
+        self, tmp_path, capsys
+    ):
+        runs = str(tmp_path / "runs")
+        assert cli.main([
+            "--runs-dir", runs, "simulate", "--hours", "4",
+            "--per-hour", "1",
+        ]) == 0
+        capsys.readouterr()
+        assert cli.main(["slo", "--runs-dir", runs, "latest"]) == 2
+        err = capsys.readouterr().err
+        assert "no chunk store" in err
+
+    def test_timeline_degrades_gracefully_after_pruning(
+        self, tmp_path, capsys
+    ):
+        runs = str(tmp_path / "runs")
+        daemon = _serve(self._config(tmp_path))
+        daemon.prepare()
+        daemon.run()
+        capsys.readouterr()
+        assert cli.main([
+            "runs", "--runs-dir", runs, "show", daemon.run_id, "--timeline",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "retention pruned the first 16 sim-hour(s)" in out
+        assert "repro slo" in out
+
+    def test_resume_inherits_recorded_retention_policy(self, tmp_path):
+        runs = str(tmp_path / "runs")
+        # --hours 0 without --retain-hours is refused at the CLI too.
+        assert cli.main([
+            "serve", "--runs-dir", runs, "--hours", "0", "--per-hour", "1",
+        ]) == 2
+        config = self._config(tmp_path, hours=0, per_hour=1)
+        daemon = _serve(
+            config, chunk_callback=lambda d, e: d.request_stop()
+        )
+        daemon.prepare()
+        daemon.run()
+        chunks = ChunkStore(daemon.store.run_dir(daemon.run_id))
+        assert chunks.retention() == {"retain_hours": self.RETAIN}
+        # A bare --resume (no --retain-hours flag) restores the policy
+        # from the run's own manifest record.
+        from repro.serve.cli import _resume_config
+
+        class _Args:
+            runs_dir = runs
+            workers = None
+
+        _, restored = _resume_config(_Args(), daemon.run_id)
+        assert restored.retain_hours == self.RETAIN
+        assert restored.hours == 0
